@@ -1,0 +1,28 @@
+//! Bench for paper Figure 4: the Talg surface for Heat2D on the GTX 980
+//! with tS1 fixed at 8; prints the minimizing cell (the red dot).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::figures::figure4;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let lab = hhc_bench::bench_lab();
+    let r = figure4(&lab);
+    if let Some(min) = r.min_cell {
+        println!(
+            "[fig4] Talg min = {:.4e} s at tT = {}, tS2 = {} (size {})",
+            min.talg.unwrap(),
+            min.t_t,
+            min.t_s2,
+            r.size
+        );
+    }
+    let mut g = c.benchmark_group("fig4_surface");
+    g.bench_function("sweep_surface_heat2d", |b| {
+        b.iter(|| black_box(figure4(&lab).cells.len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

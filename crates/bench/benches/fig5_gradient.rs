@@ -1,0 +1,29 @@
+//! Bench for paper Figure 5: the Gradient2D baseline-vs-candidate study
+//! (850 baseline points + within-10% candidates), printing the headline
+//! improvement the paper reports for this experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::figures::figure5;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let lab = hhc_bench::bench_lab();
+    let r = figure5(&lab);
+    println!(
+        "[fig5] {}: baseline best {:.4} s, candidate best {:.4} s ({} candidates), improvement {:.1}%",
+        r.size,
+        r.baseline_best.unwrap_or(f64::NAN),
+        r.candidate_best.unwrap_or(f64::NAN),
+        r.candidate_count,
+        100.0 * r.improvement.unwrap_or(f64::NAN)
+    );
+    let mut g = c.benchmark_group("fig5_gradient");
+    g.sample_size(10);
+    g.bench_function("study_gradient2d", |b| {
+        b.iter(|| black_box(figure5(&lab).candidate_count))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

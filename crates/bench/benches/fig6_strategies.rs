@@ -1,0 +1,34 @@
+//! Bench for paper Figure 6: the strategy comparison (HHC default /
+//! Baseline / Talg-min / Within-10%), printing the average-GFLOPS bars.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::figures::figure6;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let lab = hhc_bench::bench_lab();
+    let (rows, _) = figure6(&lab, false);
+    for r in &rows {
+        let bars: Vec<String> = r
+            .gflops
+            .iter()
+            .map(|(s, g)| format!("{s}={g:.1}"))
+            .collect();
+        println!(
+            "[fig6] {} {}: {} (Within10 vs Baseline {:+.1}%)",
+            r.device,
+            r.benchmark,
+            bars.join("  "),
+            100.0 * r.within_vs_baseline
+        );
+    }
+    let mut g = c.benchmark_group("fig6_strategies");
+    g.sample_size(10);
+    g.bench_function("strategy_study_all_2d", |b| {
+        b.iter(|| black_box(figure6(&lab, false).0.len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Bench for paper Table 2: device-preset construction and occupancy
+//! resolution — the structural-parameter layer every experiment uses.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_sim::{occupancy, DeviceConfig, Workload};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_device_presets");
+    g.bench_function("construct_presets", |b| {
+        b.iter(|| {
+            let d = DeviceConfig::paper_devices();
+            black_box(d.len())
+        })
+    });
+    let device = DeviceConfig::gtx980();
+    let wl = Workload::uniform(1, 64, 8, 1024, 1024, vec![[512, 1, 1]; 8], 128, 32);
+    g.bench_function("occupancy_resolution", |b| {
+        b.iter(|| black_box(occupancy(&device, &wl).unwrap().k))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

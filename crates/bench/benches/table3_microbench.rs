@@ -1,0 +1,27 @@
+//! Bench for paper Table 3: the L / tau_sync / T_sync micro-benchmarks.
+//! The measured values are printed once so the bench regenerates the
+//! table's rows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_sim::DeviceConfig;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    for device in DeviceConfig::paper_devices() {
+        let m = microbench::measure_memory_params(&device);
+        println!(
+            "[table3] {}: L = {:.3e} s/GB, tau_sync = {:.3e} s, T_sync = {:.3e} s",
+            device.name, m.l_s_per_gb, m.tau_sync, m.t_sync
+        );
+    }
+    let device = DeviceConfig::gtx980();
+    let mut g = c.benchmark_group("table3_microbench");
+    g.sample_size(20);
+    g.bench_function("measure_memory_params_gtx980", |b| {
+        b.iter(|| black_box(microbench::measure_memory_params(&device).l_word))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

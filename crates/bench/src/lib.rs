@@ -1,0 +1,16 @@
+//! # hhc-bench
+//!
+//! Criterion benchmarks regenerating each table and figure of the paper
+//! at bench-friendly scale (one bench target per experiment; see
+//! `benches/`). `cargo bench --workspace` runs them all; the harness
+//! prints the same rows/series the paper reports, at the reduced scale.
+//!
+//! The full paper-scale regeneration is the `experiments` binary
+//! (`cargo run --release -p experiments -- --all --scale paper`).
+
+use experiments::{ExperimentScale, Lab};
+
+/// A lab at the smoke scale shared by the benches.
+pub fn bench_lab() -> Lab {
+    Lab::new(ExperimentScale::Smoke)
+}

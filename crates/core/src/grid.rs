@@ -1,0 +1,213 @@
+//! Dense rectangular grids of `f32` cells with Dirichlet boundaries.
+//!
+//! A [`Grid`] stores the space-domain state `A_t(·)` of a stencil at one
+//! time step. Reads outside the domain return a constant boundary value
+//! (the paper assumes "appropriate values are given for the boundary
+//! values"; Dirichlet is the simplest choice that every executor in the
+//! workspace shares, so functional results remain bit-for-bit comparable).
+
+use serde::{Deserialize, Serialize};
+
+/// A dense, row-major, up-to-3D array of `f32` with constant boundary.
+///
+/// Unused trailing dimensions have extent 1, so a 1D grid of length `S`
+/// is `sizes = [S, 1, 1]`. Storage is `data[(s1 * n2 + s2) * n3 + s3]`,
+/// i.e. the *last* used dimension is contiguous — matching the innermost
+/// (coalesced) dimension of the HHC-generated code.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Grid {
+    sizes: [usize; 3],
+    boundary: f32,
+    data: Vec<f32>,
+}
+
+impl Grid {
+    /// Create a zero-initialized grid. Extents of zero are normalized to 1
+    /// so the grid always has at least one cell per dimension.
+    pub fn zeros(sizes: [usize; 3]) -> Self {
+        Self::filled(sizes, 0.0)
+    }
+
+    /// Create a grid with every cell set to `value`.
+    pub fn filled(sizes: [usize; 3], value: f32) -> Self {
+        let sizes = [sizes[0].max(1), sizes[1].max(1), sizes[2].max(1)];
+        let n = sizes[0] * sizes[1] * sizes[2];
+        Grid {
+            sizes,
+            boundary: 0.0,
+            data: vec![value; n],
+        }
+    }
+
+    /// Create a grid whose cell values are produced by `f(s1, s2, s3)`.
+    pub fn from_fn<F: FnMut(usize, usize, usize) -> f32>(sizes: [usize; 3], mut f: F) -> Self {
+        let mut g = Self::zeros(sizes);
+        let [n1, n2, n3] = g.sizes;
+        for s1 in 0..n1 {
+            for s2 in 0..n2 {
+                for s3 in 0..n3 {
+                    let v = f(s1, s2, s3);
+                    g.data[(s1 * n2 + s2) * n3 + s3] = v;
+                }
+            }
+        }
+        g
+    }
+
+    /// The extents of the grid (trailing unused dimensions are 1).
+    #[inline]
+    pub fn sizes(&self) -> [usize; 3] {
+        self.sizes
+    }
+
+    /// Total number of cells.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the grid has zero cells (never true by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The constant value returned by out-of-domain reads.
+    #[inline]
+    pub fn boundary(&self) -> f32 {
+        self.boundary
+    }
+
+    /// Set the Dirichlet boundary value.
+    pub fn set_boundary(&mut self, v: f32) {
+        self.boundary = v;
+    }
+
+    /// Flat index of an in-domain point.
+    #[inline]
+    pub fn index(&self, s: [usize; 3]) -> usize {
+        debug_assert!(s[0] < self.sizes[0] && s[1] < self.sizes[1] && s[2] < self.sizes[2]);
+        (s[0] * self.sizes[1] + s[1]) * self.sizes[2] + s[2]
+    }
+
+    /// Read with boundary handling: signed coordinates outside the domain
+    /// yield the boundary value.
+    #[inline]
+    pub fn read(&self, s: [i64; 3]) -> f32 {
+        for (&c, &n) in s.iter().zip(&self.sizes) {
+            if c < 0 || c as usize >= n {
+                return self.boundary;
+            }
+        }
+        self.data[self.index([s[0] as usize, s[1] as usize, s[2] as usize])]
+    }
+
+    /// Read an in-domain point (panics in debug builds if out of range).
+    #[inline]
+    pub fn get(&self, s: [usize; 3]) -> f32 {
+        self.data[self.index(s)]
+    }
+
+    /// Write an in-domain point.
+    #[inline]
+    pub fn set(&mut self, s: [usize; 3], v: f32) {
+        let i = self.index(s);
+        self.data[i] = v;
+    }
+
+    /// Immutable view of the raw storage (row-major as documented).
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the raw storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Maximum absolute difference from another grid of the same shape.
+    ///
+    /// Panics if shapes differ.
+    pub fn max_abs_diff(&self, other: &Grid) -> f32 {
+        assert_eq!(self.sizes, other.sizes, "grid shapes differ");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_extents_normalize_to_one() {
+        let g = Grid::zeros([4, 0, 0]);
+        assert_eq!(g.sizes(), [4, 1, 1]);
+        assert_eq!(g.len(), 4);
+    }
+
+    #[test]
+    fn index_round_trip() {
+        let mut g = Grid::zeros([3, 4, 5]);
+        let mut v = 0.0f32;
+        for s1 in 0..3 {
+            for s2 in 0..4 {
+                for s3 in 0..5 {
+                    g.set([s1, s2, s3], v);
+                    v += 1.0;
+                }
+            }
+        }
+        // Row-major: the flat buffer counts up.
+        for (i, x) in g.as_slice().iter().enumerate() {
+            assert_eq!(*x, i as f32);
+        }
+    }
+
+    #[test]
+    fn last_dimension_is_contiguous() {
+        let g = Grid::zeros([2, 3, 4]);
+        assert_eq!(g.index([0, 0, 1]) - g.index([0, 0, 0]), 1);
+        assert_eq!(g.index([0, 1, 0]) - g.index([0, 0, 0]), 4);
+        assert_eq!(g.index([1, 0, 0]) - g.index([0, 0, 0]), 12);
+    }
+
+    #[test]
+    fn out_of_domain_reads_boundary() {
+        let mut g = Grid::filled([2, 2, 1], 7.0);
+        g.set_boundary(-3.0);
+        assert_eq!(g.read([-1, 0, 0]), -3.0);
+        assert_eq!(g.read([0, 2, 0]), -3.0);
+        assert_eq!(g.read([0, 0, 1]), -3.0);
+        assert_eq!(g.read([1, 1, 0]), 7.0);
+    }
+
+    #[test]
+    fn from_fn_matches_coordinates() {
+        let g = Grid::from_fn([2, 3, 1], |a, b, _| (a * 10 + b) as f32);
+        assert_eq!(g.get([1, 2, 0]), 12.0);
+        assert_eq!(g.get([0, 1, 0]), 1.0);
+    }
+
+    #[test]
+    fn max_abs_diff_detects_divergence() {
+        let a = Grid::filled([4, 1, 1], 1.0);
+        let mut b = a.clone();
+        assert_eq!(a.max_abs_diff(&b), 0.0);
+        b.set([2, 0, 0], 1.5);
+        assert!((a.max_abs_diff(&b) - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    #[should_panic(expected = "grid shapes differ")]
+    fn max_abs_diff_panics_on_shape_mismatch() {
+        let a = Grid::zeros([2, 1, 1]);
+        let b = Grid::zeros([3, 1, 1]);
+        let _ = a.max_abs_diff(&b);
+    }
+}

@@ -1,0 +1,129 @@
+//! Standard initial conditions for stencil runs.
+//!
+//! Examples and tests across the workspace need reproducible,
+//! physically-plausible initial grids; these constructors centralize
+//! them (and replace ad-hoc per-test random generators). Everything is
+//! deterministic: the random field takes an explicit seed and uses a
+//! splitmix-style generator, so results are identical across platforms.
+
+use crate::grid::Grid;
+
+/// A uniform field of `value`.
+pub fn constant(sizes: [usize; 3], value: f32) -> Grid {
+    Grid::filled(sizes, value)
+}
+
+/// A centered Gaussian bump of amplitude 1 with per-axis standard
+/// deviation `sigma` (in cells) — the classic heat-diffusion test.
+pub fn gaussian_bump(sizes: [usize; 3], sigma: f32) -> Grid {
+    let sizes = [sizes[0].max(1), sizes[1].max(1), sizes[2].max(1)];
+    let c = [
+        (sizes[0] as f32 - 1.0) / 2.0,
+        (sizes[1] as f32 - 1.0) / 2.0,
+        (sizes[2] as f32 - 1.0) / 2.0,
+    ];
+    let s2 = 2.0 * sigma * sigma;
+    Grid::from_fn(sizes, |a, b, cc| {
+        let mut d2 = (a as f32 - c[0]).powi(2);
+        if sizes[1] > 1 {
+            d2 += (b as f32 - c[1]).powi(2);
+        }
+        if sizes[2] > 1 {
+            d2 += (cc as f32 - c[2]).powi(2);
+        }
+        (-d2 / s2).exp()
+    })
+}
+
+/// A unit impulse at the center (a single hot cell) — the sharpest
+/// diffusion test and the seed of the stencil's discrete Green's
+/// function.
+pub fn impulse(sizes: [usize; 3]) -> Grid {
+    let sizes = [sizes[0].max(1), sizes[1].max(1), sizes[2].max(1)];
+    let mut g = Grid::zeros(sizes);
+    g.set([sizes[0] / 2, sizes[1] / 2, sizes[2] / 2], 1.0);
+    g
+}
+
+/// A checkerboard of ±1 — the highest-frequency mode, which averaging
+/// stencils damp fastest.
+pub fn checkerboard(sizes: [usize; 3]) -> Grid {
+    Grid::from_fn(
+        sizes,
+        |a, b, c| if (a + b + c) % 2 == 0 { 1.0 } else { -1.0 },
+    )
+}
+
+/// A deterministic pseudo-random field in `[-0.5, 0.5)`.
+pub fn random(sizes: [usize; 3], seed: u64) -> Grid {
+    let mut state = seed | 1;
+    Grid::from_fn(sizes, |_, _, _| {
+        // splitmix64 step.
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        ((z >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+    })
+}
+
+/// A plane wave `sin(2π·k·s1/S1)` along the first axis — a single
+/// Fourier mode, whose decay under an averaging stencil is analytically
+/// predictable.
+pub fn plane_wave(sizes: [usize; 3], k: usize) -> Grid {
+    let sizes = [sizes[0].max(1), sizes[1].max(1), sizes[2].max(1)];
+    let n = sizes[0] as f32;
+    Grid::from_fn(sizes, |a, _, _| {
+        (2.0 * std::f32::consts::PI * k as f32 * a as f32 / n).sin()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::norms;
+
+    #[test]
+    fn gaussian_is_centered_and_bounded() {
+        let g = gaussian_bump([33, 33, 1], 4.0);
+        assert!((g.get([16, 16, 0]) - 1.0).abs() < 1e-6);
+        assert!(g.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        // Symmetric around the center.
+        assert!((g.get([10, 16, 0]) - g.get([22, 16, 0])).abs() < 1e-6);
+    }
+
+    #[test]
+    fn impulse_has_unit_mass() {
+        let g = impulse([9, 9, 9]);
+        assert_eq!(norms::mass(&g), 1.0);
+        assert_eq!(g.get([4, 4, 4]), 1.0);
+    }
+
+    #[test]
+    fn checkerboard_has_zero_mass_on_even_grids() {
+        let g = checkerboard([8, 8, 1]);
+        assert_eq!(norms::mass(&g), 0.0);
+        assert_eq!(g.get([0, 0, 0]), 1.0);
+        assert_eq!(g.get([0, 1, 0]), -1.0);
+    }
+
+    #[test]
+    fn random_is_deterministic_and_seeded() {
+        let a = random([16, 16, 1], 7);
+        let b = random([16, 16, 1], 7);
+        let c = random([16, 16, 1], 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.as_slice().iter().all(|v| (-0.5..0.5).contains(v)));
+    }
+
+    #[test]
+    fn plane_wave_oscillates() {
+        let g = plane_wave([64, 1, 1], 4);
+        assert!((g.get([0, 0, 0])).abs() < 1e-6);
+        // One full period every 16 cells for k = 4, N = 64.
+        assert!((g.get([4, 0, 0]) - 1.0).abs() < 1e-5);
+        assert!((g.get([12, 0, 0]) + 1.0).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,92 @@
+//! Iteration-space points and rectangular iteration domains.
+//!
+//! The paper views "the entire stencil computation as defined by its
+//! iteration space: the set of legal values of the space and time
+//! coordinates" (Section 3). A point is `(t, s1, s2, s3)` with
+//! `0 ≤ t < T` and `0 ≤ s_i < S_i`. The tiling crates partition this set;
+//! this module provides the shared point type and containment tests.
+
+use crate::problem::ProblemSize;
+use serde::{Deserialize, Serialize};
+
+/// One point of the space-time iteration domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct IterPoint {
+    /// Time coordinate, `0 ≤ t < T`.
+    pub t: i64,
+    /// Space coordinates; trailing unused dimensions are zero.
+    pub s: [i64; 3],
+}
+
+impl IterPoint {
+    /// Convenience constructor.
+    #[inline]
+    pub fn new(t: i64, s: [i64; 3]) -> Self {
+        IterPoint { t, s }
+    }
+
+    /// Whether this point lies inside the iteration domain of `size`.
+    #[inline]
+    pub fn in_domain(&self, size: &ProblemSize) -> bool {
+        if self.t < 0 || self.t >= size.time as i64 {
+            return false;
+        }
+        let space = size.space_extents();
+        (0..3).all(|d| self.s[d] >= 0 && (self.s[d] as usize) < space[d])
+    }
+
+    /// The producer points this point depends on under a first-order
+    /// convolutional stencil: all points at `t − 1` within max-norm
+    /// distance 1 that the neighborhood actually references.
+    pub fn producers(&self, offsets: &[[i64; 3]]) -> Vec<IterPoint> {
+        offsets
+            .iter()
+            .map(|o| {
+                IterPoint::new(
+                    self.t - 1,
+                    [self.s[0] + o[0], self.s[1] + o[1], self.s[2] + o[2]],
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn size_2d() -> ProblemSize {
+        ProblemSize::new_2d(4, 6, 3)
+    }
+
+    #[test]
+    fn in_domain_checks_all_axes() {
+        let sz = size_2d();
+        assert!(IterPoint::new(0, [0, 0, 0]).in_domain(&sz));
+        assert!(IterPoint::new(2, [3, 5, 0]).in_domain(&sz));
+        assert!(!IterPoint::new(3, [0, 0, 0]).in_domain(&sz)); // t == T
+        assert!(!IterPoint::new(0, [4, 0, 0]).in_domain(&sz)); // s1 == S1
+        assert!(!IterPoint::new(0, [0, 6, 0]).in_domain(&sz)); // s2 == S2
+        assert!(!IterPoint::new(-1, [0, 0, 0]).in_domain(&sz));
+        assert!(!IterPoint::new(0, [0, -1, 0]).in_domain(&sz));
+        assert!(!IterPoint::new(0, [0, 0, 1]).in_domain(&sz)); // s3 extent is 1
+    }
+
+    #[test]
+    fn producers_shift_time_back() {
+        let p = IterPoint::new(5, [2, 3, 0]);
+        let offs = [[-1, 0, 0], [1, 0, 0]];
+        let prods = p.producers(&offs);
+        assert_eq!(prods.len(), 2);
+        assert!(prods.iter().all(|q| q.t == 4));
+        assert_eq!(prods[0].s, [1, 3, 0]);
+        assert_eq!(prods[1].s, [3, 3, 0]);
+    }
+
+    #[test]
+    fn ordering_is_time_major() {
+        let a = IterPoint::new(1, [9, 9, 9]);
+        let b = IterPoint::new(2, [0, 0, 0]);
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,42 @@
+//! # stencil-core
+//!
+//! Stencil specifications, dense grids, and reference (sequential)
+//! executors for the PPoPP'17 reproduction of *"Simple, Accurate,
+//! Analytical Time Modeling and Optimal Tile Size Selection for GPGPU
+//! Stencils"*.
+//!
+//! This crate defines the *problem* layer of the stack:
+//!
+//! * [`StencilKind`] / [`StencilSpec`] — the six benchmark stencils of the
+//!   paper (four 2D: Jacobi, Heat, Laplacian, Gradient; two 3D: Heat,
+//!   Laplacian) plus the Jacobi 1D and Jacobi 3D stencils used in the
+//!   paper's model exposition. Each is a convolutional stencil in the
+//!   sense of the paper's Eqn (1):
+//!
+//!   ```text
+//!   A_t(s) = ( Σ_{a ∈ N} w_a · A_{t-1}(s + a) ) + c
+//!   ```
+//!
+//! * [`Grid`] — a dense rectangular array of `f32` cells with Dirichlet
+//!   (constant) boundary handling.
+//!
+//! * [`mod@reference`] — a trivially-correct sequential executor used as the
+//!   ground truth that the tiled executors in `hhc-tiling`/`gpu-sim`
+//!   must reproduce bit-for-bit (the arithmetic is identical and applied
+//!   in a dependence-respecting order, so exact equality is required).
+//!
+//! * [`problem`] — problem-size descriptions (space extents + time steps)
+//!   and the exact experiment grids of the paper's Section 5.
+
+pub mod grid;
+pub mod init;
+pub mod ispace;
+pub mod norms;
+pub mod problem;
+pub mod reference;
+pub mod stencil;
+
+pub use grid::Grid;
+pub use ispace::IterPoint;
+pub use problem::ProblemSize;
+pub use stencil::{Neighbor, StencilDim, StencilKind, StencilSpec};

@@ -1,0 +1,546 @@
+//! Stencil specifications: neighborhood patterns, weights, and operation
+//! counts for the benchmark stencils of the paper.
+//!
+//! The paper (Section 3) considers *convolutional* (Jacobi-style, not
+//! Gauss-Seidel) stencils: every point at time `t` is a weighted sum of a
+//! fixed neighborhood of points at time `t − 1`, plus a constant. All six
+//! evaluation benchmarks are first-order stencils (dependence distance
+//! ≤ 1 in every space dimension), which is what the HHC compiler's
+//! hexagonal tile slopes of ±1 assume.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of *space* dimensions of a stencil (the iteration space has one
+/// additional time dimension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StencilDim {
+    /// One space dimension: the iteration space is the 2D `S × T`
+    /// rectangle of the paper's Figure 1; pure hexagonal tiling applies.
+    D1,
+    /// Two space dimensions: hexagonal tiling on `(t, s1)` and classic
+    /// time-skewed tiling along `s2` (paper Figure 2).
+    D2,
+    /// Three space dimensions: hexagonal tiling on `(t, s1)` and classic
+    /// time-skewed tiling along `s2` and `s3`.
+    D3,
+}
+
+impl StencilDim {
+    /// Number of space dimensions as an integer.
+    #[inline]
+    pub fn rank(self) -> usize {
+        match self {
+            StencilDim::D1 => 1,
+            StencilDim::D2 => 2,
+            StencilDim::D3 => 3,
+        }
+    }
+}
+
+/// One element of a stencil neighborhood: a relative space offset `a`
+/// (time offset is always −1) and its coefficient `w_a`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Neighbor {
+    /// Relative coordinates in up to three space dimensions; unused
+    /// trailing dimensions are zero.
+    pub offset: [i64; 3],
+    /// Convolution coefficient `w_a` from the paper's Eqn (1).
+    pub weight: f32,
+}
+
+impl Neighbor {
+    /// Convenience constructor.
+    #[inline]
+    pub fn new(offset: [i64; 3], weight: f32) -> Self {
+        Neighbor { offset, weight }
+    }
+}
+
+/// The benchmark stencils used in the paper's evaluation (Section 5) plus
+/// the expository Jacobi 1D / Jacobi 3D variants of Section 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StencilKind {
+    /// 3-point 1D Jacobi average — the stencil used to derive the model
+    /// (paper Section 4.1, Figure 1).
+    Jacobi1D,
+    /// 5-point 2D Jacobi average.
+    Jacobi2D,
+    /// 5-point 2D heat equation (explicit Euler step).
+    Heat2D,
+    /// 5-point 2D Laplacian smoothing step.
+    Laplacian2D,
+    /// 9-point 2D gradient/Sobel-style smoothing; its loop body performs
+    /// roughly twice the arithmetic of the 5-point stencils, matching the
+    /// paper's Table 4 where Gradient2D's `Citer` is ≈ 2× Jacobi2D's.
+    Gradient2D,
+    /// 7-point 3D Jacobi average (model exposition, Section 4.3).
+    Jacobi3D,
+    /// 7-point 3D heat equation.
+    Heat3D,
+    /// 7-point 3D Laplacian smoothing step.
+    Laplacian3D,
+}
+
+impl StencilKind {
+    /// All stencils with a dedicated `Citer` entry in the paper's Table 4.
+    pub const TABLE4: [StencilKind; 6] = [
+        StencilKind::Jacobi2D,
+        StencilKind::Heat2D,
+        StencilKind::Laplacian2D,
+        StencilKind::Gradient2D,
+        StencilKind::Heat3D,
+        StencilKind::Laplacian3D,
+    ];
+
+    /// The four 2D benchmarks of the paper's "2D stencil experiments".
+    pub const BENCH_2D: [StencilKind; 4] = [
+        StencilKind::Jacobi2D,
+        StencilKind::Heat2D,
+        StencilKind::Laplacian2D,
+        StencilKind::Gradient2D,
+    ];
+
+    /// The two 3D benchmarks of the paper's "3D stencil experiments".
+    pub const BENCH_3D: [StencilKind; 2] = [StencilKind::Heat3D, StencilKind::Laplacian3D];
+
+    /// Every stencil this crate defines.
+    pub const ALL: [StencilKind; 8] = [
+        StencilKind::Jacobi1D,
+        StencilKind::Jacobi2D,
+        StencilKind::Heat2D,
+        StencilKind::Laplacian2D,
+        StencilKind::Gradient2D,
+        StencilKind::Jacobi3D,
+        StencilKind::Heat3D,
+        StencilKind::Laplacian3D,
+    ];
+
+    /// Human-readable name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            StencilKind::Jacobi1D => "Jacobi1D",
+            StencilKind::Jacobi2D => "Jacobi2D",
+            StencilKind::Heat2D => "Heat2D",
+            StencilKind::Laplacian2D => "Laplacian2D",
+            StencilKind::Gradient2D => "Gradient2D",
+            StencilKind::Jacobi3D => "Jacobi3D",
+            StencilKind::Heat3D => "Heat3D",
+            StencilKind::Laplacian3D => "Laplacian3D",
+        }
+    }
+
+    /// Build the full specification (neighborhood, weights, op counts).
+    pub fn spec(self) -> StencilSpec {
+        let alpha = 0.125f32; // diffusion coefficient for the Heat stencils
+        match self {
+            StencilKind::Jacobi1D => StencilSpec::new(
+                self,
+                StencilDim::D1,
+                vec![
+                    Neighbor::new([-1, 0, 0], 1.0 / 3.0),
+                    Neighbor::new([0, 0, 0], 1.0 / 3.0),
+                    Neighbor::new([1, 0, 0], 1.0 / 3.0),
+                ],
+                0.0,
+                0,
+            ),
+            StencilKind::Jacobi2D => StencilSpec::new(
+                self,
+                StencilDim::D2,
+                vec![
+                    Neighbor::new([0, 0, 0], 0.2),
+                    Neighbor::new([-1, 0, 0], 0.2),
+                    Neighbor::new([1, 0, 0], 0.2),
+                    Neighbor::new([0, -1, 0], 0.2),
+                    Neighbor::new([0, 1, 0], 0.2),
+                ],
+                0.0,
+                0,
+            ),
+            StencilKind::Heat2D => StencilSpec::new(
+                self,
+                StencilDim::D2,
+                vec![
+                    Neighbor::new([0, 0, 0], 1.0 - 4.0 * alpha),
+                    Neighbor::new([-1, 0, 0], alpha),
+                    Neighbor::new([1, 0, 0], alpha),
+                    Neighbor::new([0, -1, 0], alpha),
+                    Neighbor::new([0, 1, 0], alpha),
+                ],
+                0.0,
+                // The heat loop body additionally scales by dt/h² in real
+                // codes; modeled as two extra flops per point.
+                2,
+            ),
+            StencilKind::Laplacian2D => StencilSpec::new(
+                self,
+                StencilDim::D2,
+                vec![
+                    Neighbor::new([0, 0, 0], 0.5),
+                    Neighbor::new([-1, 0, 0], 0.125),
+                    Neighbor::new([1, 0, 0], 0.125),
+                    Neighbor::new([0, -1, 0], 0.125),
+                    Neighbor::new([0, 1, 0], 0.125),
+                ],
+                0.0,
+                0,
+            ),
+            StencilKind::Gradient2D => StencilSpec::new(
+                self,
+                StencilDim::D2,
+                vec![
+                    Neighbor::new([0, 0, 0], 0.2),
+                    Neighbor::new([-1, 0, 0], 0.15),
+                    Neighbor::new([1, 0, 0], 0.15),
+                    Neighbor::new([0, -1, 0], 0.15),
+                    Neighbor::new([0, 1, 0], 0.15),
+                    Neighbor::new([-1, -1, 0], 0.05),
+                    Neighbor::new([-1, 1, 0], 0.05),
+                    Neighbor::new([1, -1, 0], 0.05),
+                    Neighbor::new([1, 1, 0], 0.05),
+                ],
+                0.0,
+                // Gradient magnitude computation (two directional sums,
+                // squares, and a rational sqrt approximation) beyond the
+                // convolution itself.
+                8,
+            ),
+            StencilKind::Jacobi3D => StencilSpec::new(
+                self,
+                StencilDim::D3,
+                vec![
+                    Neighbor::new([0, 0, 0], 1.0 / 7.0),
+                    Neighbor::new([-1, 0, 0], 1.0 / 7.0),
+                    Neighbor::new([1, 0, 0], 1.0 / 7.0),
+                    Neighbor::new([0, -1, 0], 1.0 / 7.0),
+                    Neighbor::new([0, 1, 0], 1.0 / 7.0),
+                    Neighbor::new([0, 0, -1], 1.0 / 7.0),
+                    Neighbor::new([0, 0, 1], 1.0 / 7.0),
+                ],
+                0.0,
+                0,
+            ),
+            StencilKind::Heat3D => StencilSpec::new(
+                self,
+                StencilDim::D3,
+                vec![
+                    Neighbor::new([0, 0, 0], 1.0 - 6.0 * alpha),
+                    Neighbor::new([-1, 0, 0], alpha),
+                    Neighbor::new([1, 0, 0], alpha),
+                    Neighbor::new([0, -1, 0], alpha),
+                    Neighbor::new([0, 1, 0], alpha),
+                    Neighbor::new([0, 0, -1], alpha),
+                    Neighbor::new([0, 0, 1], alpha),
+                ],
+                0.0,
+                2,
+            ),
+            StencilKind::Laplacian3D => StencilSpec::new(
+                self,
+                StencilDim::D3,
+                vec![
+                    Neighbor::new([0, 0, 0], 0.4),
+                    Neighbor::new([-1, 0, 0], 0.1),
+                    Neighbor::new([1, 0, 0], 0.1),
+                    Neighbor::new([0, -1, 0], 0.1),
+                    Neighbor::new([0, 1, 0], 0.1),
+                    Neighbor::new([0, 0, -1], 0.1),
+                    Neighbor::new([0, 0, 1], 0.1),
+                ],
+                0.0,
+                0,
+            ),
+        }
+    }
+}
+
+/// A fully-elaborated convolutional stencil: the paper's Eqn (1) as data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StencilSpec {
+    /// Which benchmark this is.
+    pub kind: StencilKind,
+    /// Number of space dimensions.
+    pub dim: StencilDim,
+    /// The neighborhood `N` with coefficients `w_a`.
+    pub neighbors: Vec<Neighbor>,
+    /// The additive constant `c` of Eqn (1).
+    pub constant: f32,
+    /// Extra per-point floating-point operations performed by the loop
+    /// body beyond the plain convolution (e.g. scaling, gradient
+    /// magnitude). Feeds FLOP accounting and the simulator's per-iteration
+    /// cost, mirroring how the paper's `Citer` depends on the "types and
+    /// number of operations in the loop body".
+    pub extra_flops: u32,
+}
+
+impl StencilSpec {
+    fn new(
+        kind: StencilKind,
+        dim: StencilDim,
+        neighbors: Vec<Neighbor>,
+        constant: f32,
+        extra_flops: u32,
+    ) -> Self {
+        let spec = StencilSpec {
+            kind,
+            dim,
+            neighbors,
+            constant,
+            extra_flops,
+        };
+        debug_assert!(
+            spec.order() == 1,
+            "all paper benchmarks are first-order stencils"
+        );
+        spec
+    }
+
+    /// Build a user-defined convolutional stencil (the paper's Eqn 1).
+    ///
+    /// Offsets up to order 8 are accepted (the hexagon slopes scale with
+    /// the order — paper Section 7's generality note; the analytical
+    /// model and plans cover order 1, the tiled executors any order),
+    /// and must not reference unused dimensions. The spec is tagged with
+    /// the benchmark kind whose dimensionality it shares only for
+    /// labeling; all executors, plans, the simulator, and the model
+    /// consume the spec itself.
+    pub fn convolution(
+        dim: StencilDim,
+        neighbors: Vec<Neighbor>,
+        constant: f32,
+        extra_flops: u32,
+    ) -> Result<StencilSpec, String> {
+        if neighbors.is_empty() {
+            return Err("neighborhood must be non-empty".into());
+        }
+        for nb in &neighbors {
+            for d in 0..3 {
+                if nb.offset[d].abs() > 8 {
+                    return Err(format!(
+                        "offset {:?} beyond order 8 (hexagon slopes scale with the order)",
+                        nb.offset
+                    ));
+                }
+                if d >= dim.rank() && nb.offset[d] != 0 {
+                    return Err(format!(
+                        "offset {:?} references unused dimension {}",
+                        nb.offset,
+                        d + 1
+                    ));
+                }
+            }
+        }
+        let kind = match dim {
+            StencilDim::D1 => StencilKind::Jacobi1D,
+            StencilDim::D2 => StencilKind::Jacobi2D,
+            StencilDim::D3 => StencilKind::Jacobi3D,
+        };
+        Ok(StencilSpec {
+            kind,
+            dim,
+            neighbors,
+            constant,
+            extra_flops,
+        })
+    }
+
+    /// The stencil order: maximum Chebyshev (max-norm) distance of any
+    /// neighbor offset. All paper benchmarks are first-order, which the
+    /// HHC hexagon slopes of ±1 rely on.
+    pub fn order(&self) -> i64 {
+        self.neighbors
+            .iter()
+            .flat_map(|n| n.offset.iter().map(|o| o.abs()))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Floating-point operations per stencil point: one multiply per
+    /// neighbor, adds to reduce them, one add for the constant when it is
+    /// non-zero, plus the loop body's extra flops.
+    ///
+    /// This is the FLOP count used for the GFLOPS/s numbers of the
+    /// paper's Figure 6.
+    pub fn flops_per_point(&self) -> u64 {
+        let n = self.neighbors.len() as u64;
+        let muls = n;
+        let adds = n.saturating_sub(1) + u64::from(self.constant != 0.0);
+        muls + adds + u64::from(self.extra_flops)
+    }
+
+    /// Evaluate the stencil at one point given a neighbor-fetch closure.
+    ///
+    /// `fetch(offset)` must return the value of `A_{t-1}(s + offset)`
+    /// (with whatever boundary handling the caller implements). The
+    /// summation order is the declaration order of [`Self::neighbors`],
+    /// which every executor in this workspace uses — so results are
+    /// bit-for-bit comparable across executors.
+    #[inline]
+    pub fn apply<F: FnMut(&[i64; 3]) -> f32>(&self, mut fetch: F) -> f32 {
+        let mut acc = 0.0f32;
+        for nb in &self.neighbors {
+            acc += nb.weight * fetch(&nb.offset);
+        }
+        acc + self.constant
+    }
+
+    /// Sum of the neighborhood coefficients. Averaging stencils (Jacobi,
+    /// Heat, Gradient) have weight sum exactly 1, so constant fields are
+    /// fixed points — a key correctness property test.
+    pub fn weight_sum(&self) -> f32 {
+        self.neighbors.iter().map(|n| n.weight).sum()
+    }
+
+    /// Number of distinct values read per point (neighborhood size).
+    #[inline]
+    pub fn reads_per_point(&self) -> usize {
+        self.neighbors.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_benchmarks_are_first_order() {
+        for kind in StencilKind::ALL {
+            assert_eq!(kind.spec().order(), 1, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn dims_match_kind() {
+        assert_eq!(StencilKind::Jacobi1D.spec().dim, StencilDim::D1);
+        for k in StencilKind::BENCH_2D {
+            assert_eq!(k.spec().dim, StencilDim::D2, "{}", k.name());
+        }
+        for k in StencilKind::BENCH_3D {
+            assert_eq!(k.spec().dim, StencilDim::D3, "{}", k.name());
+        }
+        assert_eq!(StencilKind::Jacobi3D.spec().dim, StencilDim::D3);
+    }
+
+    #[test]
+    fn averaging_stencils_have_unit_weight_sum() {
+        for kind in [
+            StencilKind::Jacobi1D,
+            StencilKind::Jacobi2D,
+            StencilKind::Heat2D,
+            StencilKind::Gradient2D,
+            StencilKind::Jacobi3D,
+            StencilKind::Heat3D,
+        ] {
+            let s = kind.spec();
+            assert!(
+                (s.weight_sum() - 1.0).abs() < 1e-6,
+                "{} weight sum = {}",
+                kind.name(),
+                s.weight_sum()
+            );
+        }
+    }
+
+    #[test]
+    fn laplacian_weight_sums() {
+        // The smoothing Laplacians also average (sum 1); this documents it.
+        assert!((StencilKind::Laplacian2D.spec().weight_sum() - 1.0).abs() < 1e-6);
+        assert!((StencilKind::Laplacian3D.spec().weight_sum() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn neighborhood_sizes() {
+        assert_eq!(StencilKind::Jacobi1D.spec().reads_per_point(), 3);
+        assert_eq!(StencilKind::Jacobi2D.spec().reads_per_point(), 5);
+        assert_eq!(StencilKind::Gradient2D.spec().reads_per_point(), 9);
+        assert_eq!(StencilKind::Heat3D.spec().reads_per_point(), 7);
+    }
+
+    #[test]
+    fn gradient_costs_roughly_twice_jacobi() {
+        // Matches Table 4's Citer ratio (6.09e-8 vs 3.39e-8 on GTX 980).
+        let g = StencilKind::Gradient2D.spec().flops_per_point();
+        let j = StencilKind::Jacobi2D.spec().flops_per_point();
+        let ratio = g as f64 / j as f64;
+        assert!((1.8..=3.2).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn apply_computes_weighted_sum() {
+        let spec = StencilKind::Jacobi1D.spec();
+        // Field f(x) = x: the 3-point average of (x-1, x, x+1) is x.
+        let x = 5.0f32;
+        let v = spec.apply(|off| x + off[0] as f32);
+        assert!((v - x).abs() < 1e-6);
+    }
+
+    #[test]
+    fn apply_adds_constant() {
+        let mut spec = StencilKind::Jacobi1D.spec();
+        spec.constant = 2.5;
+        let v = spec.apply(|_| 0.0);
+        assert!((v - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn flop_count_includes_constant_add() {
+        let mut spec = StencilKind::Jacobi2D.spec();
+        let base = spec.flops_per_point();
+        spec.constant = 1.0;
+        assert_eq!(spec.flops_per_point(), base + 1);
+    }
+
+    #[test]
+    fn custom_convolution_accepts_first_order() {
+        let spec = StencilSpec::convolution(
+            StencilDim::D2,
+            vec![
+                Neighbor::new([0, 0, 0], 0.5),
+                Neighbor::new([-1, 1, 0], 0.25),
+                Neighbor::new([1, -1, 0], 0.25),
+            ],
+            0.1,
+            3,
+        )
+        .unwrap();
+        assert_eq!(spec.order(), 1);
+        assert_eq!(spec.reads_per_point(), 3);
+        assert!(spec.flops_per_point() >= 3 + 2 + 1 + 3);
+    }
+
+    #[test]
+    fn custom_convolution_rejects_higher_order_and_bad_dims() {
+        // Order 2 is accepted (higher-order generality)…
+        assert!(StencilSpec::convolution(
+            StencilDim::D2,
+            vec![Neighbor::new([2, 0, 0], 1.0)],
+            0.0,
+            0
+        )
+        .is_ok());
+        // …but not absurd orders.
+        assert!(StencilSpec::convolution(
+            StencilDim::D1,
+            vec![Neighbor::new([9, 0, 0], 1.0)],
+            0.0,
+            0
+        )
+        .is_err());
+        assert!(StencilSpec::convolution(
+            StencilDim::D1,
+            vec![Neighbor::new([0, 1, 0], 1.0)],
+            0.0,
+            0
+        )
+        .is_err());
+        assert!(StencilSpec::convolution(StencilDim::D2, vec![], 0.0, 0).is_err());
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let mut names: Vec<_> = StencilKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), StencilKind::ALL.len());
+    }
+}

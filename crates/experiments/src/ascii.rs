@@ -1,0 +1,157 @@
+//! Terminal rendering of the paper's figures: a heatmap for the
+//! Figure 4 surface and a log-log scatter for Figure 3/5 point clouds.
+//!
+//! The JSON/CSV files under `results/` carry the full data; these
+//! renderers give the binary's stdout the same at-a-glance shape the
+//! paper's plots have.
+
+use crate::figures::SurfaceResult;
+
+const SHADES: &[char] = &[' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+
+/// Render the Figure 4 `T_alg(t_T, t_S2)` surface as an ASCII heatmap
+/// (darker = slower; `█` marks infeasible cells, `O` the minimum).
+pub fn heatmap(surface: &SurfaceResult) -> String {
+    let mut tts: Vec<usize> = surface.cells.iter().map(|c| c.t_t).collect();
+    tts.sort_unstable();
+    tts.dedup();
+    let mut ts2s: Vec<usize> = surface.cells.iter().map(|c| c.t_s2).collect();
+    ts2s.sort_unstable();
+    ts2s.dedup();
+
+    let finite: Vec<f64> = surface.cells.iter().filter_map(|c| c.talg).collect();
+    let (lo, hi) = finite
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| {
+            (l.min(v), h.max(v))
+        });
+    let span = (hi / lo).ln().max(1e-9);
+
+    let cell = |t_t: usize, t_s2: usize| -> char {
+        let c = surface
+            .cells
+            .iter()
+            .find(|c| c.t_t == t_t && c.t_s2 == t_s2)
+            .expect("grid is complete");
+        match c.talg {
+            None => '█',
+            Some(v) => {
+                if surface
+                    .min_cell
+                    .is_some_and(|m| m.t_t == t_t && m.t_s2 == t_s2)
+                {
+                    'O'
+                } else {
+                    let x = ((v / lo).ln() / span * (SHADES.len() - 1) as f64).round() as usize;
+                    SHADES[x.min(SHADES.len() - 1)]
+                }
+            }
+        }
+    };
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "T_alg heatmap (tS1 = {}, size {}): light = fast, '█' = infeasible, 'O' = T_alg min\n",
+        surface.t_s1, surface.size
+    ));
+    out.push_str("  t_S2 →");
+    for &t_s2 in ts2s.iter() {
+        out.push_str(&format!("{:>4}", t_s2 / 32));
+    }
+    out.push_str("  (×32)\n");
+    for &t_t in tts.iter().rev() {
+        out.push_str(&format!("tT {t_t:>3} |"));
+        for &t_s2 in &ts2s {
+            let ch = cell(t_t, t_s2);
+            out.push_str(&format!("  {ch} "));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render (predicted, measured) pairs as a log-log scatter with the
+/// `y = x` diagonal; `·` = point, `*` = several points in one cell.
+pub fn scatter(pairs: &[(f64, f64)], width: usize, height: usize) -> String {
+    if pairs.is_empty() {
+        return "(no points)\n".to_string();
+    }
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(p, m) in pairs {
+        lo = lo.min(p).min(m);
+        hi = hi.max(p).max(m);
+    }
+    let span = (hi / lo).ln().max(1e-9);
+    let mut grid = vec![vec![0u32; width]; height];
+    let coord =
+        |v: f64, n: usize| -> usize { (((v / lo).ln() / span) * (n - 1) as f64).round() as usize };
+    for &(p, m) in pairs {
+        let x = coord(p, width);
+        let y = coord(m, height);
+        grid[height - 1 - y][x] += 1;
+    }
+    let mut out = String::new();
+    out.push_str("measured ↑ vs predicted → (log-log; '/' = the y = x diagonal)\n");
+    for (row_idx, row) in grid.iter().enumerate() {
+        out.push_str("  |");
+        for (col_idx, &n) in row.iter().enumerate() {
+            // Diagonal position for this row in plot coordinates.
+            let y = height - 1 - row_idx;
+            let diag_x = (y as f64 / (height - 1) as f64 * (width - 1) as f64).round() as usize;
+            let ch = match n {
+                0 if col_idx == diag_x => '/',
+                0 => ' ',
+                1 => '·',
+                _ => '*',
+            };
+            out.push(ch);
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "  +{}  [{:.3e} .. {:.3e}] s\n",
+        "-".repeat(width),
+        lo,
+        hi
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::SurfaceCell;
+
+    fn surface() -> SurfaceResult {
+        let mut cells = Vec::new();
+        for t_t in [2usize, 4] {
+            for t_s2 in [32usize, 64] {
+                let talg = (t_t != 4 || t_s2 != 64).then_some((t_t * t_s2) as f64 * 1e-3);
+                cells.push(SurfaceCell { t_t, t_s2, talg });
+            }
+        }
+        SurfaceResult {
+            t_s1: 8,
+            size: "64x64xT16".into(),
+            min_cell: Some(cells[0]),
+            cells,
+        }
+    }
+
+    #[test]
+    fn heatmap_marks_min_and_infeasible() {
+        let h = heatmap(&surface());
+        assert!(h.contains('O'), "{h}");
+        assert!(h.contains('█'), "{h}");
+        assert!(h.contains("tT   4"), "{h}");
+    }
+
+    #[test]
+    fn scatter_renders_diagonal_and_points() {
+        let pairs = vec![(1.0, 1.0), (2.0, 2.1), (1.5, 3.0), (1.5, 3.0)];
+        let s = scatter(&pairs, 24, 10);
+        assert!(s.contains('/'), "{s}");
+        assert!(s.contains('·') || s.contains('*'), "{s}");
+        assert!(scatter(&[], 10, 5).contains("no points"));
+    }
+}

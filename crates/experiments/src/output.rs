@@ -1,0 +1,73 @@
+//! Result persistence: JSON files under the output directory plus
+//! human-readable stdout summaries.
+
+use serde::Serialize;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A result sink rooted at an output directory.
+pub struct Results {
+    dir: PathBuf,
+}
+
+impl Results {
+    /// Create (and ensure) the output directory.
+    pub fn new(dir: impl AsRef<Path>) -> std::io::Result<Results> {
+        fs::create_dir_all(dir.as_ref())?;
+        Ok(Results {
+            dir: dir.as_ref().to_path_buf(),
+        })
+    }
+
+    /// The root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Write a serializable value as pretty JSON to `<dir>/<name>.json`.
+    pub fn write_json<T: Serialize>(&self, name: &str, value: &T) -> std::io::Result<PathBuf> {
+        let path = self.dir.join(format!("{name}.json"));
+        let mut f = fs::File::create(&path)?;
+        let s = serde_json::to_string_pretty(value)
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        f.write_all(s.as_bytes())?;
+        f.write_all(b"\n")?;
+        Ok(path)
+    }
+
+    /// Write CSV rows (caller formats each line) to `<dir>/<name>.csv`.
+    pub fn write_csv(
+        &self,
+        name: &str,
+        header: &str,
+        rows: impl IntoIterator<Item = String>,
+    ) -> std::io::Result<PathBuf> {
+        let path = self.dir.join(format!("{name}.csv"));
+        let mut f = fs::File::create(&path)?;
+        writeln!(f, "{header}")?;
+        for row in rows {
+            writeln!(f, "{row}")?;
+        }
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_json_and_csv() {
+        let dir = std::env::temp_dir().join(format!("hhc-results-{}", std::process::id()));
+        let r = Results::new(&dir).unwrap();
+        let p = r.write_json("test", &vec![1, 2, 3]).unwrap();
+        assert!(fs::read_to_string(&p).unwrap().contains('2'));
+        let p = r
+            .write_csv("test", "a,b", vec!["1,2".to_string(), "3,4".to_string()])
+            .unwrap();
+        let s = fs::read_to_string(&p).unwrap();
+        assert!(s.starts_with("a,b\n") && s.contains("3,4"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,102 @@
+//! Error metrics for the model-validation experiments (paper §5.3).
+
+use tile_opt::Evaluated;
+
+/// Relative root-mean-square error of predictions against measurements:
+/// `sqrt(mean(((pred − meas)/meas)²))`, as a fraction (0.10 = 10 %).
+pub fn relative_rmse(pairs: &[(f64, f64)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = pairs
+        .iter()
+        .map(|(pred, meas)| {
+            let e = (pred - meas) / meas;
+            e * e
+        })
+        .sum();
+    (sum / pairs.len() as f64).sqrt()
+}
+
+/// The evaluations whose measured performance is within `fraction` of
+/// the best (paper: "within 20 % of the top performing one", in GFLOPS —
+/// equivalently within 20 % of the lowest time since the FLOP count is
+/// fixed per experiment).
+pub fn top_performing(evals: &[Evaluated], fraction: f64) -> Vec<Evaluated> {
+    let best = evals
+        .iter()
+        .filter_map(|e| e.measured)
+        .min_by(f64::total_cmp);
+    let Some(best) = best else {
+        return Vec::new();
+    };
+    evals
+        .iter()
+        .filter(|e| e.measured.is_some_and(|m| m <= best * (1.0 + fraction)))
+        .copied()
+        .collect()
+}
+
+/// Extract (predicted, measured) pairs from evaluations, skipping
+/// failed launches.
+pub fn pairs(evals: &[Evaluated]) -> Vec<(f64, f64)> {
+    evals
+        .iter()
+        .filter_map(|e| e.measured.map(|m| (e.predicted, m)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hhc_tiling::{LaunchConfig, TileSizes};
+    use tile_opt::DataPoint;
+
+    fn ev(pred: f64, meas: Option<f64>) -> Evaluated {
+        Evaluated {
+            point: DataPoint {
+                tiles: TileSizes::new_2d(4, 8, 32),
+                launch: LaunchConfig::new_2d(1, 128),
+            },
+            predicted: pred,
+            measured: meas,
+            gflops: meas.map(|m| 1.0 / m),
+        }
+    }
+
+    #[test]
+    fn rmse_zero_for_perfect_predictions() {
+        assert_eq!(relative_rmse(&[(1.0, 1.0), (2.0, 2.0)]), 0.0);
+    }
+
+    #[test]
+    fn rmse_matches_hand_computation() {
+        // Errors −50 % and +100 % → sqrt((0.25 + 1.0)/2).
+        let r = relative_rmse(&[(0.5, 1.0), (2.0, 1.0)]);
+        assert!((r - (1.25f64 / 2.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rmse_empty_is_zero() {
+        assert_eq!(relative_rmse(&[]), 0.0);
+    }
+
+    #[test]
+    fn top_performing_filters_by_measured_time() {
+        let evals = vec![
+            ev(1.0, Some(1.0)),
+            ev(1.0, Some(1.15)),
+            ev(1.0, Some(1.5)),
+            ev(1.0, None),
+        ];
+        let top = top_performing(&evals, 0.20);
+        assert_eq!(top.len(), 2);
+        assert!(top.iter().all(|e| e.measured.unwrap() <= 1.2));
+    }
+
+    #[test]
+    fn pairs_skip_failures() {
+        let evals = vec![ev(1.0, Some(2.0)), ev(3.0, None)];
+        assert_eq!(pairs(&evals), vec![(1.0, 2.0)]);
+    }
+}

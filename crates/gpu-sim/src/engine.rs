@@ -1,0 +1,428 @@
+//! The discrete-event execution engine.
+//!
+//! A kernel launch dispatches its thread blocks round-robin over the
+//! `n_SM` SMs. Each SM hosts up to `k` co-resident blocks (a *wave*);
+//! within a wave the blocks' memory and compute segments interleave on
+//! the SM's **memory pipe** and **compute pipe** under greedy
+//! earliest-start list scheduling — loads of one block overlap compute
+//! of another, exactly the mechanism the paper's Eqn 12 idealizes.
+//! Waves on one SM run back-to-back; the kernel completes when its
+//! slowest SM drains; the next wavefront's kernel then launches after a
+//! host synchronization (`T_sync`), matching the structure of the
+//! paper's Eqn 2.
+//!
+//! Everything is deterministic: ties break on block index, and identical
+//! kernels (interior wavefronts share their class vectors via `Arc`) are
+//! computed once and reused.
+
+use crate::cost::{self, BlockSegments, Pipe};
+use crate::device::DeviceConfig;
+use crate::occupancy::{occupancy, LaunchError};
+use crate::report::SimReport;
+use crate::workload::Workload;
+use hhc_tiling::plan::BlockClass;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Simulate `wl` on `device`, returning the machine's measured time.
+///
+/// ```
+/// use gpu_sim::{simulate, DeviceConfig, Workload};
+/// use hhc_tiling::{LaunchConfig, TileSizes, TilingPlan};
+/// use stencil_core::{ProblemSize, StencilKind};
+///
+/// let spec = StencilKind::Jacobi2D.spec();
+/// let size = ProblemSize::new_2d(1024, 1024, 128);
+/// let plan = TilingPlan::build(&spec, &size, TileSizes::new_2d(8, 8, 128),
+///                              LaunchConfig::new_2d(1, 128)).unwrap();
+/// let report = simulate(&DeviceConfig::gtx980(), &Workload::from_plan(&plan)).unwrap();
+/// assert!(report.total_time > 0.0);
+/// assert_eq!(report.kernel_launches, plan.kernel_count());
+/// ```
+pub fn simulate(device: &DeviceConfig, wl: &Workload) -> Result<SimReport, LaunchError> {
+    let occ = occupancy(device, wl)?;
+    let mut cache: HashMap<usize, KernelStats> = HashMap::new();
+    let mut total = 0.0f64;
+    let mut mem_busy = 0.0f64;
+    let mut comp_busy = 0.0f64;
+    for kernel in &wl.kernels {
+        let key = Arc::as_ptr(&kernel.classes) as usize;
+        let stats = cache
+            .entry(key)
+            .or_insert_with(|| kernel_time(device, wl, &kernel.classes, occ.k));
+        total += stats.makespan + device.t_launch;
+        mem_busy += stats.mem_busy;
+        comp_busy += stats.comp_busy;
+    }
+    let launch_overhead = wl.kernels.len() as f64 * device.t_launch;
+    Ok(SimReport {
+        total_time: total,
+        kernel_launches: wl.kernels.len(),
+        occupancy: occ,
+        mem_busy,
+        comp_busy,
+        launch_overhead,
+        spill_factor: cost::spill_factor(device, wl),
+        divergence_factor: cost::divergence_factor(device, wl.inner_threads),
+    })
+}
+
+/// Timing summary of one kernel launch.
+#[derive(Debug, Clone, Copy)]
+struct KernelStats {
+    makespan: f64,
+    mem_busy: f64,
+    comp_busy: f64,
+}
+
+/// Per-kernel timing of a detailed simulation (see [`simulate_detailed`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelBreakdown {
+    /// Kernel index in launch order.
+    pub index: usize,
+    /// Thread blocks launched.
+    pub blocks: u64,
+    /// Makespan of the kernel (excluding the launch overhead).
+    pub makespan: f64,
+    /// Aggregate memory-pipe busy time across SMs.
+    pub mem_busy: f64,
+    /// Aggregate compute-pipe busy time across SMs.
+    pub comp_busy: f64,
+}
+
+/// Simulate and additionally return the per-kernel timeline — for
+/// inspection, examples, and tests; [`simulate`] is the cheap path.
+pub fn simulate_detailed(
+    device: &DeviceConfig,
+    wl: &Workload,
+) -> Result<(SimReport, Vec<KernelBreakdown>), LaunchError> {
+    let report = simulate(device, wl)?;
+    let occ = occupancy(device, wl)?;
+    let mut cache: HashMap<usize, KernelStats> = HashMap::new();
+    let mut kernels = Vec::with_capacity(wl.kernels.len());
+    for (index, kernel) in wl.kernels.iter().enumerate() {
+        let key = Arc::as_ptr(&kernel.classes) as usize;
+        let stats = *cache
+            .entry(key)
+            .or_insert_with(|| kernel_time(device, wl, &kernel.classes, occ.k));
+        kernels.push(KernelBreakdown {
+            index,
+            blocks: kernel.block_count(),
+            makespan: stats.makespan,
+            mem_busy: stats.mem_busy,
+            comp_busy: stats.comp_busy,
+        });
+    }
+    Ok((report, kernels))
+}
+
+/// Makespan of one kernel: distribute blocks over SMs, schedule each
+/// SM's waves, take the slowest SM.
+fn kernel_time(
+    device: &DeviceConfig,
+    wl: &Workload,
+    classes: &[BlockClass],
+    k: usize,
+) -> KernelStats {
+    // Lower each class once.
+    let lowered: Vec<(u64, BlockSegments)> = classes
+        .iter()
+        .map(|c| (c.count, cost::lower_block(device, wl, c)))
+        .collect();
+    let total_blocks: u64 = lowered.iter().map(|(c, _)| c).sum();
+    if total_blocks == 0 {
+        return KernelStats {
+            makespan: 0.0,
+            mem_busy: 0.0,
+            comp_busy: 0.0,
+        };
+    }
+    let mem_busy: f64 = lowered.iter().map(|(c, b)| *c as f64 * b.mem_time).sum();
+    let comp_busy: f64 = lowered.iter().map(|(c, b)| *c as f64 * b.comp_time).sum();
+
+    // Expand the dispatch order (class after class) and deal round-robin
+    // to SMs, as the hardware's block scheduler does for a grid.
+    let mut order: Vec<u16> = Vec::with_capacity(total_blocks as usize);
+    for (idx, (count, _)) in lowered.iter().enumerate() {
+        order.extend(std::iter::repeat_n(idx as u16, *count as usize));
+    }
+    let n_sm = device.n_sm;
+    let mut per_sm: Vec<Vec<u16>> = vec![Vec::new(); n_sm];
+    for (pos, cls) in order.iter().enumerate() {
+        per_sm[pos % n_sm].push(*cls);
+    }
+
+    // Each SM processes its blocks in waves of k; wave costs are cached
+    // by composition (virtually all waves are identical).
+    let mut wave_cache: HashMap<Vec<u16>, f64> = HashMap::new();
+    let mut makespan = 0.0f64;
+    for sm in &per_sm {
+        let mut t = 0.0;
+        for wave in sm.chunks(k.max(1)) {
+            let key = wave.to_vec();
+            let cost = *wave_cache
+                .entry(key)
+                .or_insert_with(|| wave_cost(wave.iter().map(|&c| &lowered[c as usize].1)));
+            t += cost;
+        }
+        makespan = makespan.max(t);
+    }
+    KernelStats {
+        makespan,
+        mem_busy,
+        comp_busy,
+    }
+}
+
+/// Two-pipe greedy list schedule of the co-resident blocks of one wave.
+///
+/// Each block is a sequential chain of segments; the memory pipe and the
+/// compute pipe each execute one segment at a time. At every step the
+/// block whose next segment can start earliest (ties: lowest block
+/// index) is scheduled. Returns the completion time of the last segment.
+fn wave_cost<'a>(blocks: impl Iterator<Item = &'a BlockSegments>) -> f64 {
+    struct St<'a> {
+        segs: &'a [cost::Segment],
+        next: usize,
+        ready: f64,
+    }
+    let mut st: Vec<St<'_>> = blocks
+        .map(|b| St {
+            segs: &b.segments,
+            next: 0,
+            ready: 0.0,
+        })
+        .collect();
+    let mut mem_free = 0.0f64;
+    let mut comp_free = 0.0f64;
+    let mut finish = 0.0f64;
+    loop {
+        // Find the runnable segment with the earliest possible start.
+        let mut best: Option<(f64, usize)> = None;
+        for (i, s) in st.iter().enumerate() {
+            if s.next >= s.segs.len() {
+                continue;
+            }
+            let pipe_free = match s.segs[s.next].pipe {
+                Pipe::Mem => mem_free,
+                Pipe::Comp => comp_free,
+            };
+            let start = s.ready.max(pipe_free);
+            if best.is_none_or(|(bs, _)| start < bs) {
+                best = Some((start, i));
+            }
+        }
+        let Some((start, i)) = best else { break };
+        let seg = st[i].segs[st[i].next];
+        let end = start + seg.dur;
+        match seg.pipe {
+            Pipe::Mem => mem_free = end,
+            Pipe::Comp => comp_free = end,
+        }
+        st[i].ready = end;
+        st[i].next += 1;
+        finish = finish.max(end);
+    }
+    finish
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Workload;
+
+    fn tiny_device(n_sm: usize) -> DeviceConfig {
+        // Allow a block to own the whole shared memory so tests can
+        // force k = 1 (real devices cap blocks at half — which is why
+        // the paper's Section 5.1 always sees k ≥ 2).
+        let mut d = DeviceConfig::gtx980();
+        d.n_sm = n_sm;
+        d.shared_per_block_words = d.shared_mem_words;
+        d
+    }
+
+    /// Workload of one kernel with `blocks` identical blocks.
+    fn wl_blocks(blocks: u64, subtiles: u64, mtile: u64) -> Workload {
+        let mut wl = Workload::uniform(
+            1,
+            blocks,
+            subtiles,
+            2048,
+            2048,
+            vec![[1024, 1, 1], [1024, 1, 1]],
+            128,
+            32,
+        );
+        wl.mtile_words = mtile;
+        wl
+    }
+
+    #[test]
+    fn single_block_is_sequential_plus_launch() {
+        let d = tiny_device(1);
+        let wl = wl_blocks(1, 4, d.shared_mem_words); // k = 1
+        let r = simulate(&d, &wl).unwrap();
+        assert_eq!(r.occupancy.k, 1);
+        // Sequential chain: total = Σ segments + launch.
+        let classes = &wl.kernels[0].classes;
+        let b = cost::lower_block(&d, &wl, &classes[0]);
+        let expect = b.sequential() + d.t_launch;
+        assert!(
+            (r.total_time - expect).abs() < 1e-12,
+            "{} vs {}",
+            r.total_time,
+            expect
+        );
+    }
+
+    #[test]
+    fn k1_blocks_serialize_on_one_sm() {
+        let d = tiny_device(1);
+        let wl1 = wl_blocks(1, 4, d.shared_mem_words);
+        let wl3 = wl_blocks(3, 4, d.shared_mem_words);
+        let t1 = simulate(&d, &wl1).unwrap().total_time - d.t_launch;
+        let t3 = simulate(&d, &wl3).unwrap().total_time - d.t_launch;
+        assert!((t3 - 3.0 * t1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hyperthreading_overlaps_memory_and_compute() {
+        let d = tiny_device(1);
+        // M_tile = half the SM → k = 2.
+        let wl = wl_blocks(2, 8, d.shared_mem_words / 2);
+        let r = simulate(&d, &wl).unwrap();
+        assert_eq!(r.occupancy.k, 2);
+        let b = cost::lower_block(&d, &wl, &wl.kernels[0].classes[0]);
+        let seq2 = 2.0 * b.sequential();
+        let lower_bound = (2.0 * b.mem_time).max(2.0 * b.comp_time);
+        let t = r.total_time - d.t_launch;
+        assert!(t < seq2, "no overlap achieved: {t} vs {seq2}");
+        assert!(
+            t >= lower_bound - 1e-15,
+            "beat the pipe bound: {t} vs {lower_bound}"
+        );
+    }
+
+    #[test]
+    fn blocks_spread_over_sms() {
+        let d1 = tiny_device(1);
+        let d4 = tiny_device(4);
+        let wl = wl_blocks(8, 4, d1.shared_mem_words); // k = 1
+        let t1 = simulate(&d1, &wl).unwrap().total_time;
+        let t4 = simulate(&d4, &wl).unwrap().total_time;
+        assert!(t4 < t1 / 3.0, "4 SMs not ~4x faster: {t4} vs {t1}");
+    }
+
+    #[test]
+    fn launch_overhead_charged_per_kernel() {
+        let d = tiny_device(2);
+        let one = Workload::uniform(1, 1, 1, 64, 64, vec![[128, 1, 1]], 128, 32);
+        let ten = Workload::uniform(10, 1, 1, 64, 64, vec![[128, 1, 1]], 128, 32);
+        let r1 = simulate(&d, &one).unwrap();
+        let r10 = simulate(&d, &ten).unwrap();
+        assert!((r10.total_time - 10.0 * r1.total_time).abs() < 1e-12);
+        assert!((r10.launch_overhead - 10.0 * d.t_launch).abs() < 1e-18);
+    }
+
+    #[test]
+    fn deterministic() {
+        let d = DeviceConfig::gtx980();
+        let wl = wl_blocks(37, 5, d.shared_mem_words / 3);
+        let a = simulate(&d, &wl).unwrap();
+        let b = simulate(&d, &wl).unwrap();
+        assert_eq!(a.total_time.to_bits(), b.total_time.to_bits());
+    }
+
+    #[test]
+    fn remainder_blocks_create_tail() {
+        // 17 blocks on 16 SMs: one SM runs two waves → ~2x the makespan
+        // of 16 blocks.
+        let d = tiny_device(16);
+        let w16 = wl_blocks(16, 4, d.shared_mem_words);
+        let w17 = wl_blocks(17, 4, d.shared_mem_words);
+        let t16 = simulate(&d, &w16).unwrap().total_time - d.t_launch;
+        let t17 = simulate(&d, &w17).unwrap().total_time - d.t_launch;
+        assert!(
+            (t17 - 2.0 * t16).abs() < 1e-12,
+            "tail effect missing: {t17} vs {t16}"
+        );
+    }
+
+    #[test]
+    fn detailed_matches_summary() {
+        let d = DeviceConfig::gtx980();
+        let wl = wl_blocks(24, 5, d.shared_mem_words / 3);
+        let summary = simulate(&d, &wl).unwrap();
+        let (report, kernels) = simulate_detailed(&d, &wl).unwrap();
+        assert_eq!(report.total_time.to_bits(), summary.total_time.to_bits());
+        assert_eq!(kernels.len(), wl.kernels.len());
+        let sum: f64 = kernels.iter().map(|k| k.makespan).sum();
+        let expect = report.total_time - report.launch_overhead;
+        assert!((sum - expect).abs() < 1e-15, "{sum} vs {expect}");
+        assert!(kernels.iter().all(|k| k.blocks == 24));
+    }
+
+    #[test]
+    fn heterogeneous_classes_deal_round_robin() {
+        // Two classes of very different cost: the makespan must reflect
+        // the SM that received the expensive block, not an average.
+        use hhc_tiling::plan::{BlockClass, WavefrontPlan};
+        use std::sync::Arc;
+        let d = tiny_device(2);
+        let cheap = BlockClass {
+            count: 3,
+            s1_widths: vec![128],
+            mi_rows: vec![64],
+            mo_rows: vec![64],
+            axis2: BlockClass::unit_axis(1),
+            axis3: BlockClass::unit_axis(1),
+        };
+        let expensive = BlockClass {
+            count: 1,
+            s1_widths: vec![128 * 64],
+            mi_rows: vec![64],
+            mo_rows: vec![64],
+            axis2: BlockClass::unit_axis(1),
+            axis3: BlockClass::unit_axis(1),
+        };
+        let mk = |classes: Vec<BlockClass>| {
+            let mut wl = Workload::uniform(1, 0, 0, 0, 0, vec![], 128, 32);
+            wl.kernels = vec![WavefrontPlan {
+                classes: Arc::new(classes),
+            }];
+            wl.mtile_words = d.shared_mem_words; // k = 1
+            wl
+        };
+        let hetero = simulate(&d, &mk(vec![expensive.clone(), cheap.clone()])).unwrap();
+        let only_cheap = simulate(&d, &mk(vec![cheap])).unwrap();
+        let only_exp = simulate(&d, &mk(vec![expensive])).unwrap();
+        // Compare kernel makespans (the launch overhead is a constant).
+        let kt = |r: &crate::report::SimReport| r.total_time - r.launch_overhead;
+        assert!(kt(&hetero) >= kt(&only_exp) - 1e-15);
+        assert!(kt(&hetero) > 2.0 * kt(&only_cheap));
+    }
+
+    #[test]
+    fn memory_only_blocks_serialize_on_the_mem_pipe() {
+        let d = tiny_device(1);
+        d.n_sm.checked_mul(1).unwrap();
+        // k large but all work is memory: co-residency cannot help.
+        let wl = Workload::uniform(1, 4, 4, 4096, 4096, vec![], 128, 32);
+        let r = simulate(&d, &wl).unwrap();
+        assert!(r.occupancy.k > 1);
+        let t = r.total_time - d.t_launch;
+        assert!(
+            (t - r.mem_busy).abs() / r.mem_busy < 0.01,
+            "mem-only kernel should be pipe-bound: {t} vs busy {}",
+            r.mem_busy
+        );
+    }
+
+    #[test]
+    fn empty_kernel_costs_launch_only() {
+        let d = DeviceConfig::gtx980();
+        let wl = Workload::uniform(1, 0, 0, 0, 0, vec![], 128, 32);
+        let r = simulate(&d, &wl).unwrap();
+        assert!((r.total_time - d.t_launch).abs() < 1e-18);
+    }
+}

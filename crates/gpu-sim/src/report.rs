@@ -1,0 +1,77 @@
+//! Simulation results: the machine's "measured execution time" plus the
+//! breakdown used by the experiment analyses.
+
+use crate::occupancy::Occupancy;
+use serde::{Deserialize, Serialize};
+
+/// The outcome of simulating one workload — the reproduction's
+/// counterpart of the paper's measured `T_exec`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// End-to-end execution time in seconds (all kernels + launch
+    /// overheads).
+    pub total_time: f64,
+    /// Number of kernel launches (`N_w`).
+    pub kernel_launches: usize,
+    /// Resolved occupancy of the launch.
+    pub occupancy: Occupancy,
+    /// Aggregate busy time of all memory pipes (s).
+    pub mem_busy: f64,
+    /// Aggregate busy time of all compute pipes (s).
+    pub comp_busy: f64,
+    /// Host-side launch overhead included in `total_time` (s).
+    pub launch_overhead: f64,
+    /// Compute slowdown charged for register spills (1.0 = none).
+    pub spill_factor: f64,
+    /// Compute slowdown charged for warp divergence (1.0 = none).
+    pub divergence_factor: f64,
+}
+
+impl SimReport {
+    /// Achieved GFLOPS/s given the workload's total floating-point
+    /// operations — the metric of the paper's Figure 6.
+    pub fn gflops(&self, total_flops: u64) -> f64 {
+        total_flops as f64 / self.total_time / 1e9
+    }
+
+    /// Whether the run was memory-bound (memory pipes busier than
+    /// compute pipes).
+    pub fn memory_bound(&self) -> bool {
+        self.mem_busy > self.comp_busy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::occupancy::{Occupancy, OccupancyLimit};
+
+    fn report(total: f64, mem: f64, comp: f64) -> SimReport {
+        SimReport {
+            total_time: total,
+            kernel_launches: 1,
+            occupancy: Occupancy {
+                k: 1,
+                limit: OccupancyLimit::SharedMemory,
+                regs_per_thread: 32,
+            },
+            mem_busy: mem,
+            comp_busy: comp,
+            launch_overhead: 0.0,
+            spill_factor: 1.0,
+            divergence_factor: 1.0,
+        }
+    }
+
+    #[test]
+    fn gflops_conversion() {
+        let r = report(2.0, 1.0, 1.5);
+        assert!((r.gflops(4_000_000_000) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_bound_classification() {
+        assert!(report(1.0, 0.9, 0.3).memory_bound());
+        assert!(!report(1.0, 0.2, 0.8).memory_bound());
+    }
+}

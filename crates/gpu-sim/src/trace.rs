@@ -1,0 +1,269 @@
+//! Execution tracing: the two-pipe schedule of one kernel as a list of
+//! timed segments, for inspection, visualization, and scheduler tests.
+//!
+//! [`trace_kernel`] replays exactly the schedule the engine times (same
+//! block dealing, same waves, same greedy earliest-start policy) while
+//! recording every segment's placement. It is the slow, observable
+//! sibling of `engine::simulate` — used by examples and the scheduler's
+//! own invariants tests (no pipe overlap, chain order preserved, busy
+//! times match the cost model).
+
+use crate::cost::{self, Pipe};
+use crate::device::DeviceConfig;
+use crate::occupancy::{occupancy, LaunchError};
+use crate::workload::Workload;
+use hhc_tiling::plan::BlockClass;
+use serde::{Deserialize, Serialize};
+
+/// Which pipe a traced segment ran on (serializable mirror of
+/// [`cost::Pipe`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TracePipe {
+    /// Global-memory pipe.
+    Mem,
+    /// Arithmetic pipe.
+    Comp,
+}
+
+/// One scheduled segment of the kernel trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// SM the segment ran on.
+    pub sm: usize,
+    /// Wave index within the SM (groups of up to `k` co-resident blocks).
+    pub wave: usize,
+    /// Block index within the wave.
+    pub block: usize,
+    /// The pipe used.
+    pub pipe: TracePipe,
+    /// Start time within the kernel (seconds).
+    pub start: f64,
+    /// End time within the kernel (seconds).
+    pub end: f64,
+}
+
+/// The trace of one kernel launch.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KernelTrace {
+    /// Resolved co-residency (`k`).
+    pub k: usize,
+    /// Makespan of the kernel (the engine's number, reproduced).
+    pub makespan: f64,
+    /// All scheduled segments.
+    pub events: Vec<TraceEvent>,
+}
+
+/// Trace kernel `index` of the workload.
+///
+/// Returns an error if the workload cannot launch; panics if `index` is
+/// out of range.
+pub fn trace_kernel(
+    device: &DeviceConfig,
+    wl: &Workload,
+    index: usize,
+) -> Result<KernelTrace, LaunchError> {
+    let occ = occupancy(device, wl)?;
+    let k = occ.k;
+    let classes: &[BlockClass] = &wl.kernels[index].classes;
+    let lowered: Vec<(u64, cost::BlockSegments)> = classes
+        .iter()
+        .map(|c| (c.count, cost::lower_block(device, wl, c)))
+        .collect();
+
+    // Deal blocks to SMs round-robin in class order (as the engine does).
+    let mut order: Vec<u16> = Vec::new();
+    for (idx, (count, _)) in lowered.iter().enumerate() {
+        order.extend(std::iter::repeat_n(idx as u16, *count as usize));
+    }
+    let n_sm = device.n_sm;
+    let mut per_sm: Vec<Vec<u16>> = vec![Vec::new(); n_sm];
+    for (pos, cls) in order.iter().enumerate() {
+        per_sm[pos % n_sm].push(*cls);
+    }
+
+    let mut events = Vec::new();
+    let mut makespan = 0.0f64;
+    for (sm, blocks) in per_sm.iter().enumerate() {
+        let mut t0 = 0.0f64;
+        for (wave_idx, wave) in blocks.chunks(k.max(1)).enumerate() {
+            let segs: Vec<&[cost::Segment]> = wave
+                .iter()
+                .map(|&c| lowered[c as usize].1.segments.as_slice())
+                .collect();
+            let end = schedule_wave(&segs, t0, |block, pipe, start, end| {
+                events.push(TraceEvent {
+                    sm,
+                    wave: wave_idx,
+                    block,
+                    pipe: match pipe {
+                        Pipe::Mem => TracePipe::Mem,
+                        Pipe::Comp => TracePipe::Comp,
+                    },
+                    start,
+                    end,
+                });
+            });
+            t0 = end;
+        }
+        makespan = makespan.max(t0);
+    }
+    Ok(KernelTrace {
+        k,
+        makespan,
+        events,
+    })
+}
+
+/// The engine's greedy earliest-start two-pipe list scheduler, with an
+/// observer. Must stay behaviorally identical to `engine::wave_cost`.
+fn schedule_wave(
+    blocks: &[&[cost::Segment]],
+    t0: f64,
+    mut on_event: impl FnMut(usize, Pipe, f64, f64),
+) -> f64 {
+    struct St<'a> {
+        segs: &'a [cost::Segment],
+        next: usize,
+        ready: f64,
+    }
+    let mut st: Vec<St<'_>> = blocks
+        .iter()
+        .map(|b| St {
+            segs: b,
+            next: 0,
+            ready: t0,
+        })
+        .collect();
+    let mut mem_free = t0;
+    let mut comp_free = t0;
+    let mut finish = t0;
+    loop {
+        let mut best: Option<(f64, usize)> = None;
+        for (i, s) in st.iter().enumerate() {
+            if s.next >= s.segs.len() {
+                continue;
+            }
+            let pipe_free = match s.segs[s.next].pipe {
+                Pipe::Mem => mem_free,
+                Pipe::Comp => comp_free,
+            };
+            let start = s.ready.max(pipe_free);
+            if best.is_none_or(|(bs, _)| start < bs) {
+                best = Some((start, i));
+            }
+        }
+        let Some((start, i)) = best else { break };
+        let seg = st[i].segs[st[i].next];
+        let end = start + seg.dur;
+        match seg.pipe {
+            Pipe::Mem => mem_free = end,
+            Pipe::Comp => comp_free = end,
+        }
+        on_event(i, seg.pipe, start, end);
+        st[i].ready = end;
+        st[i].next += 1;
+        finish = finish.max(end);
+    }
+    finish
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::simulate_detailed;
+
+    fn workload() -> Workload {
+        let mut wl = Workload::uniform(
+            2,
+            37,
+            4,
+            2048,
+            2048,
+            vec![[1024, 1, 1], [1024, 1, 1]],
+            128,
+            32,
+        );
+        wl.mtile_words = 8192; // k = 3
+        wl
+    }
+
+    #[test]
+    fn trace_reproduces_engine_makespan() {
+        let d = DeviceConfig::gtx980();
+        let wl = workload();
+        let (_, kernels) = simulate_detailed(&d, &wl).unwrap();
+        let trace = trace_kernel(&d, &wl, 0).unwrap();
+        assert!(
+            (trace.makespan - kernels[0].makespan).abs() < 1e-15,
+            "trace {} vs engine {}",
+            trace.makespan,
+            kernels[0].makespan
+        );
+    }
+
+    #[test]
+    fn pipes_never_overlap_within_an_sm() {
+        let d = DeviceConfig::gtx980();
+        let trace = trace_kernel(&d, &workload(), 0).unwrap();
+        for sm in 0..d.n_sm {
+            for pipe in [TracePipe::Mem, TracePipe::Comp] {
+                let mut segs: Vec<_> = trace
+                    .events
+                    .iter()
+                    .filter(|e| e.sm == sm && e.pipe == pipe)
+                    .collect();
+                segs.sort_by(|a, b| a.start.total_cmp(&b.start));
+                for w in segs.windows(2) {
+                    assert!(
+                        w[1].start >= w[0].end - 1e-15,
+                        "pipe overlap on SM {sm}: {:?} then {:?}",
+                        w[0],
+                        w[1]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_chains_are_ordered() {
+        // A block's segments execute in order: each segment starts no
+        // earlier than the previous one ends.
+        let d = DeviceConfig::gtx980();
+        let trace = trace_kernel(&d, &workload(), 0).unwrap();
+        use std::collections::BTreeMap;
+        let mut chains: BTreeMap<(usize, usize, usize), Vec<&TraceEvent>> = BTreeMap::new();
+        for e in &trace.events {
+            chains.entry((e.sm, e.wave, e.block)).or_default().push(e);
+        }
+        for (key, chain) in chains {
+            for w in chain.windows(2) {
+                assert!(
+                    w[1].start >= w[0].end - 1e-15,
+                    "chain {key:?} out of order: {:?} then {:?}",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_actually_happens_with_k_greater_than_one() {
+        // Some memory segment runs concurrently with some compute
+        // segment on the same SM — the hyperthreading effect.
+        let d = DeviceConfig::gtx980();
+        let trace = trace_kernel(&d, &workload(), 0).unwrap();
+        assert!(trace.k > 1, "premise: co-residency");
+        let overlapping = trace.events.iter().any(|a| {
+            trace.events.iter().any(|b| {
+                a.sm == b.sm
+                    && a.pipe == TracePipe::Mem
+                    && b.pipe == TracePipe::Comp
+                    && a.start < b.end
+                    && b.start < a.end
+            })
+        });
+        assert!(overlapping, "no mem/comp overlap observed");
+    }
+}

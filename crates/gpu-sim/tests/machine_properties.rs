@@ -1,0 +1,120 @@
+//! Property tests over the simulated machine: monotonicity, conservation,
+//! and determinism across randomized workloads.
+
+use gpu_sim::{occupancy, simulate, DeviceConfig, Workload};
+use proptest::prelude::*;
+
+fn wl(
+    kernels: usize,
+    blocks: u64,
+    subtiles: u64,
+    words: u64,
+    rows: u64,
+    iters: u64,
+    threads: usize,
+) -> Workload {
+    Workload::uniform(
+        kernels,
+        blocks,
+        subtiles,
+        words,
+        words,
+        vec![[iters, 1, 1]; rows as usize],
+        threads,
+        32,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// More blocks never reduces total busy time, and the makespan can
+    /// only shrink within the greedy scheduler's anomaly bound.
+    #[test]
+    fn work_monotone_in_blocks(
+        blocks in 1u64..64,
+        extra in 1u64..32,
+        subtiles in 1u64..8,
+        iters in 1u64..2048,
+    ) {
+        let d = DeviceConfig::gtx980();
+        let a = simulate(&d, &wl(1, blocks, subtiles, 256, 2, iters, 128)).unwrap();
+        let b = simulate(&d, &wl(1, blocks + extra, subtiles, 256, 2, iters, 128)).unwrap();
+        prop_assert!(b.mem_busy + b.comp_busy > a.mem_busy + a.comp_busy);
+        prop_assert!(b.total_time >= 0.75 * a.total_time);
+    }
+
+    /// More work per block never reduces the pipes' busy time, and the
+    /// makespan can shrink only within the greedy list-scheduler's
+    /// anomaly bound (Graham: interleavings may improve when segments
+    /// grow, but never by much for two pipes).
+    #[test]
+    fn work_monotone_in_iterations(
+        blocks in 1u64..32,
+        iters in 1u64..2048,
+        extra in 1u64..2048,
+    ) {
+        let d = DeviceConfig::gtx980();
+        let a = simulate(&d, &wl(1, blocks, 2, 128, 2, iters, 128)).unwrap();
+        let b = simulate(&d, &wl(1, blocks, 2, 128, 2, iters + extra, 128)).unwrap();
+        prop_assert!(b.comp_busy >= a.comp_busy - 1e-15);
+        prop_assert!((b.mem_busy - a.mem_busy).abs() < 1e-15);
+        prop_assert!(b.total_time >= 0.75 * a.total_time);
+    }
+
+    /// Kernel launches are additive: n identical kernels cost exactly n
+    /// times one kernel.
+    #[test]
+    fn kernels_are_additive(
+        n in 1usize..16,
+        blocks in 1u64..48,
+        iters in 1u64..1024,
+    ) {
+        let d = DeviceConfig::titan_x();
+        let one = simulate(&d, &wl(1, blocks, 2, 256, 2, iters, 128)).unwrap().total_time;
+        let many = simulate(&d, &wl(n, blocks, 2, 256, 2, iters, 128)).unwrap().total_time;
+        prop_assert!((many - n as f64 * one).abs() < 1e-12 * n as f64 + 1e-15);
+    }
+
+    /// Busy-time conservation: aggregate pipe busy time never exceeds
+    /// what the slowest-possible serialization would produce, and the
+    /// makespan is at least the per-SM average load.
+    #[test]
+    fn makespan_bounds(
+        blocks in 1u64..96,
+        subtiles in 1u64..6,
+        iters in 1u64..1024,
+    ) {
+        let d = DeviceConfig::gtx980();
+        let r = simulate(&d, &wl(1, blocks, subtiles, 512, 2, iters, 128)).unwrap();
+        let busy = r.mem_busy + r.comp_busy;
+        let kernel_time = r.total_time - r.launch_overhead;
+        // Lower bound: perfect balance over n_SM dual pipes.
+        prop_assert!(kernel_time >= busy / (2.0 * d.n_sm as f64) - 1e-12);
+        // Upper bound: complete serialization on one SM.
+        prop_assert!(kernel_time <= busy + 1e-12);
+    }
+
+    /// Occupancy: k shrinks (weakly) as the tile's shared footprint grows.
+    #[test]
+    fn k_antitone_in_mtile(words in 64u64..12_000, extra in 1u64..288) {
+        let d = DeviceConfig::gtx980();
+        let mut a = wl(1, 8, 1, 64, 1, 128, 128);
+        a.mtile_words = words;
+        let mut b = a.clone();
+        b.mtile_words = words + extra;
+        let ka = occupancy(&d, &a).unwrap().k;
+        let kb = occupancy(&d, &b).unwrap().k;
+        prop_assert!(kb <= ka);
+    }
+
+    /// Determinism across repeated runs.
+    #[test]
+    fn bitwise_deterministic(blocks in 1u64..64, iters in 1u64..512) {
+        let d = DeviceConfig::gtx980();
+        let w = wl(2, blocks, 3, 320, 2, iters, 128);
+        let a = simulate(&d, &w).unwrap().total_time;
+        let b = simulate(&d, &w).unwrap().total_time;
+        prop_assert_eq!(a.to_bits(), b.to_bits());
+    }
+}

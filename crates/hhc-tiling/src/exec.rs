@@ -1,0 +1,686 @@
+//! Functional tiled execution with dependence checking.
+//!
+//! This module *runs* the hybrid hexagonal/classical schedule over a
+//! space-time array: wavefront by wavefront, tile by tile, sub-tile by
+//! sub-tile, hexagon row by hexagon row — exactly the order the GPU
+//! kernels execute. Every value read is checked to have been written
+//! already **by an earlier wavefront or by the same tile**, which proves
+//! the schedule legal (any dependence violation panics in
+//! [`run_tiled_checked`] / returns an error in [`try_run_tiled`]).
+//!
+//! The final plane must equal `stencil_core::reference::run` bit-for-bit
+//! because the per-point arithmetic is shared. These two properties are
+//! the ground-truth validation of the whole tiling substrate; the
+//! simulator's timing paths consume the same geometry via
+//! [`crate::plan::TilingPlan`].
+
+use crate::config::TileSizes;
+use crate::hex::{HexTiling, TileId};
+use crate::inner::SkewedAxis;
+use stencil_core::{Grid, ProblemSize, StencilSpec};
+
+/// A dependence violation discovered during checked tiled execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DependenceViolation {
+    /// The consuming iteration `(t, s1, s2, s3)`.
+    pub consumer: (i64, [i64; 3]),
+    /// The producer value that had not been written yet.
+    pub producer: (i64, [i64; 3]),
+}
+
+impl std::fmt::Display for DependenceViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "iteration (t={}, s={:?}) read unwritten producer (t={}, s={:?})",
+            self.consumer.0, self.consumer.1, self.producer.0, self.producer.1
+        )
+    }
+}
+
+/// Space-time state: one plane per time step `0..=T`, plus (optionally)
+/// the id of the tile that wrote each cell, for dependence checking.
+struct SpaceTime {
+    sizes: [usize; 3],
+    boundary: f32,
+    planes: Vec<Vec<f32>>,
+    /// `writer[t][cell] = Some(wavefront)` once written; plane 0 is
+    /// initialized with wavefront −1.
+    writer: Option<Vec<Vec<i64>>>,
+}
+
+impl SpaceTime {
+    fn new(size: &ProblemSize, init: &Grid, checked: bool) -> Self {
+        let sizes = size.space_extents();
+        let cells = sizes[0] * sizes[1] * sizes[2];
+        let mut planes = vec![vec![0.0f32; cells]; size.time + 1];
+        planes[0].copy_from_slice(init.as_slice());
+        let writer = checked.then(|| {
+            let mut w = vec![vec![i64::MIN; cells]; size.time + 1];
+            w[0].iter_mut().for_each(|x| *x = -1);
+            w
+        });
+        SpaceTime {
+            sizes,
+            boundary: init.boundary(),
+            planes,
+            writer,
+        }
+    }
+
+    #[inline]
+    fn idx(&self, s: [i64; 3]) -> Option<usize> {
+        for (&c, &n) in s.iter().zip(&self.sizes) {
+            if c < 0 || c as usize >= n {
+                return None;
+            }
+        }
+        Some((s[0] as usize * self.sizes[1] + s[1] as usize) * self.sizes[2] + s[2] as usize)
+    }
+
+    /// Read plane `t_plane` at `s` (boundary value outside the domain).
+    #[inline]
+    fn read(&self, t_plane: i64, s: [i64; 3]) -> f32 {
+        match self.idx(s) {
+            Some(i) => self.planes[t_plane as usize][i],
+            None => self.boundary,
+        }
+    }
+
+    /// Whether plane `t_plane` at `s` has been written, and by whom.
+    #[inline]
+    fn writer_of(&self, t_plane: i64, s: [i64; 3]) -> Option<i64> {
+        let w = self.writer.as_ref()?;
+        let i = self.idx(s)?;
+        let v = w[t_plane as usize][i];
+        (v != i64::MIN).then_some(v)
+    }
+}
+
+/// Run the tiled schedule; panics on any dependence violation.
+///
+/// See [`try_run_tiled`] for the non-panicking variant and
+/// [`run_tiled_unchecked`] to skip the (memory-hungry) writer tracking.
+pub fn run_tiled_checked(
+    spec: &StencilSpec,
+    size: &ProblemSize,
+    tiles: TileSizes,
+    init: &Grid,
+) -> Grid {
+    match try_run_tiled(spec, size, tiles, init, true) {
+        Ok(g) => g,
+        Err(v) => panic!("dependence violation: {v}"),
+    }
+}
+
+/// Run the tiled schedule without dependence tracking (half the memory).
+pub fn run_tiled_unchecked(
+    spec: &StencilSpec,
+    size: &ProblemSize,
+    tiles: TileSizes,
+    init: &Grid,
+) -> Grid {
+    try_run_tiled(spec, size, tiles, init, false).expect("unchecked execution cannot fail")
+}
+
+/// Run the tiled schedule over a space-time array.
+///
+/// With `checked`, every read validates that its producer was written by
+/// an earlier wavefront or the same tile; the first violation aborts the
+/// run. Intended for validation-scale problems: memory is
+/// `O(T · S1 · S2 · S3)`.
+pub fn try_run_tiled(
+    spec: &StencilSpec,
+    size: &ProblemSize,
+    tiles: TileSizes,
+    init: &Grid,
+    checked: bool,
+) -> Result<Grid, DependenceViolation> {
+    tiles.validate(spec.dim).expect("invalid tile sizes");
+    assert_eq!(
+        init.sizes(),
+        size.space_extents(),
+        "init grid shape mismatch"
+    );
+    let rank = spec.dim.rank();
+    // Hexagon slopes and inner skews scale with the stencil order
+    // (paper Section 7's generality note).
+    let slope = spec.order().max(1) as usize;
+    let hex = HexTiling::with_slope(tiles.t_s[0], tiles.t_t, slope);
+    let ax2 = (rank >= 2).then(|| SkewedAxis::with_slope(tiles.t_s[1], size.space[1], slope));
+    let ax3 = (rank >= 3).then(|| SkewedAxis::with_slope(tiles.t_s[2], size.space[2], slope));
+
+    let mut st = SpaceTime::new(size, init, checked);
+
+    for w in 0..hex.wavefront_count(size.time) {
+        let (phase, q) = hex.wavefront_phase(w);
+        for j in hex.wavefront_tiles(w, size.space[0], size.time) {
+            let id = TileId { q, phase, j };
+            execute_tile(spec, size, &hex, ax2, ax3, id, &mut st)?;
+        }
+    }
+
+    // Final plane is the result.
+    let mut out = Grid::zeros(size.space_extents());
+    out.set_boundary(init.boundary());
+    out.as_mut_slice().copy_from_slice(&st.planes[size.time]);
+    Ok(out)
+}
+
+/// Execute one hexagonal tile (thread block): walk its sub-tiles in the
+/// sequential order of the schedule, computing rows bottom-to-top.
+fn execute_tile(
+    spec: &StencilSpec,
+    size: &ProblemSize,
+    hex: &HexTiling,
+    ax2: Option<SkewedAxis>,
+    ax3: Option<SkewedAxis>,
+    id: TileId,
+    st: &mut SpaceTime,
+) -> Result<(), DependenceViolation> {
+    let rows: Vec<_> = hex.tile_rows(id, size.space[0], size.time).collect();
+    if rows.is_empty() {
+        return Ok(());
+    }
+    let (t_lo, t_hi) = (rows[0].t, rows[rows.len() - 1].t);
+    let wf = id.wavefront();
+
+    // Sub-tile index ranges along the skewed inner axes ({0} when unused).
+    let r3: Vec<i64> = match ax3 {
+        Some(ax) => ax.subtile_range(t_lo, t_hi).collect(),
+        None => vec![0],
+    };
+    let r2: Vec<i64> = match ax2 {
+        Some(ax) => ax.subtile_range(t_lo, t_hi).collect(),
+        None => vec![0],
+    };
+
+    for &l3 in &r3 {
+        for &l2 in &r2 {
+            // One sub-tile: all hexagon rows, restricted to the skewed
+            // spans of (l2, l3), in bottom-to-top row order.
+            for row in &rows {
+                let span2 = match ax2 {
+                    Some(ax) => match ax.span_at(l2, row.t) {
+                        Some(sp) => sp,
+                        None => continue,
+                    },
+                    None => (0, 0),
+                };
+                let span3 = match ax3 {
+                    Some(ax) => match ax.span_at(l3, row.t) {
+                        Some(sp) => sp,
+                        None => continue,
+                    },
+                    None => (0, 0),
+                };
+                for s1 in row.lo..=row.hi {
+                    for s2 in span2.0..=span2.1 {
+                        for s3 in span3.0..=span3.1 {
+                            compute_point(spec, hex, id, wf, st, row.t, [s1, s2, s3])?;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Compute iteration `(t, s)`: read plane `t`, write plane `t + 1`.
+#[inline]
+fn compute_point(
+    spec: &StencilSpec,
+    hex: &HexTiling,
+    id: TileId,
+    wf: i64,
+    st: &mut SpaceTime,
+    t: i64,
+    s: [i64; 3],
+) -> Result<(), DependenceViolation> {
+    if st.writer.is_some() {
+        for nb in &spec.neighbors {
+            let ps = [
+                s[0] + nb.offset[0],
+                s[1] + nb.offset[1],
+                s[2] + nb.offset[2],
+            ];
+            if st.idx(ps).is_none() {
+                continue; // boundary constant
+            }
+            match st.writer_of(t, ps) {
+                // Written by an earlier wavefront, the initial plane (−1),
+                // or this very tile (same wavefront is only legal for the
+                // same tile: intra-tile rows are ordered).
+                Some(pw) if pw < wf => {}
+                Some(pw) if pw == wf && hex.tile_containing(t - 1, ps[0]) == id => {}
+                _ => {
+                    return Err(DependenceViolation {
+                        consumer: (t, s),
+                        producer: (t - 1, ps),
+                    });
+                }
+            }
+        }
+    }
+    let v = spec.apply(|off| st.read(t, [s[0] + off[0], s[1] + off[1], s[2] + off[2]]));
+    let i = st.idx(s).expect("iteration point inside domain");
+    st.planes[(t + 1) as usize][i] = v;
+    if let Some(writer) = st.writer.as_mut() {
+        writer[(t + 1) as usize][i] = wf;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil_core::{reference, StencilKind};
+
+    fn random_grid(sizes: [usize; 3], seed: u64) -> Grid {
+        // Small deterministic LCG; avoids a dev-dependency here.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        Grid::from_fn(sizes, |_, _, _| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        })
+    }
+
+    fn check(kind: StencilKind, size: ProblemSize, tiles: TileSizes) {
+        let spec = kind.spec();
+        let init = random_grid(size.space_extents(), 42);
+        let expect = reference::run(&spec, &size, &init);
+        let got = run_tiled_checked(&spec, &size, tiles, &init);
+        assert_eq!(
+            expect.max_abs_diff(&got),
+            0.0,
+            "{} {} {:?}",
+            kind.name(),
+            size.label(),
+            tiles
+        );
+    }
+
+    #[test]
+    fn jacobi1d_matches_reference_exactly() {
+        for (s, t, tiles) in [
+            (29usize, 10usize, TileSizes::new_1d(4, 3)),
+            (64, 13, TileSizes::new_1d(6, 8)),
+            (10, 25, TileSizes::new_1d(8, 2)),
+            (7, 3, TileSizes::new_1d(2, 1)),
+        ] {
+            check(StencilKind::Jacobi1D, ProblemSize::new_1d(s, t), tiles);
+        }
+    }
+
+    #[test]
+    fn all_2d_stencils_match_reference() {
+        for kind in StencilKind::BENCH_2D {
+            check(
+                kind,
+                ProblemSize::new_2d(21, 17, 9),
+                TileSizes::new_2d(4, 5, 6),
+            );
+        }
+    }
+
+    #[test]
+    fn all_3d_stencils_match_reference() {
+        for kind in StencilKind::BENCH_3D {
+            check(
+                kind,
+                ProblemSize::new_3d(9, 8, 7, 6),
+                TileSizes::new_3d(4, 3, 4, 3),
+            );
+        }
+        check(
+            StencilKind::Jacobi3D,
+            ProblemSize::new_3d(6, 6, 6, 5),
+            TileSizes::new_3d(2, 2, 3, 4),
+        );
+    }
+
+    #[test]
+    fn tile_larger_than_domain() {
+        check(
+            StencilKind::Jacobi2D,
+            ProblemSize::new_2d(5, 5, 3),
+            TileSizes::new_2d(16, 32, 64),
+        );
+    }
+
+    #[test]
+    fn unchecked_matches_checked() {
+        let spec = StencilKind::Heat2D.spec();
+        let size = ProblemSize::new_2d(17, 13, 8);
+        let tiles = TileSizes::new_2d(4, 4, 8);
+        let init = random_grid(size.space_extents(), 7);
+        let a = run_tiled_checked(&spec, &size, tiles, &init);
+        let b = run_tiled_unchecked(&spec, &size, tiles, &init);
+        assert_eq!(a.max_abs_diff(&b), 0.0);
+    }
+
+    #[test]
+    fn nonzero_boundary_values_propagate_identically() {
+        let spec = StencilKind::Jacobi2D.spec();
+        let size = ProblemSize::new_2d(9, 11, 6);
+        let tiles = TileSizes::new_2d(4, 3, 4);
+        let mut init = random_grid(size.space_extents(), 3);
+        init.set_boundary(2.5);
+        let expect = reference::run(&spec, &size, &init);
+        let got = run_tiled_checked(&spec, &size, tiles, &init);
+        assert_eq!(expect.max_abs_diff(&got), 0.0);
+    }
+
+    #[test]
+    fn one_cell_domain() {
+        check(
+            StencilKind::Jacobi2D,
+            ProblemSize::new_2d(1, 1, 5),
+            TileSizes::new_2d(2, 1, 1),
+        );
+        check(
+            StencilKind::Jacobi1D,
+            ProblemSize::new_1d(1, 7),
+            TileSizes::new_1d(4, 3),
+        );
+    }
+
+    #[test]
+    fn single_time_step() {
+        check(
+            StencilKind::Heat2D,
+            ProblemSize::new_2d(13, 9, 1),
+            TileSizes::new_2d(8, 4, 4),
+        );
+    }
+
+    #[test]
+    fn gradient_diagonal_dependences_are_legal() {
+        // The 9-point Gradient2D exercises diagonal producers — the
+        // hexagon slopes must still satisfy them.
+        check(
+            StencilKind::Gradient2D,
+            ProblemSize::new_2d(19, 23, 11),
+            TileSizes::new_2d(6, 4, 8),
+        );
+    }
+}
+
+/// Run the tiled schedule with the tiles of each wavefront executed **in
+/// parallel** (rayon) — which is legal precisely because tiles within a
+/// wavefront are mutually independent, the property the GPU exploits by
+/// launching them as one kernel.
+///
+/// Each tile's writes are computed into a private buffer and applied
+/// after the wavefront joins, so the execution is deterministic and the
+/// result must equal the sequential tiled executor bit for bit (tested).
+/// Used to speed up validation runs and as an executable proof of
+/// wavefront independence.
+pub fn run_tiled_wavefront_parallel(
+    spec: &StencilSpec,
+    size: &ProblemSize,
+    tiles: TileSizes,
+    init: &Grid,
+) -> Grid {
+    use rayon::prelude::*;
+
+    tiles.validate(spec.dim).expect("invalid tile sizes");
+    assert_eq!(
+        init.sizes(),
+        size.space_extents(),
+        "init grid shape mismatch"
+    );
+    let rank = spec.dim.rank();
+    let slope = spec.order().max(1) as usize;
+    let hex = HexTiling::with_slope(tiles.t_s[0], tiles.t_t, slope);
+    let ax2 = (rank >= 2).then(|| SkewedAxis::with_slope(tiles.t_s[1], size.space[1], slope));
+    let ax3 = (rank >= 3).then(|| SkewedAxis::with_slope(tiles.t_s[2], size.space[2], slope));
+
+    let mut st = SpaceTime::new(size, init, false);
+
+    for w in 0..hex.wavefront_count(size.time) {
+        let (phase, q) = hex.wavefront_phase(w);
+        let js: Vec<i64> = hex.wavefront_tiles(w, size.space[0], size.time).collect();
+        // Compute every tile of the wavefront independently against the
+        // frozen pre-wavefront state…
+        let st_ref = &st;
+        let writes: Vec<Vec<(usize, usize, f32)>> = js
+            .par_iter()
+            .map(|&j| {
+                let id = TileId { q, phase, j };
+                compute_tile_writes(spec, size, &hex, ax2, ax3, id, st_ref)
+            })
+            .collect();
+        // …then apply the (disjoint) writes.
+        for tile_writes in writes {
+            for (plane, idx, v) in tile_writes {
+                st.planes[plane][idx] = v;
+            }
+        }
+    }
+
+    let mut out = Grid::zeros(size.space_extents());
+    out.set_boundary(init.boundary());
+    out.as_mut_slice().copy_from_slice(&st.planes[size.time]);
+    out
+}
+
+/// Compute one tile's writes against an immutable space-time state.
+///
+/// Reads of values produced *within the tile itself* (upper hexagon
+/// rows reading lower ones) are resolved from the local write log, since
+/// the shared state is frozen for the whole wavefront.
+fn compute_tile_writes(
+    spec: &StencilSpec,
+    size: &ProblemSize,
+    hex: &HexTiling,
+    ax2: Option<SkewedAxis>,
+    ax3: Option<SkewedAxis>,
+    id: TileId,
+    st: &SpaceTime,
+) -> Vec<(usize, usize, f32)> {
+    let rows: Vec<_> = hex.tile_rows(id, size.space[0], size.time).collect();
+    let mut writes: Vec<(usize, usize, f32)> = Vec::new();
+    // Local shadow of this tile's own writes: (plane, idx) -> value.
+    let mut local: std::collections::HashMap<(usize, usize), f32> =
+        std::collections::HashMap::new();
+    if rows.is_empty() {
+        return writes;
+    }
+    let (t_lo, t_hi) = (rows[0].t, rows[rows.len() - 1].t);
+    let r3: Vec<i64> = match ax3 {
+        Some(ax) => ax.subtile_range(t_lo, t_hi).collect(),
+        None => vec![0],
+    };
+    let r2: Vec<i64> = match ax2 {
+        Some(ax) => ax.subtile_range(t_lo, t_hi).collect(),
+        None => vec![0],
+    };
+    for &l3 in &r3 {
+        for &l2 in &r2 {
+            for row in &rows {
+                let span2 = match ax2 {
+                    Some(ax) => match ax.span_at(l2, row.t) {
+                        Some(sp) => sp,
+                        None => continue,
+                    },
+                    None => (0, 0),
+                };
+                let span3 = match ax3 {
+                    Some(ax) => match ax.span_at(l3, row.t) {
+                        Some(sp) => sp,
+                        None => continue,
+                    },
+                    None => (0, 0),
+                };
+                for s1 in row.lo..=row.hi {
+                    for s2 in span2.0..=span2.1 {
+                        for s3 in span3.0..=span3.1 {
+                            let t = row.t;
+                            let v = spec.apply(|off| {
+                                let ps = [s1 + off[0], s2 + off[1], s3 + off[2]];
+                                match st.idx(ps) {
+                                    None => st.boundary,
+                                    Some(i) => *local
+                                        .get(&(t as usize, i))
+                                        .unwrap_or(&st.planes[t as usize][i]),
+                                }
+                            });
+                            let i = st.idx([s1, s2, s3]).expect("in domain");
+                            local.insert((t as usize + 1, i), v);
+                            writes.push((t as usize + 1, i, v));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    writes
+}
+
+#[cfg(test)]
+mod higher_order_tests {
+    use super::*;
+    use stencil_core::{init, reference, Neighbor, StencilDim, StencilSpec};
+
+    /// Fourth-order-accurate 1D Laplacian smoothing step: a 5-point,
+    /// order-2 stencil.
+    fn order2_1d() -> StencilSpec {
+        StencilSpec::convolution(
+            StencilDim::D1,
+            vec![
+                Neighbor::new([-2, 0, 0], -1.0 / 12.0),
+                Neighbor::new([-1, 0, 0], 4.0 / 12.0),
+                Neighbor::new([0, 0, 0], 6.0 / 12.0),
+                Neighbor::new([1, 0, 0], 4.0 / 12.0),
+                Neighbor::new([2, 0, 0], -1.0 / 12.0),
+            ],
+            0.0,
+            2,
+        )
+        .unwrap()
+    }
+
+    /// An order-2, 2D stencil (9-point cross).
+    fn order2_2d() -> StencilSpec {
+        StencilSpec::convolution(
+            StencilDim::D2,
+            vec![
+                Neighbor::new([0, 0, 0], 0.4),
+                Neighbor::new([-1, 0, 0], 0.1),
+                Neighbor::new([1, 0, 0], 0.1),
+                Neighbor::new([0, -1, 0], 0.1),
+                Neighbor::new([0, 1, 0], 0.1),
+                Neighbor::new([-2, 0, 0], 0.05),
+                Neighbor::new([2, 0, 0], 0.05),
+                Neighbor::new([0, -2, 0], 0.05),
+                Neighbor::new([0, 2, 0], 0.05),
+            ],
+            0.0,
+            0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn order2_1d_tiled_matches_reference() {
+        let spec = order2_1d();
+        assert_eq!(spec.order(), 2);
+        for (s, t, tiles) in [
+            (41usize, 9usize, TileSizes::new_1d(4, 5)),
+            (64, 12, TileSizes::new_1d(6, 8)),
+            (17, 20, TileSizes::new_1d(8, 3)),
+        ] {
+            let size = ProblemSize::new_1d(s, t);
+            let grid = init::random(size.space_extents(), 5);
+            let expect = reference::run(&spec, &size, &grid);
+            let got = run_tiled_checked(&spec, &size, tiles, &grid);
+            assert_eq!(expect.max_abs_diff(&got), 0.0, "S={s} T={t}");
+        }
+    }
+
+    #[test]
+    fn order2_2d_tiled_matches_reference() {
+        let spec = order2_2d();
+        let size = ProblemSize::new_2d(23, 19, 7);
+        let tiles = TileSizes::new_2d(4, 5, 6);
+        let grid = init::random(size.space_extents(), 9);
+        let expect = reference::run(&spec, &size, &grid);
+        let got = run_tiled_checked(&spec, &size, tiles, &grid);
+        assert_eq!(expect.max_abs_diff(&got), 0.0);
+        // Parallel wavefront execution also holds at order 2.
+        let par = run_tiled_wavefront_parallel(&spec, &size, tiles, &grid);
+        assert_eq!(expect.max_abs_diff(&par), 0.0);
+    }
+
+    #[test]
+    fn plan_rejects_higher_order_with_clear_message() {
+        use crate::config::LaunchConfig;
+        use crate::plan::TilingPlan;
+        let spec = order2_2d();
+        let size = ProblemSize::new_2d(64, 64, 8);
+        let err = TilingPlan::build(
+            &spec,
+            &size,
+            TileSizes::new_2d(4, 8, 16),
+            LaunchConfig::new_2d(1, 32),
+        )
+        .unwrap_err();
+        assert!(err.contains("first-order"), "{err}");
+    }
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+    use stencil_core::{init, reference, StencilKind};
+
+    #[test]
+    fn parallel_equals_sequential_tiled_and_reference() {
+        for (kind, size, tiles) in [
+            (
+                StencilKind::Jacobi2D,
+                ProblemSize::new_2d(29, 23, 9),
+                TileSizes::new_2d(4, 5, 6),
+            ),
+            (
+                StencilKind::Gradient2D,
+                ProblemSize::new_2d(17, 19, 7),
+                TileSizes::new_2d(6, 3, 4),
+            ),
+            (
+                StencilKind::Heat3D,
+                ProblemSize::new_3d(9, 8, 7, 6),
+                TileSizes::new_3d(4, 3, 4, 3),
+            ),
+        ] {
+            let spec = kind.spec();
+            let grid = init::random(size.space_extents(), 11);
+            let expect = reference::run(&spec, &size, &grid);
+            let seq = run_tiled_checked(&spec, &size, tiles, &grid);
+            let par = run_tiled_wavefront_parallel(&spec, &size, tiles, &grid);
+            assert_eq!(
+                expect.max_abs_diff(&par),
+                0.0,
+                "{} vs reference",
+                kind.name()
+            );
+            assert_eq!(seq.max_abs_diff(&par), 0.0, "{} vs sequential", kind.name());
+        }
+    }
+
+    #[test]
+    fn parallel_handles_nonzero_boundary() {
+        let spec = StencilKind::Jacobi1D.spec();
+        let size = ProblemSize::new_1d(41, 13);
+        let tiles = TileSizes::new_1d(6, 5);
+        let mut grid = init::gaussian_bump(size.space_extents(), 6.0);
+        grid.set_boundary(0.25);
+        let expect = reference::run(&spec, &size, &grid);
+        let par = run_tiled_wavefront_parallel(&spec, &size, tiles, &grid);
+        assert_eq!(expect.max_abs_diff(&par), 0.0);
+    }
+}

@@ -1,0 +1,687 @@
+//! Executable tiling plans: the output of the "HHC compiler" substrate.
+//!
+//! A [`TilingPlan`] lowers (stencil, problem size, tile sizes, launch
+//! config) to the structure the GPU executes:
+//!
+//! * one **kernel launch per wavefront** (`N_w` of them, paper Eqn 3);
+//! * one **thread block per hexagonal tile** of the wavefront (`w(i)`
+//!   blocks, Eqn 5);
+//! * within a block, a **sequential walk over skewed sub-tiles** along
+//!   the inner space dimensions (`⌈(S2+t_T)/t_S2⌉ · ⌈(S3+t_T)/t_S3⌉`
+//!   of them, Eqns 16/23), each consisting of a global→shared load, a
+//!   bottom-to-top row-parallel compute, and a shared→global store.
+//!
+//! Because virtually all tiles of a wavefront are geometrically
+//! identical (only the few touching the domain boundary differ), the
+//! plan stores **classes** with multiplicities instead of materializing
+//! millions of tiles. Within a block, the sub-tile grid along the inner
+//! axes is likewise stored as **per-axis run-length classes**
+//! ([`AxisClass`]) rather than their cross product — every per-sub-tile
+//! quantity the simulator needs (iterations, footprints, thread rounds)
+//! is *separable* across axes, so totals factor into per-axis sums and
+//! a 3D block with thousands of sub-tiles stays O(axis classes) in
+//! memory. All counts are exact — `total_iterations()` equals
+//! `T·S1·S2·S3` (property-tested) — so the simulator sees precisely the
+//! work and the memory traffic of the real schedule, including the
+//! ragged partial tiles the paper's steady-state model ignores.
+
+use crate::config::{LaunchConfig, TileSizes};
+use crate::hex::{HexTiling, Phase, TileId};
+use crate::inner::SkewedAxis;
+use crate::regs;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+use stencil_core::{ProblemSize, StencilSpec};
+
+/// A run of identical sub-tile positions along one inner axis: `count`
+/// sub-tiles whose in-domain width at hexagon row `r` is `widths[r]`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AxisClass {
+    /// Number of consecutive sub-tile positions with this width profile.
+    pub count: u64,
+    /// In-domain width per hexagon row (aligned with the block's rows).
+    pub widths: Vec<u64>,
+}
+
+/// A group of identical thread blocks (hexagonal tiles) of a wavefront.
+///
+/// Per-sub-tile quantities are reconstructed separably: a sub-tile at
+/// axis positions `(c2, c3)` covers, at hexagon row `r`,
+/// `s1_widths[r] · c2.widths[r] · c3.widths[r]` iterations, loads
+/// `mi_rows[r] · c2.widths[r] · c3.widths[r]` words, etc.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockClass {
+    /// How many blocks of this shape the wavefront launches.
+    pub count: u64,
+    /// `s1` width of each clipped hexagon row (bottom to top).
+    pub s1_widths: Vec<u64>,
+    /// Per-row outside-producer count on the `(t, s1)` plane (global
+    /// loads per unit of inner cross-section).
+    pub mi_rows: Vec<u64>,
+    /// Per-row output-point count (global stores per unit of inner
+    /// cross-section).
+    pub mo_rows: Vec<u64>,
+    /// Sub-tile classes along `s2` (a single `count 1 / widths all 1`
+    /// class for 1D stencils).
+    pub axis2: Vec<AxisClass>,
+    /// Sub-tile classes along `s3` (unit class below 3D).
+    pub axis3: Vec<AxisClass>,
+}
+
+impl BlockClass {
+    /// Number of hexagon rows of this block.
+    #[inline]
+    pub fn row_count(&self) -> usize {
+        self.s1_widths.len()
+    }
+
+    /// Sub-tiles walked by one block of this class.
+    pub fn subtiles_per_block(&self) -> u64 {
+        let n2: u64 = self.axis2.iter().map(|c| c.count).sum();
+        let n3: u64 = self.axis3.iter().map(|c| c.count).sum();
+        n2 * n3
+    }
+
+    /// Count-weighted width sum of an axis at row `r`:
+    /// `Σ_classes count · widths[r]`.
+    #[inline]
+    pub fn axis_sum(axis: &[AxisClass], r: usize) -> u64 {
+        axis.iter().map(|c| c.count * c.widths[r]).sum()
+    }
+
+    /// Iterations executed by one block of this class.
+    pub fn iterations_per_block(&self) -> u64 {
+        (0..self.row_count())
+            .map(|r| {
+                self.s1_widths[r] * Self::axis_sum(&self.axis2, r) * Self::axis_sum(&self.axis3, r)
+            })
+            .sum()
+    }
+
+    /// Words loaded from global memory by one block (all sub-tiles).
+    pub fn load_words_per_block(&self) -> u64 {
+        (0..self.row_count())
+            .map(|r| {
+                self.mi_rows[r] * Self::axis_sum(&self.axis2, r) * Self::axis_sum(&self.axis3, r)
+            })
+            .sum()
+    }
+
+    /// Words stored to global memory by one block (all sub-tiles).
+    pub fn store_words_per_block(&self) -> u64 {
+        (0..self.row_count())
+            .map(|r| {
+                self.mo_rows[r] * Self::axis_sum(&self.axis2, r) * Self::axis_sum(&self.axis3, r)
+            })
+            .sum()
+    }
+
+    /// Total global-memory words moved by one block (loads + stores).
+    pub fn words_per_block(&self) -> u64 {
+        self.load_words_per_block() + self.store_words_per_block()
+    }
+
+    /// The interior (most frequent, widest) class of an axis — the
+    /// steady-state sub-tile width profile.
+    pub fn interior_axis(axis: &[AxisClass]) -> Option<&AxisClass> {
+        axis.iter()
+            .max_by_key(|c| (c.count, c.widths.iter().sum::<u64>()))
+    }
+
+    /// Loads of one steady-state interior sub-tile — the exact
+    /// counterpart of the paper's `m_i` (Eqns 7/13/24).
+    pub fn interior_subtile_load_words(&self) -> u64 {
+        let w2 = Self::interior_axis(&self.axis2);
+        let w3 = Self::interior_axis(&self.axis3);
+        (0..self.row_count())
+            .map(|r| {
+                self.mi_rows[r] * w2.map_or(1, |c| c.widths[r]) * w3.map_or(1, |c| c.widths[r])
+            })
+            .sum()
+    }
+
+    /// Stores of one steady-state interior sub-tile (`m_o`).
+    pub fn interior_subtile_store_words(&self) -> u64 {
+        let w2 = Self::interior_axis(&self.axis2);
+        let w3 = Self::interior_axis(&self.axis3);
+        (0..self.row_count())
+            .map(|r| {
+                self.mo_rows[r] * w2.map_or(1, |c| c.widths[r]) * w3.map_or(1, |c| c.widths[r])
+            })
+            .sum()
+    }
+
+    /// A unit axis (one sub-tile of width 1 at every row) for unused
+    /// dimensions.
+    pub fn unit_axis(rows: usize) -> Vec<AxisClass> {
+        vec![AxisClass {
+            count: 1,
+            widths: vec![1; rows],
+        }]
+    }
+}
+
+/// One wavefront = one kernel launch.
+#[derive(Debug, Clone)]
+pub struct WavefrontPlan {
+    /// Block classes with multiplicities; shared between identical
+    /// wavefronts (all interior wavefronts of a phase are identical).
+    pub classes: Arc<Vec<BlockClass>>,
+}
+
+impl WavefrontPlan {
+    /// Number of thread blocks launched — the paper's wavefront width
+    /// `w(i)`.
+    pub fn block_count(&self) -> u64 {
+        self.classes.iter().map(|c| c.count).sum()
+    }
+
+    /// Iterations executed by the whole wavefront.
+    pub fn iterations(&self) -> u64 {
+        self.classes
+            .iter()
+            .map(|c| c.count * c.iterations_per_block())
+            .sum()
+    }
+}
+
+/// A complete lowered schedule for one (stencil, size, tile, launch)
+/// configuration.
+#[derive(Debug, Clone)]
+pub struct TilingPlan {
+    /// The stencil being executed.
+    pub spec: StencilSpec,
+    /// Problem extents.
+    pub size: ProblemSize,
+    /// Tile-size parameters.
+    pub tiles: TileSizes,
+    /// Threads-per-block configuration.
+    pub launch: LaunchConfig,
+    /// The outer-dimension hexagonal tiling.
+    pub hex: HexTiling,
+    /// One entry per kernel launch, in execution order.
+    pub wavefronts: Vec<WavefrontPlan>,
+    /// Shared-memory words a block's tile buffer occupies (the paper's
+    /// `M_tile`, in 4-byte words): double buffer of the widest row plus
+    /// halo, times the skewed inner extents.
+    pub mtile_words: u64,
+    /// Estimated registers per thread (stand-in for nvcc's allocation).
+    pub regs_per_thread: u32,
+}
+
+impl TilingPlan {
+    /// Lower a configuration to an executable plan.
+    ///
+    /// Fails (with a human-readable message) if the tile sizes or launch
+    /// configuration are malformed for the stencil's dimensionality.
+    pub fn build(
+        spec: &StencilSpec,
+        size: &ProblemSize,
+        tiles: TileSizes,
+        launch: LaunchConfig,
+    ) -> Result<TilingPlan, String> {
+        tiles.validate(spec.dim)?;
+        launch.validate(spec.dim)?;
+        if size.dim != spec.dim {
+            return Err(format!(
+                "problem is {}D but stencil is {}D",
+                size.dim.rank(),
+                spec.dim.rank()
+            ));
+        }
+        if size.time == 0 {
+            return Err("problem must have at least one time step".into());
+        }
+        if spec.order() > 1 {
+            return Err(format!(
+                "plans and the analytical model cover first-order stencils (got order {}); \
+                 the tiled executors support higher orders via scaled hexagon slopes",
+                spec.order()
+            ));
+        }
+        let rank = spec.dim.rank();
+        let hex = HexTiling::new(tiles.t_s[0], tiles.t_t);
+        let offsets: Vec<[i64; 3]> = spec.neighbors.iter().map(|n| n.offset).collect();
+
+        let builder = PlanBuilder {
+            hex,
+            offsets,
+            s1: size.space[0],
+            time: size.time,
+            axis2: (rank >= 2).then(|| SkewedAxis::new(tiles.t_s[1], size.space[1])),
+            axis3: (rank >= 3).then(|| SkewedAxis::new(tiles.t_s[2], size.space[2])),
+        };
+
+        let nw = hex.wavefront_count(size.time);
+        let mut cache: HashMap<(usize, usize, Phase), Arc<Vec<BlockClass>>> = HashMap::new();
+        let mut wavefronts = Vec::with_capacity(nw);
+        for w in 0..nw {
+            let (phase, q) = hex.wavefront_phase(w);
+            let rows = hex.time_rows(phase, q, size.time);
+            let key = (rows.start, rows.end, phase);
+            let classes = cache
+                .entry(key)
+                .or_insert_with(|| Arc::new(builder.wavefront_classes(w)))
+                .clone();
+            wavefronts.push(WavefrontPlan { classes });
+        }
+
+        // Shared-memory footprint: a double buffer of (widest row + halo)
+        // scaled by the skewed inner extents (paper Eqn 19 and its 3D
+        // analogue).
+        let mut mtile = 2 * (hex.max_row_width() as u64 + 2);
+        for d in 1..rank {
+            mtile *= (tiles.t_s[d] + tiles.t_t + 1) as u64;
+        }
+
+        Ok(TilingPlan {
+            spec: spec.clone(),
+            size: *size,
+            tiles,
+            launch,
+            hex,
+            wavefronts,
+            mtile_words: mtile,
+            regs_per_thread: regs::regs_per_thread(spec),
+        })
+    }
+
+    /// Number of kernel launches (`N_w`).
+    #[inline]
+    pub fn kernel_count(&self) -> usize {
+        self.wavefronts.len()
+    }
+
+    /// Total iterations over the whole plan; always equals
+    /// `T · S1 · S2 · S3`.
+    pub fn total_iterations(&self) -> u64 {
+        self.wavefronts.iter().map(|w| w.iterations()).sum()
+    }
+
+    /// Total global-memory words moved (loads + stores) over the plan.
+    pub fn total_words(&self) -> u64 {
+        self.wavefronts
+            .iter()
+            .map(|w| {
+                w.classes
+                    .iter()
+                    .map(|c| c.count * c.words_per_block())
+                    .sum::<u64>()
+            })
+            .sum()
+    }
+
+    /// The widest wavefront's block count — the grid size the paper's
+    /// `⌈w/k⌉/n_SM` term reasons about.
+    pub fn max_blocks_per_wavefront(&self) -> u64 {
+        self.wavefronts
+            .iter()
+            .map(|w| w.block_count())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Registers consumed by one thread block.
+    pub fn regs_per_block(&self) -> u64 {
+        self.regs_per_thread as u64 * self.launch.total_threads() as u64
+    }
+}
+
+/// Internal geometry → classes lowering.
+struct PlanBuilder {
+    hex: HexTiling,
+    offsets: Vec<[i64; 3]>,
+    s1: usize,
+    time: usize,
+    axis2: Option<SkewedAxis>,
+    axis3: Option<SkewedAxis>,
+}
+
+impl PlanBuilder {
+    /// Build the block classes of wavefront `w`: one class per distinct
+    /// boundary tile plus one class covering all interior tiles.
+    fn wavefront_classes(&self, w: usize) -> Vec<BlockClass> {
+        let hex = &self.hex;
+        let (phase, q) = hex.wavefront_phase(w);
+        let jr = hex.wavefront_tiles(w, self.s1, self.time);
+        if jr.is_empty() {
+            return Vec::new();
+        }
+        let (j_min, j_max) = (*jr.start(), *jr.end());
+        let rows = hex.time_rows(phase, q, self.time);
+        let reach = rows
+            .clone()
+            .map(|r| hex.row_halfwidth(r))
+            .max()
+            .unwrap_or(0);
+        let p = hex.pitch();
+        let base = match phase {
+            Phase::A => 0i64,
+            Phase::B => hex.t_s as i64 + hex.slope as i64 * hex.h(),
+        };
+        // Interior in s1: unclipped horizontal span within [0, S1).
+        let int_lo = {
+            // smallest j with j·p + base − reach ≥ 0 (ceil division)
+            let x = reach - base;
+            x.div_euclid(p) + i64::from(x.rem_euclid(p) != 0)
+        };
+        let int_hi = (self.s1 as i64 - 1 - base - hex.t_s as i64 - reach).div_euclid(p);
+
+        let mut classes = Vec::new();
+        let mut push_tile = |j: i64, count: u64| {
+            let id = TileId { q, phase, j };
+            if let Some(class) = self.block_class(id, count) {
+                classes.push(class);
+            }
+        };
+        if int_lo > int_hi {
+            // No interior tiles: enumerate everything.
+            for j in j_min..=j_max {
+                push_tile(j, 1);
+            }
+        } else {
+            for j in j_min..int_lo {
+                push_tile(j, 1);
+            }
+            push_tile(int_lo, (int_hi - int_lo + 1) as u64);
+            for j in (int_hi + 1)..=j_max {
+                push_tile(j, 1);
+            }
+        }
+        classes
+    }
+
+    /// Build one block class from a representative tile.
+    fn block_class(&self, id: TileId, count: u64) -> Option<BlockClass> {
+        let (t_lo, s1_widths, mi_rows, mo_rows) = self.hex_profile(id)?;
+        let nrows = s1_widths.len();
+        let axis2 = match self.axis2 {
+            Some(ax) => self.axis_classes(&ax, t_lo, nrows),
+            None => BlockClass::unit_axis(nrows),
+        };
+        let axis3 = match self.axis3 {
+            Some(ax) => self.axis_classes(&ax, t_lo, nrows),
+            None => BlockClass::unit_axis(nrows),
+        };
+        Some(BlockClass {
+            count,
+            s1_widths,
+            mi_rows,
+            mo_rows,
+            axis2,
+            axis3,
+        })
+    }
+
+    /// Run-length–grouped sub-tile classes along one skewed inner axis.
+    fn axis_classes(&self, ax: &SkewedAxis, t_lo: i64, nrows: usize) -> Vec<AxisClass> {
+        let t_hi = t_lo + nrows as i64 - 1;
+        let mut out: Vec<AxisClass> = Vec::new();
+        for l in ax.subtile_range(t_lo, t_hi) {
+            let widths: Vec<u64> = (0..nrows)
+                .map(|r| ax.width_at(l, t_lo + r as i64) as u64)
+                .collect();
+            if widths.iter().all(|&w| w == 0) {
+                continue;
+            }
+            match out.last_mut() {
+                Some(c) if c.widths == widths => c.count += 1,
+                _ => out.push(AxisClass { count: 1, widths }),
+            }
+        }
+        out
+    }
+
+    /// Exact per-row profile of a clipped hexagonal tile on the `(t, s1)`
+    /// plane: `(t_lo, row widths, input-footprint rows, output rows)`.
+    #[allow(clippy::type_complexity)]
+    fn hex_profile(&self, id: TileId) -> Option<(i64, Vec<u64>, Vec<u64>, Vec<u64>)> {
+        let hex = &self.hex;
+        let rows: Vec<_> = hex.tile_rows(id, self.s1, self.time).collect();
+        if rows.is_empty() {
+            return None;
+        }
+        let t_lo = rows[0].t;
+        let nrows = rows.len();
+        let widths: Vec<u64> = rows.iter().map(|r| r.width() as u64).collect();
+
+        // Input footprint: distinct producers (t−1, s1+a) outside the
+        // tile with s1+a inside the space domain, attributed to the
+        // earliest consuming row.
+        let mut mi = vec![0u64; nrows];
+        let mut seen = std::collections::HashSet::new();
+        for (r, row) in rows.iter().enumerate() {
+            for s in row.lo..=row.hi {
+                for off in &self.offsets {
+                    let (pt, ps) = (row.t - 1, s + off[0]);
+                    if ps < 0 || ps >= self.s1 as i64 {
+                        continue; // boundary constant, not a load
+                    }
+                    if hex.tile_containing(pt, ps) != id && seen.insert((pt, ps)) {
+                        mi[r] += 1;
+                    }
+                }
+            }
+        }
+
+        // Output footprint: points consumed by other tiles, or points of
+        // the final time row (always written back as the result).
+        let mut mo = vec![0u64; nrows];
+        for (r, row) in rows.iter().enumerate() {
+            's: for s in row.lo..=row.hi {
+                if row.t + 1 == self.time as i64 {
+                    mo[r] += 1;
+                    continue 's;
+                }
+                for off in &self.offsets {
+                    let (ct, cs) = (row.t + 1, s - off[0]);
+                    if cs < 0 || cs >= self.s1 as i64 {
+                        continue;
+                    }
+                    if hex.tile_containing(ct, cs) != id {
+                        mo[r] += 1;
+                        continue 's;
+                    }
+                }
+            }
+        }
+
+        Some((t_lo, widths, mi, mo))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil_core::StencilKind;
+
+    fn plan_2d(s: usize, t: usize, tiles: TileSizes) -> TilingPlan {
+        let spec = StencilKind::Jacobi2D.spec();
+        let size = ProblemSize::new_2d(s, s, t);
+        TilingPlan::build(&spec, &size, tiles, LaunchConfig::new_2d(1, 32)).unwrap()
+    }
+
+    #[test]
+    fn total_iterations_equals_domain_1d() {
+        let spec = StencilKind::Jacobi1D.spec();
+        for (s, t, ts, tt) in [(37, 11, 4, 4), (64, 16, 8, 6), (20, 3, 3, 2), (5, 9, 2, 8)] {
+            let size = ProblemSize::new_1d(s, t);
+            let plan = TilingPlan::build(
+                &spec,
+                &size,
+                TileSizes::new_1d(tt, ts),
+                LaunchConfig::new_1d(32),
+            )
+            .unwrap();
+            assert_eq!(
+                plan.total_iterations(),
+                size.iter_points(),
+                "S={s} T={t} tS={ts} tT={tt}"
+            );
+        }
+    }
+
+    #[test]
+    fn total_iterations_equals_domain_2d() {
+        for (s, t, tiles) in [
+            (48usize, 12usize, TileSizes::new_2d(4, 6, 8)),
+            (33, 7, TileSizes::new_2d(6, 5, 7)),
+            (16, 20, TileSizes::new_2d(8, 3, 32)),
+        ] {
+            let plan = plan_2d(s, t, tiles);
+            assert_eq!(plan.total_iterations(), (s * s * t) as u64, "{tiles:?}");
+        }
+    }
+
+    #[test]
+    fn total_iterations_equals_domain_3d() {
+        let spec = StencilKind::Heat3D.spec();
+        for (s, t, tiles) in [
+            (12usize, 6usize, TileSizes::new_3d(4, 3, 4, 5)),
+            (9, 10, TileSizes::new_3d(6, 2, 3, 3)),
+        ] {
+            let size = ProblemSize::new_3d(s, s, s, t);
+            let plan =
+                TilingPlan::build(&spec, &size, tiles, LaunchConfig::new_3d(1, 4, 8)).unwrap();
+            assert_eq!(plan.total_iterations(), size.iter_points(), "{tiles:?}");
+        }
+    }
+
+    #[test]
+    fn kernel_count_matches_hex_wavefronts() {
+        let plan = plan_2d(32, 17, TileSizes::new_2d(6, 4, 8));
+        assert_eq!(plan.kernel_count(), plan.hex.wavefront_count(17));
+    }
+
+    #[test]
+    fn interior_wavefronts_share_classes() {
+        let plan = plan_2d(64, 40, TileSizes::new_2d(4, 8, 8));
+        // Two interior phase-A wavefronts share the same Arc.
+        let a1 = &plan.wavefronts[2];
+        let a2 = &plan.wavefronts[4];
+        assert!(Arc::ptr_eq(&a1.classes, &a2.classes));
+    }
+
+    #[test]
+    fn block_count_close_to_paper_eqn5() {
+        let plan = plan_2d(512, 32, TileSizes::new_2d(8, 16, 32));
+        let paper = (512f64 / (2.0 * 16.0 + 8.0)).ceil() as i64;
+        for w in &plan.wavefronts {
+            let got = w.block_count() as i64;
+            assert!((got - paper).abs() <= 1, "got {got}, paper {paper}");
+        }
+    }
+
+    #[test]
+    fn steady_state_footprints_match_paper_eqn13() {
+        // Interior block of an interior wavefront of a 2D plan: loads per
+        // interior sub-tile ≈ t_S2 (t_S1 + 2 t_T).
+        let tiles = TileSizes::new_2d(8, 16, 32);
+        let plan = plan_2d(512, 64, tiles);
+        let wf = &plan.wavefronts[4]; // interior wavefront
+        let block = wf
+            .classes
+            .iter()
+            .max_by_key(|c| c.count)
+            .expect("has classes");
+        let paper = (tiles.t_s[1] * (tiles.t_s[0] + 2 * tiles.t_t)) as f64;
+        let got = block.interior_subtile_load_words() as f64;
+        let rel = (got - paper).abs() / paper;
+        assert!(rel < 0.10, "mi per subtile {got} vs paper {paper}");
+        let got_o = block.interior_subtile_store_words() as f64;
+        let rel_o = (got_o - paper).abs() / paper;
+        assert!(rel_o < 0.10, "mo per subtile {got_o} vs paper {paper}");
+    }
+
+    #[test]
+    fn subtile_count_matches_paper_eqn16() {
+        let tiles = TileSizes::new_2d(8, 16, 32);
+        let plan = plan_2d(512, 64, tiles);
+        let wf = &plan.wavefronts[4];
+        let block = wf.classes.iter().max_by_key(|c| c.count).unwrap();
+        let paper = (512 + tiles.t_t).div_ceil(tiles.t_s[1]) as u64;
+        let got = block.subtiles_per_block();
+        assert!(
+            (got as i64 - paper as i64).abs() <= 1,
+            "got {got}, paper {paper}"
+        );
+    }
+
+    #[test]
+    fn axis_classes_stay_small_for_3d() {
+        // The separable representation must not blow up: a 3D plan with
+        // tiny inner tiles keeps per-axis classes, not their product.
+        let spec = StencilKind::Heat3D.spec();
+        let size = ProblemSize::new_3d(96, 96, 96, 32);
+        let tiles = TileSizes::new_3d(16, 4, 2, 2);
+        let plan = TilingPlan::build(&spec, &size, tiles, LaunchConfig::new_3d(1, 2, 2)).unwrap();
+        for wf in &plan.wavefronts {
+            for c in wf.classes.iter() {
+                assert!(
+                    c.axis2.len() <= 2 * 16 + 3,
+                    "axis2 classes: {}",
+                    c.axis2.len()
+                );
+                assert!(
+                    c.axis3.len() <= 2 * 16 + 3,
+                    "axis3 classes: {}",
+                    c.axis3.len()
+                );
+                // …while the sub-tile count they describe is large.
+                assert!(c.subtiles_per_block() > 100);
+            }
+        }
+        assert_eq!(plan.total_iterations(), size.iter_points());
+    }
+
+    #[test]
+    fn mtile_matches_paper_eqn19() {
+        let tiles = TileSizes::new_2d(8, 16, 32);
+        let plan = plan_2d(512, 64, tiles);
+        let paper = 2 * (16 + 8 + 1) * (32 + 8 + 1);
+        let got = plan.mtile_words;
+        let rel = (got as f64 - paper as f64).abs() / paper as f64;
+        assert!(rel < 0.05, "Mtile {got} vs paper {paper}");
+    }
+
+    #[test]
+    fn rejects_mismatched_dimensions() {
+        let spec = StencilKind::Jacobi2D.spec();
+        let size = ProblemSize::new_1d(64, 8);
+        assert!(TilingPlan::build(
+            &spec,
+            &size,
+            TileSizes::new_1d(4, 8),
+            LaunchConfig::new_1d(32)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_zero_time() {
+        let spec = StencilKind::Jacobi1D.spec();
+        let size = ProblemSize::new_1d(64, 0);
+        assert!(TilingPlan::build(
+            &spec,
+            &size,
+            TileSizes::new_1d(4, 8),
+            LaunchConfig::new_1d(32)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn tiny_domain_smaller_than_tile_works() {
+        let plan = plan_2d(4, 2, TileSizes::new_2d(8, 16, 32));
+        assert_eq!(plan.total_iterations(), 4 * 4 * 2);
+    }
+
+    #[test]
+    fn total_words_are_positive_and_scale_with_time() {
+        let p1 = plan_2d(64, 8, TileSizes::new_2d(4, 8, 16));
+        let p2 = plan_2d(64, 16, TileSizes::new_2d(4, 8, 16));
+        assert!(p1.total_words() > 0);
+        assert!(p2.total_words() > p1.total_words());
+    }
+}

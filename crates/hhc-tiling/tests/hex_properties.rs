@@ -1,0 +1,177 @@
+//! Property tests over the hexagonal tiling geometry with randomized
+//! parameters — the wide-net version of the unit tests in `hex.rs`.
+
+use hhc_tiling::hex::{HexTiling, Phase, TileId};
+use proptest::prelude::*;
+
+fn tiling() -> impl Strategy<Value = HexTiling> {
+    (1usize..24, 1usize..12).prop_map(|(t_s, h)| HexTiling::new(t_s, 2 * h))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every point of the plane belongs to a tile that contains it.
+    #[test]
+    fn containment_is_consistent(hx in tiling(), t in -64i64..64, s in -256i64..256) {
+        let id = hx.tile_containing(t, s);
+        let found = hx
+            .tile_rows_unclipped(id)
+            .any(|row| row.t == t && row.lo <= s && s <= row.hi);
+        prop_assert!(found, "({t},{s}) not in claimed tile {id:?}");
+    }
+
+    /// Membership round-trips: every point of a tile maps back to it.
+    #[test]
+    fn membership_round_trips(
+        hx in tiling(),
+        q in -3i64..4,
+        j in -3i64..4,
+        phase_b in any::<bool>(),
+    ) {
+        let id = TileId { q, phase: if phase_b { Phase::B } else { Phase::A }, j };
+        for row in hx.tile_rows_unclipped(id) {
+            // Sample the edges and middle (full scan is O(width)).
+            for s in [row.lo, (row.lo + row.hi) / 2, row.hi] {
+                prop_assert_eq!(hx.tile_containing(row.t, s), id);
+            }
+        }
+    }
+
+    /// All stencil dependences cross to strictly earlier wavefronts (or
+    /// stay inside the tile).
+    #[test]
+    fn dependences_never_go_forward(
+        hx in tiling(),
+        t in -40i64..40,
+        s in -160i64..160,
+        a in -1i64..=1,
+    ) {
+        let id = hx.tile_containing(t, s);
+        let pid = hx.tile_containing(t - 1, s + a);
+        prop_assert!(pid == id || pid.wavefront() < id.wavefront());
+    }
+
+    /// Wavefront tile ranges exactly bound the nonempty tiles.
+    #[test]
+    fn wavefront_ranges_are_tight(
+        hx in tiling(),
+        space in 1usize..200,
+        time in 1usize..40,
+    ) {
+        for w in 0..hx.wavefront_count(time) {
+            let (phase, q) = hx.wavefront_phase(w);
+            let range = hx.wavefront_tiles(w, space, time);
+            if range.is_empty() {
+                continue;
+            }
+            for j in [*range.start(), *range.end()] {
+                prop_assert!(
+                    hx.clipped_points(TileId { q, phase, j }, space, time) > 0,
+                    "w={w} j={j} empty inside range"
+                );
+            }
+            for j in [range.start() - 1, range.end() + 1] {
+                prop_assert_eq!(
+                    hx.clipped_points(TileId { q, phase, j }, space, time),
+                    0,
+                    "w={} j={} nonempty outside range", w, j
+                );
+            }
+        }
+    }
+
+    /// Total points across all wavefront tiles equals the domain size.
+    #[test]
+    fn clipped_tiles_partition_the_domain(
+        hx in tiling(),
+        space in 1usize..120,
+        time in 1usize..24,
+    ) {
+        let mut total = 0usize;
+        for w in 0..hx.wavefront_count(time) {
+            let (phase, q) = hx.wavefront_phase(w);
+            for j in hx.wavefront_tiles(w, space, time) {
+                total += hx.clipped_points(TileId { q, phase, j }, space, time);
+            }
+        }
+        prop_assert_eq!(total, space * time);
+    }
+
+    /// The paper's approximations stay within their stated slack.
+    #[test]
+    fn paper_formulas_within_slack(hx in tiling(), time in 1usize..64) {
+        // Eqn 3: N_w = 2⌈T/t_T⌉ + ε, ε ∈ {0, 1}.
+        let exact = hx.wavefront_count(time);
+        let paper = 2 * time.div_ceil(hx.t_t);
+        prop_assert!(exact == paper || exact == paper + 1);
+        // Eqn 4's w_tile vs the exact widest row: off by exactly one.
+        prop_assert_eq!(hx.max_row_width(), hx.t_s + hx.t_t - 1);
+    }
+}
+
+mod higher_order {
+    use super::*;
+
+    fn sloped() -> impl Strategy<Value = HexTiling> {
+        (1usize..16, 1usize..8, 1usize..5)
+            .prop_map(|(t_s, h, r)| HexTiling::with_slope(t_s, 2 * h, r))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The partition holds for every slope (paper §7: "the slopes of
+        /// the hexagons change by constant factors").
+        #[test]
+        fn sloped_containment(hx in sloped(), t in -40i64..40, s in -160i64..160) {
+            let id = hx.tile_containing(t, s);
+            let found = hx
+                .tile_rows_unclipped(id)
+                .any(|row| row.t == t && row.lo <= s && s <= row.hi);
+            prop_assert!(found, "({t},{s}) not in {id:?} of {hx:?}");
+        }
+
+        /// Order-`slope` dependences still point to earlier wavefronts.
+        #[test]
+        fn sloped_dependences(hx in sloped(), t in -24i64..24, s in -96i64..96) {
+            for a in -(hx.slope as i64)..=(hx.slope as i64) {
+                let id = hx.tile_containing(t, s);
+                let pid = hx.tile_containing(t - 1, s + a);
+                prop_assert!(
+                    pid == id || pid.wavefront() < id.wavefront(),
+                    "a={a}: {pid:?} -> {id:?} in {hx:?}"
+                );
+            }
+        }
+
+        /// Complementary widths still sum to the pitch at every level.
+        #[test]
+        fn sloped_widths_sum_to_pitch(hx in sloped(), t in 0i64..32) {
+            let tt = hx.t_t as i64;
+            let ra = (t + hx.h()).rem_euclid(tt) as usize;
+            let rb = t.rem_euclid(tt) as usize;
+            prop_assert_eq!(
+                hx.row_width(ra) + hx.row_width(rb),
+                hx.pitch() as usize
+            );
+        }
+
+        /// Clipped sloped tiles still partition a finite domain exactly.
+        #[test]
+        fn sloped_tiles_partition_domain(
+            hx in sloped(),
+            space in 1usize..90,
+            time in 1usize..16,
+        ) {
+            let mut total = 0usize;
+            for w in 0..hx.wavefront_count(time) {
+                let (phase, q) = hx.wavefront_phase(w);
+                for j in hx.wavefront_tiles(w, space, time) {
+                    total += hx.clipped_points(TileId { q, phase, j }, space, time);
+                }
+            }
+            prop_assert_eq!(total, space * time);
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! The feasible tile-size space of the paper's Eqn 31.
+//!
+//! ```text
+//! minimize  T_alg(t_S1, t_S2, t_T)
+//! subject to  M_tile ≤ M_SM / threadblock      (48 KB per-block cap)
+//!             k ≤ MTB_SM
+//!             k · M_tile ≤ M_SM
+//!             t_S1 integer, t_S2 multiple of 32, t_T even
+//! ```
+//!
+//! For 3D stencils the warp-alignment constraint moves to the innermost
+//! dimension `t_S3`; `t_S2` becomes a small free integer like `t_S1`.
+
+use gpu_sim::DeviceConfig;
+use hhc_tiling::TileSizes;
+use serde::{Deserialize, Serialize};
+use stencil_core::StencilDim;
+use time_model::{hex1d, hybrid2d, hybrid3d};
+
+/// Bounds of the enumerated feasible space. The defaults cover the same
+/// ranges the paper's experiments explore; enlarging them only grows the
+/// (cheap) model sweep.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpaceConfig {
+    /// Candidate even time-tile extents `t_T`.
+    pub t_t: Vec<usize>,
+    /// Candidate hexagon bases `t_S1`.
+    pub t_s1: Vec<usize>,
+    /// Candidate free inner extents (non-innermost, 3D only).
+    pub t_s_mid: Vec<usize>,
+    /// Candidate warp-aligned innermost extents (multiples of 32).
+    pub t_s_inner: Vec<usize>,
+}
+
+impl Default for SpaceConfig {
+    fn default() -> Self {
+        SpaceConfig {
+            t_t: vec![2, 4, 6, 8, 10, 12, 16, 20, 24, 32, 40, 48, 64],
+            t_s1: vec![1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128],
+            t_s_mid: vec![2, 4, 6, 8, 12, 16, 24, 32],
+            t_s_inner: vec![32, 64, 96, 128, 160, 192, 224, 256, 320, 384, 448, 512],
+        }
+    }
+}
+
+/// The model-level `M_tile` for a tile-size candidate.
+pub fn mtile_words(dim: StencilDim, tiles: &TileSizes) -> u64 {
+    match dim {
+        StencilDim::D1 => hex1d::mtile_words(tiles),
+        StencilDim::D2 => hybrid2d::mtile_words(tiles),
+        StencilDim::D3 => hybrid3d::mtile_words(tiles),
+    }
+}
+
+/// Whether a candidate satisfies Eqn 31's constraints on `device`.
+pub fn is_feasible(device: &DeviceConfig, dim: StencilDim, tiles: &TileSizes) -> bool {
+    if tiles.validate(dim).is_err() {
+        return false;
+    }
+    let mtile = mtile_words(dim, tiles);
+    // M_tile ≤ M_SM/threadblock (the 48 KB per-block cap); the k·M_tile
+    // ≤ M_SM and k ≤ MTB_SM constraints are then satisfied by the
+    // definition of k (Eqn 11).
+    mtile <= device.shared_per_block_words
+}
+
+/// Enumerate the feasible tile-size space for a stencil dimensionality.
+pub fn feasible_tiles(device: &DeviceConfig, dim: StencilDim, cfg: &SpaceConfig) -> Vec<TileSizes> {
+    let mut out = Vec::new();
+    match dim {
+        StencilDim::D1 => {
+            for &t_t in &cfg.t_t {
+                for &s1 in &cfg.t_s1 {
+                    let t = TileSizes::new_1d(t_t, s1);
+                    if is_feasible(device, dim, &t) {
+                        out.push(t);
+                    }
+                }
+            }
+        }
+        StencilDim::D2 => {
+            for &t_t in &cfg.t_t {
+                for &s1 in &cfg.t_s1 {
+                    for &s2 in &cfg.t_s_inner {
+                        let t = TileSizes::new_2d(t_t, s1, s2);
+                        if is_feasible(device, dim, &t) {
+                            out.push(t);
+                        }
+                    }
+                }
+            }
+        }
+        StencilDim::D3 => {
+            for &t_t in &cfg.t_t {
+                for &s1 in &cfg.t_s1 {
+                    for &s2 in &cfg.t_s_mid {
+                        for &s3 in &cfg.t_s_inner {
+                            let t = TileSizes::new_3d(t_t, s1, s2, s3);
+                            if is_feasible(device, dim, &t) {
+                                out.push(t);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feasible_space_is_nonempty_and_respects_cap() {
+        let d = DeviceConfig::gtx980();
+        let cfg = SpaceConfig::default();
+        for dim in [StencilDim::D1, StencilDim::D2, StencilDim::D3] {
+            let tiles = feasible_tiles(&d, dim, &cfg);
+            assert!(tiles.len() > 50, "{dim:?}: {}", tiles.len());
+            for t in &tiles {
+                assert!(mtile_words(dim, t) <= d.shared_per_block_words, "{t:?}");
+                assert_eq!(t.t_t % 2, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_tiles_are_infeasible() {
+        let d = DeviceConfig::gtx980();
+        // 2(65+57)(513+57)-ish ≫ 12288 words.
+        let t = TileSizes::new_2d(56, 64, 512);
+        assert!(!is_feasible(&d, StencilDim::D2, &t));
+    }
+
+    #[test]
+    fn inner_dimension_is_warp_aligned() {
+        let d = DeviceConfig::gtx980();
+        let cfg = SpaceConfig::default();
+        for t in feasible_tiles(&d, StencilDim::D2, &cfg) {
+            assert_eq!(t.t_s[1] % 32, 0, "{t:?}");
+        }
+        for t in feasible_tiles(&d, StencilDim::D3, &cfg) {
+            assert_eq!(t.t_s[2] % 32, 0, "{t:?}");
+        }
+    }
+
+    #[test]
+    fn odd_tt_rejected_by_feasibility() {
+        let d = DeviceConfig::gtx980();
+        let t = TileSizes {
+            t_t: 3,
+            t_s: [8, 32, 1],
+        };
+        assert!(!is_feasible(&d, StencilDim::D2, &t));
+    }
+
+    #[test]
+    fn space_size_is_in_the_paper_ballpark() {
+        // The paper says the feasible space is ≥ 200× the 850-point
+        // baseline per experiment when thread counts are included; the
+        // tile-size grid alone lands in the low thousands.
+        let d = DeviceConfig::gtx980();
+        let n = feasible_tiles(&d, StencilDim::D2, &SpaceConfig::default()).len();
+        assert!((200..20_000).contains(&n), "n = {n}");
+    }
+}

@@ -1,0 +1,541 @@
+//! Tile-size selection strategies — the comparison of the paper's
+//! Figure 6 and the candidate-set machinery of Figure 5.
+//!
+//! * **HhcDefault** — the compiler's stock tile/thread configuration
+//!   (no tuning at all);
+//! * **Baseline** — the paper's Section 5.1 methodology: 85 tile-size
+//!   combinations that maximize the shared-memory footprint subject to
+//!   capacity (plus hyperthreading variants), each with 10 thread
+//!   counts → 850 measured data points, best taken;
+//! * **TalgMin** — the raw predicted optimum of the model sweep;
+//! * **Within10** — measure every point whose prediction is within 10 %
+//!   of `T_alg min` (the paper's < 200 points) and take the best;
+//! * **Exhaustive** — measure the entire feasible space (the paper calls
+//!   this impractical on hardware; the simulator can afford it).
+//!
+//! Thread counts are the model's blind spot (paper Section 7); following
+//! the paper, the model-driven strategies reuse the *empirically
+//! predicted* thread count — the one the best baseline point used.
+
+use crate::space::{feasible_tiles, SpaceConfig};
+use crate::sweep::{model_sweep, talg_min, within_fraction};
+use gpu_sim::{simulate, DeviceConfig, SimReport, Workload};
+use hhc_tiling::{LaunchConfig, TileSizes, TilingPlan};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use stencil_core::{reference, ProblemSize, StencilDim, StencilSpec};
+use time_model::{predict, ModelParams};
+
+/// One configuration the HHC compiler would be invoked with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DataPoint {
+    /// Tile sizes.
+    pub tiles: TileSizes,
+    /// Threads per block.
+    pub launch: LaunchConfig,
+}
+
+/// A data point with its model prediction and machine measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Evaluated {
+    /// The configuration.
+    pub point: DataPoint,
+    /// Model-predicted time `T_alg` (s).
+    pub predicted: f64,
+    /// Machine-measured time `T_exec` (s); `None` if the configuration
+    /// cannot launch (e.g. per-block shared-memory overflow).
+    pub measured: Option<f64>,
+    /// Achieved GFLOPS/s for the measured time.
+    pub gflops: Option<f64>,
+}
+
+/// The strategies compared in Figure 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Stock compiler configuration.
+    HhcDefault,
+    /// Best of the 850 footprint-maximizing baseline points.
+    Baseline,
+    /// The raw predicted optimum.
+    TalgMin,
+    /// Best measured point within 10 % of the predicted optimum.
+    Within10,
+    /// Best measured point of the whole feasible space.
+    Exhaustive,
+}
+
+impl Strategy {
+    /// Display name matching the paper's Figure 6 legend.
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::HhcDefault => "HHC",
+            Strategy::Baseline => "Baseline",
+            Strategy::TalgMin => "Talg min",
+            Strategy::Within10 => "Within 10% of Talg min",
+            Strategy::Exhaustive => "Exhaustive",
+        }
+    }
+}
+
+/// The chosen configuration and its performance, for one strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StrategyOutcome {
+    /// Which strategy produced this.
+    pub strategy: Strategy,
+    /// The chosen point with its numbers.
+    pub chosen: Evaluated,
+    /// How many configurations the strategy *measured* to get there
+    /// (the paper's practicality argument: Within10 measures < 200,
+    /// Exhaustive measures everything).
+    pub measured_count: usize,
+}
+
+/// Everything needed to run the selection strategies for one
+/// (device, stencil, problem-size) experiment.
+pub struct StrategyContext<'a> {
+    /// The machine.
+    pub device: &'a DeviceConfig,
+    /// Measured model parameters for this (device, stencil).
+    pub params: &'a ModelParams,
+    /// The stencil.
+    pub spec: &'a StencilSpec,
+    /// The problem size.
+    pub size: &'a ProblemSize,
+    /// Feasible-space bounds.
+    pub space: &'a SpaceConfig,
+}
+
+/// The ten thread-count configurations explored per tile size
+/// (paper Section 5.1: "for each of them, we explore 10 different
+/// values of `n_thr,i`").
+pub fn thread_counts(dim: StencilDim) -> Vec<LaunchConfig> {
+    match dim {
+        StencilDim::D1 => [32, 64, 96, 128, 160, 192, 256, 384, 512, 1024]
+            .into_iter()
+            .map(LaunchConfig::new_1d)
+            .collect(),
+        StencilDim::D2 => [32, 64, 96, 128, 160, 192, 256, 384, 512, 1024]
+            .into_iter()
+            .map(|n| LaunchConfig::new_2d(1, n))
+            .collect(),
+        StencilDim::D3 => vec![
+            LaunchConfig::new_3d(1, 1, 32),
+            LaunchConfig::new_3d(1, 2, 32),
+            LaunchConfig::new_3d(1, 4, 32),
+            LaunchConfig::new_3d(1, 2, 64),
+            LaunchConfig::new_3d(1, 4, 64),
+            LaunchConfig::new_3d(1, 8, 32),
+            LaunchConfig::new_3d(1, 2, 96),
+            LaunchConfig::new_3d(1, 8, 64),
+            LaunchConfig::new_3d(1, 16, 32),
+            LaunchConfig::new_3d(1, 8, 128),
+        ],
+    }
+}
+
+/// The stock compiler configuration (PPCG-style 32-point space tiles).
+pub fn hhc_default(dim: StencilDim) -> DataPoint {
+    match dim {
+        StencilDim::D1 => DataPoint {
+            tiles: TileSizes::new_1d(4, 32),
+            launch: LaunchConfig::new_1d(128),
+        },
+        StencilDim::D2 => DataPoint {
+            tiles: TileSizes::new_2d(4, 32, 32),
+            launch: LaunchConfig::new_2d(1, 128),
+        },
+        StencilDim::D3 => DataPoint {
+            tiles: TileSizes::new_3d(4, 4, 4, 32),
+            launch: LaunchConfig::new_3d(1, 4, 32),
+        },
+    }
+}
+
+/// The paper's baseline tile-size set: 85 combinations per experiment
+/// built with the strategies of Section 5.1 — "maximize the memory
+/// footprint of the tile subject to capacity constraints", guided by the
+/// HHT paper's suggestion to favor high compute-to-IO-ratio tiles — plus
+/// points that admit higher hyperthreading factors.
+///
+/// Like the paper's hand-constructed set, candidates come from a *nice*
+/// grid (round extents a practitioner would write down), not from the
+/// fine-grained space the model sweep explores; the paper notes its
+/// best predicted tile "was not explored in our set of baseline tile
+/// sizes". Deterministic: the 45 largest-footprint nice tiles, then the
+/// 10 largest below each of `M_SM/3`, `M_SM/4`, `M_SM/6`, `M_SM/8`.
+pub fn baseline_tiles(
+    device: &DeviceConfig,
+    dim: StencilDim,
+    _cfg: &SpaceConfig,
+) -> Vec<TileSizes> {
+    let nice = SpaceConfig {
+        t_t: vec![4, 8, 12, 16, 24, 32, 48],
+        t_s1: vec![4, 8, 16, 24, 32, 48, 64],
+        t_s_mid: vec![4, 8, 16, 32],
+        t_s_inner: vec![32, 64, 128, 256, 384, 512],
+    };
+    let mut all = feasible_tiles(device, dim, &nice);
+    all.sort_by_key(|t| std::cmp::Reverse((crate::space::mtile_words(dim, t), t.t_t, t.t_s)));
+    let mut out: Vec<TileSizes> = Vec::with_capacity(85);
+    let push_unique = |out: &mut Vec<TileSizes>, t: TileSizes| {
+        if !out.contains(&t) {
+            out.push(t);
+        }
+    };
+    for t in all.iter().take(45) {
+        push_unique(&mut out, *t);
+    }
+    for div in [3u64, 4] {
+        let cap = device.shared_mem_words / div;
+        let mut taken = 0;
+        for t in all
+            .iter()
+            .filter(|t| crate::space::mtile_words(dim, t) <= cap)
+        {
+            push_unique(&mut out, *t);
+            taken += 1;
+            if taken == 20 {
+                break;
+            }
+        }
+    }
+    // Top up to the paper's 85 combinations with the next-largest tiles
+    // (the slab picks overlap the top-footprint picks for some shapes).
+    for t in all.iter() {
+        if out.len() >= 85 {
+            break;
+        }
+        push_unique(&mut out, *t);
+    }
+    out.truncate(85);
+    out
+}
+
+/// The paper's empirical threads-per-block predictor (Section 7): among
+/// high-performing instances the locally best thread count "was easily
+/// predictable — empirically": shape the block to the tile's inner
+/// extents (full warps along the coalesced axis, capped by the block
+/// limit).
+pub fn empirical_launch(dim: StencilDim, tiles: &TileSizes) -> LaunchConfig {
+    match dim {
+        StencilDim::D1 => LaunchConfig::new_1d(128),
+        StencilDim::D2 => LaunchConfig::new_2d(1, tiles.t_s[1].clamp(32, 512)),
+        StencilDim::D3 => {
+            let n3 = tiles.t_s[2].clamp(32, 128);
+            let n2 = tiles.t_s[1].clamp(1, 1024 / n3).min(8);
+            LaunchConfig::new_3d(1, n2, n3)
+        }
+    }
+}
+
+/// The full 850-point baseline set (85 tiles × 10 thread counts).
+pub fn baseline_points(
+    device: &DeviceConfig,
+    dim: StencilDim,
+    cfg: &SpaceConfig,
+) -> Vec<DataPoint> {
+    let tiles = baseline_tiles(device, dim, cfg);
+    let launches = thread_counts(dim);
+    let mut out = Vec::with_capacity(tiles.len() * launches.len());
+    for t in &tiles {
+        for l in &launches {
+            out.push(DataPoint {
+                tiles: *t,
+                launch: *l,
+            });
+        }
+    }
+    out
+}
+
+/// Simulate one configuration; `None` if the plan or launch is invalid.
+pub fn simulate_point(
+    device: &DeviceConfig,
+    spec: &StencilSpec,
+    size: &ProblemSize,
+    point: &DataPoint,
+) -> Option<SimReport> {
+    let plan = TilingPlan::build(spec, size, point.tiles, point.launch).ok()?;
+    simulate(device, &Workload::from_plan(&plan)).ok()
+}
+
+/// Evaluate (model + machine) a set of points in parallel.
+pub fn evaluate_points(ctx: &StrategyContext<'_>, points: &[DataPoint]) -> Vec<Evaluated> {
+    let flops = reference::total_flops(ctx.spec, ctx.size);
+    points
+        .par_iter()
+        .map(|p| {
+            let predicted = predict(ctx.params, ctx.size, &p.tiles).talg;
+            let measured = simulate_point(ctx.device, ctx.spec, ctx.size, p).map(|r| r.total_time);
+            Evaluated {
+                point: *p,
+                predicted,
+                measured,
+                gflops: measured.map(|t| flops as f64 / t / 1e9),
+            }
+        })
+        .collect()
+}
+
+/// The best (lowest measured time) of a set of evaluations.
+pub fn best_measured(evals: &[Evaluated]) -> Option<Evaluated> {
+    evals
+        .iter()
+        .filter(|e| e.measured.is_some())
+        .min_by(|a, b| {
+            a.measured
+                .unwrap()
+                .total_cmp(&b.measured.unwrap())
+                .then_with(|| {
+                    (a.point.tiles.t_t, a.point.tiles.t_s, a.point.launch.threads).cmp(&(
+                        b.point.tiles.t_t,
+                        b.point.tiles.t_s,
+                        b.point.launch.threads,
+                    ))
+                })
+        })
+        .copied()
+}
+
+/// The full study of one experiment: baseline set, model sweep,
+/// within-10 % candidates, and every strategy outcome. This is the data
+/// behind Figures 5 and 6.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Study {
+    /// All 850 baseline evaluations (the scatter of Figure 5).
+    pub baseline: Vec<Evaluated>,
+    /// The within-10 % candidate evaluations (Figure 5's predicted-
+    /// optimal points).
+    pub within: Vec<Evaluated>,
+    /// One outcome per strategy, in Figure 6 order.
+    pub outcomes: Vec<StrategyOutcome>,
+}
+
+/// Run every strategy for one experiment. `exhaustive` additionally
+/// measures the whole feasible space (set `false` for large problems if
+/// time matters; the simulator usually affords it).
+pub fn study(ctx: &StrategyContext<'_>, exhaustive: bool) -> Study {
+    let dim = ctx.spec.dim;
+
+    // --- HHC default ---
+    let hhc = evaluate_points(ctx, &[hhc_default(dim)]);
+
+    // --- Baseline: 850 measured points ---
+    let baseline_pts = baseline_points(ctx.device, dim, ctx.space);
+    let baseline = evaluate_points(ctx, &baseline_pts);
+    let baseline_best = best_measured(&baseline);
+
+    // --- Model sweep over the feasible space ---
+    let space = feasible_tiles(ctx.device, dim, ctx.space);
+    let sweep = model_sweep(ctx.params, ctx.size, &space);
+
+    // --- Talg min ---
+    let tmin = talg_min(&sweep);
+    let talg_min_eval = tmin.map(|(tiles, _)| {
+        evaluate_points(
+            ctx,
+            &[DataPoint {
+                tiles,
+                launch: empirical_launch(dim, &tiles),
+            }],
+        )[0]
+    });
+
+    // --- Within 10 % of Talg min ---
+    let within_pts: Vec<DataPoint> = within_fraction(&sweep, 0.10)
+        .into_iter()
+        .map(|(tiles, _)| DataPoint {
+            tiles,
+            launch: empirical_launch(dim, &tiles),
+        })
+        .collect();
+    let within = evaluate_points(ctx, &within_pts);
+    let within_best = best_measured(&within);
+
+    // --- Exhaustive (optional) ---
+    let exhaustive_best = if exhaustive {
+        let pts: Vec<DataPoint> = space
+            .iter()
+            .map(|t| DataPoint {
+                tiles: *t,
+                launch: empirical_launch(dim, t),
+            })
+            .collect();
+        let evals = evaluate_points(ctx, &pts);
+        best_measured(&evals).map(|b| (b, evals.len()))
+    } else {
+        None
+    };
+
+    let mut outcomes = Vec::new();
+    if let Some(h) = hhc.first().copied() {
+        outcomes.push(StrategyOutcome {
+            strategy: Strategy::HhcDefault,
+            chosen: h,
+            measured_count: 1,
+        });
+    }
+    if let Some(b) = baseline_best {
+        outcomes.push(StrategyOutcome {
+            strategy: Strategy::Baseline,
+            chosen: b,
+            measured_count: baseline.len(),
+        });
+    }
+    if let Some(t) = talg_min_eval {
+        outcomes.push(StrategyOutcome {
+            strategy: Strategy::TalgMin,
+            chosen: t,
+            measured_count: 1,
+        });
+    }
+    if let Some(w) = within_best {
+        outcomes.push(StrategyOutcome {
+            strategy: Strategy::Within10,
+            chosen: w,
+            measured_count: within.len(),
+        });
+    }
+    if let Some((e, n)) = exhaustive_best {
+        outcomes.push(StrategyOutcome {
+            strategy: Strategy::Exhaustive,
+            chosen: e,
+            measured_count: n,
+        });
+    }
+
+    Study {
+        baseline,
+        within,
+        outcomes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil_core::StencilKind;
+
+    #[test]
+    fn baseline_set_has_85_tiles_and_850_points() {
+        let d = DeviceConfig::gtx980();
+        let tiles = baseline_tiles(&d, StencilDim::D2, &SpaceConfig::default());
+        assert_eq!(tiles.len(), 85, "baseline tile count");
+        let pts = baseline_points(&d, StencilDim::D2, &SpaceConfig::default());
+        assert_eq!(pts.len(), 850);
+    }
+
+    #[test]
+    fn thread_counts_are_ten_per_dim() {
+        for dim in [StencilDim::D1, StencilDim::D2, StencilDim::D3] {
+            assert_eq!(thread_counts(dim).len(), 10, "{dim:?}");
+        }
+    }
+
+    #[test]
+    fn study_produces_ordered_outcomes() {
+        let device = DeviceConfig::gtx980();
+        let spec = StencilKind::Jacobi2D.spec();
+        let size = ProblemSize::new_2d(512, 512, 128);
+        // Use *measured* parameters, as the real pipeline does — the
+        // model's candidate set is only meaningful with a Citer that
+        // came from the machine.
+        let measured = microbench::measured_params_sampled(&device, spec.kind, 16, 3);
+        let params = ModelParams::from_measured(&device, &measured);
+        let space = SpaceConfig::default();
+        let ctx = StrategyContext {
+            device: &device,
+            params: &params,
+            spec: &spec,
+            size: &size,
+            space: &space,
+        };
+        let study = study(&ctx, false);
+
+        assert!(study.outcomes.len() >= 4);
+        let get = |s: Strategy| {
+            study
+                .outcomes
+                .iter()
+                .find(|o| o.strategy == s)
+                .unwrap_or_else(|| panic!("missing {s:?}"))
+        };
+        let baseline = get(Strategy::Baseline);
+        let within = get(Strategy::Within10);
+        // Within10 can only improve on (or match) its own candidate set;
+        // and the paper's headline: Within10 beats or matches Baseline.
+        let wb = within.chosen.measured.unwrap();
+        let bb = baseline.chosen.measured.unwrap();
+        // At this small, boundary-dominated problem size the model-driven
+        // set must at least be competitive; the paper-scale behaviour
+        // (Within10 matching or beating Baseline) is validated by the
+        // experiments crate at the paper's sizes.
+        assert!(
+            wb <= bb * 1.25,
+            "within10 {wb:e} should be <= ~baseline {bb:e}"
+        );
+        // Within10 measures few points (paper: < 200).
+        assert!(within.measured_count < 200);
+        assert_eq!(baseline.measured_count, 850);
+    }
+
+    #[test]
+    fn best_measured_skips_failures() {
+        let ok = Evaluated {
+            point: DataPoint {
+                tiles: TileSizes::new_2d(4, 8, 32),
+                launch: LaunchConfig::new_2d(1, 128),
+            },
+            predicted: 1.0,
+            measured: Some(2.0),
+            gflops: Some(1.0),
+        };
+        let fail = Evaluated {
+            measured: None,
+            gflops: None,
+            ..ok
+        };
+        assert_eq!(best_measured(&[fail, ok]).unwrap().measured, Some(2.0));
+        assert!(best_measured(&[fail]).is_none());
+    }
+
+    #[test]
+    fn baseline_tiles_are_all_feasible() {
+        let d = DeviceConfig::gtx980();
+        for dim in [StencilDim::D1, StencilDim::D2, StencilDim::D3] {
+            for t in baseline_tiles(&d, dim, &SpaceConfig::default()) {
+                assert!(crate::space::is_feasible(&d, dim, &t), "{dim:?} {t:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn thread_counts_are_valid_launches() {
+        for dim in [StencilDim::D1, StencilDim::D2, StencilDim::D3] {
+            for l in thread_counts(dim) {
+                assert!(l.validate(dim).is_ok(), "{dim:?} {l:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn empirical_launch_is_warp_aligned_for_aligned_tiles() {
+        for tiles in [TileSizes::new_2d(8, 8, 128), TileSizes::new_2d(4, 16, 384)] {
+            let l = empirical_launch(StencilDim::D2, &tiles);
+            assert_eq!(l.threads[1] % 32, 0);
+            assert!(l.validate(StencilDim::D2).is_ok());
+        }
+        let l3 = empirical_launch(StencilDim::D3, &TileSizes::new_3d(8, 4, 4, 64));
+        assert!(l3.validate(StencilDim::D3).is_ok());
+        assert_eq!(l3.threads[2] % 32, 0);
+    }
+
+    #[test]
+    fn hhc_default_is_feasible_everywhere() {
+        let d = DeviceConfig::gtx980();
+        for dim in [StencilDim::D1, StencilDim::D2, StencilDim::D3] {
+            let p = hhc_default(dim);
+            assert!(crate::space::is_feasible(&d, dim, &p.tiles), "{dim:?}");
+        }
+    }
+}

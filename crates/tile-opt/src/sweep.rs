@@ -1,0 +1,129 @@
+//! Exhaustive, parallel evaluation of the analytical model over the
+//! feasible space — the paper's "script-driven exhaustive analytical
+//! evaluation" (Section 6.1).
+
+use hhc_tiling::TileSizes;
+use rayon::prelude::*;
+use stencil_core::ProblemSize;
+use time_model::{predict, ModelParams, Prediction};
+
+/// Evaluate `T_alg` for every candidate, in parallel.
+pub fn model_sweep(
+    params: &ModelParams,
+    size: &ProblemSize,
+    tiles: &[TileSizes],
+) -> Vec<(TileSizes, Prediction)> {
+    tiles
+        .par_iter()
+        .map(|t| (*t, predict(params, size, t)))
+        .collect()
+}
+
+/// The predicted-optimal point `T_alg min` of a sweep.
+///
+/// Ties break toward the lexicographically smaller tile size so the
+/// result is deterministic regardless of parallel evaluation order.
+pub fn talg_min(sweep: &[(TileSizes, Prediction)]) -> Option<(TileSizes, Prediction)> {
+    sweep
+        .iter()
+        .min_by(|a, b| {
+            a.1.talg
+                .total_cmp(&b.1.talg)
+                .then_with(|| (a.0.t_t, a.0.t_s).cmp(&(b.0.t_t, b.0.t_s)))
+        })
+        .copied()
+}
+
+/// All candidates whose prediction is within `fraction` of the predicted
+/// minimum — the paper's "within 10 % of `T_alg min`" set (< 200 points).
+pub fn within_fraction(
+    sweep: &[(TileSizes, Prediction)],
+    fraction: f64,
+) -> Vec<(TileSizes, Prediction)> {
+    let Some((_, best)) = talg_min(sweep) else {
+        return Vec::new();
+    };
+    let cutoff = best.talg * (1.0 + fraction);
+    let mut v: Vec<_> = sweep
+        .iter()
+        .filter(|(_, p)| p.talg <= cutoff)
+        .copied()
+        .collect();
+    v.sort_by(|a, b| {
+        a.1.talg
+            .total_cmp(&b.1.talg)
+            .then_with(|| (a.0.t_t, a.0.t_s).cmp(&(b.0.t_t, b.0.t_s)))
+    });
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::{feasible_tiles, SpaceConfig};
+    use gpu_sim::DeviceConfig;
+    use stencil_core::StencilDim;
+    use time_model::MeasuredParams;
+
+    fn params() -> ModelParams {
+        ModelParams::from_measured(
+            &DeviceConfig::gtx980(),
+            &MeasuredParams::paper_gtx980(3.39e-8),
+        )
+    }
+
+    fn sweep_2d() -> Vec<(TileSizes, Prediction)> {
+        let d = DeviceConfig::gtx980();
+        let tiles = feasible_tiles(&d, StencilDim::D2, &SpaceConfig::default());
+        model_sweep(&params(), &ProblemSize::new_2d(1024, 1024, 512), &tiles)
+    }
+
+    #[test]
+    fn min_is_really_minimal() {
+        let sweep = sweep_2d();
+        let (_, best) = talg_min(&sweep).unwrap();
+        assert!(sweep.iter().all(|(_, p)| p.talg >= best.talg));
+    }
+
+    #[test]
+    fn within_set_is_small_and_sorted() {
+        let sweep = sweep_2d();
+        let within = within_fraction(&sweep, 0.10);
+        // Paper: "there were less than 200 such points".
+        assert!(!within.is_empty());
+        assert!(
+            within.len() < 200,
+            "within-10% set has {} points",
+            within.len()
+        );
+        assert!(within.windows(2).all(|w| w[0].1.talg <= w[1].1.talg));
+        // The minimum itself is the first element.
+        let (tmin, _) = talg_min(&sweep).unwrap();
+        assert_eq!(within[0].0, tmin);
+    }
+
+    #[test]
+    fn within_zero_fraction_is_the_minima() {
+        let sweep = sweep_2d();
+        let within = within_fraction(&sweep, 0.0);
+        let (_, best) = talg_min(&sweep).unwrap();
+        assert!(within.iter().all(|(_, p)| p.talg == best.talg));
+    }
+
+    #[test]
+    fn sweep_deterministic_despite_parallelism() {
+        let a = sweep_2d();
+        let b = sweep_2d();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.0, y.0);
+            assert_eq!(x.1.talg.to_bits(), y.1.talg.to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_sweep_handled() {
+        assert!(talg_min(&[]).is_none());
+        assert!(within_fraction(&[], 0.1).is_empty());
+    }
+}

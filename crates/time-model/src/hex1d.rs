@@ -1,0 +1,120 @@
+//! The 1D hexagonal-tiling model (paper Section 4.1, Eqns 2–12).
+
+use crate::common;
+use crate::params::ModelParams;
+use crate::Prediction;
+use hhc_tiling::TileSizes;
+use stencil_core::ProblemSize;
+
+/// `m_io = 2(t_S + 2 t_T)` — Eqn 7.
+pub fn mio_words(tiles: &TileSizes) -> u64 {
+    2 * (tiles.t_s[0] as u64 + 2 * tiles.t_t as u64)
+}
+
+/// `m' = m_io · L + 2 τ_sync` — Eqn 8.
+pub fn m_prime(p: &ModelParams, tiles: &TileSizes) -> f64 {
+    mio_words(tiles) as f64 * p.l_word() + 2.0 * p.tau_sync()
+}
+
+/// `c = 2 C_iter Σ ⌈x/n_V⌉ + t_T τ_sync` — Eqn 9.
+pub fn compute_time(p: &ModelParams, tiles: &TileSizes) -> f64 {
+    2.0 * p.citer() * common::row_sum(p, tiles.t_s[0], tiles.t_t, 1) as f64
+        + tiles.t_t as f64 * p.tau_sync()
+}
+
+/// `M_tile = 2(t_S + t_T)` — Section 4.1.1.
+pub fn mtile_words(tiles: &TileSizes) -> u64 {
+    2 * (tiles.t_s[0] as u64 + tiles.t_t as u64)
+}
+
+/// `T_tile(k) = m' + c + (k−1)·max(m', c)` — Eqns 10 and 12.
+pub fn t_tile(m: f64, c: f64, k: usize) -> f64 {
+    m + c + (k as f64 - 1.0) * m.max(c)
+}
+
+/// Full 1D prediction: `T_alg = N_w T_tile(k) ⌈⌈w/k⌉/n_SM⌉ + N_w T_sync`
+/// — Eqn 6.
+pub fn predict(p: &ModelParams, size: &ProblemSize, tiles: &TileSizes) -> Prediction {
+    let nw = common::wavefronts(size.time, tiles.t_t);
+    let w = common::wavefront_width(size.space[0], tiles.t_s[0], tiles.t_t);
+    let mtile = mtile_words(tiles);
+    let k = common::effective_k(p, w, common::hyperthreading(p, mtile));
+    let m = m_prime(p, tiles);
+    let c = compute_time(p, tiles);
+    let talg =
+        nw as f64 * t_tile(m, c, k) * common::grid_rounds(p, w, k) as f64 + nw as f64 * p.t_sync();
+    Prediction {
+        talg,
+        k,
+        nw,
+        w,
+        m_prime: m,
+        c,
+        mtile_words: mtile,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::MeasuredParams;
+    use gpu_sim::DeviceConfig;
+
+    fn p() -> ModelParams {
+        ModelParams::from_measured(
+            &DeviceConfig::gtx980(),
+            &MeasuredParams::paper_gtx980(3.39e-8),
+        )
+    }
+
+    #[test]
+    fn eqn7_mio() {
+        assert_eq!(mio_words(&TileSizes::new_1d(8, 32)), 2 * (32 + 16));
+    }
+
+    #[test]
+    fn eqn9_hand_computed() {
+        // t_S = 100, t_T = 4 → w_tile = 102; x ∈ {100, 102};
+        // ⌈100/128⌉ + ⌈102/128⌉ = 2 → c = 2·Citer·2 + 4τ.
+        let pr = p();
+        let tiles = TileSizes::new_1d(4, 100);
+        let expect = 2.0 * pr.citer() * 2.0 + 4.0 * pr.tau_sync();
+        assert!((compute_time(&pr, &tiles) - expect).abs() < 1e-18);
+    }
+
+    #[test]
+    fn eqn12_hyperthreading_dominant_term() {
+        let (m, c) = (3.0, 5.0);
+        assert_eq!(t_tile(m, c, 1), 8.0);
+        assert_eq!(t_tile(m, c, 3), 8.0 + 2.0 * 5.0);
+    }
+
+    #[test]
+    fn optimistic_structure() {
+        // A nearly square hexagon on a large domain: prediction positive,
+        // k at least 1, N_w even.
+        let pr = predict(
+            &p(),
+            &ProblemSize::new_1d(1 << 20, 4096),
+            &TileSizes::new_1d(16, 64),
+        );
+        assert!(pr.talg > 0.0);
+        assert!(pr.k >= 1);
+        assert_eq!(pr.nw % 2, 0);
+    }
+
+    #[test]
+    fn larger_tiles_fewer_wavefronts() {
+        let a = predict(
+            &p(),
+            &ProblemSize::new_1d(4096, 512),
+            &TileSizes::new_1d(8, 32),
+        );
+        let b = predict(
+            &p(),
+            &ProblemSize::new_1d(4096, 512),
+            &TileSizes::new_1d(32, 32),
+        );
+        assert!(b.nw < a.nw);
+    }
+}

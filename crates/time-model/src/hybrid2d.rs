@@ -1,0 +1,141 @@
+//! The 2D hybrid hexagonal/classical model (paper Section 4.2,
+//! Eqns 13–19).
+
+use crate::common;
+use crate::params::ModelParams;
+use crate::Prediction;
+use hhc_tiling::TileSizes;
+use stencil_core::ProblemSize;
+
+/// `m_i = m_o = t_S2 (t_S1 + 2 t_T)` — Eqns 13/18.
+pub fn mi_words(tiles: &TileSizes) -> u64 {
+    tiles.t_s[1] as u64 * (tiles.t_s[0] as u64 + 2 * tiles.t_t as u64)
+}
+
+/// `m' = (m_i + m_o) L + 2 τ_sync` — Eqn 14.
+pub fn m_prime(p: &ModelParams, tiles: &TileSizes) -> f64 {
+    2.0 * mi_words(tiles) as f64 * p.l_word() + 2.0 * p.tau_sync()
+}
+
+/// `c = 2 C_iter Σ ⌈x t_S2 / n_V⌉ + t_T τ_sync` — Eqn 15.
+pub fn compute_time(p: &ModelParams, tiles: &TileSizes) -> f64 {
+    2.0 * p.citer() * common::row_sum(p, tiles.t_s[0], tiles.t_t, tiles.t_s[1] as u64) as f64
+        + tiles.t_t as f64 * p.tau_sync()
+}
+
+/// `M_tile = 2 (t_S1 + t_T + 1)(t_S2 + t_T + 1)` — Eqn 19.
+pub fn mtile_words(tiles: &TileSizes) -> u64 {
+    2 * (tiles.t_s[0] as u64 + tiles.t_t as u64 + 1) * (tiles.t_s[1] as u64 + tiles.t_t as u64 + 1)
+}
+
+/// Number of sub-prisms per prism, `⌈(S2 + t_T)/t_S2⌉` — Section 4.2.2.
+pub fn subprisms(size: &ProblemSize, tiles: &TileSizes) -> u64 {
+    (size.space[1] as u64 + tiles.t_t as u64).div_ceil(tiles.t_s[1] as u64)
+}
+
+/// `T_prism(k)` — Eqn 16: `(m' + c)·N_sub` without hyper-threading,
+/// `m' + k·max(m', c)·N_sub` with.
+pub fn t_prism(m: f64, c: f64, k: usize, n_sub: u64) -> f64 {
+    if k <= 1 {
+        (m + c) * n_sub as f64
+    } else {
+        m + k as f64 * m.max(c) * n_sub as f64
+    }
+}
+
+/// Full 2D prediction — Eqn 17.
+pub fn predict(p: &ModelParams, size: &ProblemSize, tiles: &TileSizes) -> Prediction {
+    let nw = common::wavefronts(size.time, tiles.t_t);
+    let w = common::wavefront_width(size.space[0], tiles.t_s[0], tiles.t_t);
+    let mtile = mtile_words(tiles);
+    let k = common::effective_k(p, w, common::hyperthreading(p, mtile));
+    let m = m_prime(p, tiles);
+    let c = compute_time(p, tiles);
+    let prism = t_prism(m, c, k, subprisms(size, tiles));
+    let talg = nw as f64 * p.t_sync() + nw as f64 * prism * common::grid_rounds(p, w, k) as f64;
+    Prediction {
+        talg,
+        k,
+        nw,
+        w,
+        m_prime: m,
+        c,
+        mtile_words: mtile,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::MeasuredParams;
+    use gpu_sim::DeviceConfig;
+
+    fn p() -> ModelParams {
+        ModelParams::from_measured(
+            &DeviceConfig::gtx980(),
+            &MeasuredParams::paper_gtx980(3.39e-8),
+        )
+    }
+
+    #[test]
+    fn eqn13_footprint() {
+        let tiles = TileSizes::new_2d(8, 16, 32);
+        assert_eq!(mi_words(&tiles), 32 * (16 + 16));
+    }
+
+    #[test]
+    fn eqn19_mtile() {
+        let tiles = TileSizes::new_2d(8, 16, 32);
+        assert_eq!(mtile_words(&tiles), 2 * 25 * 41);
+    }
+
+    #[test]
+    fn eqn16_cases() {
+        assert_eq!(t_prism(2.0, 3.0, 1, 10), 50.0);
+        assert_eq!(t_prism(2.0, 3.0, 2, 10), 2.0 + 2.0 * 3.0 * 10.0);
+    }
+
+    #[test]
+    fn subprism_count() {
+        let size = ProblemSize::new_2d(512, 100, 64);
+        let tiles = TileSizes::new_2d(8, 16, 32);
+        assert_eq!(subprisms(&size, &tiles), (100 + 8_u64).div_ceil(32));
+    }
+
+    #[test]
+    fn bigger_ts2_fewer_subprisms_more_compute_per_row() {
+        let pr = p();
+        let a = compute_time(&pr, &TileSizes::new_2d(8, 16, 32));
+        let b = compute_time(&pr, &TileSizes::new_2d(8, 16, 128));
+        assert!(b > a);
+    }
+
+    #[test]
+    fn prediction_scales_with_space() {
+        let pr = p();
+        let tiles = TileSizes::new_2d(8, 16, 32);
+        let small = predict(&pr, &ProblemSize::new_2d(512, 512, 64), &tiles);
+        let big = predict(&pr, &ProblemSize::new_2d(2048, 2048, 64), &tiles);
+        assert!(big.talg > 3.0 * small.talg);
+    }
+
+    #[test]
+    fn memory_bound_detection() {
+        let pr = p();
+        // Thin tiles with huge footprint relative to compute: the tiny
+        // t_S1/t_T make compute trivial while t_S2 keeps the transfer big.
+        let thin = predict(
+            &pr,
+            &ProblemSize::new_2d(512, 512, 64),
+            &TileSizes::new_2d(2, 1, 512),
+        );
+        assert!(thin.m_prime > 0.0 && thin.c > 0.0);
+        // Fat compute tiles are compute-bound.
+        let fat = predict(
+            &pr,
+            &ProblemSize::new_2d(512, 512, 64),
+            &TileSizes::new_2d(32, 64, 32),
+        );
+        assert!(!fat.memory_bound() || fat.c > 0.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! The 3D hybrid hexagonal/classical model (paper Section 4.3,
+//! Eqns 20–30).
+
+use crate::common;
+use crate::params::ModelParams;
+use crate::Prediction;
+use hhc_tiling::TileSizes;
+use stencil_core::ProblemSize;
+
+/// `m_i = m_o = t_S2 t_S3 (t_S1 + 2 t_T)` — Eqn 24.
+pub fn mi_words(tiles: &TileSizes) -> u64 {
+    tiles.t_s[1] as u64 * tiles.t_s[2] as u64 * (tiles.t_s[0] as u64 + 2 * tiles.t_t as u64)
+}
+
+/// `m' = (m_i + m_o) L + 2 τ_sync` — Eqn 25.
+pub fn m_prime(p: &ModelParams, tiles: &TileSizes) -> f64 {
+    2.0 * mi_words(tiles) as f64 * p.l_word() + 2.0 * p.tau_sync()
+}
+
+/// `c = 2 C_iter Σ ⌈x t_S2 t_S3 / n_V⌉ + t_T τ_sync` — Eqn 27.
+pub fn compute_time(p: &ModelParams, tiles: &TileSizes) -> f64 {
+    let inner = tiles.t_s[1] as u64 * tiles.t_s[2] as u64;
+    2.0 * p.citer() * common::row_sum(p, tiles.t_s[0], tiles.t_t, inner) as f64
+        + tiles.t_t as f64 * p.tau_sync()
+}
+
+/// 3D shared-memory footprint, the natural extension of Eqn 19:
+/// `2 (t_S1 + t_T + 1)(t_S2 + t_T + 1)(t_S3 + t_T + 1)` (the paper does
+/// not print the 3D M_tile; this matches the plan's exact allocation).
+pub fn mtile_words(tiles: &TileSizes) -> u64 {
+    2 * (tiles.t_s[0] as u64 + tiles.t_t as u64 + 1)
+        * (tiles.t_s[1] as u64 + tiles.t_t as u64 + 1)
+        * (tiles.t_s[2] as u64 + tiles.t_t as u64 + 1)
+}
+
+/// `N_sslabs = ⌈((S2 + t_T)/t_S2) · ((S3 + t_T)/t_S3)⌉` — Eqn 23.
+pub fn subslabs(size: &ProblemSize, tiles: &TileSizes) -> u64 {
+    let r2 = (size.space[1] + tiles.t_t) as f64 / tiles.t_s[1] as f64;
+    let r3 = (size.space[2] + tiles.t_t) as f64 / tiles.t_s[2] as f64;
+    (r2 * r3).ceil() as u64
+}
+
+/// `T_slab(k)` — Eqns 28/29.
+pub fn t_slab(m: f64, c: f64, k: usize, n_slabs: u64) -> f64 {
+    if k <= 1 {
+        (m + c) * n_slabs as f64
+    } else {
+        m + k as f64 * m.max(c) * n_slabs as f64
+    }
+}
+
+/// Full 3D prediction — Eqn 30.
+pub fn predict(p: &ModelParams, size: &ProblemSize, tiles: &TileSizes) -> Prediction {
+    let nw = common::wavefronts(size.time, tiles.t_t);
+    // See `common::wavefront_width` for the Eqn 22 typo note.
+    let w = common::wavefront_width(size.space[0], tiles.t_s[0], tiles.t_t);
+    let mtile = mtile_words(tiles);
+    let k = common::effective_k(p, w, common::hyperthreading(p, mtile));
+    let m = m_prime(p, tiles);
+    let c = compute_time(p, tiles);
+    let slab = t_slab(m, c, k, subslabs(size, tiles));
+    let talg = nw as f64 * p.t_sync() + nw as f64 * slab * common::grid_rounds(p, w, k) as f64;
+    Prediction {
+        talg,
+        k,
+        nw,
+        w,
+        m_prime: m,
+        c,
+        mtile_words: mtile,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::MeasuredParams;
+    use gpu_sim::DeviceConfig;
+
+    fn p() -> ModelParams {
+        ModelParams::from_measured(
+            &DeviceConfig::gtx980(),
+            &MeasuredParams::paper_gtx980(1.55e-7),
+        )
+    }
+
+    #[test]
+    fn eqn24_footprint() {
+        let tiles = TileSizes::new_3d(4, 8, 16, 8);
+        assert_eq!(mi_words(&tiles), 16 * 8 * (8 + 8));
+    }
+
+    #[test]
+    fn eqn23_subslabs() {
+        let size = ProblemSize::new_3d(384, 384, 384, 128);
+        let tiles = TileSizes::new_3d(4, 8, 32, 32);
+        // (388/32)·(388/32) = 12.125² = 147.0; ceil = 148.
+        assert_eq!(
+            subslabs(&size, &tiles),
+            ((388.0f64 / 32.0) * (388.0 / 32.0)).ceil() as u64
+        );
+    }
+
+    #[test]
+    fn slab_time_cases() {
+        assert_eq!(t_slab(1.0, 2.0, 1, 5), 15.0);
+        assert_eq!(t_slab(1.0, 2.0, 3, 5), 1.0 + 3.0 * 2.0 * 5.0);
+    }
+
+    #[test]
+    fn prediction_positive_and_k_bounded() {
+        let pr = predict(
+            &p(),
+            &ProblemSize::new_3d(384, 384, 384, 128),
+            &TileSizes::new_3d(4, 8, 32, 32),
+        );
+        assert!(pr.talg > 0.0);
+        assert!(pr.k >= 1 && pr.k <= 32);
+    }
+
+    #[test]
+    fn mtile_grows_with_every_dimension() {
+        let base = mtile_words(&TileSizes::new_3d(4, 8, 16, 16));
+        assert!(mtile_words(&TileSizes::new_3d(4, 16, 16, 16)) > base);
+        assert!(mtile_words(&TileSizes::new_3d(4, 8, 32, 16)) > base);
+        assert!(mtile_words(&TileSizes::new_3d(4, 8, 16, 32)) > base);
+        assert!(mtile_words(&TileSizes::new_3d(6, 8, 16, 16)) > base);
+    }
+}

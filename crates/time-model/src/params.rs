@@ -1,0 +1,117 @@
+//! Model parameters: the "Elementary" rows of the paper's Table 1.
+//!
+//! Structural hardware parameters come from the device specification;
+//! the four timing parameters (`L`, `τ_sync`, `T_sync`, `Citer`) come
+//! from micro-benchmarks (paper Section 5.2), *not* from the machine's
+//! internal configuration — preserving the paper's measurement
+//! methodology and keeping the model honest.
+
+use gpu_sim::DeviceConfig;
+use serde::{Deserialize, Serialize};
+
+/// The four empirically-measured timing parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeasuredParams {
+    /// Global-memory time per 4-byte word (the paper's `L`, converted
+    /// from s/GB).
+    pub l_word: f64,
+    /// Block-barrier cost `τ_sync` (s).
+    pub tau_sync: f64,
+    /// Kernel launch / host synchronization cost `T_sync` (s).
+    pub t_sync: f64,
+    /// Per-iteration loop-body time `Citer` (s) — stencil- and
+    /// device-specific (paper Table 4).
+    pub citer: f64,
+}
+
+impl MeasuredParams {
+    /// The paper's Table 3 + Table 4 values for a given stencil name on
+    /// the GTX 980, for use in documentation examples and tests.
+    pub fn paper_gtx980(citer: f64) -> Self {
+        MeasuredParams {
+            l_word: 7.36e-3 * 4.0 / 1e9,
+            tau_sync: 7.96e-10,
+            t_sync: 9.24e-7,
+            citer,
+        }
+    }
+}
+
+/// Everything the model needs: structural + measured parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModelParams {
+    /// Number of SMs (`n_SM`).
+    pub n_sm: usize,
+    /// Vector lanes per SM (`n_V`).
+    pub n_v: usize,
+    /// Shared memory per SM in 4-byte words (`M_SM`).
+    pub m_sm_words: u64,
+    /// Shared-memory limit per thread block in words.
+    pub m_block_words: u64,
+    /// Maximum resident blocks per SM (`MTB_SM`).
+    pub mtb_sm: usize,
+    /// Measured timing parameters.
+    pub measured: MeasuredParams,
+}
+
+impl ModelParams {
+    /// Combine a device's structural parameters with measured timings.
+    pub fn from_measured(device: &DeviceConfig, measured: &MeasuredParams) -> Self {
+        ModelParams {
+            n_sm: device.n_sm,
+            n_v: device.n_v,
+            m_sm_words: device.shared_mem_words,
+            m_block_words: device.shared_per_block_words,
+            mtb_sm: device.max_blocks_per_sm,
+            measured: *measured,
+        }
+    }
+
+    /// Global-memory time per word.
+    #[inline]
+    pub fn l_word(&self) -> f64 {
+        self.measured.l_word
+    }
+
+    /// Barrier cost.
+    #[inline]
+    pub fn tau_sync(&self) -> f64 {
+        self.measured.tau_sync
+    }
+
+    /// Kernel launch cost.
+    #[inline]
+    pub fn t_sync(&self) -> f64 {
+        self.measured.t_sync
+    }
+
+    /// Per-iteration loop-body time.
+    #[inline]
+    pub fn citer(&self) -> f64 {
+        self.measured.citer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_measured_copies_structure() {
+        let d = DeviceConfig::titan_x();
+        let m = MeasuredParams::paper_gtx980(3.39e-8);
+        let p = ModelParams::from_measured(&d, &m);
+        assert_eq!(p.n_sm, 24);
+        assert_eq!(p.n_v, 128);
+        assert_eq!(p.m_sm_words, d.shared_mem_words);
+        assert_eq!(p.mtb_sm, 32);
+        assert_eq!(p.citer(), 3.39e-8);
+    }
+
+    #[test]
+    fn paper_l_is_per_word() {
+        let m = MeasuredParams::paper_gtx980(1e-8);
+        // 7.36e-3 s/GB · 4 B = 2.944e-11 s/word.
+        assert!((m.l_word - 2.944e-11).abs() < 1e-15);
+    }
+}

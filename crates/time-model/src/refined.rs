@@ -1,0 +1,179 @@
+//! A tail-aware refinement of the grid term — this reproduction's
+//! extension, in the spirit of the paper's "ongoing work" (Section 7).
+//!
+//! The printed model charges every grid round the full `k`-resident tile
+//! time: `T_alg = N_w · T_tile(k) · ⌈⌈w/k⌉/n_SM⌉ + N_w·T_sync` (Eqns
+//! 6/17/30). When `w/(k·n_SM)` has a large fractional part the last
+//! "wave" of blocks runs at partial residency on real machines (and on
+//! the simulator), so the printed model over-predicts exactly the
+//! configurations in between full waves — measurably so at the paper's
+//! 3D sizes, where a wavefront is only a few tens of blocks.
+//!
+//! [`predict_refined`] keeps every per-tile term as printed and replaces
+//! only the grid quantization:
+//!
+//! ```text
+//! full   = ⌊w / (k·n_SM)⌋                 # complete waves
+//! rem    = ⌈(w − full·k·n_SM)/n_SM⌉       # residency of the tail wave
+//! T_alg  = N_w·(T_sync + full·T_tile(k) + (rem>0)·T_tile(rem))
+//! ```
+//!
+//! The `--ablation` experiment quantifies the effect: the refinement
+//! tightens the top-band RMSE while leaving the full-space optimism
+//! untouched.
+
+use crate::params::ModelParams;
+use crate::{common, hex1d, hybrid2d, hybrid3d, Prediction};
+use hhc_tiling::TileSizes;
+use stencil_core::{ProblemSize, StencilDim};
+
+/// The per-`k` tile/prism/slab time of the printed model, factored out
+/// so the refined grid term can evaluate it at the tail residency.
+fn t_unit(dim: StencilDim, m: f64, c: f64, k: usize, n_sub: u64) -> f64 {
+    match dim {
+        StencilDim::D1 => hex1d::t_tile(m, c, k),
+        StencilDim::D2 => hybrid2d::t_prism(m, c, k, n_sub),
+        StencilDim::D3 => hybrid3d::t_slab(m, c, k, n_sub),
+    }
+}
+
+/// Tail-aware prediction: identical per-tile terms, fractional last wave.
+pub fn predict_refined(p: &ModelParams, size: &ProblemSize, tiles: &TileSizes) -> Prediction {
+    let dim = size.dim;
+    let nw = common::wavefronts(size.time, tiles.t_t);
+    let w = common::wavefront_width(size.space[0], tiles.t_s[0], tiles.t_t);
+    let (mtile, m, c, n_sub) = match dim {
+        StencilDim::D1 => (
+            hex1d::mtile_words(tiles),
+            hex1d::m_prime(p, tiles),
+            hex1d::compute_time(p, tiles),
+            1,
+        ),
+        StencilDim::D2 => (
+            hybrid2d::mtile_words(tiles),
+            hybrid2d::m_prime(p, tiles),
+            hybrid2d::compute_time(p, tiles),
+            hybrid2d::subprisms(size, tiles),
+        ),
+        StencilDim::D3 => (
+            hybrid3d::mtile_words(tiles),
+            hybrid3d::m_prime(p, tiles),
+            hybrid3d::compute_time(p, tiles),
+            hybrid3d::subslabs(size, tiles),
+        ),
+    };
+    let k = common::effective_k(p, w, common::hyperthreading(p, mtile));
+    let slots = (k * p.n_sm) as u64;
+    let full = w / slots;
+    let rem_blocks = w - full * slots;
+    let rem_k = rem_blocks.div_ceil(p.n_sm as u64) as usize;
+    let mut per_kernel = full as f64 * t_unit(dim, m, c, k, n_sub);
+    if rem_k > 0 {
+        per_kernel += t_unit(dim, m, c, rem_k, n_sub);
+    }
+    let talg = nw as f64 * (p.t_sync() + per_kernel);
+    Prediction {
+        talg,
+        k,
+        nw,
+        w,
+        m_prime: m,
+        c,
+        mtile_words: mtile,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::MeasuredParams;
+    use crate::predict;
+    use gpu_sim::DeviceConfig;
+
+    fn p() -> ModelParams {
+        ModelParams::from_measured(
+            &DeviceConfig::gtx980(),
+            &MeasuredParams::paper_gtx980(3.39e-8),
+        )
+    }
+
+    #[test]
+    fn refined_never_exceeds_printed() {
+        // The refinement only ever shrinks the tail wave's charge.
+        let pr = p();
+        for (s, t) in [(1024usize, 256usize), (4096, 1024), (2048, 512)] {
+            let size = ProblemSize::new_2d(s, s, t);
+            for tiles in [
+                TileSizes::new_2d(8, 8, 128),
+                TileSizes::new_2d(16, 4, 256),
+                TileSizes::new_2d(4, 16, 64),
+            ] {
+                let printed = predict(&pr, &size, &tiles).talg;
+                let refined = predict_refined(&pr, &size, &tiles).talg;
+                assert!(
+                    refined <= printed * (1.0 + 1e-12),
+                    "refined {refined:e} > printed {printed:e} for {tiles:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_when_waves_divide_evenly() {
+        // w exactly = k·n_SM·rounds: no tail, the two models coincide.
+        let pr = p();
+        // pitch = 2·56 + 16 = 128 → w = 4096/128 = 32 = k·n_SM for k=2
+        // (M_tile = 2·73·145 = 21170 → k = 1... pick sizes so k=2):
+        // pitch = 2·24+16 = 64, w = 2048/64 = 32; M_tile = 2·41·145 =
+        // 11890 → k = 2 → slots = 32 = w exactly.
+        let size = ProblemSize::new_2d(2048, 2048, 512);
+        let tiles = TileSizes::new_2d(16, 24, 128);
+        let printed = predict(&pr, &size, &tiles);
+        assert_eq!(printed.k, 2, "test premise: k = 2");
+        assert_eq!(printed.w, 32, "test premise: w = slots");
+        let refined = predict_refined(&pr, &size, &tiles);
+        assert!((refined.talg - printed.talg).abs() / printed.talg < 1e-12);
+    }
+
+    #[test]
+    fn tail_heavy_config_shrinks() {
+        // w just above one full wave: the printed model doubles the
+        // kernel time; the refinement charges the tail at its real
+        // residency.
+        let pr = p();
+        let size = ProblemSize::new_2d(2400, 2048, 512);
+        let tiles = TileSizes::new_2d(16, 24, 128); // pitch 64 → w = 38
+        let printed = predict(&pr, &size, &tiles);
+        let refined = predict_refined(&pr, &size, &tiles);
+        assert!(printed.w > 32 && printed.w < 64, "w = {}", printed.w);
+        assert!(
+            refined.talg < 0.85 * printed.talg,
+            "refined {:e} vs printed {:e}",
+            refined.talg,
+            printed.talg
+        );
+    }
+
+    #[test]
+    fn refined_dispatches_all_dims() {
+        let pr = p();
+        assert!(
+            predict_refined(
+                &pr,
+                &ProblemSize::new_1d(8192, 256),
+                &TileSizes::new_1d(8, 32)
+            )
+            .talg
+                > 0.0
+        );
+        assert!(
+            predict_refined(
+                &pr,
+                &ProblemSize::new_3d(256, 256, 256, 64),
+                &TileSizes::new_3d(4, 4, 4, 32)
+            )
+            .talg
+                > 0.0
+        );
+    }
+}

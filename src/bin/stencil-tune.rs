@@ -1,0 +1,17 @@
+//! Thin shell around [`hhc_stencil::cli`].
+
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match hhc_stencil::cli::run(&args) {
+        Ok(out) => {
+            // Tolerate a closed stdout (e.g. piping into `head`).
+            let _ = writeln!(std::io::stdout(), "{out}");
+        }
+        Err(e) => {
+            let _ = writeln!(std::io::stderr(), "error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,633 @@
+//! The `stencil-tune` command-line tool: predict, simulate, analyze, and
+//! tune stencil configurations from the shell.
+//!
+//! ```text
+//! stencil-tune predict  --stencil jacobi2d --size 4096x4096xT1024 --tile 8,16,128
+//! stencil-tune simulate --stencil heat2d   --size 2048x2048xT512  --tile 8,8,128 --threads 1,128
+//! stencil-tune analyze  --stencil heat3d   --size 384x384x384xT128 --tile 8,4,2,32
+//! stencil-tune tune     --stencil gradient2d --size 4096x4096xT4096 [--device titanx]
+//! ```
+//!
+//! The parsing and command logic live here (unit-tested); the binary in
+//! `src/bin/stencil-tune.rs` is a thin shell.
+
+use gpu_sim::{simulate, DeviceConfig, Workload};
+use hhc_tiling::{analyze, LaunchConfig, TileSizes, TilingPlan};
+use stencil_core::{reference, ProblemSize, StencilDim, StencilKind};
+use tile_opt::strategy::{empirical_launch, DataPoint};
+use tile_opt::{feasible_tiles, model_sweep, talg_min, within_fraction, SpaceConfig};
+use time_model::{predict, ModelParams};
+
+/// Parse a stencil name (case-insensitive, e.g. `jacobi2d`).
+pub fn parse_stencil(name: &str) -> Result<StencilKind, String> {
+    StencilKind::ALL
+        .into_iter()
+        .find(|k| k.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            let names: Vec<_> = StencilKind::ALL.iter().map(|k| k.name()).collect();
+            format!(
+                "unknown stencil '{name}' (expected one of {})",
+                names.join(", ")
+            )
+        })
+}
+
+/// Parse a problem size like `4096x4096xT1024` (the `T` marker is
+/// optional: the last extent is the time dimension).
+pub fn parse_size(s: &str, dim: StencilDim) -> Result<ProblemSize, String> {
+    let parts: Vec<&str> = s.split('x').collect();
+    let rank = dim.rank();
+    if parts.len() != rank + 1 {
+        return Err(format!(
+            "size '{s}' has {} extents; a {rank}D stencil needs {} (space dims then time)",
+            parts.len(),
+            rank + 1
+        ));
+    }
+    let mut vals = Vec::with_capacity(parts.len());
+    for p in &parts {
+        let p = p.strip_prefix('T').unwrap_or(p);
+        vals.push(
+            p.parse::<usize>()
+                .map_err(|_| format!("bad extent '{p}' in '{s}'"))?,
+        );
+    }
+    let t = vals[rank];
+    Ok(match dim {
+        StencilDim::D1 => ProblemSize::new_1d(vals[0], t),
+        StencilDim::D2 => ProblemSize::new_2d(vals[0], vals[1], t),
+        StencilDim::D3 => ProblemSize::new_3d(vals[0], vals[1], vals[2], t),
+    })
+}
+
+/// Parse tile sizes like `8,16,128` (`t_T` first, then the space extents).
+pub fn parse_tiles(s: &str, dim: StencilDim) -> Result<TileSizes, String> {
+    let vals: Vec<usize> = s
+        .split(',')
+        .map(|p| {
+            p.trim()
+                .parse::<usize>()
+                .map_err(|_| format!("bad tile extent '{p}'"))
+        })
+        .collect::<Result<_, _>>()?;
+    let rank = dim.rank();
+    if vals.len() != rank + 1 {
+        return Err(format!(
+            "tile '{s}' has {} extents; a {rank}D stencil needs {} (t_T then t_S1..)",
+            vals.len(),
+            rank + 1
+        ));
+    }
+    let tiles = match dim {
+        StencilDim::D1 => TileSizes::new_1d(vals[0], vals[1]),
+        StencilDim::D2 => TileSizes::new_2d(vals[0], vals[1], vals[2]),
+        StencilDim::D3 => TileSizes::new_3d(vals[0], vals[1], vals[2], vals[3]),
+    };
+    tiles.validate(dim)?;
+    Ok(tiles)
+}
+
+/// Parse a thread shape like `1,128`.
+pub fn parse_threads(s: &str, dim: StencilDim) -> Result<LaunchConfig, String> {
+    let vals: Vec<usize> = s
+        .split(',')
+        .map(|p| {
+            p.trim()
+                .parse::<usize>()
+                .map_err(|_| format!("bad thread extent '{p}'"))
+        })
+        .collect::<Result<_, _>>()?;
+    let rank = dim.rank();
+    if vals.len() != rank {
+        return Err(format!(
+            "threads '{s}' needs {rank} extents for a {rank}D stencil"
+        ));
+    }
+    let launch = match dim {
+        StencilDim::D1 => LaunchConfig::new_1d(vals[0]),
+        StencilDim::D2 => LaunchConfig::new_2d(vals[0], vals[1]),
+        StencilDim::D3 => LaunchConfig::new_3d(vals[0], vals[1], vals[2]),
+    };
+    launch.validate(dim)?;
+    Ok(launch)
+}
+
+/// Parse a device name (`gtx980` / `titanx`).
+pub fn parse_device(name: &str) -> Result<DeviceConfig, String> {
+    match name
+        .to_ascii_lowercase()
+        .replace([' ', '-', '_'], "")
+        .as_str()
+    {
+        "gtx980" | "980" => Ok(DeviceConfig::gtx980()),
+        "titanx" | "titan" => Ok(DeviceConfig::titan_x()),
+        other => Err(format!("unknown device '{other}' (gtx980 or titanx)")),
+    }
+}
+
+/// Shared flag set of all subcommands.
+pub struct CommonArgs {
+    /// The stencil.
+    pub kind: StencilKind,
+    /// Problem size.
+    pub size: ProblemSize,
+    /// Device.
+    pub device: DeviceConfig,
+    /// Micro-benchmark samples for `Citer`.
+    pub samples: usize,
+}
+
+/// Parse `--key value` style flags from an argument list; returns the
+/// map and rejects unknown keys.
+pub fn parse_flags<'a>(
+    args: &'a [String],
+    allowed: &[&str],
+) -> Result<std::collections::BTreeMap<String, &'a str>, String> {
+    let mut map = std::collections::BTreeMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let key = a
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected a --flag, got '{a}'"))?;
+        if !allowed.contains(&key) {
+            return Err(format!(
+                "unknown flag '--{key}' (allowed: {})",
+                allowed.join(", ")
+            ));
+        }
+        let val = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+        map.insert(key.to_string(), val.as_str());
+    }
+    Ok(map)
+}
+
+/// Build the common arguments from parsed flags.
+pub fn common_args(flags: &std::collections::BTreeMap<String, &str>) -> Result<CommonArgs, String> {
+    let kind = parse_stencil(flags.get("stencil").ok_or("--stencil is required")?)?;
+    let dim = kind.spec().dim;
+    let size = parse_size(flags.get("size").ok_or("--size is required")?, dim)?;
+    let device = flags
+        .get("device")
+        .map_or(Ok(DeviceConfig::gtx980()), |d| parse_device(d))?;
+    let samples = flags.get("samples").map_or(Ok(20usize), |s| {
+        s.parse().map_err(|_| "bad --samples".to_string())
+    })?;
+    Ok(CommonArgs {
+        kind,
+        size,
+        device,
+        samples,
+    })
+}
+
+fn measured_params(c: &CommonArgs) -> ModelParams {
+    let m = microbench::measured_params_sampled(&c.device, c.kind, c.samples, 0x5EED);
+    ModelParams::from_measured(&c.device, &m)
+}
+
+/// `predict`: evaluate the analytical model for one tile size.
+pub fn cmd_predict(c: &CommonArgs, tiles: TileSizes) -> Result<String, String> {
+    let params = measured_params(c);
+    let p = predict(&params, &c.size, &tiles);
+    Ok(format!(
+        "T_alg = {:.6} s\n  k = {}   kernels = {}   blocks/kernel = {}\n  m' = {:.3e} s   c = {:.3e} s ({})\n  M_tile = {} words ({} KB)",
+        p.talg,
+        p.k,
+        p.nw,
+        p.w,
+        p.m_prime,
+        p.c,
+        if p.memory_bound() { "memory-bound" } else { "compute-bound" },
+        p.mtile_words,
+        p.mtile_words * 4 / 1024,
+    ))
+}
+
+/// `simulate`: run one configuration on the machine.
+pub fn cmd_simulate(
+    c: &CommonArgs,
+    tiles: TileSizes,
+    launch: LaunchConfig,
+) -> Result<String, String> {
+    let spec = c.kind.spec();
+    let plan = TilingPlan::build(&spec, &c.size, tiles, launch)?;
+    let r = simulate(&c.device, &Workload::from_plan(&plan)).map_err(|e| e.to_string())?;
+    let flops = reference::total_flops(&spec, &c.size);
+    Ok(format!(
+        "T_exec = {:.6} s   ({:.1} GFLOPS/s)\n  k = {} ({:?}-limited)   kernels = {}\n  spill factor = {:.2}   divergence factor = {:.2}   {}",
+        r.total_time,
+        r.gflops(flops),
+        r.occupancy.k,
+        r.occupancy.limit,
+        r.kernel_launches,
+        r.spill_factor,
+        r.divergence_factor,
+        if r.memory_bound() { "memory-bound" } else { "compute-bound" },
+    ))
+}
+
+/// `analyze`: print the plan statistics for one tile size.
+pub fn cmd_analyze(c: &CommonArgs, tiles: TileSizes) -> Result<String, String> {
+    let spec = c.kind.spec();
+    let launch = empirical_launch(spec.dim, &tiles);
+    let plan = TilingPlan::build(&spec, &c.size, tiles, launch)?;
+    let st = analyze(&plan);
+    Ok(format!(
+        "kernels = {}   blocks = {} (max {}/kernel)\n  iterations = {}   words moved = {}\n  reuse = {:.2} iterations/word   intensity = {:.2} flops/byte\n  boundary share = {:.1}%   M_tile = {} words",
+        st.kernels,
+        st.total_blocks,
+        st.max_blocks_per_kernel,
+        st.iterations,
+        st.words,
+        st.iterations_per_word,
+        st.flops_per_byte,
+        100.0 * st.boundary_iteration_share,
+        st.mtile_words,
+    ))
+}
+
+/// `tune`: the paper's pipeline — sweep the model, measure the within-10 %
+/// candidates, report the best configuration.
+pub fn cmd_tune(c: &CommonArgs) -> Result<String, String> {
+    let spec = c.kind.spec();
+    let params = measured_params(c);
+    let space = feasible_tiles(&c.device, spec.dim, &SpaceConfig::default());
+    let sweep = model_sweep(&params, &c.size, &space);
+    let (tmin, pmin) = talg_min(&sweep).ok_or("empty feasible space")?;
+    let within = within_fraction(&sweep, 0.10);
+
+    let mut best: Option<(DataPoint, f64)> = None;
+    for (tiles, _) in &within {
+        let point = DataPoint {
+            tiles: *tiles,
+            launch: empirical_launch(spec.dim, tiles),
+        };
+        let Ok(plan) = TilingPlan::build(&spec, &c.size, point.tiles, point.launch) else {
+            continue;
+        };
+        if let Ok(r) = simulate(&c.device, &Workload::from_plan(&plan)) {
+            if best.is_none_or(|(_, t)| r.total_time < t) {
+                best = Some((point, r.total_time));
+            }
+        }
+    }
+    let (point, time) = best.ok_or("no candidate launched")?;
+    let flops = reference::total_flops(&spec, &c.size) as f64;
+    Ok(format!(
+        "swept {} feasible tile sizes; T_alg min = {:.4} s at t = {:?}\nmeasured {} candidates within 10% of the predicted optimum\nbest: tiles (tT={}, tS={:?}) threads {:?} -> {:.6} s ({:.1} GFLOPS/s)",
+        space.len(),
+        pmin.talg,
+        (tmin.t_t, tmin.t_s),
+        within.len(),
+        point.tiles.t_t,
+        &point.tiles.t_s[..spec.dim.rank()],
+        &point.launch.threads[..spec.dim.rank()],
+        time,
+        flops / time / 1e9,
+    ))
+}
+
+/// `params`: print the measured model parameters (Tables 3/4 for this
+/// device/stencil).
+pub fn cmd_params(c: &CommonArgs) -> Result<String, String> {
+    let m = microbench::measured_params_sampled(&c.device, c.kind, c.samples, 0x5EED);
+    Ok(format!(
+        "device {}   stencil {}
+  L      = {:.4e} s/GB   ({:.4e} s/word)
+  tau_sync = {:.4e} s
+  T_sync = {:.4e} s
+  Citer  = {:.4e} s   ({} samples)",
+        c.device.name,
+        c.kind.name(),
+        m.l_word * 1e9 / 4.0,
+        m.l_word,
+        m.tau_sync,
+        m.t_sync,
+        m.citer,
+        c.samples,
+    ))
+}
+
+/// `compare`: predict and simulate two tile configurations side by side.
+pub fn cmd_compare(c: &CommonArgs, a: TileSizes, b: TileSizes) -> Result<String, String> {
+    let spec = c.kind.spec();
+    let params = measured_params(c);
+    let mut lines = vec![format!(
+        "{:>24} {:>14} {:>14} {:>10}",
+        "tiles (tT,tS..)", "T_alg [s]", "T_exec [s]", "GFLOPS/s"
+    )];
+    let flops = reference::total_flops(&spec, &c.size) as f64;
+    for tiles in [a, b] {
+        let pred = predict(&params, &c.size, &tiles);
+        let launch = empirical_launch(spec.dim, &tiles);
+        let meas = TilingPlan::build(&spec, &c.size, tiles, launch)
+            .ok()
+            .and_then(|plan| simulate(&c.device, &Workload::from_plan(&plan)).ok())
+            .map(|r| r.total_time);
+        lines.push(format!(
+            "{:>24} {:>14.6} {:>14} {:>10}",
+            format!("({},{:?})", tiles.t_t, &tiles.t_s[..spec.dim.rank()]),
+            pred.talg,
+            meas.map_or("n/a".into(), |t| format!("{t:.6}")),
+            meas.map_or("n/a".into(), |t| format!("{:.1}", flops / t / 1e9)),
+        ));
+    }
+    Ok(lines.join(
+        "
+",
+    ))
+}
+
+/// `trace`: render the two-pipe schedule of one kernel as per-SM lanes.
+pub fn cmd_trace(
+    c: &CommonArgs,
+    tiles: TileSizes,
+    launch: LaunchConfig,
+    kernel: usize,
+) -> Result<String, String> {
+    use gpu_sim::{trace_kernel, TracePipe};
+    let spec = c.kind.spec();
+    let plan = TilingPlan::build(&spec, &c.size, tiles, launch)?;
+    let wl = Workload::from_plan(&plan);
+    if kernel >= wl.kernels.len() {
+        return Err(format!(
+            "kernel {kernel} out of range (plan has {})",
+            wl.kernels.len()
+        ));
+    }
+    let trace = trace_kernel(&c.device, &wl, kernel).map_err(|e| e.to_string())?;
+    let width = 72usize;
+    let span = trace.makespan.max(1e-30);
+    let mut out = format!(
+        "kernel {kernel}: k = {}, makespan = {:.4e} s, {} segments\n",
+        trace.k,
+        trace.makespan,
+        trace.events.len()
+    );
+    // One mem lane and one comp lane per SM that has events.
+    let mut sms: Vec<usize> = trace.events.iter().map(|e| e.sm).collect();
+    sms.sort_unstable();
+    sms.dedup();
+    for sm in sms.into_iter().take(8) {
+        for (pipe, label) in [(TracePipe::Mem, "mem "), (TracePipe::Comp, "comp")] {
+            let mut lane = vec![' '; width];
+            for e in trace.events.iter().filter(|e| e.sm == sm && e.pipe == pipe) {
+                let a = ((e.start / span) * (width - 1) as f64).round() as usize;
+                let b = ((e.end / span) * (width - 1) as f64).round() as usize;
+                let ch = char::from(b'0' + (e.block % 10) as u8);
+                for cell in lane.iter_mut().take(b.min(width - 1) + 1).skip(a) {
+                    *cell = ch;
+                }
+            }
+            out.push_str(&format!(
+                "  SM{sm:<2} {label} |{}|\n",
+                lane.iter().collect::<String>()
+            ));
+        }
+    }
+    out.push_str("  (digits = co-resident block index within the wave; 8 SMs shown)");
+    Ok(out)
+}
+
+/// Top-level usage text.
+pub const USAGE: &str =
+    "stencil-tune — analytical time modeling and tile-size selection for GPGPU stencils
+
+USAGE:
+  stencil-tune predict  --stencil K --size S --tile T [--device D] [--samples N]
+  stencil-tune simulate --stencil K --size S --tile T --threads N [--device D]
+  stencil-tune analyze  --stencil K --size S --tile T [--device D]
+  stencil-tune tune     --stencil K --size S [--device D] [--samples N]
+  stencil-tune params   --stencil K --size S [--device D] [--samples N]
+  stencil-tune compare  --stencil K --size S --tile T --tile2 T [--device D]
+  stencil-tune trace    --stencil K --size S --tile T [--threads N] [--kernel I] [--device D]
+
+  K: jacobi1d|jacobi2d|heat2d|laplacian2d|gradient2d|jacobi3d|heat3d|laplacian3d
+  S: extents like 4096x4096xT1024 (space dims, then time)
+  T: tile sizes like 8,16,128 (t_T first, then t_S1..)
+  N: thread shape like 1,128
+  D: gtx980 (default) or titanx";
+
+/// Run the CLI against an argument vector; returns the output text.
+pub fn run(args: &[String]) -> Result<String, String> {
+    let Some(cmd) = args.first() else {
+        return Ok(USAGE.to_string());
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "predict" => {
+            let flags = parse_flags(rest, &["stencil", "size", "tile", "device", "samples"])?;
+            let c = common_args(&flags)?;
+            let tiles = parse_tiles(
+                flags.get("tile").ok_or("--tile is required")?,
+                c.kind.spec().dim,
+            )?;
+            cmd_predict(&c, tiles)
+        }
+        "simulate" => {
+            let flags = parse_flags(
+                rest,
+                &["stencil", "size", "tile", "threads", "device", "samples"],
+            )?;
+            let c = common_args(&flags)?;
+            let dim = c.kind.spec().dim;
+            let tiles = parse_tiles(flags.get("tile").ok_or("--tile is required")?, dim)?;
+            let launch = match flags.get("threads") {
+                Some(t) => parse_threads(t, dim)?,
+                None => empirical_launch(dim, &tiles),
+            };
+            cmd_simulate(&c, tiles, launch)
+        }
+        "analyze" => {
+            let flags = parse_flags(rest, &["stencil", "size", "tile", "device", "samples"])?;
+            let c = common_args(&flags)?;
+            let tiles = parse_tiles(
+                flags.get("tile").ok_or("--tile is required")?,
+                c.kind.spec().dim,
+            )?;
+            cmd_analyze(&c, tiles)
+        }
+        "tune" => {
+            let flags = parse_flags(rest, &["stencil", "size", "device", "samples"])?;
+            let c = common_args(&flags)?;
+            cmd_tune(&c)
+        }
+        "trace" => {
+            let flags = parse_flags(
+                rest,
+                &[
+                    "stencil", "size", "tile", "threads", "kernel", "device", "samples",
+                ],
+            )?;
+            let c = common_args(&flags)?;
+            let dim = c.kind.spec().dim;
+            let tiles = parse_tiles(flags.get("tile").ok_or("--tile is required")?, dim)?;
+            let launch = match flags.get("threads") {
+                Some(t) => parse_threads(t, dim)?,
+                None => empirical_launch(dim, &tiles),
+            };
+            let kernel = flags.get("kernel").map_or(Ok(1usize), |k| {
+                k.parse().map_err(|_| "bad --kernel".to_string())
+            })?;
+            cmd_trace(&c, tiles, launch, kernel)
+        }
+        "params" => {
+            let flags = parse_flags(rest, &["stencil", "size", "device", "samples"])?;
+            let c = common_args(&flags)?;
+            cmd_params(&c)
+        }
+        "compare" => {
+            let flags = parse_flags(
+                rest,
+                &["stencil", "size", "tile", "tile2", "device", "samples"],
+            )?;
+            let c = common_args(&flags)?;
+            let dim = c.kind.spec().dim;
+            let a = parse_tiles(flags.get("tile").ok_or("--tile is required")?, dim)?;
+            let b = parse_tiles(flags.get("tile2").ok_or("--tile2 is required")?, dim)?;
+            cmd_compare(&c, a, b)
+        }
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_sizes_tiles_threads() {
+        let size = parse_size("4096x2048xT512", StencilDim::D2).unwrap();
+        assert_eq!(size.space[0], 4096);
+        assert_eq!(size.space[1], 2048);
+        assert_eq!(size.time, 512);
+        // T marker optional.
+        assert_eq!(parse_size("64x32", StencilDim::D1).unwrap().time, 32);
+        let tiles = parse_tiles("8,16,128", StencilDim::D2).unwrap();
+        assert_eq!((tiles.t_t, tiles.t_s[0], tiles.t_s[1]), (8, 16, 128));
+        let th = parse_threads("1,128", StencilDim::D2).unwrap();
+        assert_eq!(th.threads, [1, 128, 1]);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_size("4096xT512", StencilDim::D2).is_err());
+        assert!(parse_tiles("7,16,128", StencilDim::D2).is_err()); // odd t_T
+        assert!(parse_tiles("8,16", StencilDim::D2).is_err());
+        assert!(parse_threads("1,128,1", StencilDim::D2).is_err());
+        assert!(parse_stencil("jacobi4d").is_err());
+        assert!(parse_device("voodoo2").is_err());
+    }
+
+    #[test]
+    fn flag_parser_rejects_unknown() {
+        let args = sv(&["--stencil", "jacobi2d", "--frobnicate", "yes"]);
+        assert!(parse_flags(&args, &["stencil"]).is_err());
+        let args = sv(&["--stencil"]);
+        assert!(parse_flags(&args, &["stencil"]).is_err());
+    }
+
+    #[test]
+    fn predict_and_simulate_run() {
+        let out = run(&sv(&[
+            "predict",
+            "--stencil",
+            "jacobi2d",
+            "--size",
+            "1024x1024xT128",
+            "--tile",
+            "8,8,128",
+            "--samples",
+            "6",
+        ]))
+        .unwrap();
+        assert!(out.contains("T_alg"), "{out}");
+        let out = run(&sv(&[
+            "simulate",
+            "--stencil",
+            "jacobi2d",
+            "--size",
+            "1024x1024xT128",
+            "--tile",
+            "8,8,128",
+            "--threads",
+            "1,128",
+        ]))
+        .unwrap();
+        assert!(out.contains("GFLOPS"), "{out}");
+    }
+
+    #[test]
+    fn analyze_runs() {
+        let out = run(&sv(&[
+            "analyze",
+            "--stencil",
+            "heat3d",
+            "--size",
+            "96x96x96xT32",
+            "--tile",
+            "8,4,2,32",
+        ]))
+        .unwrap();
+        assert!(out.contains("iterations/word"), "{out}");
+    }
+
+    #[test]
+    fn params_and_compare_run() {
+        let out = run(&sv(&[
+            "params",
+            "--stencil",
+            "jacobi2d",
+            "--size",
+            "512x512xT64",
+            "--samples",
+            "4",
+        ]))
+        .unwrap();
+        assert!(out.contains("Citer"), "{out}");
+        let out = run(&sv(&[
+            "compare",
+            "--stencil",
+            "jacobi2d",
+            "--size",
+            "512x512xT64",
+            "--tile",
+            "8,8,128",
+            "--tile2",
+            "4,32,32",
+            "--samples",
+            "4",
+        ]))
+        .unwrap();
+        assert!(out.contains("T_exec"), "{out}");
+    }
+
+    #[test]
+    fn trace_renders_lanes() {
+        let out = run(&sv(&[
+            "trace",
+            "--stencil",
+            "jacobi2d",
+            "--size",
+            "512x512xT32",
+            "--tile",
+            "8,8,128",
+            "--kernel",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("SM0"), "{out}");
+        assert!(out.contains("makespan"), "{out}");
+    }
+
+    #[test]
+    fn no_args_prints_usage() {
+        assert!(run(&[]).unwrap().contains("USAGE"));
+        assert!(run(&sv(&["bogus"])).is_err());
+    }
+}
