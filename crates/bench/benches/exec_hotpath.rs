@@ -1,0 +1,97 @@
+//! Executor hot-path benchmarks: the three storage/kernel configurations
+//! of the tiled executor (seed baseline, rolling window only, rolling
+//! window + row kernels) and the memoized vs cold strategy evaluation.
+//! Companion to `experiments --bench-exec`, which times the same paths on
+//! larger workloads and persists `BENCH_exec.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_sim::DeviceConfig;
+use hhc_tiling::{run_tiled_with, ExecOptions, TileSizes};
+use microbench::measured_params_sampled;
+use std::hint::black_box;
+use stencil_core::{init, ProblemSize, StencilKind};
+use tile_opt::strategy::{baseline_points, evaluate_points, EvalCache, StrategyContext};
+use tile_opt::SpaceConfig;
+use time_model::ModelParams;
+
+fn bench_exec_paths(c: &mut Criterion) {
+    let spec = StencilKind::Jacobi2D.spec();
+    let size = ProblemSize::new_2d(256, 256, 32);
+    let tiles = TileSizes::new_2d(8, 32, 128);
+    let grid = init::random(size.space_extents(), 0x42);
+
+    let mut g = c.benchmark_group("exec_hotpath");
+    g.sample_size(10);
+    // Seed implementation: full space-time storage, generic per-point loop.
+    g.bench_function("jacobi2d_generic_full_storage", |b| {
+        b.iter(|| {
+            let (out, _) =
+                run_tiled_with(&spec, &size, tiles, &grid, ExecOptions::BASELINE).unwrap();
+            black_box(out.len())
+        })
+    });
+    // Rolling window alone (storage win, same arithmetic path).
+    let window_only = ExecOptions {
+        checked: false,
+        rolling_window: true,
+        row_kernels: false,
+    };
+    g.bench_function("jacobi2d_generic_rolling_window", |b| {
+        b.iter(|| {
+            let (out, _) = run_tiled_with(&spec, &size, tiles, &grid, window_only).unwrap();
+            black_box(out.len())
+        })
+    });
+    // The full fast path: rolling window + specialized row kernels.
+    g.bench_function("jacobi2d_row_kernel_rolling_window", |b| {
+        b.iter(|| {
+            let (out, _) = run_tiled_with(&spec, &size, tiles, &grid, ExecOptions::FAST).unwrap();
+            black_box(out.len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_strategy_memoization(c: &mut Criterion) {
+    let device = DeviceConfig::gtx980();
+    let spec = StencilKind::Jacobi2D.spec();
+    let size = ProblemSize::new_2d(512, 512, 128);
+    let measured = measured_params_sampled(&device, spec.kind, 8, 3);
+    let params = ModelParams::from_measured(&device, &measured);
+    let space = SpaceConfig::default();
+    let points = baseline_points(&device, spec.dim, &space);
+
+    let mut g = c.benchmark_group("strategy_eval");
+    g.sample_size(10);
+    // Cold: a fresh cache every iteration — every point simulates.
+    g.bench_function("baseline_850_cold", |b| {
+        b.iter(|| {
+            let ctx = StrategyContext {
+                device: &device,
+                params: &params,
+                spec: &spec,
+                size: &size,
+                space: &space,
+                cache: EvalCache::new(),
+            };
+            black_box(evaluate_points(&ctx, &points).len())
+        })
+    });
+    // Memoized: one shared warm cache — every point is a hit.
+    let warm_ctx = StrategyContext {
+        device: &device,
+        params: &params,
+        spec: &spec,
+        size: &size,
+        space: &space,
+        cache: EvalCache::new(),
+    };
+    evaluate_points(&warm_ctx, &points);
+    g.bench_function("baseline_850_memoized", |b| {
+        b.iter(|| black_box(evaluate_points(&warm_ctx, &points).len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_exec_paths, bench_strategy_memoization);
+criterion_main!(benches);

@@ -39,4 +39,4 @@ pub mod stencil;
 pub use grid::Grid;
 pub use ispace::IterPoint;
 pub use problem::ProblemSize;
-pub use stencil::{Neighbor, StencilDim, StencilKind, StencilSpec};
+pub use stencil::{Neighbor, RowKernel, StencilDim, StencilKind, StencilSpec};

@@ -396,6 +396,126 @@ impl StencilSpec {
     pub fn reads_per_point(&self) -> usize {
         self.neighbors.len()
     }
+
+    /// Compile this stencil against a concrete grid shape into a
+    /// [`RowKernel`] for branch-free interior sweeps.
+    pub fn row_kernel(&self, sizes: [usize; 3]) -> RowKernel {
+        RowKernel::new(self, sizes)
+    }
+}
+
+/// A stencil specialized to one grid shape: neighbor offsets flattened to
+/// row-major index deltas so interior rows can be computed with direct
+/// slice indexing — no per-neighbor closure, no `Option` bounds check.
+///
+/// The kernel is only valid for *interior* points, where every neighbor
+/// lands inside the domain; callers clip sweeps with [`Self::off_min`] /
+/// [`Self::off_max`] and fall back to [`StencilSpec::apply`] on boundary
+/// points. Accumulation order is the neighbor declaration order with the
+/// same `acc += w · x` chain as `apply`, so results are bit-for-bit
+/// identical (rustc does not reassociate floats without fast-math).
+#[derive(Debug, Clone)]
+pub struct RowKernel {
+    /// `(flat index delta, weight)` per neighbor, declaration order.
+    taps: Vec<(isize, f32)>,
+    constant: f32,
+    /// Per-dimension minimum neighbor offset (≤ 0).
+    off_min: [i64; 3],
+    /// Per-dimension maximum neighbor offset (≥ 0).
+    off_max: [i64; 3],
+    /// The unit-stride sweep axis: the last *used* dimension (trailing
+    /// extents are 1, so its row-major stride is 1).
+    sweep_axis: usize,
+}
+
+impl RowKernel {
+    fn new(spec: &StencilSpec, sizes: [usize; 3]) -> Self {
+        let [_, n2, n3] = sizes;
+        let mut off_min = [0i64; 3];
+        let mut off_max = [0i64; 3];
+        let taps = spec
+            .neighbors
+            .iter()
+            .map(|nb| {
+                for d in 0..3 {
+                    off_min[d] = off_min[d].min(nb.offset[d]);
+                    off_max[d] = off_max[d].max(nb.offset[d]);
+                }
+                let [o1, o2, o3] = nb.offset;
+                let flat = (o1 * n2 as i64 + o2) * n3 as i64 + o3;
+                (flat as isize, nb.weight)
+            })
+            .collect();
+        RowKernel {
+            taps,
+            constant: spec.constant,
+            off_min,
+            off_max,
+            sweep_axis: spec.dim.rank() - 1,
+        }
+    }
+
+    /// Per-dimension minimum neighbor offset (≤ 0 componentwise).
+    #[inline]
+    pub fn off_min(&self) -> [i64; 3] {
+        self.off_min
+    }
+
+    /// Per-dimension maximum neighbor offset (≥ 0 componentwise).
+    #[inline]
+    pub fn off_max(&self) -> [i64; 3] {
+        self.off_max
+    }
+
+    /// The unit-stride axis this kernel sweeps (0-based space dimension).
+    #[inline]
+    pub fn sweep_axis(&self) -> usize {
+        self.sweep_axis
+    }
+
+    /// Compute `dst[i] = Σ w·src[i + Δ] + c` for every flat index
+    /// `i ∈ [lo, hi]`. All points must be interior: every `i + Δ` must be
+    /// a valid index of `src` (panics on out-of-range in debug and release
+    /// via slice indexing — never reads out of bounds).
+    #[inline]
+    pub fn apply_span(&self, src: &[f32], dst: &mut [f32], lo: usize, hi: usize) {
+        // Dispatch to a fixed-arity loop so LLVM fully unrolls the tap
+        // reduction for the common neighborhood sizes (3/5/7/9-point).
+        match self.taps.len() {
+            3 => span_fixed::<3>(&self.taps, self.constant, src, dst, lo, hi),
+            5 => span_fixed::<5>(&self.taps, self.constant, src, dst, lo, hi),
+            7 => span_fixed::<7>(&self.taps, self.constant, src, dst, lo, hi),
+            9 => span_fixed::<9>(&self.taps, self.constant, src, dst, lo, hi),
+            _ => {
+                for i in lo..=hi {
+                    let mut acc = 0.0f32;
+                    for &(d, w) in &self.taps {
+                        acc += w * src[(i as isize + d) as usize];
+                    }
+                    dst[i] = acc + self.constant;
+                }
+            }
+        }
+    }
+}
+
+#[inline]
+fn span_fixed<const N: usize>(
+    taps: &[(isize, f32)],
+    constant: f32,
+    src: &[f32],
+    dst: &mut [f32],
+    lo: usize,
+    hi: usize,
+) {
+    let taps: [(isize, f32); N] = taps.try_into().expect("arity dispatch matches");
+    for i in lo..=hi {
+        let mut acc = 0.0f32;
+        for (d, w) in taps {
+            acc += w * src[(i as isize + d) as usize];
+        }
+        dst[i] = acc + constant;
+    }
 }
 
 #[cfg(test)]
@@ -534,6 +654,95 @@ mod tests {
         )
         .is_err());
         assert!(StencilSpec::convolution(StencilDim::D2, vec![], 0.0, 0).is_err());
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // indexing two slices in lockstep
+    fn row_kernel_matches_apply_on_interior() {
+        // Every benchmark stencil, on a shape exercising all strides.
+        let sizes = [6usize, 5, 4];
+        let n = sizes[0] * sizes[1] * sizes[2];
+        let src: Vec<f32> = (0..n).map(|i| (i as f32).sin()).collect();
+        for kind in StencilKind::ALL {
+            let spec = kind.spec();
+            let shape = match spec.dim {
+                StencilDim::D1 => [sizes[0], 1, 1],
+                StencilDim::D2 => [sizes[0], sizes[1], 1],
+                StencilDim::D3 => sizes,
+            };
+            let len = shape[0] * shape[1] * shape[2];
+            let k = spec.row_kernel(shape);
+            assert_eq!(k.sweep_axis(), spec.dim.rank() - 1);
+            let mut dst = vec![0.0f32; len];
+            // Interior box: clip every dimension by the offsets.
+            let lo: Vec<i64> = (0..3).map(|d| -k.off_min()[d]).collect();
+            let hi: Vec<i64> = (0..3)
+                .map(|d| shape[d] as i64 - 1 - k.off_max()[d])
+                .collect();
+            for s1 in lo[0]..=hi[0] {
+                for s2 in lo[1]..=hi[1] {
+                    let base = ((s1 * shape[1] as i64 + s2) * shape[2] as i64) as usize;
+                    let (a, b) = if spec.dim.rank() == 3 {
+                        (base + lo[2] as usize, base + hi[2] as usize)
+                    } else if spec.dim.rank() == 2 {
+                        // Sweep axis is s2: one span per s1 instead.
+                        continue;
+                    } else {
+                        continue;
+                    };
+                    k.apply_span(&src[..len], &mut dst, a, b);
+                    for i in a..=b {
+                        let s3 = (i - base) as i64;
+                        let expect = spec.apply(|off| {
+                            let p = [s1 + off[0], s2 + off[1], s3 + off[2]];
+                            let fi = (p[0] * shape[1] as i64 + p[1]) * shape[2] as i64 + p[2];
+                            src[fi as usize]
+                        });
+                        assert_eq!(expect.to_bits(), dst[i].to_bits(), "{}", kind.name());
+                    }
+                }
+            }
+            // 1D/2D sweeps: span along the last used axis.
+            if spec.dim.rank() < 3 {
+                let axis = k.sweep_axis();
+                let outer_hi = if spec.dim.rank() == 2 { hi[0] } else { 0 };
+                let outer_lo = if spec.dim.rank() == 2 { lo[0] } else { 0 };
+                for s_outer in outer_lo..=outer_hi {
+                    let base = if axis == 1 {
+                        (s_outer * shape[1] as i64) as usize
+                    } else {
+                        0
+                    };
+                    let (a, b) = (base + lo[axis] as usize, base + hi[axis] as usize);
+                    k.apply_span(&src[..len], &mut dst, a, b);
+                    for i in a..=b {
+                        let s_ax = (i - base) as i64;
+                        let expect = spec.apply(|off| {
+                            let p = if axis == 1 {
+                                [s_outer, s_ax, 0]
+                            } else {
+                                [s_ax, 0, 0]
+                            };
+                            let q = [p[0] + off[0], p[1] + off[1], p[2] + off[2]];
+                            let fi = (q[0] * shape[1] as i64 + q[1]) * shape[2] as i64 + q[2];
+                            src[fi as usize]
+                        });
+                        assert_eq!(expect.to_bits(), dst[i].to_bits(), "{}", kind.name());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_kernel_offsets_cover_neighborhood() {
+        let k = StencilKind::Gradient2D.spec().row_kernel([16, 16, 1]);
+        assert_eq!(k.off_min(), [-1, -1, 0]);
+        assert_eq!(k.off_max(), [1, 1, 0]);
+        assert_eq!(k.sweep_axis(), 1);
+        let k3 = StencilKind::Heat3D.spec().row_kernel([8, 8, 8]);
+        assert_eq!(k3.off_min(), [-1, -1, -1]);
+        assert_eq!(k3.sweep_axis(), 2);
     }
 
     #[test]

@@ -1,0 +1,232 @@
+//! `--bench-exec`: wall-clock benchmark of the tiled executor's fast path
+//! (rolling-window storage + specialized row kernels) against the
+//! full-storage generic baseline, plus the memoized vs cold strategy
+//! evaluation pipeline.
+//!
+//! Writes `BENCH_exec.json` at the repository root. Every timed
+//! configuration is also checked for bit-identical results across paths,
+//! so a reported speedup can never come from computing something else.
+
+use crate::context::{ExperimentScale, Lab};
+use hhc_tiling::{rolling_window_depth, run_tiled_with, ExecOptions, TileSizes};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+use stencil_core::{init, ProblemSize, StencilKind};
+use tile_opt::strategy::{baseline_points, evaluate_points, EvalCache, StrategyContext};
+use tile_opt::SpaceConfig;
+
+/// One executor comparison row: baseline vs fast path on one workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExecBenchRow {
+    pub benchmark: String,
+    pub size: String,
+    pub tiles: TileSizes,
+    /// Seconds, best of `reps`, full-storage generic path
+    /// ([`ExecOptions::BASELINE`] — the seed implementation).
+    pub baseline_s: f64,
+    /// Seconds, best of `reps`, rolling-window + row kernels
+    /// ([`ExecOptions::FAST`]).
+    pub fast_s: f64,
+    /// `baseline_s / fast_s`.
+    pub speedup: f64,
+    /// Physical planes the baseline held resident (`T + 1`).
+    pub baseline_resident_planes: usize,
+    /// Physical planes the fast path held resident (`min(t_t+1, T+1)`).
+    pub fast_resident_planes: usize,
+    /// Fraction of points the fast path computed with the row kernel.
+    pub kernel_point_fraction: f64,
+    /// Both paths produced bit-identical grids (always asserted).
+    pub bit_identical: bool,
+}
+
+/// Memoized vs cold strategy-evaluation timing.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MemoBenchRow {
+    pub points: usize,
+    /// Seconds for the first (cold-cache) evaluation.
+    pub cold_s: f64,
+    /// Seconds re-evaluating the same set against the warm cache.
+    pub warm_s: f64,
+    /// `cold_s / warm_s`.
+    pub speedup: f64,
+    pub cache_hits: u64,
+}
+
+/// The full `--bench-exec` report, serialized to `BENCH_exec.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExecBenchReport {
+    pub scale: String,
+    pub threads: usize,
+    pub exec: Vec<ExecBenchRow>,
+    pub memo: MemoBenchRow,
+}
+
+fn time_best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        out = Some(r);
+    }
+    (best, out.expect("reps >= 1"))
+}
+
+fn bench_one(kind: StencilKind, size: ProblemSize, tiles: TileSizes, reps: usize) -> ExecBenchRow {
+    let spec = kind.spec();
+    let grid = init::random(size.space_extents(), 0x42);
+    let (baseline_s, (base_grid, base_stats)) = time_best_of(reps, || {
+        run_tiled_with(&spec, &size, tiles, &grid, ExecOptions::BASELINE).expect("baseline run")
+    });
+    let (fast_s, (fast_grid, fast_stats)) = time_best_of(reps, || {
+        run_tiled_with(&spec, &size, tiles, &grid, ExecOptions::FAST).expect("fast run")
+    });
+    let identical = base_grid.max_abs_diff(&fast_grid) == 0.0;
+    assert!(
+        identical,
+        "{}: fast path diverged from baseline",
+        kind.name()
+    );
+    assert_eq!(
+        fast_stats.resident_planes,
+        rolling_window_depth(tiles, &size)
+    );
+    let total = (fast_stats.kernel_points + fast_stats.generic_points) as f64;
+    ExecBenchRow {
+        benchmark: kind.name().to_string(),
+        size: size.label(),
+        tiles,
+        baseline_s,
+        fast_s,
+        speedup: baseline_s / fast_s,
+        baseline_resident_planes: base_stats.resident_planes,
+        fast_resident_planes: fast_stats.resident_planes,
+        kernel_point_fraction: fast_stats.kernel_points as f64 / total,
+        bit_identical: identical,
+    }
+}
+
+/// The executor workloads per scale. The 2D Jacobi row is the headline
+/// comparison; the 3D row exercises the strided-row kernel path.
+fn workloads(scale: ExperimentScale) -> Vec<(StencilKind, ProblemSize, TileSizes, usize)> {
+    match scale {
+        ExperimentScale::Paper => vec![
+            (
+                StencilKind::Jacobi2D,
+                ProblemSize::new_2d(2048, 2048, 128),
+                TileSizes::new_2d(8, 32, 256),
+                3,
+            ),
+            (
+                StencilKind::Heat3D,
+                ProblemSize::new_3d(128, 128, 128, 64),
+                TileSizes::new_3d(8, 8, 8, 64),
+                3,
+            ),
+        ],
+        ExperimentScale::Reduced => vec![
+            (
+                StencilKind::Jacobi2D,
+                ProblemSize::new_2d(1024, 1024, 64),
+                TileSizes::new_2d(8, 32, 256),
+                3,
+            ),
+            (
+                StencilKind::Heat3D,
+                ProblemSize::new_3d(64, 64, 64, 32),
+                TileSizes::new_3d(8, 8, 8, 64),
+                3,
+            ),
+        ],
+        ExperimentScale::Smoke => vec![(
+            StencilKind::Jacobi2D,
+            ProblemSize::new_2d(256, 256, 32),
+            TileSizes::new_2d(8, 32, 128),
+            2,
+        )],
+    }
+}
+
+/// Time cold vs memoized evaluation of the 850-point baseline set.
+fn bench_memo(lab: &Lab) -> MemoBenchRow {
+    let device = &lab.devices[0];
+    let kind = StencilKind::Jacobi2D;
+    let spec = kind.spec();
+    let size = ProblemSize::new_2d(1024, 1024, 256);
+    let params = lab.model_params(device, kind);
+    let space = SpaceConfig::default();
+    let ctx = StrategyContext {
+        device,
+        params: &params,
+        spec: &spec,
+        size: &size,
+        space: &space,
+        cache: EvalCache::new(),
+    };
+    let points = baseline_points(device, spec.dim, &space);
+    let t0 = Instant::now();
+    let cold = evaluate_points(&ctx, &points);
+    let cold_s = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let warm = evaluate_points(&ctx, &points);
+    let warm_s = t1.elapsed().as_secs_f64();
+    assert_eq!(cold, warm, "memoized evaluation changed results");
+    MemoBenchRow {
+        points: points.len(),
+        cold_s,
+        warm_s,
+        speedup: cold_s / warm_s,
+        cache_hits: ctx.cache.hits(),
+    }
+}
+
+/// Run the full executor benchmark and return the report.
+pub fn bench_exec(lab: &Lab) -> ExecBenchReport {
+    let mut exec = Vec::new();
+    for (kind, size, tiles, reps) in workloads(lab.scale) {
+        let row = bench_one(kind, size, tiles, reps);
+        println!(
+            "  {:10} {:16} baseline {:8.3}s  fast {:8.3}s  speedup {:5.2}x  planes {} -> {}  kernel {:.1}%",
+            row.benchmark,
+            row.size,
+            row.baseline_s,
+            row.fast_s,
+            row.speedup,
+            row.baseline_resident_planes,
+            row.fast_resident_planes,
+            100.0 * row.kernel_point_fraction
+        );
+        exec.push(row);
+    }
+    let memo = bench_memo(lab);
+    println!(
+        "  strategy eval ({} points): cold {:.3}s  memoized {:.4}s  speedup {:.0}x  hits {}",
+        memo.points, memo.cold_s, memo.warm_s, memo.speedup, memo.cache_hits
+    );
+    ExecBenchReport {
+        scale: lab.scale.label().to_string(),
+        threads: rayon::current_num_threads(),
+        exec,
+        memo,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_bench_rows_are_consistent() {
+        let lab = Lab::new(ExperimentScale::Smoke);
+        let report = bench_exec(&lab);
+        assert_eq!(report.scale, "smoke");
+        assert!(!report.exec.is_empty());
+        for row in &report.exec {
+            assert!(row.bit_identical);
+            assert!(row.fast_resident_planes <= row.baseline_resident_planes);
+            assert!(row.kernel_point_fraction > 0.5, "{row:?}");
+        }
+        assert_eq!(report.memo.cache_hits as usize, report.memo.points);
+    }
+}

@@ -24,7 +24,7 @@ use stencil_core::{reference, StencilDim, StencilKind};
 use tile_opt::strategy::{study, Strategy, StrategyContext};
 use tile_opt::{
     baseline_points, coordinate_descent, evaluate_points, feasible_tiles, model_sweep,
-    simulated_annealing, talg_min, SpaceConfig,
+    simulated_annealing, talg_min, EvalCache, SpaceConfig,
 };
 use time_model::predict_refined;
 
@@ -63,6 +63,7 @@ pub fn model_variant_ablation(lab: &Lab) -> Vec<VariantRow> {
                 spec: &spec,
                 size: &size,
                 space: &space,
+                cache: EvalCache::new(),
             };
             let points = baseline_points(device, spec.dim, &space);
             let evals = evaluate_points(&ctx, &points);
@@ -210,6 +211,7 @@ pub fn time_tiling_comparison(lab: &Lab) -> Vec<TimeTilingRow> {
                 spec: &spec,
                 size: &size,
                 space: &space,
+                cache: EvalCache::new(),
             };
             let st = study(&ctx, false);
             let hhc_time = st
@@ -295,6 +297,7 @@ pub fn machine_effect_ablation(lab: &Lab) -> Vec<EffectRow> {
             spec: &spec,
             size: &size,
             space: &space,
+            cache: EvalCache::new(),
         };
         let points = baseline_points(&device, spec.dim, &space);
         let evals = evaluate_points(&ctx, &points);

@@ -7,7 +7,7 @@ use hhc_tiling::TileSizes;
 use serde::{Deserialize, Serialize};
 use stencil_core::{ProblemSize, StencilDim, StencilKind};
 use tile_opt::strategy::{study, Strategy, StrategyContext, Study};
-use tile_opt::{baseline_points, evaluate_points, Evaluated, SpaceConfig};
+use tile_opt::{baseline_points, evaluate_points, EvalCache, Evaluated, SpaceConfig};
 
 /// One (device, benchmark, size) validation experiment — a point set of
 /// the paper's Figure 3 plus the §5.3 RMSE numbers.
@@ -51,6 +51,7 @@ pub fn validate_one_full(
         spec: &spec,
         size,
         space,
+        cache: EvalCache::new(),
     };
     let points = baseline_points(device, spec.dim, space);
     let evals = evaluate_points(&ctx, &points);
@@ -264,6 +265,7 @@ pub fn figure5(lab: &Lab) -> Fig5Result {
         spec: &spec,
         size: &size,
         space: &space,
+        cache: EvalCache::new(),
     };
     let st = study(&ctx, false);
     let baseline = rmse::pairs(&st.baseline);
@@ -352,6 +354,7 @@ pub fn figure6_for(
                     spec: &spec,
                     size,
                     space: &space,
+                    cache: EvalCache::new(),
                 };
                 let st: Study = study(&ctx, exhaustive);
                 let mut detail = Fig6Detail {

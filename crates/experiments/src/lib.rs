@@ -15,6 +15,7 @@
 //! | §6.1 solver comparison                  | [`extensions::solver_comparison`] | `--solver` |
 //! | time tiling vs wavefront-parallel       | [`extensions::time_tiling_comparison`] | `--compare-wavefront` |
 //! | model-variant + machine ablations       | [`extensions::model_variant_ablation`], [`extensions::machine_effect_ablation`] | `--ablation` |
+//! | executor fast-path + memoization bench  | [`bench::bench_exec`] | `--bench-exec` |
 //!
 //! Every experiment runs at the paper's exact problem sizes by default
 //! (`--scale paper`); `--scale reduced` shrinks the size grids (same
@@ -23,6 +24,7 @@
 //! `EXPERIMENTS.md` records paper-vs-measured values.
 
 pub mod ascii;
+pub mod bench;
 pub mod context;
 pub mod extensions;
 pub mod figures;

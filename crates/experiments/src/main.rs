@@ -4,7 +4,7 @@
 //! experiments [--all] [--table2] [--table3] [--table4]
 //!             [--fig3] [--fig4] [--fig5] [--fig6]
 //!             [--scale paper|reduced|smoke] [--dims 2d|3d|all]
-//!             [--exhaustive] [--out DIR]
+//!             [--exhaustive] [--threads N] [--bench-exec] [--out DIR]
 //! ```
 
 use experiments::context::{ExperimentScale, Lab};
@@ -16,6 +16,8 @@ struct Args {
     ablation: bool,
     solver: bool,
     wavefront: bool,
+    bench_exec: bool,
+    threads: Option<usize>,
     table2: bool,
     table3: bool,
     table4: bool,
@@ -34,6 +36,8 @@ fn parse_args() -> Result<Args, String> {
         ablation: false,
         solver: false,
         wavefront: false,
+        bench_exec: false,
+        threads: None,
         table2: false,
         table3: false,
         table4: false,
@@ -101,6 +105,20 @@ fn parse_args() -> Result<Args, String> {
                 args.wavefront = true;
                 any = true;
             }
+            "--bench-exec" => {
+                args.bench_exec = true;
+                any = true;
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("invalid thread count '{v}'"))?;
+                if n == 0 {
+                    return Err("--threads must be >= 1".into());
+                }
+                args.threads = Some(n);
+            }
             "--scale" => {
                 let v = it.next().ok_or("--scale needs a value")?;
                 args.scale = ExperimentScale::parse(&v).ok_or(format!("unknown scale '{v}'"))?;
@@ -150,6 +168,10 @@ fn print_help() {
            --ablation            model-variant + machine-effect ablations (extensions)\n\
            --solver              heuristic solvers vs exhaustive sweep (Section 6.1)\n\
            --compare-wavefront   time tiling vs classic wavefront-parallel schedule\n\
+           --bench-exec          executor fast-path + memoization benchmark (writes BENCH_exec.json)\n\
+           --threads N           size the global rayon pool (default: all cores);\n\
+                                 results are bit-identical for any N — parallel maps\n\
+                                 preserve input order, so thread count only affects speed\n\
            --out DIR             output directory (default: results)"
     );
 }
@@ -162,9 +184,26 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if let Some(n) = args.threads {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build_global()
+            .expect("configure global thread pool");
+    }
     let lab = Lab::new(args.scale);
     let results = Results::new(&args.out).expect("create output directory");
     let scale = args.scale.label();
+
+    if args.bench_exec {
+        println!(
+            "\n=== Executor benchmark: rolling window + row kernels vs seed baseline (scale: {scale}, {} threads) ===",
+            rayon::current_num_threads()
+        );
+        let report = experiments::bench::bench_exec(&lab);
+        let json = serde_json::to_string_pretty(&report).expect("serialize bench report");
+        std::fs::write("BENCH_exec.json", json).expect("write BENCH_exec.json");
+        println!("  report written to BENCH_exec.json");
+    }
 
     if args.table2 {
         let rows = tables::table2(&lab);

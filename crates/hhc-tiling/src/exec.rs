@@ -17,7 +17,79 @@
 use crate::config::TileSizes;
 use crate::hex::{HexTiling, TileId};
 use crate::inner::SkewedAxis;
-use stencil_core::{Grid, ProblemSize, StencilSpec};
+use stencil_core::{Grid, ProblemSize, RowKernel, StencilSpec};
+
+/// Knobs for [`run_tiled_with`]: dependence checking, rolling-window
+/// storage, and specialized row kernels.
+///
+/// The presets cover the three executions the workspace needs; mixing
+/// `checked` with `rolling_window` is rejected (checking requires the full
+/// write history).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Track and validate every read's producer (memory: `O(T·N)`).
+    pub checked: bool,
+    /// Store only a ring of `min(t_t + 1, T + 1)` planes instead of all
+    /// `T + 1` (legal for unchecked runs; see [`rolling_window_depth`]).
+    pub rolling_window: bool,
+    /// Sweep interior rows with the specialized [`RowKernel`] instead of
+    /// the generic per-point path.
+    pub row_kernels: bool,
+}
+
+impl ExecOptions {
+    /// Full space-time storage with dependence checking (the validator).
+    pub const CHECKED: ExecOptions = ExecOptions {
+        checked: true,
+        rolling_window: false,
+        row_kernels: false,
+    };
+    /// Rolling-window storage + row kernels (the fast path).
+    pub const FAST: ExecOptions = ExecOptions {
+        checked: false,
+        rolling_window: true,
+        row_kernels: true,
+    };
+    /// Unchecked but with full storage and the generic per-point path —
+    /// the seed implementation, kept as the `--bench-exec` baseline.
+    pub const BASELINE: ExecOptions = ExecOptions {
+        checked: false,
+        rolling_window: false,
+        row_kernels: false,
+    };
+}
+
+/// Observability for one tiled execution: storage footprint and which
+/// compute path produced each point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecStats {
+    /// Physical `f32` planes allocated (the ring depth for rolling-window
+    /// runs, `T + 1` otherwise).
+    pub resident_planes: usize,
+    /// Logical planes of the full space-time array (`T + 1`).
+    pub logical_planes: usize,
+    /// Points computed by the specialized row kernel.
+    pub kernel_points: u64,
+    /// Points computed by the generic per-point path (boundary rows,
+    /// checked mode).
+    pub generic_points: u64,
+}
+
+/// The plane-ring depth an unchecked rolling-window execution allocates:
+/// `min(t_t + 1, T + 1)`.
+///
+/// Why `t_t + 1` suffices: wavefronts execute in non-decreasing order of
+/// their clipped low time `t_lo`, and a wavefront's rows span at most
+/// `t_t` time levels, touching logical planes `[t_lo, t_hi + 1]` — at most
+/// `t_t + 1` distinct planes, which map to distinct ring slots. A write to
+/// plane `q` aliases slot `q − d`; any later read of plane `q − d` would
+/// belong to a wavefront with `t_lo ≤ q − d − 1 + 1 − t_t < t_lo` of the
+/// writer — contradiction with the monotone wavefront order. See the
+/// rolling-window property tests for the executable version of this
+/// argument.
+pub fn rolling_window_depth(tiles: TileSizes, size: &ProblemSize) -> usize {
+    (tiles.t_t + 1).min(size.time + 1)
+}
 
 /// A dependence violation discovered during checked tiled execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,24 +110,33 @@ impl std::fmt::Display for DependenceViolation {
     }
 }
 
-/// Space-time state: one plane per time step `0..=T`, plus (optionally)
-/// the id of the tile that wrote each cell, for dependence checking.
+/// Space-time state, plus (optionally) the id of the tile that wrote each
+/// cell, for dependence checking.
+///
+/// Storage holds `depth` physical planes; logical plane `t` lives in slot
+/// `t mod depth`. `depth = T + 1` gives the classic full space-time array;
+/// `depth = rolling_window_depth(..)` gives the O(window) ring that makes
+/// long-`T` unchecked runs affordable. Slots are recycled without zeroing:
+/// every cell of a plane is written (exactly once) before any read of it,
+/// which is precisely the dependence property the checked mode proves.
 struct SpaceTime {
     sizes: [usize; 3],
     boundary: f32,
     planes: Vec<Vec<f32>>,
     /// `writer[t][cell] = Some(wavefront)` once written; plane 0 is
-    /// initialized with wavefront −1.
+    /// initialized with wavefront −1. Always full-depth (checked runs).
     writer: Option<Vec<Vec<i64>>>,
 }
 
 impl SpaceTime {
-    fn new(size: &ProblemSize, init: &Grid, checked: bool) -> Self {
+    fn new(size: &ProblemSize, init: &Grid, checked: bool, depth: usize) -> Self {
         let sizes = size.space_extents();
         let cells = sizes[0] * sizes[1] * sizes[2];
-        let mut planes = vec![vec![0.0f32; cells]; size.time + 1];
+        debug_assert!(depth >= 2.min(size.time + 1) && depth <= size.time + 1);
+        let mut planes = vec![vec![0.0f32; cells]; depth];
         planes[0].copy_from_slice(init.as_slice());
         let writer = checked.then(|| {
+            debug_assert_eq!(depth, size.time + 1, "checking needs full history");
             let mut w = vec![vec![i64::MIN; cells]; size.time + 1];
             w[0].iter_mut().for_each(|x| *x = -1);
             w
@@ -66,6 +147,12 @@ impl SpaceTime {
             planes,
             writer,
         }
+    }
+
+    /// Physical slot of logical plane `t`.
+    #[inline]
+    fn slot(&self, t: i64) -> usize {
+        t as usize % self.planes.len()
     }
 
     #[inline]
@@ -82,8 +169,22 @@ impl SpaceTime {
     #[inline]
     fn read(&self, t_plane: i64, s: [i64; 3]) -> f32 {
         match self.idx(s) {
-            Some(i) => self.planes[t_plane as usize][i],
+            Some(i) => self.planes[self.slot(t_plane)][i],
             None => self.boundary,
+        }
+    }
+
+    /// Split-borrow the read plane `t` and the write plane `t + 1`.
+    #[inline]
+    fn rw_planes(&mut self, t: i64) -> (&[f32], &mut [f32]) {
+        let (a, b) = (self.slot(t), self.slot(t + 1));
+        debug_assert_ne!(a, b, "ring depth must separate read/write planes");
+        if a < b {
+            let (left, right) = self.planes.split_at_mut(b);
+            (&left[a], &mut right[0])
+        } else {
+            let (left, right) = self.planes.split_at_mut(a);
+            (&right[0], &mut left[b])
         }
     }
 
@@ -100,7 +201,7 @@ impl SpaceTime {
 /// Run the tiled schedule; panics on any dependence violation.
 ///
 /// See [`try_run_tiled`] for the non-panicking variant and
-/// [`run_tiled_unchecked`] to skip the (memory-hungry) writer tracking.
+/// [`run_tiled_unchecked`] for the fast rolling-window path.
 pub fn run_tiled_checked(
     spec: &StencilSpec,
     size: &ProblemSize,
@@ -113,7 +214,9 @@ pub fn run_tiled_checked(
     }
 }
 
-/// Run the tiled schedule without dependence tracking (half the memory).
+/// Run the tiled schedule without dependence tracking, using the
+/// rolling-window plane ring and specialized row kernels
+/// ([`ExecOptions::FAST`]): memory is `O(window · N)`, not `O(T · N)`.
 pub fn run_tiled_unchecked(
     spec: &StencilSpec,
     size: &ProblemSize,
@@ -123,12 +226,24 @@ pub fn run_tiled_unchecked(
     try_run_tiled(spec, size, tiles, init, false).expect("unchecked execution cannot fail")
 }
 
+/// [`run_tiled_unchecked`] plus the execution's [`ExecStats`], so callers
+/// (and tests) can assert the storage footprint and kernel coverage.
+pub fn run_tiled_unchecked_with_stats(
+    spec: &StencilSpec,
+    size: &ProblemSize,
+    tiles: TileSizes,
+    init: &Grid,
+) -> (Grid, ExecStats) {
+    run_tiled_with(spec, size, tiles, init, ExecOptions::FAST)
+        .expect("unchecked execution cannot fail")
+}
+
 /// Run the tiled schedule over a space-time array.
 ///
 /// With `checked`, every read validates that its producer was written by
 /// an earlier wavefront or the same tile; the first violation aborts the
-/// run. Intended for validation-scale problems: memory is
-/// `O(T · S1 · S2 · S3)`.
+/// run (memory: `O(T · S1 · S2 · S3)`). Unchecked runs take the
+/// [`ExecOptions::FAST`] path.
 pub fn try_run_tiled(
     spec: &StencilSpec,
     size: &ProblemSize,
@@ -136,6 +251,27 @@ pub fn try_run_tiled(
     init: &Grid,
     checked: bool,
 ) -> Result<Grid, DependenceViolation> {
+    let opts = if checked {
+        ExecOptions::CHECKED
+    } else {
+        ExecOptions::FAST
+    };
+    run_tiled_with(spec, size, tiles, init, opts).map(|(g, _)| g)
+}
+
+/// Run the tiled schedule with explicit [`ExecOptions`], returning the
+/// result grid and the execution's [`ExecStats`].
+pub fn run_tiled_with(
+    spec: &StencilSpec,
+    size: &ProblemSize,
+    tiles: TileSizes,
+    init: &Grid,
+    opts: ExecOptions,
+) -> Result<(Grid, ExecStats), DependenceViolation> {
+    assert!(
+        !(opts.checked && opts.rolling_window),
+        "dependence checking requires the full space-time history"
+    );
     tiles.validate(spec.dim).expect("invalid tile sizes");
     assert_eq!(
         init.sizes(),
@@ -150,25 +286,50 @@ pub fn try_run_tiled(
     let ax2 = (rank >= 2).then(|| SkewedAxis::with_slope(tiles.t_s[1], size.space[1], slope));
     let ax3 = (rank >= 3).then(|| SkewedAxis::with_slope(tiles.t_s[2], size.space[2], slope));
 
-    let mut st = SpaceTime::new(size, init, checked);
+    let depth = if opts.rolling_window {
+        rolling_window_depth(tiles, size)
+    } else {
+        size.time + 1
+    };
+    let mut st = SpaceTime::new(size, init, opts.checked, depth);
+    let kernel = opts
+        .row_kernels
+        .then(|| spec.row_kernel(size.space_extents()));
+    let mut stats = ExecStats {
+        resident_planes: st.planes.len(),
+        logical_planes: size.time + 1,
+        ..ExecStats::default()
+    };
 
     for w in 0..hex.wavefront_count(size.time) {
         let (phase, q) = hex.wavefront_phase(w);
         for j in hex.wavefront_tiles(w, size.space[0], size.time) {
             let id = TileId { q, phase, j };
-            execute_tile(spec, size, &hex, ax2, ax3, id, &mut st)?;
+            execute_tile(
+                spec,
+                size,
+                &hex,
+                ax2,
+                ax3,
+                id,
+                &mut st,
+                kernel.as_ref(),
+                &mut stats,
+            )?;
         }
     }
 
     // Final plane is the result.
     let mut out = Grid::zeros(size.space_extents());
     out.set_boundary(init.boundary());
-    out.as_mut_slice().copy_from_slice(&st.planes[size.time]);
-    Ok(out)
+    let final_slot = st.slot(size.time as i64);
+    out.as_mut_slice().copy_from_slice(&st.planes[final_slot]);
+    Ok((out, stats))
 }
 
 /// Execute one hexagonal tile (thread block): walk its sub-tiles in the
 /// sequential order of the schedule, computing rows bottom-to-top.
+#[allow(clippy::too_many_arguments)]
 fn execute_tile(
     spec: &StencilSpec,
     size: &ProblemSize,
@@ -177,6 +338,8 @@ fn execute_tile(
     ax3: Option<SkewedAxis>,
     id: TileId,
     st: &mut SpaceTime,
+    kernel: Option<&RowKernel>,
+    stats: &mut ExecStats,
 ) -> Result<(), DependenceViolation> {
     let rows: Vec<_> = hex.tile_rows(id, size.space[0], size.time).collect();
     if rows.is_empty() {
@@ -184,6 +347,7 @@ fn execute_tile(
     }
     let (t_lo, t_hi) = (rows[0].t, rows[rows.len() - 1].t);
     let wf = id.wavefront();
+    let rank = spec.dim.rank();
 
     // Sub-tile index ranges along the skewed inner axes ({0} when unused).
     let r3: Vec<i64> = match ax3 {
@@ -214,15 +378,130 @@ fn execute_tile(
                     },
                     None => (0, 0),
                 };
-                for s1 in row.lo..=row.hi {
-                    for s2 in span2.0..=span2.1 {
-                        for s3 in span3.0..=span3.1 {
-                            compute_point(spec, hex, id, wf, st, row.t, [s1, s2, s3])?;
+                // The innermost used axis is the unit-stride sweep; the
+                // outer coordinates select one contiguous row each.
+                match rank {
+                    1 => compute_row(
+                        spec,
+                        hex,
+                        id,
+                        wf,
+                        st,
+                        kernel,
+                        stats,
+                        row.t,
+                        [0, 0, 0],
+                        (row.lo, row.hi),
+                    )?,
+                    2 => {
+                        for s1 in row.lo..=row.hi {
+                            compute_row(
+                                spec,
+                                hex,
+                                id,
+                                wf,
+                                st,
+                                kernel,
+                                stats,
+                                row.t,
+                                [s1, 0, 0],
+                                span2,
+                            )?;
+                        }
+                    }
+                    _ => {
+                        for s1 in row.lo..=row.hi {
+                            for s2 in span2.0..=span2.1 {
+                                compute_row(
+                                    spec,
+                                    hex,
+                                    id,
+                                    wf,
+                                    st,
+                                    kernel,
+                                    stats,
+                                    row.t,
+                                    [s1, s2, 0],
+                                    span3,
+                                )?;
+                            }
                         }
                     }
                 }
             }
         }
+    }
+    Ok(())
+}
+
+/// Compute one contiguous row `(t, fixed-coords, sweep ∈ [lo, hi])`.
+///
+/// With a [`RowKernel`], the interior sub-span (every neighbor of every
+/// point in-domain) is swept branch-free over the raw planes; the clipped
+/// prefix/suffix — and, when any *fixed* coordinate sits on the boundary,
+/// the whole row — fall back to the generic [`compute_point`] path, which
+/// also covers checked mode (`kernel` is `None` there).
+#[allow(clippy::too_many_arguments)]
+fn compute_row(
+    spec: &StencilSpec,
+    hex: &HexTiling,
+    id: TileId,
+    wf: i64,
+    st: &mut SpaceTime,
+    kernel: Option<&RowKernel>,
+    stats: &mut ExecStats,
+    t: i64,
+    fixed: [i64; 3],
+    (lo, hi): (i64, i64),
+) -> Result<(), DependenceViolation> {
+    let point = |axis: usize, s: i64| {
+        let mut p = fixed;
+        p[axis] = s;
+        p
+    };
+    let Some(k) = kernel else {
+        for s in lo..=hi {
+            compute_point(spec, hex, id, wf, st, t, point(spec.dim.rank() - 1, s))?;
+            stats.generic_points += 1;
+        }
+        return Ok(());
+    };
+
+    let axis = k.sweep_axis();
+    // Fixed (non-sweep) coordinates must be interior for the kernel.
+    let fixed_interior = (0..3)
+        .filter(|&d| d != axis)
+        .all(|d| fixed[d] + k.off_min()[d] >= 0 && fixed[d] + k.off_max()[d] < st.sizes[d] as i64);
+    let (mut klo, mut khi) = if fixed_interior {
+        (
+            lo.max(-k.off_min()[axis]),
+            hi.min(st.sizes[axis] as i64 - 1 - k.off_max()[axis]),
+        )
+    } else {
+        (hi + 1, hi) // whole row is boundary
+    };
+    if klo > khi {
+        // Empty interior: normalize so the prefix loop covers the whole
+        // row and the suffix loop is empty (no double-compute).
+        (klo, khi) = (hi + 1, hi);
+    }
+
+    for s in lo..=hi.min(klo - 1) {
+        compute_point(spec, hex, id, wf, st, t, point(axis, s))?;
+        stats.generic_points += 1;
+    }
+    if klo <= khi {
+        // Flat index of the row's sweep origin (the sweep coordinate in
+        // `fixed` is 0 by construction in `execute_tile`).
+        debug_assert_eq!(fixed[axis], 0);
+        let base = (fixed[0] * st.sizes[1] as i64 + fixed[1]) * st.sizes[2] as i64 + fixed[2];
+        let (src, dst) = st.rw_planes(t);
+        k.apply_span(src, dst, (base + klo) as usize, (base + khi) as usize);
+        stats.kernel_points += (khi - klo + 1) as u64;
+    }
+    for s in lo.max(khi + 1)..=hi {
+        compute_point(spec, hex, id, wf, st, t, point(axis, s))?;
+        stats.generic_points += 1;
     }
     Ok(())
 }
@@ -265,7 +544,8 @@ fn compute_point(
     }
     let v = spec.apply(|off| st.read(t, [s[0] + off[0], s[1] + off[1], s[2] + off[2]]));
     let i = st.idx(s).expect("iteration point inside domain");
-    st.planes[(t + 1) as usize][i] = v;
+    let slot = st.slot(t + 1);
+    st.planes[slot][i] = v;
     if let Some(writer) = st.writer.as_mut() {
         writer[(t + 1) as usize][i] = wf;
     }
@@ -398,6 +678,100 @@ mod tests {
     }
 
     #[test]
+    fn rolling_window_bounds_resident_planes() {
+        // Long T: the fast path must allocate O(t_t) planes, not O(T), and
+        // still match the reference bit for bit.
+        let spec = StencilKind::Jacobi2D.spec();
+        let size = ProblemSize::new_2d(19, 15, 40);
+        let tiles = TileSizes::new_2d(4, 5, 6);
+        let init = random_grid(size.space_extents(), 13);
+        let expect = reference::run(&spec, &size, &init);
+        let (got, stats) = run_tiled_unchecked_with_stats(&spec, &size, tiles, &init);
+        assert_eq!(expect.max_abs_diff(&got), 0.0);
+        assert_eq!(stats.resident_planes, rolling_window_depth(tiles, &size));
+        assert_eq!(stats.resident_planes, tiles.t_t + 1);
+        assert_eq!(stats.logical_planes, size.time + 1);
+        assert!(
+            stats.resident_planes < stats.logical_planes,
+            "window {} should undercut full history {}",
+            stats.resident_planes,
+            stats.logical_planes
+        );
+        // Most interior points should have gone through the row kernel.
+        assert!(stats.kernel_points > 0, "{stats:?}");
+        assert_eq!(
+            stats.kernel_points + stats.generic_points,
+            (size.space[0] * size.space[1] * size.time) as u64
+        );
+    }
+
+    #[test]
+    fn window_clamps_to_short_time_axis() {
+        // t_t + 1 > T + 1: the ring must clamp to the logical plane count.
+        let spec = StencilKind::Jacobi1D.spec();
+        let size = ProblemSize::new_1d(33, 3);
+        let tiles = TileSizes::new_1d(16, 8);
+        assert_eq!(rolling_window_depth(tiles, &size), 4);
+        let init = random_grid(size.space_extents(), 21);
+        let expect = reference::run(&spec, &size, &init);
+        let (got, stats) = run_tiled_unchecked_with_stats(&spec, &size, tiles, &init);
+        assert_eq!(expect.max_abs_diff(&got), 0.0);
+        assert_eq!(stats.resident_planes, 4);
+    }
+
+    #[test]
+    fn fast_path_matches_reference_for_all_kinds() {
+        for kind in StencilKind::ALL {
+            let (size, tiles) = match kind.spec().dim.rank() {
+                1 => (ProblemSize::new_1d(37, 11), TileSizes::new_1d(4, 5)),
+                2 => (ProblemSize::new_2d(17, 14, 9), TileSizes::new_2d(4, 5, 6)),
+                _ => (
+                    ProblemSize::new_3d(8, 7, 6, 5),
+                    TileSizes::new_3d(4, 3, 4, 3),
+                ),
+            };
+            let spec = kind.spec();
+            let init = random_grid(size.space_extents(), 17);
+            let expect = reference::run(&spec, &size, &init);
+            let got = run_tiled_unchecked(&spec, &size, tiles, &init);
+            assert_eq!(expect.max_abs_diff(&got), 0.0, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn baseline_options_match_fast_options() {
+        let spec = StencilKind::Heat3D.spec();
+        let size = ProblemSize::new_3d(7, 6, 8, 7);
+        let tiles = TileSizes::new_3d(4, 3, 3, 4);
+        let init = random_grid(size.space_extents(), 29);
+        let (base, bstats) =
+            run_tiled_with(&spec, &size, tiles, &init, ExecOptions::BASELINE).unwrap();
+        let (fast, fstats) = run_tiled_with(&spec, &size, tiles, &init, ExecOptions::FAST).unwrap();
+        assert_eq!(base.max_abs_diff(&fast), 0.0);
+        assert_eq!(bstats.kernel_points, 0);
+        assert_eq!(bstats.resident_planes, size.time + 1);
+        assert!(fstats.resident_planes <= tiles.t_t + 1);
+        assert_eq!(
+            bstats.generic_points,
+            fstats.kernel_points + fstats.generic_points
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "full space-time history")]
+    fn checked_rolling_window_is_rejected() {
+        let spec = StencilKind::Jacobi1D.spec();
+        let size = ProblemSize::new_1d(9, 4);
+        let init = random_grid(size.space_extents(), 1);
+        let opts = ExecOptions {
+            checked: true,
+            rolling_window: true,
+            row_kernels: false,
+        };
+        let _ = run_tiled_with(&spec, &size, TileSizes::new_1d(2, 2), &init, opts);
+    }
+
+    #[test]
     fn gradient_diagonal_dependences_are_legal() {
         // The 9-point Gradient2D exercises diagonal producers — the
         // hexagon slopes must still satisfy them.
@@ -439,7 +813,9 @@ pub fn run_tiled_wavefront_parallel(
     let ax2 = (rank >= 2).then(|| SkewedAxis::with_slope(tiles.t_s[1], size.space[1], slope));
     let ax3 = (rank >= 3).then(|| SkewedAxis::with_slope(tiles.t_s[2], size.space[2], slope));
 
-    let mut st = SpaceTime::new(size, init, false);
+    // Full-depth storage: this runner applies each wavefront's write log by
+    // logical plane index after the join, so it keeps the classic layout.
+    let mut st = SpaceTime::new(size, init, false, size.time + 1);
 
     for w in 0..hex.wavefront_count(size.time) {
         let (phase, q) = hex.wavefront_phase(w);

@@ -27,7 +27,7 @@ pub mod sweep;
 pub use solver::{coordinate_descent, simulated_annealing, SolverResult};
 pub use space::{feasible_tiles, is_feasible, SpaceConfig};
 pub use strategy::{
-    baseline_points, best_measured, evaluate_points, thread_counts, DataPoint, Evaluated, Strategy,
-    StrategyOutcome,
+    baseline_points, best_measured, evaluate_points, thread_counts, DataPoint, EvalCache,
+    Evaluated, Strategy, StrategyOutcome,
 };
 pub use sweep::{model_sweep, talg_min, within_fraction};

@@ -21,8 +21,11 @@ use crate::space::{feasible_tiles, SpaceConfig};
 use crate::sweep::{model_sweep, talg_min, within_fraction};
 use gpu_sim::{simulate, DeviceConfig, SimReport, Workload};
 use hhc_tiling::{LaunchConfig, TileSizes, TilingPlan};
+use parking_lot::Mutex;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use stencil_core::{reference, ProblemSize, StencilDim, StencilSpec};
 use time_model::{predict, ModelParams};
 
@@ -86,8 +89,52 @@ pub struct StrategyOutcome {
     pub chosen: Evaluated,
     /// How many configurations the strategy *measured* to get there
     /// (the paper's practicality argument: Within10 measures < 200,
-    /// Exhaustive measures everything).
+    /// Exhaustive measures everything). Unchanged by memoization: a
+    /// cache-served point still counts as measured by this strategy.
     pub measured_count: usize,
+    /// How many of those evaluations were served from the shared
+    /// [`EvalCache`] instead of re-simulated.
+    pub cache_hits: usize,
+}
+
+/// A memoization table for [`evaluate_points`], shared by every strategy
+/// run against one [`StrategyContext`].
+///
+/// Evaluation is a pure function of the [`DataPoint`] (model prediction +
+/// deterministic simulation), so serving a repeat point from the cache is
+/// bit-identical to recomputing it — strategy outcomes cannot change, only
+/// the work drops. Thread-safe: lookups and inserts take a short mutex;
+/// hit accounting is atomic.
+#[derive(Default)]
+pub struct EvalCache {
+    map: Mutex<HashMap<DataPoint, Evaluated>>,
+    hits: AtomicU64,
+    lookups: AtomicU64,
+}
+
+impl EvalCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Lookups answered from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Total lookups so far (hits + evaluations).
+    pub fn lookups(&self) -> u64 {
+        self.lookups.load(Ordering::Relaxed)
+    }
+
+    /// Distinct configurations currently memoized.
+    pub fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.lock().is_empty()
+    }
 }
 
 /// Everything needed to run the selection strategies for one
@@ -103,6 +150,10 @@ pub struct StrategyContext<'a> {
     pub size: &'a ProblemSize,
     /// Feasible-space bounds.
     pub space: &'a SpaceConfig,
+    /// Shared evaluation memo: strategies of one experiment often revisit
+    /// the same configurations (e.g. the `T_alg` minimum also appears in
+    /// the within-10 % set and the exhaustive sweep).
+    pub cache: EvalCache,
 }
 
 /// The ten thread-count configurations explored per tile size
@@ -259,10 +310,32 @@ pub fn simulate_point(
     simulate(device, &Workload::from_plan(&plan)).ok()
 }
 
-/// Evaluate (model + machine) a set of points in parallel.
+/// Evaluate (model + machine) a set of points in parallel, memoized
+/// through the context's [`EvalCache`].
+///
+/// Results are returned in input order and are identical to an uncached
+/// evaluation (the evaluation is a pure function of the point); only the
+/// already-seen points skip the simulator.
 pub fn evaluate_points(ctx: &StrategyContext<'_>, points: &[DataPoint]) -> Vec<Evaluated> {
     let flops = reference::total_flops(ctx.spec, ctx.size);
-    points
+    // Resolve prior results under one short lock…
+    let cached: Vec<Option<Evaluated>> = {
+        let map = ctx.cache.map.lock();
+        points.iter().map(|p| map.get(p).copied()).collect()
+    };
+    let hits = cached.iter().flatten().count();
+    ctx.cache.hits.fetch_add(hits as u64, Ordering::Relaxed);
+    ctx.cache
+        .lookups
+        .fetch_add(points.len() as u64, Ordering::Relaxed);
+
+    // …evaluate only the misses, in parallel…
+    let misses: Vec<DataPoint> = points
+        .iter()
+        .zip(&cached)
+        .filter_map(|(p, c)| c.is_none().then_some(*p))
+        .collect();
+    let computed: Vec<Evaluated> = misses
         .par_iter()
         .map(|p| {
             let predicted = predict(ctx.params, ctx.size, &p.tiles).talg;
@@ -274,6 +347,20 @@ pub fn evaluate_points(ctx: &StrategyContext<'_>, points: &[DataPoint]) -> Vec<E
                 gflops: measured.map(|t| flops as f64 / t / 1e9),
             }
         })
+        .collect();
+    {
+        let mut map = ctx.cache.map.lock();
+        for e in &computed {
+            map.insert(e.point, *e);
+        }
+    }
+
+    // …and splice hits and fresh evaluations back in input order.
+    let mut fresh = computed.into_iter();
+    points
+        .iter()
+        .zip(cached)
+        .map(|(_, c)| c.unwrap_or_else(|| fresh.next().expect("one result per miss")))
         .collect()
 }
 
@@ -316,13 +403,24 @@ pub struct Study {
 /// time matters; the simulator usually affords it).
 pub fn study(ctx: &StrategyContext<'_>, exhaustive: bool) -> Study {
     let dim = ctx.spec.dim;
+    // Per-strategy cache accounting: strategies run sequentially, so the
+    // delta of the shared counter attributes hits to the right one.
+    let mut hits_mark = ctx.cache.hits();
+    let mut take_hits = |cache: &EvalCache| {
+        let now = cache.hits();
+        let delta = (now - hits_mark) as usize;
+        hits_mark = now;
+        delta
+    };
 
     // --- HHC default ---
     let hhc = evaluate_points(ctx, &[hhc_default(dim)]);
+    let hhc_hits = take_hits(&ctx.cache);
 
     // --- Baseline: 850 measured points ---
     let baseline_pts = baseline_points(ctx.device, dim, ctx.space);
     let baseline = evaluate_points(ctx, &baseline_pts);
+    let baseline_hits = take_hits(&ctx.cache);
     let baseline_best = best_measured(&baseline);
 
     // --- Model sweep over the feasible space ---
@@ -340,6 +438,7 @@ pub fn study(ctx: &StrategyContext<'_>, exhaustive: bool) -> Study {
             }],
         )[0]
     });
+    let talg_hits = take_hits(&ctx.cache);
 
     // --- Within 10 % of Talg min ---
     let within_pts: Vec<DataPoint> = within_fraction(&sweep, 0.10)
@@ -350,6 +449,7 @@ pub fn study(ctx: &StrategyContext<'_>, exhaustive: bool) -> Study {
         })
         .collect();
     let within = evaluate_points(ctx, &within_pts);
+    let within_hits = take_hits(&ctx.cache);
     let within_best = best_measured(&within);
 
     // --- Exhaustive (optional) ---
@@ -366,6 +466,7 @@ pub fn study(ctx: &StrategyContext<'_>, exhaustive: bool) -> Study {
     } else {
         None
     };
+    let exhaustive_hits = take_hits(&ctx.cache);
 
     let mut outcomes = Vec::new();
     if let Some(h) = hhc.first().copied() {
@@ -373,6 +474,7 @@ pub fn study(ctx: &StrategyContext<'_>, exhaustive: bool) -> Study {
             strategy: Strategy::HhcDefault,
             chosen: h,
             measured_count: 1,
+            cache_hits: hhc_hits,
         });
     }
     if let Some(b) = baseline_best {
@@ -380,6 +482,7 @@ pub fn study(ctx: &StrategyContext<'_>, exhaustive: bool) -> Study {
             strategy: Strategy::Baseline,
             chosen: b,
             measured_count: baseline.len(),
+            cache_hits: baseline_hits,
         });
     }
     if let Some(t) = talg_min_eval {
@@ -387,6 +490,7 @@ pub fn study(ctx: &StrategyContext<'_>, exhaustive: bool) -> Study {
             strategy: Strategy::TalgMin,
             chosen: t,
             measured_count: 1,
+            cache_hits: talg_hits,
         });
     }
     if let Some(w) = within_best {
@@ -394,6 +498,7 @@ pub fn study(ctx: &StrategyContext<'_>, exhaustive: bool) -> Study {
             strategy: Strategy::Within10,
             chosen: w,
             measured_count: within.len(),
+            cache_hits: within_hits,
         });
     }
     if let Some((e, n)) = exhaustive_best {
@@ -401,6 +506,7 @@ pub fn study(ctx: &StrategyContext<'_>, exhaustive: bool) -> Study {
             strategy: Strategy::Exhaustive,
             chosen: e,
             measured_count: n,
+            cache_hits: exhaustive_hits,
         });
     }
 
@@ -449,6 +555,7 @@ mod tests {
             spec: &spec,
             size: &size,
             space: &space,
+            cache: EvalCache::new(),
         };
         let study = study(&ctx, false);
 
@@ -477,6 +584,79 @@ mod tests {
         // Within10 measures few points (paper: < 200).
         assert!(within.measured_count < 200);
         assert_eq!(baseline.measured_count, 850);
+    }
+
+    #[test]
+    fn eval_cache_serves_repeats_identically() {
+        let device = DeviceConfig::gtx980();
+        let spec = StencilKind::Jacobi2D.spec();
+        let size = ProblemSize::new_2d(256, 256, 64);
+        let measured = microbench::measured_params_sampled(&device, spec.kind, 16, 3);
+        let params = ModelParams::from_measured(&device, &measured);
+        let space = SpaceConfig::default();
+        let ctx = StrategyContext {
+            device: &device,
+            params: &params,
+            spec: &spec,
+            size: &size,
+            space: &space,
+            cache: EvalCache::new(),
+        };
+        let pts: Vec<DataPoint> = baseline_points(&device, spec.dim, &space)
+            .into_iter()
+            .take(40)
+            .collect();
+        let cold = evaluate_points(&ctx, &pts);
+        assert_eq!(ctx.cache.hits(), 0);
+        assert_eq!(ctx.cache.len(), pts.len());
+        let warm = evaluate_points(&ctx, &pts);
+        assert_eq!(ctx.cache.hits() as usize, pts.len());
+        assert_eq!(ctx.cache.lookups() as usize, 2 * pts.len());
+        assert_eq!(cold, warm, "cache-served results must be identical");
+        // A fresh context (cold cache) reproduces the same values:
+        // evaluation is a pure function of the point.
+        let ctx2 = StrategyContext {
+            cache: EvalCache::new(),
+            ..ctx
+        };
+        assert_eq!(evaluate_points(&ctx2, &pts), cold);
+    }
+
+    #[test]
+    fn study_outcomes_unchanged_by_warm_cache() {
+        let device = DeviceConfig::gtx980();
+        let spec = StencilKind::Jacobi2D.spec();
+        let size = ProblemSize::new_2d(256, 256, 64);
+        let measured = microbench::measured_params_sampled(&device, spec.kind, 16, 3);
+        let params = ModelParams::from_measured(&device, &measured);
+        let space = SpaceConfig::default();
+        let ctx = StrategyContext {
+            device: &device,
+            params: &params,
+            spec: &spec,
+            size: &size,
+            space: &space,
+            cache: EvalCache::new(),
+        };
+        let first = study(&ctx, false);
+        let lookups_cold = ctx.cache.lookups();
+        // Re-running the whole study against the now-warm cache must pick
+        // the same configurations with the same numbers and the same
+        // measured_count per strategy — memoization is observationally
+        // neutral apart from `cache_hits`.
+        let second = study(&ctx, false);
+        assert_eq!(ctx.cache.lookups(), 2 * lookups_cold);
+        assert_eq!(first.outcomes.len(), second.outcomes.len());
+        for (a, b) in first.outcomes.iter().zip(&second.outcomes) {
+            assert_eq!(a.strategy, b.strategy);
+            assert_eq!(a.chosen, b.chosen);
+            assert_eq!(a.measured_count, b.measured_count);
+            assert_eq!(
+                b.cache_hits, b.measured_count,
+                "{:?}: warm rerun should be all hits",
+                b.strategy
+            );
+        }
     }
 
     #[test]

@@ -12,7 +12,7 @@
 
 use hhc_stencil::core::{ProblemSize, StencilKind};
 use hhc_stencil::model::ModelParams;
-use hhc_stencil::opt::strategy::{study, StrategyContext};
+use hhc_stencil::opt::strategy::{study, EvalCache, StrategyContext};
 use hhc_stencil::opt::SpaceConfig;
 use hhc_stencil::sim::DeviceConfig;
 
@@ -43,6 +43,7 @@ fn main() {
         spec: &spec,
         size: &size,
         space: &space,
+        cache: EvalCache::new(),
     };
     println!("running all strategies (incl. exhaustive search)...\n");
     let study = study(&ctx, true);

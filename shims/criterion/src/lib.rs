@@ -1,0 +1,177 @@
+//! Vendored offline stand-in for `criterion`.
+//!
+//! Implements the group/bench-function API this workspace's benches use,
+//! backed by a plain wall-clock timing loop (warmup + fixed sample count,
+//! mean/min reported to stdout). No statistical analysis, plots, or
+//! baseline storage — enough to run `cargo bench` and eyeball regressions
+//! offline.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_owned(),
+            sample_size: 10,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench("", id, 10, f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&self.name, id, self.sample_size, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(group: &str, id: &str, samples: usize, mut f: F) {
+    let mut b = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    // Warmup / calibration sample.
+    f(&mut b);
+    let mut total = Duration::ZERO;
+    let mut total_iters = 0u64;
+    let mut min = Duration::MAX;
+    for _ in 0..samples {
+        b.elapsed = Duration::ZERO;
+        b.iters = 0;
+        f(&mut b);
+        if b.iters > 0 {
+            let per_iter = b.elapsed / b.iters as u32;
+            min = min.min(per_iter);
+            total += b.elapsed;
+            total_iters += b.iters;
+        }
+    }
+    let label = if group.is_empty() {
+        id.to_owned()
+    } else {
+        format!("{group}/{id}")
+    };
+    if total_iters == 0 {
+        println!("bench {label}: no iterations");
+        return;
+    }
+    let mean = total / total_iters as u32;
+    println!(
+        "bench {label}: mean {:?}  min {:?}  ({} samples)",
+        mean, min, samples
+    );
+}
+
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time the closure. Each call contributes one sample of a few
+    /// iterations; the harness aggregates mean and min per-iteration time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed();
+        // Aim for ~20ms per sample, capped so slow benches stay bounded.
+        let reps = if once.as_millis() >= 20 {
+            0
+        } else {
+            let budget = Duration::from_millis(20);
+            (budget.as_nanos() / once.as_nanos().max(1)).min(1_000) as u64
+        };
+        let start = Instant::now();
+        for _ in 0..reps {
+            black_box(f());
+        }
+        self.elapsed += once + start.elapsed();
+        self.iters += 1 + reps;
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            let _ = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_counts_iterations() {
+        let mut c = Criterion::default();
+        let mut ran = 0u64;
+        {
+            let mut g = c.benchmark_group("shim");
+            g.sample_size(3);
+            g.bench_function("count", |b| b.iter(|| ran += 1));
+            g.finish();
+        }
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn bencher_accumulates() {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        b.iter(|| black_box(1 + 1));
+        assert!(b.iters >= 1);
+    }
+}

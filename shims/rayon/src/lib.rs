@@ -1,0 +1,192 @@
+//! Vendored offline stand-in for `rayon`.
+//!
+//! Covers the slice of the rayon API this workspace uses:
+//! `slice.par_iter().map(f).collect::<C>()` plus the global-pool sizing
+//! entry points (`ThreadPoolBuilder::new().num_threads(n).build_global()`,
+//! [`current_num_threads`]). Parallelism is real — items are chunked
+//! across `std::thread::scope` workers — and collection preserves input
+//! order, so results are deterministic regardless of thread count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParallelIterator};
+}
+
+/// 0 = unset; fall back to available parallelism.
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// The number of worker threads the global pool would use.
+pub fn current_num_threads() -> usize {
+    let n = GLOBAL_THREADS.load(Ordering::Relaxed);
+    if n > 0 {
+        n
+    } else {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    }
+}
+
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("global thread pool already initialized")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder` for global-pool sizing.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `0` keeps the default (available parallelism), matching rayon.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Install the thread count globally. Unlike real rayon this shim
+    /// allows re-initialization; the last call wins.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        GLOBAL_THREADS.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// `&'a collection -> parallel iterator` entry point (`par_iter`).
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send + 'a;
+    type Iter: ParallelIterator<Item = Self::Item>;
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = ParSlice<'a, T>;
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = ParSlice<'a, T>;
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { items: self }
+    }
+}
+
+/// Minimal parallel-iterator trait: only the adaptors the workspace uses.
+pub trait ParallelIterator: Sized {
+    type Item: Send;
+
+    /// Execute the pipeline, producing items in input order.
+    fn run(self) -> Vec<Self::Item>;
+
+    fn map<O, F>(self, f: F) -> ParMap<Self, F>
+    where
+        O: Send,
+        F: Fn(Self::Item) -> O + Sync,
+    {
+        ParMap { base: self, f }
+    }
+
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.run().into_iter().collect()
+    }
+}
+
+pub struct ParSlice<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for ParSlice<'a, T> {
+    type Item = &'a T;
+    fn run(self) -> Vec<&'a T> {
+        self.items.iter().collect()
+    }
+}
+
+pub struct ParMap<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<'a, T, O, F> ParallelIterator for ParMap<ParSlice<'a, T>, F>
+where
+    T: Sync,
+    O: Send,
+    F: Fn(&'a T) -> O + Sync,
+{
+    type Item = O;
+
+    fn run(self) -> Vec<O> {
+        let items = self.base.items;
+        let f = &self.f;
+        let n = items.len();
+        let workers = current_num_threads().clamp(1, n.max(1));
+        if workers <= 1 || n <= 1 {
+            return items.iter().map(f).collect();
+        }
+        let chunk = n.div_ceil(workers);
+        let mut out: Vec<Option<O>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|s| {
+            for (in_chunk, out_chunk) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                s.spawn(move || {
+                    for (slot, item) in out_chunk.iter_mut().zip(in_chunk) {
+                        *slot = Some(f(item));
+                    }
+                });
+            }
+        });
+        out.into_iter()
+            .map(|o| o.expect("worker filled slot"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let v: Vec<u64> = (0..257).collect();
+        let base: Vec<u64> = v.par_iter().map(|&x| x.wrapping_mul(2654435761)).collect();
+        for n in [1usize, 2, 7] {
+            crate::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build_global()
+                .unwrap();
+            let got: Vec<u64> = v.par_iter().map(|&x| x.wrapping_mul(2654435761)).collect();
+            assert_eq!(got, base);
+        }
+        crate::ThreadPoolBuilder::new()
+            .num_threads(0)
+            .build_global()
+            .unwrap();
+    }
+
+    #[test]
+    fn empty_input() {
+        let v: Vec<u32> = Vec::new();
+        let out: Vec<u32> = v.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,241 @@
+//! Vendored offline stand-in for `serde`.
+//!
+//! The container building this workspace has no network access to a crate
+//! registry, so the handful of external dependencies are vendored as
+//! minimal shims under `shims/`. This crate covers exactly the surface the
+//! workspace uses: `#[derive(Serialize, Deserialize)]` on plain structs and
+//! enums, and `serde_json::to_string{,_pretty}` over the resulting values.
+//!
+//! Serialization builds an explicit [`Value`] tree (the moral equivalent of
+//! `serde_json::Value`) instead of serde's visitor architecture; that is
+//! enough to render JSON and keeps the shim a few hundred lines.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// A serialized value tree. Floats keep their native width so JSON output
+/// renders them with Rust's shortest-round-trip formatting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    UInt(u64),
+    F32(f32),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Value>),
+    /// Ordered key/value pairs (field order is preserved).
+    Map(Vec<(String, Value)>),
+}
+
+/// Types that can be turned into a [`Value`] tree.
+///
+/// The derive macro implements this by mapping struct fields to
+/// [`Value::Map`] entries and enum variants to serde's externally-tagged
+/// representation.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Marker trait mirroring serde's `Deserialize`. The workspace derives it
+/// but never deserializes, so the shim carries no behavior.
+pub trait Deserialize: Sized {}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, isize);
+impl_uint!(u8, u16, u32, u64, usize);
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F32(*self)
+    }
+}
+impl Deserialize for f32 {}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Deserialize for f64 {}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for char {}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+impl Deserialize for () {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.to_value(),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {}
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Arc<T> {}
+
+impl<T: Serialize + ?Sized> Serialize for Rc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Rc<T> {}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {}
+    )*};
+}
+
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_map_to_expected_variants() {
+        assert_eq!(3usize.to_value(), Value::UInt(3));
+        assert_eq!((-2i64).to_value(), Value::Int(-2));
+        assert_eq!(true.to_value(), Value::Bool(true));
+        assert_eq!("x".to_value(), Value::Str("x".into()));
+        assert_eq!(Option::<u32>::None.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn containers_recurse() {
+        let v = vec![1u32, 2];
+        assert_eq!(
+            v.to_value(),
+            Value::Seq(vec![Value::UInt(1), Value::UInt(2)])
+        );
+        let t = ("a".to_string(), 1.5f64);
+        assert_eq!(
+            t.to_value(),
+            Value::Seq(vec![Value::Str("a".into()), Value::F64(1.5)])
+        );
+        let a = [1usize; 3];
+        assert_eq!(
+            a.to_value(),
+            Value::Seq(vec![Value::UInt(1), Value::UInt(1), Value::UInt(1)])
+        );
+    }
+}

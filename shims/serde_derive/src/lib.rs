@@ -1,0 +1,275 @@
+//! Vendored offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! shapes this workspace actually derives: non-generic named-field structs,
+//! tuple structs, unit structs, and enums with unit / tuple / named-field
+//! variants (serde's externally-tagged representation). `syn`/`quote` are
+//! not available offline, so the parser walks raw `proc_macro` tokens and
+//! the generated impl is assembled as a string.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => format!("impl serde::Deserialize for {} {{}}", item.name)
+            .parse()
+            .unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Skip attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+fn skip_meta(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                // The bracketed attribute body.
+                toks.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut toks = input.into_iter().peekable();
+    skip_meta(&mut toks);
+    let keyword = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "shim serde_derive: generics on `{name}` unsupported"
+        ));
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            None | Some(TokenTree::Punct(_)) => Kind::UnitStruct,
+            other => return Err(format!("unexpected struct body {other:?}")),
+        },
+        "enum" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("unexpected enum body {other:?}")),
+        },
+        kw => return Err(format!("shim serde_derive: cannot derive for `{kw}`")),
+    };
+    Ok(Item { name, kind })
+}
+
+/// Parse `name: Type, ...` pairs, returning field names. Commas nested in
+/// `<...>`, parens, or brackets do not terminate a type.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut toks = body.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_meta(&mut toks);
+        let field = match toks.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected ':' after `{field}`, got {other:?}")),
+        }
+        fields.push(field);
+        let mut angle_depth = 0i32;
+        for t in toks.by_ref() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut angle_depth = 0i32;
+    let mut in_field = false;
+    for t in body {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => in_field = false,
+            _ => {
+                if !in_field {
+                    count += 1;
+                    in_field = true;
+                }
+            }
+        }
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut toks = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_meta(&mut toks);
+        let name = match toks.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        let fields = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g.stream())?;
+                toks.next();
+                VariantFields::Named(f)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                toks.next();
+                VariantFields::Tuple(n)
+            }
+            _ => VariantFields::Unit,
+        };
+        variants.push(Variant { name, fields });
+        // Skip an optional discriminant and the trailing comma.
+        for t in toks.by_ref() {
+            if matches!(&t, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+    }
+    Ok(variants)
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::UnitStruct => "serde::Value::Null".to_string(),
+        Kind::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+        Kind::TupleStruct(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(|v| gen_variant_arm(name, v)).collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n    \
+             fn to_value(&self) -> serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_variant_arm(name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.fields {
+        VariantFields::Unit => {
+            format!("{name}::{vname} => serde::Value::Str(::std::string::String::from({vname:?})),")
+        }
+        VariantFields::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let inner = if *n == 1 {
+                "serde::Serialize::to_value(__f0)".to_string()
+            } else {
+                let items: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("serde::Serialize::to_value({b})"))
+                    .collect();
+                format!("serde::Value::Seq(vec![{}])", items.join(", "))
+            };
+            format!(
+                "{name}::{vname}({}) => serde::Value::Map(vec![\
+                   (::std::string::String::from({vname:?}), {inner})]),",
+                binds.join(", ")
+            )
+        }
+        VariantFields::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("(::std::string::String::from({f:?}), serde::Serialize::to_value({f}))")
+                })
+                .collect();
+            format!(
+                "{name}::{vname} {{ {} }} => serde::Value::Map(vec![\
+                   (::std::string::String::from({vname:?}), \
+                    serde::Value::Map(vec![{}]))]),",
+                fields.join(", "),
+                entries.join(", ")
+            )
+        }
+    }
+}

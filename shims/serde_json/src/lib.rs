@@ -1,0 +1,164 @@
+//! Vendored offline stand-in for `serde_json`: renders the workspace serde
+//! shim's [`serde::Value`] tree as JSON text. Only the serialization entry
+//! points the workspace calls (`to_string`, `to_string_pretty`) exist.
+
+use serde::{Serialize, Value};
+use std::fmt;
+
+/// Error type mirroring `serde_json::Error`. Rendering a `Value` tree
+/// cannot fail, so this is never constructed; it exists for signature
+/// compatibility with call sites that propagate the `Result`.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize a value as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    render(&value.to_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Serialize a value as pretty-printed JSON (two-space indent, matching
+/// real `serde_json`).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    render(&value.to_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+fn render(v: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::F32(f) => render_float(f.is_finite(), f.to_string(), out),
+        Value::F64(f) => render_float(f.is_finite(), f.to_string(), out),
+        Value::Str(s) => render_str(s, out),
+        Value::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, depth + 1, out);
+                render(item, indent, depth + 1, out);
+            }
+            newline_indent(indent, depth, out);
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, depth + 1, out);
+                render_str(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                render(item, indent, depth + 1, out);
+            }
+            newline_indent(indent, depth, out);
+            out.push('}');
+        }
+    }
+}
+
+fn render_float(finite: bool, s: String, out: &mut String) {
+    // serde_json renders non-finite floats as null.
+    if !finite {
+        out.push_str("null");
+        return;
+    }
+    out.push_str(&s);
+    // Ensure the token stays a JSON number that round-trips as a float.
+    if !s.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn render_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn newline_indent(indent: Option<usize>, depth: usize, out: &mut String) {
+    if let Some(w) = indent {
+        out.push('\n');
+        for _ in 0..depth * w {
+            out.push(' ');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_rendering() {
+        let v = Value::Map(vec![
+            ("a".into(), Value::UInt(1)),
+            ("b".into(), Value::Seq(vec![Value::F64(0.5), Value::Null])),
+        ]);
+        struct W(Value);
+        impl Serialize for W {
+            fn to_value(&self) -> Value {
+                self.0.clone()
+            }
+        }
+        assert_eq!(to_string(&W(v)).unwrap(), r#"{"a":1,"b":[0.5,null]}"#);
+    }
+
+    #[test]
+    fn floats_round_trip_as_numbers() {
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string(&0.2f32).unwrap(), "0.2");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+
+    #[test]
+    fn pretty_uses_two_space_indent() {
+        let s = to_string_pretty(&vec![1u32]).unwrap();
+        assert_eq!(s, "[\n  1\n]");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(to_string(&"a\"b\n").unwrap(), r#""a\"b\n""#);
+    }
+}

@@ -4,7 +4,7 @@
 use experiments::figures::{pool_validation, validate_one_full};
 use experiments::{ExperimentScale, Lab};
 use hhc_stencil::core::{ProblemSize, StencilKind};
-use hhc_stencil::opt::strategy::{study, Strategy, StrategyContext};
+use hhc_stencil::opt::strategy::{study, EvalCache, Strategy, StrategyContext};
 use hhc_stencil::opt::SpaceConfig;
 
 #[test]
@@ -22,6 +22,7 @@ fn full_pipeline_produces_coherent_study() {
         spec: &spec,
         size: &size,
         space: &space,
+        cache: EvalCache::new(),
     };
     let st = study(&ctx, false);
 
