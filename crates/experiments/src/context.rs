@@ -128,8 +128,12 @@ impl Lab {
         if let Some(m) = self.cache.lock().get(&key) {
             return *m;
         }
-        let m =
-            microbench::measured_params_sampled(device, kind, self.scale.citer_samples(), 0x5EED);
+        let m = microbench::measured_params_sampled(
+            device,
+            kind,
+            self.scale.citer_samples(),
+            crate::SEED,
+        );
         self.cache.lock().insert(key, m);
         m
     }

@@ -6,7 +6,7 @@ use gpu_sim::DeviceConfig;
 use hhc_tiling::TileSizes;
 use serde::{Deserialize, Serialize};
 use stencil_core::{ProblemSize, StencilDim, StencilKind};
-use tile_opt::strategy::{study, Strategy, StrategyContext, Study};
+use tile_opt::strategy::{study, DataPoint, Strategy, StrategyContext, Study};
 use tile_opt::{baseline_points, evaluate_points, EvalCache, Evaluated, SpaceConfig};
 
 /// One (device, benchmark, size) validation experiment — a point set of
@@ -305,6 +305,23 @@ pub struct Fig6Row {
     pub within_vs_hhc: f64,
 }
 
+/// One strategy's outcome for one (device, benchmark, size) cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig6Outcome {
+    /// Strategy name ([`Strategy::name`]).
+    pub strategy: String,
+    /// Machine-measured time of the chosen configuration (s).
+    pub measured_s: f64,
+    /// Achieved GFLOPS of the chosen configuration.
+    pub gflops: f64,
+    /// Configurations the strategy measured to get there.
+    pub measured_count: usize,
+    /// The chosen configuration itself (tile sizes + launch), so the
+    /// driver can replay it — e.g. to export its simulated schedule as a
+    /// Chrome trace.
+    pub point: DataPoint,
+}
+
 /// Per-size strategy outcomes (kept for detailed reporting).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Fig6Detail {
@@ -314,8 +331,8 @@ pub struct Fig6Detail {
     pub benchmark: String,
     /// Size label.
     pub size: String,
-    /// (strategy name, measured seconds, GFLOPS, points measured).
-    pub outcomes: Vec<(String, f64, f64, usize)>,
+    /// One entry per strategy that produced a measurable choice.
+    pub outcomes: Vec<Fig6Outcome>,
 }
 
 /// Regenerate Figure 6 for the 2D benchmarks (the paper's figure), with
@@ -371,12 +388,13 @@ pub fn figure6_for(
                 };
                 for o in &st.outcomes {
                     if let (Some(m), Some(g)) = (o.chosen.measured, o.chosen.gflops) {
-                        detail.outcomes.push((
-                            o.strategy.name().to_string(),
-                            m,
-                            g,
-                            o.measured_count,
-                        ));
+                        detail.outcomes.push(Fig6Outcome {
+                            strategy: o.strategy.name().to_string(),
+                            measured_s: m,
+                            gflops: g,
+                            measured_count: o.measured_count,
+                            point: o.chosen.point,
+                        });
                         match sums.iter_mut().find(|(s, _, _)| *s == o.strategy) {
                             Some(e) => {
                                 e.1 += g;

@@ -28,11 +28,17 @@ pub mod bench;
 pub mod context;
 pub mod extensions;
 pub mod figures;
+pub mod manifest;
 pub mod output;
 pub mod rmse;
 pub mod tables;
 
 pub use context::{ExperimentScale, Lab};
+pub use manifest::RunManifest;
 
 /// The default output directory for result files.
 pub const DEFAULT_OUT_DIR: &str = "results";
+
+/// The deterministic seed of every sampled micro-benchmark (`Citer`
+/// measurement); recorded in each run's [`RunManifest`].
+pub const SEED: u64 = 0x5EED;

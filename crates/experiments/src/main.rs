@@ -5,12 +5,20 @@
 //!             [--fig3] [--fig4] [--fig5] [--fig6]
 //!             [--scale paper|reduced|smoke] [--dims 2d|3d|all]
 //!             [--exhaustive] [--threads N] [--bench-exec] [--out DIR]
+//!             [--log-out PATH] [--log-level quiet|info|debug]
+//!             [--trace-out PATH]
 //! ```
 
 use experiments::context::{ExperimentScale, Lab};
+use experiments::figures::Fig6Detail;
 use experiments::output::Results;
-use experiments::{figures, tables};
-use stencil_core::StencilDim;
+use experiments::{figures, tables, RunManifest};
+use gpu_sim::{DeviceConfig, Workload};
+use hhc_tiling::TilingPlan;
+use std::io::Write as _;
+use std::sync::Arc;
+use stencil_core::{ProblemSize, StencilDim, StencilKind};
+use tile_opt::strategy::{DataPoint, Strategy};
 
 struct Args {
     ablation: bool,
@@ -29,6 +37,9 @@ struct Args {
     dims: Vec<StencilDim>,
     exhaustive: bool,
     out: String,
+    log_out: Option<String>,
+    log_level: obs::Level,
+    trace_out: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -49,6 +60,9 @@ fn parse_args() -> Result<Args, String> {
         dims: vec![StencilDim::D2, StencilDim::D3],
         exhaustive: false,
         out: experiments::DEFAULT_OUT_DIR.to_string(),
+        log_out: None,
+        log_level: obs::Level::Info,
+        trace_out: None,
     };
     let mut it = std::env::args().skip(1);
     let mut any = false;
@@ -135,6 +149,12 @@ fn parse_args() -> Result<Args, String> {
                 };
             }
             "--out" => args.out = it.next().ok_or("--out needs a value")?,
+            "--log-out" => args.log_out = Some(it.next().ok_or("--log-out needs a value")?),
+            "--log-level" => {
+                let v = it.next().ok_or("--log-level needs a value")?;
+                args.log_level = obs::Level::parse(&v).ok_or(format!("unknown log level '{v}'"))?;
+            }
+            "--trace-out" => args.trace_out = Some(it.next().ok_or("--trace-out needs a value")?),
             "--help" | "-h" => {
                 print_help();
                 std::process::exit(0);
@@ -172,8 +192,83 @@ fn print_help() {
            --threads N           size the global rayon pool (default: all cores);\n\
                                  results are bit-identical for any N — parallel maps\n\
                                  preserve input order, so thread count only affects speed\n\
-           --out DIR             output directory (default: results)"
+           --out DIR             output directory (default: results)\n\
+           --log-out PATH        write the run's structured telemetry as JSONL\n\
+           --log-level LEVEL     event verbosity: quiet|info|debug (default: info);\n\
+                                 counters/histograms/spans are always collected\n\
+           --trace-out PATH      write a Chrome trace-event JSON file (open in\n\
+                                 chrome://tracing or https://ui.perfetto.dev): driver\n\
+                                 phase spans plus, with --fig6, the simulated two-pipe\n\
+                                 SM schedule of the chosen configuration"
     );
+}
+
+/// The workload behind one Figure 6 cell's chosen configuration: enough
+/// to replay its simulated schedule into the Chrome trace.
+struct SimTracePayload {
+    device: DeviceConfig,
+    kind: StencilKind,
+    size: ProblemSize,
+    point: DataPoint,
+}
+
+/// Pick the trace payload from the Figure 6 details: the first cell's
+/// Within-10 % choice (the paper's headline strategy), falling back to
+/// whatever strategy produced a measurable outcome.
+fn fig6_sim_payload(lab: &Lab, details: &[Fig6Detail]) -> Option<SimTracePayload> {
+    let detail = details.first()?;
+    let outcome = detail
+        .outcomes
+        .iter()
+        .find(|o| o.strategy == Strategy::Within10.name())
+        .or_else(|| detail.outcomes.first())?;
+    let device = lab
+        .devices
+        .iter()
+        .find(|d| d.name == detail.device)?
+        .clone();
+    let kind = StencilKind::BENCH_2D
+        .iter()
+        .copied()
+        .find(|k| k.name() == detail.benchmark)?;
+    let size = lab
+        .scale
+        .sizes_2d()
+        .into_iter()
+        .find(|s| s.label() == detail.size)?;
+    Some(SimTracePayload {
+        device,
+        kind,
+        size,
+        point: outcome.point,
+    })
+}
+
+/// Trace every wavefront kernel launch of the payload's workload into
+/// `out` under `pid`, one lane per (SM, pipe), kernels laid end to end on
+/// the simulated clock. Returns the number of kernels traced.
+fn export_workload_trace(
+    out: &mut obs::chrome::ChromeTrace,
+    pid: u32,
+    p: &SimTracePayload,
+) -> usize {
+    let spec = p.kind.spec();
+    let Ok(plan) = TilingPlan::build(&spec, &p.size, p.point.tiles, p.point.launch) else {
+        return 0;
+    };
+    let wl = Workload::from_plan(&plan);
+    let mut offset_us = 0.0f64;
+    let mut traced = 0usize;
+    for index in 0..wl.kernels.len() {
+        let Ok(trace) = gpu_sim::trace_kernel(&p.device, &wl, index) else {
+            continue;
+        };
+        let label = format!("{} k{index}", p.kind.name());
+        trace.add_chrome_events(out, pid, offset_us, &label);
+        offset_us += trace.makespan * 1e6;
+        traced += 1;
+    }
+    traced
 }
 
 fn main() {
@@ -190,11 +285,34 @@ fn main() {
             .build_global()
             .expect("configure global thread pool");
     }
+    // Telemetry: one in-memory recorder feeds both exporters. Without
+    // either output flag no recorder is installed and every obs call
+    // site across the workspace stays a single relaxed atomic load.
+    let recorder: Option<Arc<obs::MemoryRecorder>> = (args.log_out.is_some()
+        || args.trace_out.is_some())
+    .then(|| Arc::new(obs::MemoryRecorder::new(args.log_level)));
+    if let Some(rec) = &recorder {
+        obs::install(rec.clone());
+    }
     let lab = Lab::new(args.scale);
-    let results = Results::new(&args.out).expect("create output directory");
+    let mut results = Results::new(&args.out).expect("create output directory");
     let scale = args.scale.label();
+    let manifest = RunManifest::collect(scale);
+    obs::event(
+        obs::Level::Info,
+        "driver.run",
+        &[
+            ("git_rev", manifest.git_rev.as_str().into()),
+            ("scale", scale.into()),
+            ("threads", manifest.threads.into()),
+            ("seed", manifest.seed.into()),
+        ],
+    );
+    results.set_manifest(manifest);
+    let mut sim_payload: Option<SimTracePayload> = None;
 
     if args.bench_exec {
+        let _phase = obs::span("phase.bench_exec", "driver");
         println!(
             "\n=== Executor benchmark: rolling window + row kernels vs seed baseline (scale: {scale}, {} threads) ===",
             rayon::current_num_threads()
@@ -206,6 +324,7 @@ fn main() {
     }
 
     if args.table2 {
+        let _phase = obs::span("phase.table2", "driver");
         let rows = tables::table2(&lab);
         println!("\n=== Table 2: GPU configurations ===");
         for r in &rows {
@@ -218,6 +337,7 @@ fn main() {
     }
 
     if args.table3 {
+        let _phase = obs::span("phase.table3", "driver");
         let rows = tables::table3(&lab);
         println!("\n=== Table 3: measured timing parameters (paper: L=7.36e-3/5.42e-3 s/GB, tau=7.96e-10/6.74e-10 s, Tsync=9.24e-7/9.00e-7 s) ===");
         for r in &rows {
@@ -230,6 +350,7 @@ fn main() {
     }
 
     if args.table4 {
+        let _phase = obs::span("phase.table4", "driver");
         let rows = tables::table4(&lab);
         println!("\n=== Table 4: measured Citer (seconds) ===");
         for r in &rows {
@@ -245,6 +366,7 @@ fn main() {
     }
 
     if args.fig3 {
+        let _phase = obs::span("phase.fig3", "driver");
         println!("\n=== Figure 3 / Section 5.3: model validation (scale: {scale}) ===");
         let (rows, pooled) = figures::figure3(&lab, &args.dims);
         let mut worst_top = 0.0f64;
@@ -307,6 +429,7 @@ fn main() {
     }
 
     if args.fig4 {
+        let _phase = obs::span("phase.fig4", "driver");
         println!("\n=== Figure 4: Talg surface, Heat2D, GTX 980, tS1 = 8 (scale: {scale}) ===");
         let r = figures::figure4(&lab);
         if let Some(min) = r.min_cell {
@@ -341,6 +464,7 @@ fn main() {
     }
 
     if args.fig5 {
+        let _phase = obs::span("phase.fig5", "driver");
         println!("\n=== Figure 5: Gradient2D candidate scatter (scale: {scale}) ===");
         let r = figures::figure5(&lab);
         println!(
@@ -357,6 +481,7 @@ fn main() {
     }
 
     if args.fig6 {
+        let _phase = obs::span("phase.fig6", "driver");
         println!(
             "\n=== Figure 6: average GFLOPS by tile-size selection strategy (scale: {scale}) ==="
         );
@@ -377,6 +502,9 @@ fn main() {
                 100.0 * r.within_vs_hhc
             );
         }
+        if args.trace_out.is_some() {
+            sim_payload = fig6_sim_payload(&lab, &details);
+        }
         results
             .write_json(&format!("figure6_{scale}"), &rows)
             .expect("write fig6");
@@ -386,6 +514,7 @@ fn main() {
     }
 
     if args.ablation {
+        let _phase = obs::span("phase.ablation", "driver");
         println!("\n=== Ablation: printed vs tail-aware model (top-20% RMSE) ===");
         let rows = experiments::extensions::model_variant_ablation(&lab);
         for r in &rows {
@@ -418,6 +547,7 @@ fn main() {
     }
 
     if args.solver {
+        let _phase = obs::span("phase.solver", "driver");
         println!("\n=== Section 6.1: heuristic solvers vs exhaustive model sweep ===");
         let rows = experiments::extensions::solver_comparison(&lab);
         for r in &rows {
@@ -439,6 +569,7 @@ fn main() {
     }
 
     if args.wavefront {
+        let _phase = obs::span("phase.wavefront", "driver");
         println!(
             "\n=== Time tiling vs classic wavefront-parallel (both tuned, on the machine) ==="
         );
@@ -460,6 +591,50 @@ fn main() {
         results
             .write_json(&format!("wavefront_{scale}"), &rows)
             .expect("write wavefront");
+    }
+
+    // Exporters: detach the recorder first so the export itself is not
+    // still appending to the store it snapshots.
+    if recorder.is_some() {
+        obs::uninstall();
+    }
+    if let Some(rec) = &recorder {
+        if let Some(path) = &args.trace_out {
+            let mut trace = obs::chrome::ChromeTrace::new();
+            trace.name_process(0, "experiments driver");
+            trace.add_spans(0, &rec.snapshot().spans);
+            let mut traced_kernels = 0;
+            if let Some(p) = &sim_payload {
+                trace.name_process(
+                    1,
+                    &format!(
+                        "gpu-sim: {} {} on {}",
+                        p.kind.name(),
+                        p.size.label(),
+                        p.device.name
+                    ),
+                );
+                traced_kernels = export_workload_trace(&mut trace, 1, p);
+            }
+            std::fs::write(path, trace.to_json()).expect("write --trace-out file");
+            println!(
+                "chrome trace written to {path} ({} events, {traced_kernels} simulated kernels)",
+                trace.len()
+            );
+        }
+        if let Some(path) = &args.log_out {
+            let file = std::fs::File::create(path).expect("create --log-out file");
+            let mut w = std::io::BufWriter::new(file);
+            rec.write_jsonl(&mut w).expect("write --log-out file");
+            w.flush().expect("flush --log-out file");
+            let snap = rec.snapshot();
+            println!(
+                "telemetry log written to {path} ({} events, {} spans, {} counters)",
+                snap.events.len(),
+                snap.spans.len(),
+                snap.counters.len()
+            );
+        }
     }
 
     println!("\nresults written to {}/", results.dir().display());

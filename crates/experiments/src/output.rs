@@ -1,14 +1,20 @@
 //! Result persistence: JSON files under the output directory plus
 //! human-readable stdout summaries.
 
-use serde::Serialize;
+use crate::manifest::RunManifest;
+use serde::{Serialize, Value};
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 /// A result sink rooted at an output directory.
+///
+/// With a [`RunManifest`] attached, every JSON artifact is wrapped as
+/// `{"manifest": {...}, "data": <value>}` so result files carry their own
+/// provenance; without one the value is written bare (the seed layout).
 pub struct Results {
     dir: PathBuf,
+    manifest: Option<RunManifest>,
 }
 
 impl Results {
@@ -17,7 +23,14 @@ impl Results {
         fs::create_dir_all(dir.as_ref())?;
         Ok(Results {
             dir: dir.as_ref().to_path_buf(),
+            manifest: None,
         })
+    }
+
+    /// Attach a manifest; subsequent [`write_json`](Results::write_json)
+    /// calls stamp it into the artifact.
+    pub fn set_manifest(&mut self, manifest: RunManifest) {
+        self.manifest = Some(manifest);
     }
 
     /// The root directory.
@@ -25,11 +38,19 @@ impl Results {
         &self.dir
     }
 
-    /// Write a serializable value as pretty JSON to `<dir>/<name>.json`.
+    /// Write a serializable value as pretty JSON to `<dir>/<name>.json`,
+    /// wrapped with the run manifest when one is attached.
     pub fn write_json<T: Serialize>(&self, name: &str, value: &T) -> std::io::Result<PathBuf> {
         let path = self.dir.join(format!("{name}.json"));
         let mut f = fs::File::create(&path)?;
-        let s = serde_json::to_string_pretty(value)
+        let rendered = match &self.manifest {
+            Some(m) => Value::Map(vec![
+                ("manifest".to_owned(), m.to_value()),
+                ("data".to_owned(), value.to_value()),
+            ]),
+            None => value.to_value(),
+        };
+        let s = serde_json::to_string_pretty(&rendered)
             .map_err(|e| std::io::Error::other(e.to_string()))?;
         f.write_all(s.as_bytes())?;
         f.write_all(b"\n")?;
@@ -68,6 +89,29 @@ mod tests {
             .unwrap();
         let s = fs::read_to_string(&p).unwrap();
         assert!(s.starts_with("a,b\n") && s.contains("3,4"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn manifest_wraps_artifacts() {
+        let dir = std::env::temp_dir().join(format!("hhc-results-m-{}", std::process::id()));
+        let mut r = Results::new(&dir).unwrap();
+        r.set_manifest(RunManifest::collect("smoke"));
+        let p = r.write_json("wrapped", &vec![7u32]).unwrap();
+        let text = fs::read_to_string(&p).unwrap();
+        let v = serde_json::from_str(&text).unwrap();
+        let Value::Map(fields) = v else {
+            panic!("expected object, got {v:?}")
+        };
+        assert_eq!(fields[0].0, "manifest");
+        assert_eq!(fields[1].0, "data");
+        let Value::Map(m) = &fields[0].1 else {
+            panic!("manifest must be an object")
+        };
+        assert!(m.iter().any(|(k, _)| k == "git_rev"));
+        assert!(m
+            .iter()
+            .any(|(k, v)| k == "scale" && *v == Value::Str("smoke".into())));
         fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -45,7 +45,12 @@ pub fn simulate(device: &DeviceConfig, wl: &Workload) -> Result<SimReport, Launc
     let mut total = 0.0f64;
     let mut mem_busy = 0.0f64;
     let mut comp_busy = 0.0f64;
-    for kernel in &wl.kernels {
+    // One relaxed atomic load; all telemetry below is skipped when no
+    // recorder is installed.
+    let telemetry = obs::active();
+    let mut blocks_total = 0u64;
+    let mut waves_total = 0u64;
+    for (index, kernel) in wl.kernels.iter().enumerate() {
         let key = Arc::as_ptr(&kernel.classes) as usize;
         let stats = cache
             .entry(key)
@@ -53,6 +58,38 @@ pub fn simulate(device: &DeviceConfig, wl: &Workload) -> Result<SimReport, Launc
         total += stats.makespan + device.t_launch;
         mem_busy += stats.mem_busy;
         comp_busy += stats.comp_busy;
+        if telemetry {
+            blocks_total += stats.blocks;
+            waves_total += stats.waves;
+            obs::event(
+                obs::Level::Debug,
+                "sim.kernel",
+                &[
+                    ("index", index.into()),
+                    ("blocks", stats.blocks.into()),
+                    ("waves", stats.waves.into()),
+                    ("makespan_s", stats.makespan.into()),
+                ],
+            );
+        }
+    }
+    if telemetry {
+        obs::counter("sim.runs", 1);
+        obs::counter("sim.kernel_launches", wl.kernels.len() as u64);
+        obs::counter("sim.blocks", blocks_total);
+        obs::counter("sim.waves", waves_total);
+        obs::histogram("sim.total_time_s", total);
+        obs::histogram("sim.pipe_mem_busy_s", mem_busy);
+        obs::histogram("sim.pipe_comp_busy_s", comp_busy);
+        // Utilization is a property of each distinct kernel schedule, so
+        // sample once per cache entry rather than once per launch.
+        for stats in cache.values() {
+            if stats.makespan > 0.0 {
+                for &finish in &stats.sm_finish {
+                    obs::histogram("sim.sm_utilization", finish / stats.makespan);
+                }
+            }
+        }
     }
     let launch_overhead = wl.kernels.len() as f64 * device.t_launch;
     Ok(SimReport {
@@ -68,11 +105,17 @@ pub fn simulate(device: &DeviceConfig, wl: &Workload) -> Result<SimReport, Launc
 }
 
 /// Timing summary of one kernel launch.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 struct KernelStats {
     makespan: f64,
     mem_busy: f64,
     comp_busy: f64,
+    /// Thread blocks in the launch.
+    blocks: u64,
+    /// Waves scheduled across all SMs.
+    waves: u64,
+    /// Per-SM drain time (the makespan is their max).
+    sm_finish: Vec<f64>,
 }
 
 /// Per-kernel timing of a detailed simulation (see [`simulate_detailed`]).
@@ -102,7 +145,7 @@ pub fn simulate_detailed(
     let mut kernels = Vec::with_capacity(wl.kernels.len());
     for (index, kernel) in wl.kernels.iter().enumerate() {
         let key = Arc::as_ptr(&kernel.classes) as usize;
-        let stats = *cache
+        let stats = cache
             .entry(key)
             .or_insert_with(|| kernel_time(device, wl, &kernel.classes, occ.k));
         kernels.push(KernelBreakdown {
@@ -135,6 +178,9 @@ fn kernel_time(
             makespan: 0.0,
             mem_busy: 0.0,
             comp_busy: 0.0,
+            blocks: 0,
+            waves: 0,
+            sm_finish: Vec::new(),
         };
     }
     let mem_busy: f64 = lowered.iter().map(|(c, b)| *c as f64 * b.mem_time).sum();
@@ -156,21 +202,28 @@ fn kernel_time(
     // by composition (virtually all waves are identical).
     let mut wave_cache: HashMap<Vec<u16>, f64> = HashMap::new();
     let mut makespan = 0.0f64;
-    for sm in &per_sm {
+    let mut waves = 0u64;
+    let mut sm_finish = vec![0.0f64; n_sm];
+    for (sm_idx, sm) in per_sm.iter().enumerate() {
         let mut t = 0.0;
         for wave in sm.chunks(k.max(1)) {
+            waves += 1;
             let key = wave.to_vec();
             let cost = *wave_cache
                 .entry(key)
                 .or_insert_with(|| wave_cost(wave.iter().map(|&c| &lowered[c as usize].1)));
             t += cost;
         }
+        sm_finish[sm_idx] = t;
         makespan = makespan.max(t);
     }
     KernelStats {
         makespan,
         mem_busy,
         comp_busy,
+        blocks: total_blocks,
+        waves,
+        sm_finish,
     }
 }
 

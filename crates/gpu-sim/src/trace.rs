@@ -53,6 +53,152 @@ pub struct KernelTrace {
     pub events: Vec<TraceEvent>,
 }
 
+/// Aggregate utilization view of one [`KernelTrace`].
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TraceSummary {
+    /// The kernel makespan (s).
+    pub makespan: f64,
+    /// Per-SM busy time: the union of that SM's mem and comp segments
+    /// (s). A moment counts once even when both pipes are active.
+    pub sm_busy: Vec<f64>,
+    /// `sm_busy[i] / makespan` (0.0 when the makespan is zero).
+    pub sm_busy_fraction: Vec<f64>,
+    /// Summed memory-pipe busy time across SMs (s).
+    pub mem_busy: f64,
+    /// Summed compute-pipe busy time across SMs (s).
+    pub comp_busy: f64,
+    /// `mem_busy / (n_sm * makespan)`.
+    pub mem_utilization: f64,
+    /// `comp_busy / (n_sm * makespan)`.
+    pub comp_utilization: f64,
+    /// Longest interval within `[0, makespan]` during which one lane
+    /// (an SM's mem or comp pipe) is idle, counting the stretches
+    /// before a lane's first segment and after its last. A lane with
+    /// no segments at all contributes the whole makespan.
+    pub longest_idle_gap: f64,
+}
+
+impl KernelTrace {
+    /// Summarize the schedule over `n_sm` SMs (the device's SM count —
+    /// SMs that received no blocks still count as idle lanes).
+    pub fn summary(&self, n_sm: usize) -> TraceSummary {
+        let mut lanes: Vec<Vec<(f64, f64)>> = vec![Vec::new(); n_sm * 2];
+        for e in &self.events {
+            let lane = e.sm * 2 + (e.pipe == TracePipe::Comp) as usize;
+            lanes[lane].push((e.start, e.end));
+        }
+        for lane in &mut lanes {
+            lane.sort_by(|a, b| a.0.total_cmp(&b.0));
+        }
+        let lane_busy = |lane: &[(f64, f64)]| lane.iter().map(|(s, e)| e - s).sum::<f64>();
+        let mem_busy: f64 = lanes.iter().step_by(2).map(|l| lane_busy(l)).sum();
+        let comp_busy: f64 = lanes.iter().skip(1).step_by(2).map(|l| lane_busy(l)).sum();
+
+        let mut sm_busy = Vec::with_capacity(n_sm);
+        for sm in 0..n_sm {
+            // Union of both pipes' intervals: merge-sweep over the
+            // already-sorted lanes.
+            let mut iv: Vec<(f64, f64)> = lanes[sm * 2]
+                .iter()
+                .chain(&lanes[sm * 2 + 1])
+                .copied()
+                .collect();
+            iv.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let mut busy = 0.0;
+            let mut cur: Option<(f64, f64)> = None;
+            for (s, e) in iv {
+                match &mut cur {
+                    Some((_, ce)) if s <= *ce => *ce = ce.max(e),
+                    _ => {
+                        if let Some((cs, ce)) = cur {
+                            busy += ce - cs;
+                        }
+                        cur = Some((s, e));
+                    }
+                }
+            }
+            if let Some((cs, ce)) = cur {
+                busy += ce - cs;
+            }
+            sm_busy.push(busy);
+        }
+        let frac = |busy: f64| {
+            if self.makespan > 0.0 {
+                busy / self.makespan
+            } else {
+                0.0
+            }
+        };
+        let sm_busy_fraction: Vec<f64> = sm_busy.iter().map(|&b| frac(b)).collect();
+
+        let mut longest_idle_gap = 0.0f64;
+        for lane in &lanes {
+            let mut prev_end = 0.0f64;
+            for &(s, e) in lane {
+                longest_idle_gap = longest_idle_gap.max(s - prev_end);
+                prev_end = prev_end.max(e);
+            }
+            longest_idle_gap = longest_idle_gap.max(self.makespan - prev_end);
+        }
+
+        let pipe_util = |busy: f64| {
+            if self.makespan > 0.0 && n_sm > 0 {
+                busy / (n_sm as f64 * self.makespan)
+            } else {
+                0.0
+            }
+        };
+        TraceSummary {
+            makespan: self.makespan,
+            sm_busy,
+            sm_busy_fraction,
+            mem_busy,
+            comp_busy,
+            mem_utilization: pipe_util(mem_busy),
+            comp_utilization: pipe_util(comp_busy),
+            longest_idle_gap,
+        }
+    }
+
+    /// Render the schedule into a Chrome trace under process `pid`:
+    /// SM = track pair, pipe = lane (`tid = sm*2 + pipe`), simulated
+    /// seconds mapped to trace microseconds and shifted by `offset_us`
+    /// (so consecutive kernels tile a shared timeline).
+    pub fn add_chrome_events(
+        &self,
+        out: &mut obs::chrome::ChromeTrace,
+        pid: u32,
+        offset_us: f64,
+        kernel_label: &str,
+    ) {
+        for e in &self.events {
+            let tid = (e.sm * 2 + (e.pipe == TracePipe::Comp) as usize) as u32;
+            let (pipe_name, lane_name) = match e.pipe {
+                TracePipe::Mem => ("mem", format!("SM {} · mem", e.sm)),
+                TracePipe::Comp => ("comp", format!("SM {} · comp", e.sm)),
+            };
+            out.name_thread(pid, tid, &lane_name);
+            out.complete(obs::chrome::CompleteEvent {
+                name: format!("{kernel_label} w{} b{}", e.wave, e.block),
+                cat: "sim".to_owned(),
+                pid,
+                tid,
+                ts_us: offset_us + e.start * 1e6,
+                dur_us: (e.end - e.start) * 1e6,
+                args: vec![
+                    ("sm".to_owned(), obs::FieldValue::U64(e.sm as u64)),
+                    ("wave".to_owned(), obs::FieldValue::U64(e.wave as u64)),
+                    ("block".to_owned(), obs::FieldValue::U64(e.block as u64)),
+                    (
+                        "pipe".to_owned(),
+                        obs::FieldValue::Str(pipe_name.to_owned()),
+                    ),
+                ],
+            });
+        }
+    }
+}
+
 /// Trace kernel `index` of the workload.
 ///
 /// Returns an error if the workload cannot launch; panics if `index` is
@@ -243,6 +389,136 @@ mod tests {
                     "chain {key:?} out of order: {:?} then {:?}",
                     w[0],
                     w[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn summary_busy_times_and_makespan_match_engine_exactly() {
+        let d = DeviceConfig::gtx980();
+        let wl = workload();
+        let (_, kernels) = simulate_detailed(&d, &wl).unwrap();
+        let trace = trace_kernel(&d, &wl, 0).unwrap();
+        let s = trace.summary(d.n_sm);
+        assert_eq!(s.makespan.to_bits(), trace.makespan.to_bits());
+        assert!(
+            (s.makespan - kernels[0].makespan).abs() < 1e-15,
+            "summary {} vs engine {}",
+            s.makespan,
+            kernels[0].makespan
+        );
+        // The engine computes pipe-busy analytically (Σ count·time per
+        // class); the summary sums the scheduled segments. They must
+        // agree to float-summation noise.
+        let rel = |a: f64, b: f64| (a - b).abs() / b.abs().max(1e-300);
+        assert!(
+            rel(s.mem_busy, kernels[0].mem_busy) < 1e-12,
+            "mem busy {} vs engine {}",
+            s.mem_busy,
+            kernels[0].mem_busy
+        );
+        assert!(
+            rel(s.comp_busy, kernels[0].comp_busy) < 1e-12,
+            "comp busy {} vs engine {}",
+            s.comp_busy,
+            kernels[0].comp_busy
+        );
+    }
+
+    #[test]
+    fn summary_fractions_and_gaps_are_sane() {
+        let d = DeviceConfig::gtx980();
+        let trace = trace_kernel(&d, &workload(), 0).unwrap();
+        let s = trace.summary(d.n_sm);
+        assert_eq!(s.sm_busy.len(), d.n_sm);
+        assert_eq!(s.sm_busy_fraction.len(), d.n_sm);
+        for (&busy, &f) in s.sm_busy.iter().zip(&s.sm_busy_fraction) {
+            assert!(busy >= 0.0 && busy <= s.makespan + 1e-15);
+            assert!((0.0..=1.0 + 1e-12).contains(&f), "fraction {f}");
+        }
+        assert!(s.mem_utilization > 0.0 && s.mem_utilization <= 1.0);
+        assert!(s.comp_utilization > 0.0 && s.comp_utilization <= 1.0);
+        assert!((0.0..=s.makespan).contains(&s.longest_idle_gap));
+        // 37 blocks over 16 SMs: every SM got work, but pipes have
+        // gaps while a wave waits on its other pipe.
+        assert!(s.longest_idle_gap > 0.0);
+        // The busiest SM is busy the whole makespan minus scheduling
+        // bubbles; the max fraction must be substantial.
+        let max_frac = s.sm_busy_fraction.iter().cloned().fold(0.0, f64::max);
+        assert!(max_frac > 0.5, "max busy fraction {max_frac}");
+    }
+
+    #[test]
+    fn summary_counts_empty_sms_as_idle_lanes() {
+        let d = DeviceConfig::gtx980();
+        // 1 block on 16 SMs: 15 SMs are fully idle.
+        let mut wl = Workload::uniform(1, 1, 4, 2048, 2048, vec![[1024, 1, 1]], 128, 32);
+        wl.mtile_words = 8192;
+        let trace = trace_kernel(&d, &wl, 0).unwrap();
+        let s = trace.summary(d.n_sm);
+        assert_eq!(s.sm_busy_fraction.iter().filter(|&&f| f == 0.0).count(), 15);
+        assert_eq!(s.longest_idle_gap.to_bits(), s.makespan.to_bits());
+    }
+
+    #[test]
+    fn chrome_export_is_well_formed_and_lanes_do_not_overlap() {
+        let d = DeviceConfig::gtx980();
+        let wl = workload();
+        let t0 = trace_kernel(&d, &wl, 0).unwrap();
+        let t1 = trace_kernel(&d, &wl, 1).unwrap();
+        let mut out = obs::chrome::ChromeTrace::new();
+        out.name_process(1, "gpu");
+        t0.add_chrome_events(&mut out, 1, 0.0, "k0");
+        t1.add_chrome_events(&mut out, 1, t0.makespan * 1e6, "k1");
+        let json = out.to_json();
+
+        // Round-trips through the JSON parser cleanly.
+        let v = serde_json::from_str(&json).expect("chrome trace must parse");
+        let serde::Value::Map(top) = &v else {
+            panic!("top level must be an object")
+        };
+        let events = top
+            .iter()
+            .find(|(k, _)| k == "traceEvents")
+            .map(|(_, v)| v)
+            .expect("traceEvents");
+        let serde::Value::Seq(events) = events else {
+            panic!("traceEvents must be an array")
+        };
+        assert!(!events.is_empty());
+
+        // Per (pid, tid) lane, X events are monotonically non-overlapping.
+        let field = |m: &[(String, serde::Value)], k: &str| -> f64 {
+            match m.iter().find(|(n, _)| n == k).map(|(_, v)| v) {
+                Some(serde::Value::F64(f)) => *f,
+                Some(serde::Value::UInt(u)) => *u as f64,
+                Some(serde::Value::Int(i)) => *i as f64,
+                other => panic!("field {k}: {other:?}"),
+            }
+        };
+        let mut lanes: std::collections::BTreeMap<(u64, u64), Vec<(f64, f64)>> = Default::default();
+        for ev in events {
+            let serde::Value::Map(m) = ev else {
+                panic!("event must be an object")
+            };
+            let ph = m.iter().find(|(n, _)| n == "ph").map(|(_, v)| v);
+            if !matches!(ph, Some(serde::Value::Str(s)) if s == "X") {
+                continue;
+            }
+            let key = (field(m, "pid") as u64, field(m, "tid") as u64);
+            lanes
+                .entry(key)
+                .or_default()
+                .push((field(m, "ts"), field(m, "dur")));
+        }
+        assert!(!lanes.is_empty());
+        for (lane, mut segs) in lanes {
+            segs.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for w in segs.windows(2) {
+                assert!(
+                    w[1].0 >= w[0].0 + w[0].1 - 1e-6,
+                    "lane {lane:?} overlaps: {w:?}"
                 );
             }
         }

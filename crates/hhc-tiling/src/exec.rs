@@ -73,6 +73,13 @@ pub struct ExecStats {
     /// Points computed by the generic per-point path (boundary rows,
     /// checked mode).
     pub generic_points: u64,
+    /// Rows whose interior span went through the row kernel.
+    pub kernel_rows: u64,
+    /// Rows computed entirely by the generic per-point path.
+    pub generic_rows: u64,
+    /// Bytes moved by whole-plane copies (initial-plane load plus the
+    /// final-result extraction).
+    pub plane_copy_bytes: u64,
 }
 
 /// The plane-ring depth an unchecked rolling-window execution allocates:
@@ -295,9 +302,12 @@ pub fn run_tiled_with(
     let kernel = opts
         .row_kernels
         .then(|| spec.row_kernel(size.space_extents()));
+    let plane_bytes = std::mem::size_of_val(init.as_slice()) as u64;
     let mut stats = ExecStats {
         resident_planes: st.planes.len(),
         logical_planes: size.time + 1,
+        // The initial-plane load into the space-time array.
+        plane_copy_bytes: plane_bytes,
         ..ExecStats::default()
     };
 
@@ -324,6 +334,34 @@ pub fn run_tiled_with(
     out.set_boundary(init.boundary());
     let final_slot = st.slot(size.time as i64);
     out.as_mut_slice().copy_from_slice(&st.planes[final_slot]);
+    stats.plane_copy_bytes += plane_bytes;
+
+    if obs::active() {
+        obs::counter("exec.runs", 1);
+        obs::counter("exec.kernel_points", stats.kernel_points);
+        obs::counter("exec.generic_points", stats.generic_points);
+        obs::counter("exec.kernel_rows", stats.kernel_rows);
+        obs::counter("exec.generic_rows", stats.generic_rows);
+        obs::counter("exec.plane_copy_bytes", stats.plane_copy_bytes);
+        // Rolling-window occupancy: how much of the full space-time
+        // history stays resident (1.0 = classic full storage).
+        obs::histogram(
+            "exec.window_occupancy",
+            stats.resident_planes as f64 / stats.logical_planes as f64,
+        );
+        obs::event(
+            obs::Level::Debug,
+            "exec.run",
+            &[
+                ("resident_planes", stats.resident_planes.into()),
+                ("logical_planes", stats.logical_planes.into()),
+                ("kernel_points", stats.kernel_points.into()),
+                ("generic_points", stats.generic_points.into()),
+                ("rolling_window", opts.rolling_window.into()),
+                ("checked", opts.checked.into()),
+            ],
+        );
+    }
     Ok((out, stats))
 }
 
@@ -464,6 +502,7 @@ fn compute_row(
             compute_point(spec, hex, id, wf, st, t, point(spec.dim.rank() - 1, s))?;
             stats.generic_points += 1;
         }
+        stats.generic_rows += 1;
         return Ok(());
     };
 
@@ -498,6 +537,9 @@ fn compute_row(
         let (src, dst) = st.rw_planes(t);
         k.apply_span(src, dst, (base + klo) as usize, (base + khi) as usize);
         stats.kernel_points += (khi - klo + 1) as u64;
+        stats.kernel_rows += 1;
+    } else {
+        stats.generic_rows += 1;
     }
     for s in lo.max(khi + 1)..=hi {
         compute_point(spec, hex, id, wf, st, t, point(axis, s))?;
@@ -755,6 +797,26 @@ mod tests {
             bstats.generic_points,
             fstats.kernel_points + fstats.generic_points
         );
+    }
+
+    #[test]
+    fn stats_count_rows_and_plane_copies() {
+        let spec = StencilKind::Jacobi2D.spec();
+        let size = ProblemSize::new_2d(19, 15, 6);
+        let tiles = TileSizes::new_2d(4, 5, 6);
+        let init = random_grid(size.space_extents(), 31);
+        let (_, fast) = run_tiled_with(&spec, &size, tiles, &init, ExecOptions::FAST).unwrap();
+        // Interior rows sweep through the kernel, boundary rows fall back.
+        assert!(fast.kernel_rows > 0);
+        assert!(fast.generic_rows > 0);
+        assert!(fast.kernel_points >= fast.kernel_rows, "{fast:?}");
+        // One plane in (init), one plane out (result), 4 bytes per cell.
+        let plane = (size.space[0] * size.space[1] * 4) as u64;
+        assert_eq!(fast.plane_copy_bytes, 2 * plane);
+        // The baseline path never uses the kernel: every row is generic.
+        let (_, base) = run_tiled_with(&spec, &size, tiles, &init, ExecOptions::BASELINE).unwrap();
+        assert_eq!(base.kernel_rows, 0);
+        assert_eq!(base.generic_rows, fast.kernel_rows + fast.generic_rows);
     }
 
     #[test]

@@ -1,0 +1,228 @@
+//! Chrome trace-event export (the JSON Array/Object format understood by
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev)).
+//!
+//! The exporter emits the JSON **object** form,
+//! `{"traceEvents": [...], "displayTimeUnit": "ms"}`, with:
+//!
+//! * `"X"` *complete* events (one per span / scheduled segment) carrying
+//!   `ts`/`dur` in microseconds and an `args` object of telemetry fields;
+//! * `"M"` *metadata* events naming processes (`process_name`) and
+//!   threads (`thread_name`) so tracks render with meaningful labels.
+//!
+//! Process/track structure: each named *process* is a row group (pid);
+//! each named *lane* within it is a thread (tid). The `experiments`
+//! driver maps the wall-clock telemetry to one process and the simulated
+//! GPU schedule to another (SM = track, pipe = lane), so both timelines
+//! are browsable side by side in one file.
+
+use crate::json::JsonWriter;
+use crate::{FieldValue, SpanRecord};
+use std::collections::BTreeMap;
+
+/// One `"X"` (complete) trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompleteEvent {
+    /// Event label.
+    pub name: String,
+    /// Comma-separated categories (Perfetto filter box).
+    pub cat: String,
+    /// Process id (row group).
+    pub pid: u32,
+    /// Thread id (lane within the group).
+    pub tid: u32,
+    /// Start time, microseconds.
+    pub ts_us: f64,
+    /// Duration, microseconds.
+    pub dur_us: f64,
+    /// Arbitrary key/value payload shown in the selection panel.
+    pub args: Vec<(String, FieldValue)>,
+}
+
+/// A Chrome trace under construction.
+#[derive(Debug, Default)]
+pub struct ChromeTrace {
+    events: Vec<CompleteEvent>,
+    process_names: BTreeMap<u32, String>,
+    thread_names: BTreeMap<(u32, u32), String>,
+    /// Lane allocation for [`lane`](ChromeTrace::lane): name → tid.
+    lanes: BTreeMap<(u32, String), u32>,
+}
+
+impl ChromeTrace {
+    pub fn new() -> ChromeTrace {
+        ChromeTrace::default()
+    }
+
+    /// Name a process (row group).
+    pub fn name_process(&mut self, pid: u32, name: &str) {
+        self.process_names.insert(pid, name.to_owned());
+    }
+
+    /// Name a thread (lane) within a process.
+    pub fn name_thread(&mut self, pid: u32, tid: u32, name: &str) {
+        self.thread_names.insert((pid, tid), name.to_owned());
+    }
+
+    /// The tid for a named lane of `pid`, allocated (and the thread
+    /// metadata emitted) on first use. Lanes are numbered in first-use
+    /// order within each process.
+    pub fn lane(&mut self, pid: u32, name: &str) -> u32 {
+        if let Some(tid) = self.lanes.get(&(pid, name.to_owned())) {
+            return *tid;
+        }
+        let tid = self.lanes.keys().filter(|(p, _)| *p == pid).count() as u32;
+        self.lanes.insert((pid, name.to_owned()), tid);
+        self.name_thread(pid, tid, name);
+        tid
+    }
+
+    /// Add one complete event.
+    pub fn complete(&mut self, ev: CompleteEvent) {
+        self.events.push(ev);
+    }
+
+    /// Add every span of a telemetry snapshot under process `pid`, one
+    /// lane per span track.
+    pub fn add_spans(&mut self, pid: u32, spans: &[SpanRecord]) {
+        for s in spans {
+            let tid = self.lane(pid, &s.track);
+            self.complete(CompleteEvent {
+                name: s.name.clone(),
+                cat: "obs".to_owned(),
+                pid,
+                tid,
+                ts_us: s.start_us,
+                dur_us: s.dur_us(),
+                args: s.fields.clone(),
+            });
+        }
+    }
+
+    /// Number of complete events so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The events added so far (in insertion order).
+    pub fn events(&self) -> &[CompleteEvent] {
+        &self.events
+    }
+
+    /// Render the trace as Chrome trace-event JSON.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.begin_field_array("traceEvents");
+        for (pid, name) in &self.process_names {
+            metadata(&mut w, "process_name", *pid, 0, name);
+        }
+        for ((pid, tid), name) in &self.thread_names {
+            metadata(&mut w, "thread_name", *pid, *tid, name);
+        }
+        for e in &self.events {
+            w.begin_object();
+            w.field_str("name", &e.name);
+            w.field_str("cat", &e.cat);
+            w.field_str("ph", "X");
+            w.field_f64("ts", e.ts_us);
+            w.field_f64("dur", e.dur_us);
+            w.field_u64("pid", e.pid as u64);
+            w.field_u64("tid", e.tid as u64);
+            w.begin_field_object("args");
+            for (k, v) in &e.args {
+                w.field_value(k, v);
+            }
+            w.end_object();
+            w.end_object();
+        }
+        w.end_array();
+        w.field_str("displayTimeUnit", "ms");
+        w.end_object();
+        w.finish()
+    }
+}
+
+fn metadata(w: &mut JsonWriter, kind: &str, pid: u32, tid: u32, name: &str) {
+    w.begin_object();
+    w.field_str("name", kind);
+    w.field_str("ph", "M");
+    w.field_u64("pid", pid as u64);
+    w.field_u64("tid", tid as u64);
+    w.begin_field_object("args");
+    w.field_str("name", name);
+    w.end_object();
+    w.end_object();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &str, pid: u32, tid: u32, ts: f64, dur: f64) -> CompleteEvent {
+        CompleteEvent {
+            name: name.to_owned(),
+            cat: "test".to_owned(),
+            pid,
+            tid,
+            ts_us: ts,
+            dur_us: dur,
+            args: vec![("n".to_owned(), FieldValue::U64(1))],
+        }
+    }
+
+    #[test]
+    fn renders_object_form_with_metadata_and_events() {
+        let mut t = ChromeTrace::new();
+        t.name_process(1, "sim");
+        let tid = t.lane(1, "SM 0 · mem");
+        t.complete(ev("seg", 1, tid, 0.0, 2.5));
+        let json = t.to_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("\"displayTimeUnit\":\"ms\"}"));
+        assert!(json.contains("\"ph\":\"M\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("SM 0 · mem"));
+        assert!(json.contains("\"dur\":2.5"));
+    }
+
+    #[test]
+    fn lanes_allocate_per_process_in_first_use_order() {
+        let mut t = ChromeTrace::new();
+        let a = t.lane(1, "alpha");
+        let b = t.lane(1, "beta");
+        let a2 = t.lane(1, "alpha");
+        let other = t.lane(2, "alpha");
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert_eq!(a2, a);
+        assert_eq!(other, 0, "lane numbering restarts per process");
+    }
+
+    #[test]
+    fn spans_map_to_lanes_by_track() {
+        let mut t = ChromeTrace::new();
+        let spans = vec![
+            SpanRecord {
+                name: "fig6".into(),
+                track: "driver".into(),
+                start_us: 0.0,
+                end_us: 10.0,
+                fields: vec![],
+            },
+            SpanRecord {
+                name: "strategy".into(),
+                track: "driver".into(),
+                start_us: 2.0,
+                end_us: 8.0,
+                fields: vec![],
+            },
+        ];
+        t.add_spans(0, &spans);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.events()[0].tid, t.events()[1].tid);
+    }
+}

@@ -1,0 +1,443 @@
+//! The collecting recorder: accumulates events, counters, histograms,
+//! and spans in memory, snapshottable at any time and exportable as a
+//! JSONL structured log.
+
+use crate::json::JsonWriter;
+use crate::{FieldValue, Level, Recorder};
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Default cap on stored events + spans; past it, new entries are counted
+/// as dropped rather than stored (the drop count is reported in the JSONL
+/// summary, never silently).
+pub const DEFAULT_CAPACITY: usize = 1_000_000;
+
+/// One recorded structured event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogEvent {
+    /// Microseconds since the recorder was created.
+    pub ts_us: f64,
+    /// Event level.
+    pub level: Level,
+    /// Event name (dotted, e.g. `sim.kernel`).
+    pub name: String,
+    /// Named scalar fields.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+/// One completed span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Span name.
+    pub name: String,
+    /// Track (one timeline lane group in the Chrome export).
+    pub track: String,
+    /// Start, microseconds since the recorder epoch.
+    pub start_us: f64,
+    /// End, microseconds since the recorder epoch.
+    pub end_us: f64,
+    /// Named scalar fields.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+impl SpanRecord {
+    /// Span duration in microseconds.
+    pub fn dur_us(&self) -> f64 {
+        self.end_us - self.start_us
+    }
+}
+
+/// A fixed-bucket log-scale histogram of `f64` samples.
+///
+/// Buckets are half-decades from `1e-12` up (anything below the first
+/// boundary lands in bucket 0), which spans simulated kernel times
+/// (~1e-7 s) through wall-clock phase times (~1e2 s) with no allocation
+/// per sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Half-decade bucket counts; bucket `i` holds samples in
+    /// `[10^((i-1)/2 - 12), 10^(i/2 - 12))`.
+    pub buckets: [u64; Histogram::BUCKETS],
+}
+
+impl Histogram {
+    /// Number of half-decade buckets (1e-12 ..= 1e4).
+    pub const BUCKETS: usize = 33;
+
+    fn new() -> Histogram {
+        Histogram {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: [0; Histogram::BUCKETS],
+        }
+    }
+
+    fn bucket_of(value: f64) -> usize {
+        if value <= 0.0 || !value.is_finite() {
+            return 0;
+        }
+        let idx = (value.log10() + 12.0) * 2.0;
+        (idx.ceil().max(0.0) as usize).min(Histogram::BUCKETS - 1)
+    }
+
+    fn record(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[Histogram::bucket_of(value)] += 1;
+    }
+
+    /// Arithmetic mean of the samples (`NaN` when empty).
+    pub fn mean(&self) -> f64 {
+        self.sum / self.count as f64
+    }
+}
+
+#[derive(Default)]
+struct Store {
+    events: Vec<LogEvent>,
+    spans: Vec<SpanRecord>,
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+    dropped: u64,
+}
+
+/// An immutable copy of everything a [`MemoryRecorder`] has collected.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Structured events in arrival order.
+    pub events: Vec<LogEvent>,
+    /// Completed spans in completion order.
+    pub spans: Vec<SpanRecord>,
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, Histogram>,
+    /// Events/spans discarded after the capacity cap was hit.
+    pub dropped: u64,
+}
+
+impl Snapshot {
+    /// Total of a counter (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The named histogram, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+}
+
+/// The workspace's standard [`Recorder`]: thread-safe in-memory
+/// accumulation, with [`snapshot`](MemoryRecorder::snapshot) for tests
+/// and [`write_jsonl`](MemoryRecorder::write_jsonl) for the `--log-out`
+/// exporter.
+pub struct MemoryRecorder {
+    level: Level,
+    epoch: Instant,
+    store: Mutex<Store>,
+    capacity: usize,
+}
+
+impl MemoryRecorder {
+    /// A recorder keeping events up to `level`, with the default
+    /// [`DEFAULT_CAPACITY`] cap on stored events + spans.
+    pub fn new(level: Level) -> MemoryRecorder {
+        MemoryRecorder::with_capacity(level, DEFAULT_CAPACITY)
+    }
+
+    /// [`new`](MemoryRecorder::new) with an explicit storage cap.
+    pub fn with_capacity(level: Level, capacity: usize) -> MemoryRecorder {
+        MemoryRecorder {
+            level,
+            epoch: Instant::now(),
+            store: Mutex::new(Store::default()),
+            capacity,
+        }
+    }
+
+    /// The recorder's epoch (spans and event timestamps are relative to
+    /// this instant).
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    fn us_since_epoch(&self, t: Instant) -> f64 {
+        t.duration_since(self.epoch).as_secs_f64() * 1e6
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Store> {
+        self.store.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Copy out everything collected so far.
+    pub fn snapshot(&self) -> Snapshot {
+        let s = self.lock();
+        Snapshot {
+            events: s.events.clone(),
+            spans: s.spans.clone(),
+            counters: s.counters.clone(),
+            histograms: s.histograms.clone(),
+            dropped: s.dropped,
+        }
+    }
+
+    /// Write the collected telemetry as JSONL: one `meta` line, every
+    /// event and span in time order, then one `counter` line per counter
+    /// and one `histogram` line per histogram. Every line is a complete
+    /// JSON object with a `kind` discriminator.
+    pub fn write_jsonl(&self, out: &mut dyn Write) -> io::Result<()> {
+        let snap = self.snapshot();
+        write_jsonl_snapshot(&snap, self.level, out)
+    }
+}
+
+/// JSONL rendering of a [`Snapshot`] (see
+/// [`MemoryRecorder::write_jsonl`]); separated so tests can render
+/// synthetic snapshots.
+pub fn write_jsonl_snapshot(snap: &Snapshot, level: Level, out: &mut dyn Write) -> io::Result<()> {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("kind", "meta");
+    w.field_str("level", level.name());
+    w.field_u64("events", snap.events.len() as u64);
+    w.field_u64("spans", snap.spans.len() as u64);
+    w.field_u64("dropped", snap.dropped);
+    w.end_object();
+    writeln!(out, "{}", w.finish())?;
+
+    for e in &snap.events {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("kind", "event");
+        w.field_f64("ts_us", e.ts_us);
+        w.field_str("level", e.level.name());
+        w.field_str("name", &e.name);
+        w.begin_field_object("fields");
+        for (k, v) in &e.fields {
+            w.field_value(k, v);
+        }
+        w.end_object();
+        w.end_object();
+        writeln!(out, "{}", w.finish())?;
+    }
+    for s in &snap.spans {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("kind", "span");
+        w.field_str("name", &s.name);
+        w.field_str("track", &s.track);
+        w.field_f64("start_us", s.start_us);
+        w.field_f64("end_us", s.end_us);
+        w.field_f64("dur_us", s.dur_us());
+        w.begin_field_object("fields");
+        for (k, v) in &s.fields {
+            w.field_value(k, v);
+        }
+        w.end_object();
+        w.end_object();
+        writeln!(out, "{}", w.finish())?;
+    }
+    for (name, total) in &snap.counters {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("kind", "counter");
+        w.field_str("name", name);
+        w.field_u64("total", *total);
+        w.end_object();
+        writeln!(out, "{}", w.finish())?;
+    }
+    for (name, h) in &snap.histograms {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("kind", "histogram");
+        w.field_str("name", name);
+        w.field_u64("count", h.count);
+        w.field_f64("sum", h.sum);
+        w.field_f64("min", h.min);
+        w.field_f64("max", h.max);
+        w.field_f64("mean", h.mean());
+        w.end_object();
+        writeln!(out, "{}", w.finish())?;
+    }
+    Ok(())
+}
+
+fn own_fields(fields: &[(&str, FieldValue)]) -> Vec<(String, FieldValue)> {
+    fields
+        .iter()
+        .map(|(k, v)| ((*k).to_owned(), v.clone()))
+        .collect()
+}
+
+impl Recorder for MemoryRecorder {
+    fn level(&self) -> Level {
+        self.level
+    }
+
+    fn event(&self, level: Level, name: &str, fields: &[(&str, FieldValue)]) {
+        if level > self.level {
+            return;
+        }
+        let ts_us = self.us_since_epoch(Instant::now());
+        let mut s = self.lock();
+        if s.events.len() + s.spans.len() >= self.capacity {
+            s.dropped += 1;
+            return;
+        }
+        s.events.push(LogEvent {
+            ts_us,
+            level,
+            name: name.to_owned(),
+            fields: own_fields(fields),
+        });
+    }
+
+    fn counter(&self, name: &str, delta: u64) {
+        let mut s = self.lock();
+        match s.counters.get_mut(name) {
+            Some(c) => *c += delta,
+            None => {
+                s.counters.insert(name.to_owned(), delta);
+            }
+        }
+    }
+
+    fn histogram(&self, name: &str, value: f64) {
+        let mut s = self.lock();
+        match s.histograms.get_mut(name) {
+            Some(h) => h.record(value),
+            None => {
+                let mut h = Histogram::new();
+                h.record(value);
+                s.histograms.insert(name.to_owned(), h);
+            }
+        }
+    }
+
+    fn span(
+        &self,
+        name: &str,
+        track: &str,
+        start: Instant,
+        end: Instant,
+        fields: &[(&str, FieldValue)],
+    ) {
+        let rec = SpanRecord {
+            name: name.to_owned(),
+            track: track.to_owned(),
+            start_us: self.us_since_epoch(start),
+            end_us: self.us_since_epoch(end),
+            fields: own_fields(fields),
+        };
+        let mut s = self.lock();
+        if s.events.len() + s.spans.len() >= self.capacity {
+            s.dropped += 1;
+            return;
+        }
+        s.spans.push(rec);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_histograms_summarize() {
+        let r = MemoryRecorder::new(Level::Debug);
+        r.counter("a", 2);
+        r.counter("a", 3);
+        r.histogram("h", 0.1);
+        r.histogram("h", 0.3);
+        let s = r.snapshot();
+        assert_eq!(s.counter("a"), 5);
+        let h = s.histogram("h").unwrap();
+        assert_eq!(h.count, 2);
+        assert!((h.sum - 0.4).abs() < 1e-12);
+        assert!((h.mean() - 0.2).abs() < 1e-12);
+        assert_eq!(h.min, 0.1);
+        assert_eq!(h.max, 0.3);
+    }
+
+    #[test]
+    fn histogram_buckets_are_monotone_in_value() {
+        assert_eq!(Histogram::bucket_of(0.0), 0);
+        assert_eq!(Histogram::bucket_of(-1.0), 0);
+        assert_eq!(Histogram::bucket_of(f64::NAN), 0);
+        let mut last = 0;
+        for exp in -11..4 {
+            let b = Histogram::bucket_of(10f64.powi(exp));
+            assert!(b >= last, "bucket {b} for 1e{exp} after {last}");
+            last = b;
+        }
+        assert_eq!(Histogram::bucket_of(1e20), Histogram::BUCKETS - 1);
+    }
+
+    #[test]
+    fn level_filter_applies_per_event() {
+        let r = MemoryRecorder::new(Level::Info);
+        r.event(Level::Info, "kept", &[]);
+        r.event(Level::Debug, "dropped", &[]);
+        let s = r.snapshot();
+        assert_eq!(s.events.len(), 1);
+        assert_eq!(s.events[0].name, "kept");
+    }
+
+    #[test]
+    fn capacity_cap_counts_drops() {
+        let r = MemoryRecorder::with_capacity(Level::Debug, 2);
+        for i in 0..5 {
+            r.event(Level::Info, &format!("e{i}"), &[]);
+        }
+        let s = r.snapshot();
+        assert_eq!(s.events.len(), 2);
+        assert_eq!(s.dropped, 3);
+    }
+
+    #[test]
+    fn jsonl_lines_are_complete_objects() {
+        let r = MemoryRecorder::new(Level::Debug);
+        r.event(
+            Level::Info,
+            "note",
+            &[
+                ("s", FieldValue::Str("a\"b".into())),
+                ("n", FieldValue::U64(3)),
+            ],
+        );
+        r.counter("c", 7);
+        r.histogram("h", 2.0);
+        r.span(
+            "work",
+            "driver",
+            r.epoch(),
+            r.epoch() + std::time::Duration::from_micros(5),
+            &[],
+        );
+        let mut buf = Vec::new();
+        r.write_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5, "{text}");
+        assert!(lines[0].contains("\"kind\":\"meta\""));
+        assert!(lines.iter().all(|l| l.starts_with('{') && l.ends_with('}')));
+        assert!(text.contains("a\\\"b"));
+        assert!(text.contains("\"total\":7"));
+        assert!(text.contains("\"kind\":\"span\""));
+    }
+}

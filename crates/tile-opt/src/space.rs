@@ -67,14 +67,18 @@ pub fn is_feasible(device: &DeviceConfig, dim: StencilDim, tiles: &TileSizes) ->
 /// Enumerate the feasible tile-size space for a stencil dimensionality.
 pub fn feasible_tiles(device: &DeviceConfig, dim: StencilDim, cfg: &SpaceConfig) -> Vec<TileSizes> {
     let mut out = Vec::new();
+    let mut enumerated = 0u64;
+    let mut check = |t: TileSizes, out: &mut Vec<TileSizes>| {
+        enumerated += 1;
+        if is_feasible(device, dim, &t) {
+            out.push(t);
+        }
+    };
     match dim {
         StencilDim::D1 => {
             for &t_t in &cfg.t_t {
                 for &s1 in &cfg.t_s1 {
-                    let t = TileSizes::new_1d(t_t, s1);
-                    if is_feasible(device, dim, &t) {
-                        out.push(t);
-                    }
+                    check(TileSizes::new_1d(t_t, s1), &mut out);
                 }
             }
         }
@@ -82,10 +86,7 @@ pub fn feasible_tiles(device: &DeviceConfig, dim: StencilDim, cfg: &SpaceConfig)
             for &t_t in &cfg.t_t {
                 for &s1 in &cfg.t_s1 {
                     for &s2 in &cfg.t_s_inner {
-                        let t = TileSizes::new_2d(t_t, s1, s2);
-                        if is_feasible(device, dim, &t) {
-                            out.push(t);
-                        }
+                        check(TileSizes::new_2d(t_t, s1, s2), &mut out);
                     }
                 }
             }
@@ -95,15 +96,17 @@ pub fn feasible_tiles(device: &DeviceConfig, dim: StencilDim, cfg: &SpaceConfig)
                 for &s1 in &cfg.t_s1 {
                     for &s2 in &cfg.t_s_mid {
                         for &s3 in &cfg.t_s_inner {
-                            let t = TileSizes::new_3d(t_t, s1, s2, s3);
-                            if is_feasible(device, dim, &t) {
-                                out.push(t);
-                            }
+                            check(TileSizes::new_3d(t_t, s1, s2, s3), &mut out);
                         }
                     }
                 }
             }
         }
+    }
+    if obs::active() {
+        obs::counter("opt.space_enumerated", enumerated);
+        obs::counter("opt.space_feasible", out.len() as u64);
+        obs::counter("opt.space_pruned", enumerated - out.len() as u64);
     }
     out
 }

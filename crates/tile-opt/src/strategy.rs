@@ -335,6 +335,11 @@ pub fn evaluate_points(ctx: &StrategyContext<'_>, points: &[DataPoint]) -> Vec<E
         .zip(&cached)
         .filter_map(|(p, c)| c.is_none().then_some(*p))
         .collect();
+    if obs::active() {
+        obs::counter("opt.eval_lookups", points.len() as u64);
+        obs::counter("opt.eval_cache_hits", hits as u64);
+        obs::counter("opt.eval_simulated", misses.len() as u64);
+    }
     let computed: Vec<Evaluated> = misses
         .par_iter()
         .map(|p| {
@@ -403,6 +408,7 @@ pub struct Study {
 /// time matters; the simulator usually affords it).
 pub fn study(ctx: &StrategyContext<'_>, exhaustive: bool) -> Study {
     let dim = ctx.spec.dim;
+    let _study_span = obs::span("opt.study", "optimizer");
     // Per-strategy cache accounting: strategies run sequentially, so the
     // delta of the shared counter attributes hits to the right one.
     let mut hits_mark = ctx.cache.hits();
@@ -412,57 +418,79 @@ pub fn study(ctx: &StrategyContext<'_>, exhaustive: bool) -> Study {
         hits_mark = now;
         delta
     };
+    // Time one strategy: a span on the optimizer track plus a
+    // per-strategy wall-time histogram (both free when no recorder is
+    // installed).
+    fn timed<T>(span: &'static str, hist: &'static str, f: impl FnOnce() -> T) -> T {
+        let _s = obs::span(span, "optimizer");
+        let t0 = std::time::Instant::now();
+        let r = f();
+        obs::histogram(hist, t0.elapsed().as_secs_f64());
+        r
+    }
 
     // --- HHC default ---
-    let hhc = evaluate_points(ctx, &[hhc_default(dim)]);
+    let hhc = timed("opt.strategy.hhc", "opt.wall_s.hhc", || {
+        evaluate_points(ctx, &[hhc_default(dim)])
+    });
     let hhc_hits = take_hits(&ctx.cache);
 
     // --- Baseline: 850 measured points ---
-    let baseline_pts = baseline_points(ctx.device, dim, ctx.space);
-    let baseline = evaluate_points(ctx, &baseline_pts);
+    let baseline = timed("opt.strategy.baseline", "opt.wall_s.baseline", || {
+        let pts = baseline_points(ctx.device, dim, ctx.space);
+        evaluate_points(ctx, &pts)
+    });
     let baseline_hits = take_hits(&ctx.cache);
     let baseline_best = best_measured(&baseline);
 
     // --- Model sweep over the feasible space ---
-    let space = feasible_tiles(ctx.device, dim, ctx.space);
-    let sweep = model_sweep(ctx.params, ctx.size, &space);
+    let (space, sweep) = timed("opt.model_sweep", "opt.wall_s.sweep", || {
+        let space = feasible_tiles(ctx.device, dim, ctx.space);
+        let sweep = model_sweep(ctx.params, ctx.size, &space);
+        (space, sweep)
+    });
 
     // --- Talg min ---
-    let tmin = talg_min(&sweep);
-    let talg_min_eval = tmin.map(|(tiles, _)| {
-        evaluate_points(
-            ctx,
-            &[DataPoint {
-                tiles,
-                launch: empirical_launch(dim, &tiles),
-            }],
-        )[0]
+    let talg_min_eval = timed("opt.strategy.talg_min", "opt.wall_s.talg_min", || {
+        talg_min(&sweep).map(|(tiles, _)| {
+            evaluate_points(
+                ctx,
+                &[DataPoint {
+                    tiles,
+                    launch: empirical_launch(dim, &tiles),
+                }],
+            )[0]
+        })
     });
     let talg_hits = take_hits(&ctx.cache);
 
     // --- Within 10 % of Talg min ---
-    let within_pts: Vec<DataPoint> = within_fraction(&sweep, 0.10)
-        .into_iter()
-        .map(|(tiles, _)| DataPoint {
-            tiles,
-            launch: empirical_launch(dim, &tiles),
-        })
-        .collect();
-    let within = evaluate_points(ctx, &within_pts);
+    let within = timed("opt.strategy.within10", "opt.wall_s.within10", || {
+        let pts: Vec<DataPoint> = within_fraction(&sweep, 0.10)
+            .into_iter()
+            .map(|(tiles, _)| DataPoint {
+                tiles,
+                launch: empirical_launch(dim, &tiles),
+            })
+            .collect();
+        evaluate_points(ctx, &pts)
+    });
     let within_hits = take_hits(&ctx.cache);
     let within_best = best_measured(&within);
 
     // --- Exhaustive (optional) ---
     let exhaustive_best = if exhaustive {
-        let pts: Vec<DataPoint> = space
-            .iter()
-            .map(|t| DataPoint {
-                tiles: *t,
-                launch: empirical_launch(dim, t),
-            })
-            .collect();
-        let evals = evaluate_points(ctx, &pts);
-        best_measured(&evals).map(|b| (b, evals.len()))
+        timed("opt.strategy.exhaustive", "opt.wall_s.exhaustive", || {
+            let pts: Vec<DataPoint> = space
+                .iter()
+                .map(|t| DataPoint {
+                    tiles: *t,
+                    launch: empirical_launch(dim, t),
+                })
+                .collect();
+            let evals = evaluate_points(ctx, &pts);
+            best_measured(&evals).map(|b| (b, evals.len()))
+        })
     } else {
         None
     };
@@ -508,6 +536,24 @@ pub fn study(ctx: &StrategyContext<'_>, exhaustive: bool) -> Study {
             measured_count: n,
             cache_hits: exhaustive_hits,
         });
+    }
+
+    if obs::enabled(obs::Level::Info) {
+        for o in &outcomes {
+            obs::event(
+                obs::Level::Info,
+                "opt.outcome",
+                &[
+                    ("strategy", o.strategy.name().into()),
+                    ("measured_count", o.measured_count.into()),
+                    ("cache_hits", o.cache_hits.into()),
+                    ("predicted_s", o.chosen.predicted.into()),
+                    // NaN renders as null in the JSONL export (no
+                    // measurement: the configuration failed to launch).
+                    ("measured_s", o.chosen.measured.unwrap_or(f64::NAN).into()),
+                ],
+            );
+        }
     }
 
     Study {

@@ -33,6 +33,12 @@ pub enum Value {
     Map(Vec<(String, Value)>),
 }
 
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
 /// Types that can be turned into a [`Value`] tree.
 ///
 /// The derive macro implements this by mapping struct fields to
