@@ -1,0 +1,84 @@
+//! Simulator hot-path benchmarks: the closed-form steady-state kernel
+//! scheduler vs the exact O(total-blocks) dealing loop, the pooled
+//! wavefront-parallel executor vs the sequential fast path, and a full
+//! `simulate` call over a real tiling plan. Companion to
+//! `experiments --bench-exec --parallel-exec`, which times the same
+//! paths on larger workloads and persists `BENCH_exec.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_sim::{kernel_time, kernel_time_dealing, occupancy, simulate, DeviceConfig, Workload};
+use hhc_tiling::{
+    run_tiled_parallel_with_stats, run_tiled_with, ExecOptions, LaunchConfig, ScratchPool,
+    TileSizes, TilingPlan,
+};
+use std::hint::black_box;
+use stencil_core::{init, ProblemSize, StencilKind};
+
+fn jacobi2d_workload() -> (DeviceConfig, Workload) {
+    let device = DeviceConfig::gtx980();
+    let spec = StencilKind::Jacobi2D.spec();
+    let size = ProblemSize::new_2d(1024, 1024, 128);
+    // (8, 32, 256) overflows gtx980 shared memory per block; 128 fits.
+    let tiles = TileSizes::new_2d(8, 32, 128);
+    let plan =
+        TilingPlan::build(&spec, &size, tiles, LaunchConfig::new_2d(4, 32)).expect("plan builds");
+    (device, Workload::from_plan(&plan))
+}
+
+fn bench_kernel_scheduling(c: &mut Criterion) {
+    let (device, wl) = jacobi2d_workload();
+    let k = occupancy(&device, &wl).expect("occupancy").k;
+    // The widest wavefront dominates the schedule cost.
+    let classes = wl
+        .kernels
+        .iter()
+        .max_by_key(|kern| kern.block_count())
+        .expect("plan has kernels")
+        .classes
+        .clone();
+    let steady = kernel_time(&device, &wl, &classes, k);
+    let dealing = kernel_time_dealing(&device, &wl, &classes, k);
+    assert_eq!(steady, dealing, "schedulers must agree before timing");
+
+    let mut g = c.benchmark_group("sim_hotpath");
+    g.sample_size(10);
+    g.bench_function("kernel_time_steady", |b| {
+        b.iter(|| black_box(kernel_time(&device, &wl, &classes, k).makespan))
+    });
+    g.bench_function("kernel_time_dealing", |b| {
+        b.iter(|| black_box(kernel_time_dealing(&device, &wl, &classes, k).makespan))
+    });
+    g.bench_function("simulate_full_plan", |b| {
+        b.iter(|| black_box(simulate(&device, &wl).expect("launches").total_time))
+    });
+    g.finish();
+}
+
+fn bench_parallel_executor(c: &mut Criterion) {
+    let spec = StencilKind::Jacobi2D.spec();
+    let size = ProblemSize::new_2d(256, 256, 32);
+    let tiles = TileSizes::new_2d(8, 32, 128);
+    let grid = init::random(size.space_extents(), 0x42);
+
+    let mut g = c.benchmark_group("parallel_exec");
+    g.sample_size(10);
+    g.bench_function("jacobi2d_sequential_fast", |b| {
+        b.iter(|| {
+            let (out, _) = run_tiled_with(&spec, &size, tiles, &grid, ExecOptions::FAST).unwrap();
+            black_box(out.len())
+        })
+    });
+    // One pool for the whole measurement: after the first iteration every
+    // run is allocation-free.
+    let pool = ScratchPool::new();
+    g.bench_function("jacobi2d_parallel_pooled", |b| {
+        b.iter(|| {
+            let (out, _) = run_tiled_parallel_with_stats(&spec, &size, tiles, &grid, &pool);
+            black_box(out.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernel_scheduling, bench_parallel_executor);
+criterion_main!(benches);

@@ -8,8 +8,14 @@
 //! so a reported speedup can never come from computing something else.
 
 use crate::context::{ExperimentScale, Lab};
-use hhc_tiling::{rolling_window_depth, run_tiled_with, ExecOptions, TileSizes};
+use gpu_sim::{kernel_time, kernel_time_dealing, occupancy, DeviceConfig, Workload};
+use hhc_tiling::plan::{BlockClass, WavefrontPlan};
+use hhc_tiling::{
+    rolling_window_depth, run_tiled_parallel_with_stats, run_tiled_with, ExecOptions, LaunchConfig,
+    ScratchPool, TileSizes, TilingPlan,
+};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use std::time::Instant;
 use stencil_core::{init, ProblemSize, StencilKind};
 use tile_opt::strategy::{baseline_points, evaluate_points, EvalCache, StrategyContext};
@@ -39,6 +45,46 @@ pub struct ExecBenchRow {
     pub bit_identical: bool,
 }
 
+/// One multi-core comparison row: sequential fast path vs the pooled
+/// wavefront-parallel executor (`--parallel-exec`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ParallelBenchRow {
+    pub benchmark: String,
+    pub size: String,
+    pub tiles: TileSizes,
+    /// Rayon worker threads used for the parallel runs.
+    pub threads: usize,
+    /// Seconds, best of `reps`, sequential [`ExecOptions::FAST`] path.
+    pub seq_fast_s: f64,
+    /// Seconds, best of `reps`, pooled parallel executor (warm pool
+    /// after the first rep).
+    pub parallel_s: f64,
+    /// `seq_fast_s / parallel_s`.
+    pub speedup: f64,
+    /// Parallel result equals the sequential fast path bit for bit
+    /// (always asserted).
+    pub bit_identical: bool,
+    /// Pool checkouts during the best-timed run.
+    pub scratch_acquires: u64,
+    /// Checkouts served from the pool without allocating.
+    pub scratch_reuses: u64,
+}
+
+/// Steady-state vs dealing-loop kernel scheduling in the simulator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimBenchRow {
+    pub benchmark: String,
+    pub size: String,
+    /// Blocks in the timed kernel launch.
+    pub blocks: u64,
+    /// Seconds per `kernel_time` call, closed-form steady-state schedule.
+    pub steady_s: f64,
+    /// Seconds per call, exact O(total-blocks) dealing loop.
+    pub dealing_s: f64,
+    /// `dealing_s / steady_s`.
+    pub speedup: f64,
+}
+
 /// Memoized vs cold strategy-evaluation timing.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MemoBenchRow {
@@ -57,7 +103,14 @@ pub struct MemoBenchRow {
 pub struct ExecBenchReport {
     pub scale: String,
     pub threads: usize,
+    /// Hardware threads the OS exposes. When this is 1, the parallel
+    /// rows measure pure executor overhead — no speedup is observable.
+    pub hardware_threads: usize,
     pub exec: Vec<ExecBenchRow>,
+    /// Parallel-executor rows; empty unless `--parallel-exec` was given.
+    pub parallel: Vec<ParallelBenchRow>,
+    /// Simulator scheduling rows (always produced).
+    pub sim: Vec<SimBenchRow>,
     pub memo: MemoBenchRow,
 }
 
@@ -105,6 +158,155 @@ fn bench_one(kind: StencilKind, size: ProblemSize, tiles: TileSizes, reps: usize
         kernel_point_fraction: fast_stats.kernel_points as f64 / total,
         bit_identical: identical,
     }
+}
+
+fn bench_parallel_one(
+    kind: StencilKind,
+    size: ProblemSize,
+    tiles: TileSizes,
+    reps: usize,
+) -> ParallelBenchRow {
+    let spec = kind.spec();
+    let grid = init::random(size.space_extents(), 0x42);
+    let (seq_fast_s, (fast_grid, _)) = time_best_of(reps, || {
+        run_tiled_with(&spec, &size, tiles, &grid, ExecOptions::FAST).expect("fast run")
+    });
+    // One pool shared across reps: the first rep warms it, later reps run
+    // allocation-free, which is the steady state `run_candidates` sees.
+    let pool = ScratchPool::new();
+    let (parallel_s, (par_grid, par_stats)) = time_best_of(reps.max(2), || {
+        run_tiled_parallel_with_stats(&spec, &size, tiles, &grid, &pool)
+    });
+    let identical = fast_grid.max_abs_diff(&par_grid) == 0.0;
+    assert!(
+        identical,
+        "{}: parallel executor diverged from sequential fast path",
+        kind.name()
+    );
+    ParallelBenchRow {
+        benchmark: kind.name().to_string(),
+        size: size.label(),
+        tiles,
+        threads: rayon::current_num_threads(),
+        seq_fast_s,
+        parallel_s,
+        speedup: seq_fast_s / parallel_s,
+        bit_identical: identical,
+        scratch_acquires: par_stats.scratch_acquires,
+        scratch_reuses: par_stats.scratch_reuses,
+    }
+}
+
+/// Time one (workload, classes, k) launch under both schedulers after
+/// asserting they agree exactly.
+fn sim_row(
+    benchmark: &str,
+    size_label: String,
+    device: &DeviceConfig,
+    wl: &Workload,
+    classes: &[BlockClass],
+    k: usize,
+) -> SimBenchRow {
+    let steady = kernel_time(device, wl, classes, k);
+    let dealing = kernel_time_dealing(device, wl, classes, k);
+    assert_eq!(
+        steady, dealing,
+        "steady-state schedule diverged from dealing loop"
+    );
+    assert_eq!(steady.makespan.to_bits(), dealing.makespan.to_bits());
+    let time_per_call = |iters: usize, f: &dyn Fn()| {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        t0.elapsed().as_secs_f64() / iters as f64
+    };
+    let steady_s = time_per_call(100, &|| {
+        std::hint::black_box(kernel_time(device, wl, classes, k));
+    });
+    let dealing_s = time_per_call(10, &|| {
+        std::hint::black_box(kernel_time_dealing(device, wl, classes, k));
+    });
+    SimBenchRow {
+        benchmark: benchmark.to_string(),
+        size: size_label,
+        blocks: steady.blocks,
+        steady_s,
+        dealing_s,
+        speedup: dealing_s / steady_s,
+    }
+}
+
+/// Simulator scheduling rows: the widest kernel launch of a real 2D
+/// Jacobi plan (wavefront widths are modest — O(S1 / t_s1) hexagons — so
+/// both schedulers are cheap there), plus a wide synthetic launch where
+/// the O(classes) steady-state schedule separates from the
+/// O(total-blocks) dealing loop.
+fn bench_sim(lab: &Lab) -> Vec<SimBenchRow> {
+    let device = DeviceConfig::gtx980();
+    let kind = StencilKind::Jacobi2D;
+    let spec = kind.spec();
+    // The tile shape must fit in shared memory for the launch to be
+    // schedulable at all.
+    let tiles = TileSizes::new_2d(8, 32, 128);
+    let size = match lab.scale {
+        ExperimentScale::Paper => ProblemSize::new_2d(2048, 2048, 128),
+        ExperimentScale::Reduced => ProblemSize::new_2d(1024, 1024, 64),
+        ExperimentScale::Smoke => ProblemSize::new_2d(256, 256, 32),
+    };
+    let plan = TilingPlan::build(&spec, &size, tiles, LaunchConfig::new_2d(4, 32))
+        .expect("sim bench plan");
+    let wl = Workload::from_plan(&plan);
+    let k = occupancy(&device, &wl).expect("sim bench occupancy").k;
+    let classes = wl
+        .kernels
+        .iter()
+        .max_by_key(|kern| kern.block_count())
+        .expect("plan has kernels")
+        .classes
+        .clone();
+    let mut rows = vec![sim_row(
+        kind.name(),
+        size.label(),
+        &device,
+        &wl,
+        &classes,
+        k,
+    )];
+
+    // Synthetic wide launch: three block classes, almost all blocks in
+    // the interior class — the shape `kernel_time` sees from huge grids.
+    let blocks: u64 = match lab.scale {
+        ExperimentScale::Paper => 200_000,
+        ExperimentScale::Reduced => 50_000,
+        ExperimentScale::Smoke => 5_000,
+    };
+    let wide_class = |count: u64, width: u64| BlockClass {
+        count,
+        s1_widths: vec![width; 2],
+        mi_rows: vec![256; 2],
+        mo_rows: vec![128; 2],
+        axis2: BlockClass::unit_axis(2),
+        axis3: BlockClass::unit_axis(2),
+    };
+    let wide = vec![
+        wide_class(blocks - blocks / 10, 64),
+        wide_class(blocks / 20, 48),
+        wide_class(blocks / 10 - blocks / 20, 32),
+    ];
+    let mut wide_wl = Workload::uniform(1, 0, 0, 0, 0, vec![], 128, 32);
+    wide_wl.kernels = vec![WavefrontPlan {
+        classes: Arc::new(wide.clone()),
+    }];
+    rows.push(sim_row(
+        "Synthetic",
+        format!("{blocks} blocks"),
+        &device,
+        &wide_wl,
+        &wide,
+        8,
+    ));
+    rows
 }
 
 /// The executor workloads per scale. The 2D Jacobi row is the headline
@@ -182,7 +384,10 @@ fn bench_memo(lab: &Lab) -> MemoBenchRow {
 }
 
 /// Run the full executor benchmark and return the report.
-pub fn bench_exec(lab: &Lab) -> ExecBenchReport {
+///
+/// `parallel_exec` additionally times the pooled wavefront-parallel
+/// executor against the sequential fast path (`--parallel-exec`).
+pub fn bench_exec(lab: &Lab, parallel_exec: bool) -> ExecBenchReport {
     let mut exec = Vec::new();
     for (kind, size, tiles, reps) in workloads(lab.scale) {
         let row = bench_one(kind, size, tiles, reps);
@@ -199,6 +404,31 @@ pub fn bench_exec(lab: &Lab) -> ExecBenchReport {
         );
         exec.push(row);
     }
+    let mut parallel = Vec::new();
+    if parallel_exec {
+        for (kind, size, tiles, reps) in workloads(lab.scale) {
+            let row = bench_parallel_one(kind, size, tiles, reps);
+            println!(
+                "  {:10} {:16} seq-fast {:8.3}s  parallel {:8.3}s ({} threads)  speedup {:5.2}x  pool {}/{} reused",
+                row.benchmark,
+                row.size,
+                row.seq_fast_s,
+                row.parallel_s,
+                row.threads,
+                row.speedup,
+                row.scratch_reuses,
+                row.scratch_acquires
+            );
+            parallel.push(row);
+        }
+    }
+    let sim = bench_sim(lab);
+    for row in &sim {
+        println!(
+            "  simulator  {:16} {:7} blocks  steady {:.3e}s  dealing {:.3e}s  speedup {:5.1}x",
+            row.size, row.blocks, row.steady_s, row.dealing_s, row.speedup
+        );
+    }
     let memo = bench_memo(lab);
     println!(
         "  strategy eval ({} points): cold {:.3}s  memoized {:.4}s  speedup {:.0}x  hits {}",
@@ -207,7 +437,10 @@ pub fn bench_exec(lab: &Lab) -> ExecBenchReport {
     ExecBenchReport {
         scale: lab.scale.label().to_string(),
         threads: rayon::current_num_threads(),
+        hardware_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
         exec,
+        parallel,
+        sim,
         memo,
     }
 }
@@ -219,13 +452,25 @@ mod tests {
     #[test]
     fn smoke_bench_rows_are_consistent() {
         let lab = Lab::new(ExperimentScale::Smoke);
-        let report = bench_exec(&lab);
+        let report = bench_exec(&lab, true);
         assert_eq!(report.scale, "smoke");
         assert!(!report.exec.is_empty());
         for row in &report.exec {
             assert!(row.bit_identical);
             assert!(row.fast_resident_planes <= row.baseline_resident_planes);
             assert!(row.kernel_point_fraction > 0.5, "{row:?}");
+        }
+        assert!(!report.parallel.is_empty());
+        for row in &report.parallel {
+            assert!(row.bit_identical);
+            // The second rep runs against the warm pool.
+            assert!(row.scratch_reuses > 0, "{row:?}");
+            assert!(row.scratch_acquires >= row.scratch_reuses);
+        }
+        assert!(!report.sim.is_empty());
+        for row in &report.sim {
+            assert!(row.blocks > 0);
+            assert!(row.steady_s > 0.0 && row.dealing_s > 0.0);
         }
         assert_eq!(report.memo.cache_hits as usize, report.memo.points);
     }

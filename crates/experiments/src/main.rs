@@ -25,6 +25,7 @@ struct Args {
     solver: bool,
     wavefront: bool,
     bench_exec: bool,
+    parallel_exec: bool,
     threads: Option<usize>,
     table2: bool,
     table3: bool,
@@ -48,6 +49,7 @@ fn parse_args() -> Result<Args, String> {
         solver: false,
         wavefront: false,
         bench_exec: false,
+        parallel_exec: false,
         threads: None,
         table2: false,
         table3: false,
@@ -123,6 +125,7 @@ fn parse_args() -> Result<Args, String> {
                 args.bench_exec = true;
                 any = true;
             }
+            "--parallel-exec" => args.parallel_exec = true,
             "--threads" => {
                 let v = it.next().ok_or("--threads needs a value")?;
                 let n: usize = v
@@ -189,6 +192,8 @@ fn print_help() {
            --solver              heuristic solvers vs exhaustive sweep (Section 6.1)\n\
            --compare-wavefront   time tiling vs classic wavefront-parallel schedule\n\
            --bench-exec          executor fast-path + memoization benchmark (writes BENCH_exec.json)\n\
+           --parallel-exec       with --bench-exec: also time the pooled wavefront-parallel\n\
+                                 executor against the sequential fast path (threads >= 2)\n\
            --threads N           size the global rayon pool (default: all cores);\n\
                                  results are bit-identical for any N — parallel maps\n\
                                  preserve input order, so thread count only affects speed\n\
@@ -317,7 +322,7 @@ fn main() {
             "\n=== Executor benchmark: rolling window + row kernels vs seed baseline (scale: {scale}, {} threads) ===",
             rayon::current_num_threads()
         );
-        let report = experiments::bench::bench_exec(&lab);
+        let report = experiments::bench::bench_exec(&lab, args.parallel_exec);
         let json = serde_json::to_string_pretty(&report).expect("serialize bench report");
         std::fs::write("BENCH_exec.json", json).expect("write BENCH_exec.json");
         println!("  report written to BENCH_exec.json");

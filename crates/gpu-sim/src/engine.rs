@@ -14,6 +14,15 @@
 //! Everything is deterministic: ties break on block index, and identical
 //! kernels (interior wavefronts share their class vectors via `Arc`) are
 //! computed once and reused.
+//!
+//! Scheduling is closed-form where possible: round-robin dealing of
+//! class runs is periodic, so [`kernel_time`] derives each SM's wave
+//! sequence directly from the class prefix sums in O(distinct classes)
+//! ([`schedule_steady`]) and only falls back to materializing the full
+//! dispatch order ([`kernel_time_dealing`]) when a wave mixes more
+//! classes than the inline composition can hold. Both paths intern wave
+//! compositions and fold per-SM finish times in the same order, so they
+//! agree to exact `f64` bit equality.
 
 use crate::cost::{self, BlockSegments, Pipe};
 use crate::device::DeviceConfig;
@@ -40,6 +49,27 @@ use std::sync::Arc;
 /// assert_eq!(report.kernel_launches, plan.kernel_count());
 /// ```
 pub fn simulate(device: &DeviceConfig, wl: &Workload) -> Result<SimReport, LaunchError> {
+    simulate_core(device, wl, false).map(|(report, _)| report)
+}
+
+/// Simulate and additionally return the per-kernel timeline — for
+/// inspection, examples, and tests; [`simulate`] is the cheap path.
+pub fn simulate_detailed(
+    device: &DeviceConfig,
+    wl: &Workload,
+) -> Result<(SimReport, Vec<KernelBreakdown>), LaunchError> {
+    simulate_core(device, wl, true)
+}
+
+/// Shared core of [`simulate`] and [`simulate_detailed`]: one occupancy
+/// query, one kernel-stats cache, one telemetry pass. The detailed
+/// variant only additionally records a [`KernelBreakdown`] per launch,
+/// so the two can never drift.
+fn simulate_core(
+    device: &DeviceConfig,
+    wl: &Workload,
+    detailed: bool,
+) -> Result<(SimReport, Vec<KernelBreakdown>), LaunchError> {
     let occ = occupancy(device, wl)?;
     let mut cache: HashMap<usize, KernelStats> = HashMap::new();
     let mut total = 0.0f64;
@@ -50,6 +80,7 @@ pub fn simulate(device: &DeviceConfig, wl: &Workload) -> Result<SimReport, Launc
     let telemetry = obs::active();
     let mut blocks_total = 0u64;
     let mut waves_total = 0u64;
+    let mut kernels = Vec::with_capacity(if detailed { wl.kernels.len() } else { 0 });
     for (index, kernel) in wl.kernels.iter().enumerate() {
         let key = Arc::as_ptr(&kernel.classes) as usize;
         let stats = cache
@@ -58,6 +89,15 @@ pub fn simulate(device: &DeviceConfig, wl: &Workload) -> Result<SimReport, Launc
         total += stats.makespan + device.t_launch;
         mem_busy += stats.mem_busy;
         comp_busy += stats.comp_busy;
+        if detailed {
+            kernels.push(KernelBreakdown {
+                index,
+                blocks: kernel.block_count(),
+                makespan: stats.makespan,
+                mem_busy: stats.mem_busy,
+                comp_busy: stats.comp_busy,
+            });
+        }
         if telemetry {
             blocks_total += stats.blocks;
             waves_total += stats.waves;
@@ -92,7 +132,7 @@ pub fn simulate(device: &DeviceConfig, wl: &Workload) -> Result<SimReport, Launc
         }
     }
     let launch_overhead = wl.kernels.len() as f64 * device.t_launch;
-    Ok(SimReport {
+    let report = SimReport {
         total_time: total,
         kernel_launches: wl.kernels.len(),
         occupancy: occ,
@@ -101,21 +141,25 @@ pub fn simulate(device: &DeviceConfig, wl: &Workload) -> Result<SimReport, Launc
         launch_overhead,
         spill_factor: cost::spill_factor(device, wl),
         divergence_factor: cost::divergence_factor(device, wl.inner_threads),
-    })
+    };
+    Ok((report, kernels))
 }
 
 /// Timing summary of one kernel launch.
-#[derive(Debug, Clone)]
-struct KernelStats {
-    makespan: f64,
-    mem_busy: f64,
-    comp_busy: f64,
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelStats {
+    /// Completion time of the slowest SM.
+    pub makespan: f64,
+    /// Aggregate memory-pipe busy time across SMs.
+    pub mem_busy: f64,
+    /// Aggregate compute-pipe busy time across SMs.
+    pub comp_busy: f64,
     /// Thread blocks in the launch.
-    blocks: u64,
+    pub blocks: u64,
     /// Waves scheduled across all SMs.
-    waves: u64,
+    pub waves: u64,
     /// Per-SM drain time (the makespan is their max).
-    sm_finish: Vec<f64>,
+    pub sm_finish: Vec<f64>,
 }
 
 /// Per-kernel timing of a detailed simulation (see [`simulate_detailed`]).
@@ -133,46 +177,38 @@ pub struct KernelBreakdown {
     pub comp_busy: f64,
 }
 
-/// Simulate and additionally return the per-kernel timeline — for
-/// inspection, examples, and tests; [`simulate`] is the cheap path.
-pub fn simulate_detailed(
-    device: &DeviceConfig,
-    wl: &Workload,
-) -> Result<(SimReport, Vec<KernelBreakdown>), LaunchError> {
-    let report = simulate(device, wl)?;
-    let occ = occupancy(device, wl)?;
-    let mut cache: HashMap<usize, KernelStats> = HashMap::new();
-    let mut kernels = Vec::with_capacity(wl.kernels.len());
-    for (index, kernel) in wl.kernels.iter().enumerate() {
-        let key = Arc::as_ptr(&kernel.classes) as usize;
-        let stats = cache
-            .entry(key)
-            .or_insert_with(|| kernel_time(device, wl, &kernel.classes, occ.k));
-        kernels.push(KernelBreakdown {
-            index,
-            blocks: kernel.block_count(),
-            makespan: stats.makespan,
-            mem_busy: stats.mem_busy,
-            comp_busy: stats.comp_busy,
-        });
-    }
-    Ok((report, kernels))
-}
-
-/// Makespan of one kernel: distribute blocks over SMs, schedule each
-/// SM's waves, take the slowest SM.
-fn kernel_time(
+/// Lower every class once and compute the launch-wide aggregates that
+/// both scheduling paths share. The pipe-busy sums iterate the classes
+/// in declaration order so both paths fold identically.
+fn lower_classes(
     device: &DeviceConfig,
     wl: &Workload,
     classes: &[BlockClass],
-    k: usize,
-) -> KernelStats {
-    // Lower each class once.
+) -> (Vec<(u64, BlockSegments)>, u64, f64, f64) {
     let lowered: Vec<(u64, BlockSegments)> = classes
         .iter()
         .map(|c| (c.count, cost::lower_block(device, wl, c)))
         .collect();
     let total_blocks: u64 = lowered.iter().map(|(c, _)| c).sum();
+    let mem_busy: f64 = lowered.iter().map(|(c, b)| *c as f64 * b.mem_time).sum();
+    let comp_busy: f64 = lowered.iter().map(|(c, b)| *c as f64 * b.comp_time).sum();
+    (lowered, total_blocks, mem_busy, comp_busy)
+}
+
+/// Makespan of one kernel: distribute blocks over SMs, schedule each
+/// SM's waves, take the slowest SM.
+///
+/// Uses the O(distinct classes) steady-state schedule; falls back to the
+/// exact dealing loop when a wave's composition overflows
+/// [`MAX_WAVE_RUNS`] runs. The two paths are bit-identical (see
+/// `sched_properties.rs`).
+pub fn kernel_time(
+    device: &DeviceConfig,
+    wl: &Workload,
+    classes: &[BlockClass],
+    k: usize,
+) -> KernelStats {
+    let (lowered, total_blocks, mem_busy, comp_busy) = lower_classes(device, wl, classes);
     if total_blocks == 0 {
         return KernelStats {
             makespan: 0.0,
@@ -183,45 +219,360 @@ fn kernel_time(
             sm_finish: Vec::new(),
         };
     }
-    let mem_busy: f64 = lowered.iter().map(|(c, b)| *c as f64 * b.mem_time).sum();
-    let comp_busy: f64 = lowered.iter().map(|(c, b)| *c as f64 * b.comp_time).sum();
+    let n_sm = device.n_sm;
+    let k = k.max(1);
+    let mut table = WaveCostTable::default();
+    let (schedule, steady) = match schedule_steady(n_sm, k, total_blocks, &lowered, &mut table) {
+        Some(s) => (s, true),
+        None => (
+            schedule_dealing(n_sm, k, total_blocks, &lowered, &mut table),
+            false,
+        ),
+    };
+    if obs::active() {
+        obs::counter(
+            if steady {
+                "sim.sched_steady"
+            } else {
+                "sim.sched_fallback"
+            },
+            1,
+        );
+    }
+    KernelStats {
+        makespan: schedule.makespan,
+        mem_busy,
+        comp_busy,
+        blocks: total_blocks,
+        waves: schedule.waves,
+        sm_finish: schedule.sm_finish,
+    }
+}
 
-    // Expand the dispatch order (class after class) and deal round-robin
-    // to SMs, as the hardware's block scheduler does for a grid.
-    let mut order: Vec<u16> = Vec::with_capacity(total_blocks as usize);
+/// Reference oracle: [`kernel_time`] computed by materializing the full
+/// dispatch order and dealing it block by block. Always exact; used by
+/// tests to pin the steady-state schedule bit-for-bit.
+pub fn kernel_time_dealing(
+    device: &DeviceConfig,
+    wl: &Workload,
+    classes: &[BlockClass],
+    k: usize,
+) -> KernelStats {
+    let (lowered, total_blocks, mem_busy, comp_busy) = lower_classes(device, wl, classes);
+    if total_blocks == 0 {
+        return KernelStats {
+            makespan: 0.0,
+            mem_busy: 0.0,
+            comp_busy: 0.0,
+            blocks: 0,
+            waves: 0,
+            sm_finish: Vec::new(),
+        };
+    }
+    let mut table = WaveCostTable::default();
+    let schedule = schedule_dealing(device.n_sm, k.max(1), total_blocks, &lowered, &mut table);
+    KernelStats {
+        makespan: schedule.makespan,
+        mem_busy,
+        comp_busy,
+        blocks: total_blocks,
+        waves: schedule.waves,
+        sm_finish: schedule.sm_finish,
+    }
+}
+
+/// Maximum distinct class runs in one wave's inline composition. Real
+/// plans have 1–3 classes, so one wave mixing more than six runs is
+/// vanishingly rare; such kernels take the exact dealing fallback.
+const MAX_WAVE_RUNS: usize = 6;
+
+/// A wave's composition as run-length-encoded class indices: the wave
+/// executes `runs[0].1` blocks of class `runs[0].0`, then `runs[1].1`
+/// blocks of class `runs[1].0`, and so on. Round-robin dealing preserves
+/// dispatch order per SM, so class indices are non-decreasing and the
+/// encoding is canonical — equal compositions hash equal, replacing the
+/// `Vec<u16>` clone the wave cache used to key on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+struct WaveComp {
+    runs: [(u32, u32); MAX_WAVE_RUNS],
+    len: u8,
+}
+
+impl WaveComp {
+    fn new() -> Self {
+        Self::default()
+    }
+
+    /// A full wave of `count` blocks all of class `class` — the steady
+    /// state that dominates every regular launch.
+    fn pure(class: u32, count: u32) -> Self {
+        let mut c = Self::new();
+        c.runs[0] = (class, count);
+        c.len = 1;
+        c
+    }
+
+    /// Append a run; returns `false` on overflow (caller falls back).
+    fn push(&mut self, class: u32, count: u32) -> bool {
+        if count == 0 {
+            return true;
+        }
+        if self.len > 0 && self.runs[self.len as usize - 1].0 == class {
+            self.runs[self.len as usize - 1].1 += count;
+            return true;
+        }
+        if (self.len as usize) == MAX_WAVE_RUNS {
+            return false;
+        }
+        self.runs[self.len as usize] = (class, count);
+        self.len += 1;
+        true
+    }
+
+    /// The wave's blocks in dispatch order.
+    fn blocks<'a>(
+        &'a self,
+        lowered: &'a [(u64, BlockSegments)],
+    ) -> impl Iterator<Item = &'a BlockSegments> {
+        self.runs[..self.len as usize]
+            .iter()
+            .flat_map(move |&(c, n)| std::iter::repeat_n(&lowered[c as usize].1, n as usize))
+    }
+}
+
+/// Interns wave compositions and computes each distinct wave's cost
+/// exactly once.
+#[derive(Default)]
+struct WaveCostTable {
+    ids: HashMap<WaveComp, u32>,
+    costs: Vec<f64>,
+}
+
+impl WaveCostTable {
+    fn id_of(&mut self, comp: WaveComp, lowered: &[(u64, BlockSegments)]) -> u32 {
+        if let Some(&id) = self.ids.get(&comp) {
+            return id;
+        }
+        let cost = wave_cost(comp.blocks(lowered));
+        let id = self.costs.len() as u32;
+        self.costs.push(cost);
+        self.ids.insert(comp, id);
+        id
+    }
+
+    fn cost(&self, id: u32) -> f64 {
+        self.costs[id as usize]
+    }
+}
+
+/// One kernel's schedule across all SMs.
+struct Schedule {
+    makespan: f64,
+    waves: u64,
+    sm_finish: Vec<f64>,
+}
+
+/// Append `rep` waves of composition `id` to an SM signature, merging
+/// adjacent identical runs (pure merging keeps the fold order intact —
+/// the same cost is added the same number of times either way).
+fn push_sig(sig: &mut Vec<(u32, u64)>, id: u32, rep: u64) {
+    if let Some(last) = sig.last_mut() {
+        if last.0 == id {
+            last.1 += rep;
+            return;
+        }
+    }
+    sig.push((id, rep));
+}
+
+/// Closed-form steady-state schedule.
+///
+/// Round-robin dealing sends global dispatch position `p` to SM
+/// `p % n_sm` at local index `p / n_sm`, so SM `s` holds local index `l`
+/// ⇔ position `p = s + l·n_sm`, and with class prefix sums (class `c`
+/// occupies positions `[prefix[c], prefix[c+1])`) every wave's
+/// composition is computable without materializing the order. Runs of
+/// full single-class waves — the steady state — collapse into one
+/// `(composition, repeat)` signature entry; irregular waves at class
+/// boundaries and the tail are composed run by run. Per-SM finish times
+/// fold wave costs in the exact order the dealing loop does, and SMs
+/// with identical signatures share one fold, so results are bit-equal to
+/// [`schedule_dealing`].
+///
+/// Returns `None` when a wave mixes more than [`MAX_WAVE_RUNS`] class
+/// runs; the caller then takes the dealing fallback.
+fn schedule_steady(
+    n_sm: usize,
+    k: usize,
+    total: u64,
+    lowered: &[(u64, BlockSegments)],
+    table: &mut WaveCostTable,
+) -> Option<Schedule> {
+    let nsm = n_sm as u64;
+    let ku = k as u64;
+    let kw = u32::try_from(ku).ok()?;
+    // prefix[c] = blocks dispatched before class c.
+    let mut prefix = Vec::with_capacity(lowered.len() + 1);
+    let mut acc = 0u64;
+    prefix.push(0);
+    for (count, _) in lowered {
+        acc += count;
+        prefix.push(acc);
+    }
+    let mut sm_finish = vec![0.0f64; n_sm];
+    let mut makespan = 0.0f64;
+    let mut waves_total = 0u64;
+    // SMs with identical wave signatures share one finish-time fold.
+    let mut memo: Vec<(Vec<(u32, u64)>, f64)> = Vec::new();
+    let mut sig: Vec<(u32, u64)> = Vec::new();
+    for (s, finish_slot) in sm_finish.iter_mut().enumerate() {
+        let su = s as u64;
+        if su >= total {
+            break; // the remaining SMs receive no blocks
+        }
+        let n_s = (total - su).div_ceil(nsm);
+        let n_waves = n_s.div_ceil(ku);
+        waves_total += n_waves;
+        sig.clear();
+        let mut w = 0u64;
+        let mut cls = 0usize;
+        while w < n_waves {
+            let first = w * ku;
+            let in_wave = ku.min(n_s - first);
+            let p0 = su + first * nsm;
+            while prefix[cls + 1] <= p0 {
+                cls += 1;
+            }
+            if in_wave == ku {
+                // Largest local index of class `cls` on this SM
+                // (prefix[cls+1] > p0 ≥ su, so the subtraction is safe).
+                let l_max = (prefix[cls + 1] - 1 - su) / nsm;
+                if l_max >= first + ku - 1 {
+                    // This wave is full and single-class; extend the run
+                    // to the last wave that is both.
+                    let w_pure = (l_max - (ku - 1)) / ku;
+                    let w_full = (n_s - ku) / ku;
+                    let w_end = w_pure.min(w_full);
+                    debug_assert!(w_end >= w);
+                    let id = table.id_of(WaveComp::pure(cls as u32, kw), lowered);
+                    push_sig(&mut sig, id, w_end - w + 1);
+                    w = w_end + 1;
+                    continue;
+                }
+            }
+            // Irregular wave (class boundary or short tail): compose it
+            // run by run.
+            let mut comp = WaveComp::new();
+            let mut i = 0u64;
+            let mut c = cls;
+            while i < in_wave {
+                let p = p0 + i * nsm;
+                while prefix[c + 1] <= p {
+                    c += 1;
+                }
+                let upto = (prefix[c + 1] - p0).div_ceil(nsm);
+                let n = upto.min(in_wave) - i;
+                if !comp.push(c as u32, n as u32) {
+                    return None;
+                }
+                i += n;
+            }
+            let id = table.id_of(comp, lowered);
+            push_sig(&mut sig, id, 1);
+            w += 1;
+        }
+        let mut hit: Option<f64> = None;
+        for (seen, finish) in &memo {
+            if seen == &sig {
+                hit = Some(*finish);
+                break;
+            }
+        }
+        let finish = match hit {
+            Some(f) => f,
+            None => {
+                // Fold in dealing order: one addition per wave.
+                let mut t = 0.0f64;
+                for &(id, rep) in &sig {
+                    let cost = table.cost(id);
+                    for _ in 0..rep {
+                        t += cost;
+                    }
+                }
+                memo.push((sig.clone(), t));
+                t
+            }
+        };
+        *finish_slot = finish;
+        makespan = makespan.max(finish);
+    }
+    Some(Schedule {
+        makespan,
+        waves: waves_total,
+        sm_finish,
+    })
+}
+
+/// Run-length encode one dealt wave slice (non-decreasing class
+/// indices); `None` if it needs more than [`MAX_WAVE_RUNS`] runs.
+fn comp_of_slice(wave: &[u16]) -> Option<WaveComp> {
+    let mut comp = WaveComp::new();
+    let mut i = 0;
+    while i < wave.len() {
+        let c = wave[i];
+        let mut j = i + 1;
+        while j < wave.len() && wave[j] == c {
+            j += 1;
+        }
+        if !comp.push(c as u32, (j - i) as u32) {
+            return None;
+        }
+        i = j;
+    }
+    Some(comp)
+}
+
+/// Exact reference schedule: expand the dispatch order (class after
+/// class) and deal round-robin to SMs, as the hardware's block scheduler
+/// does for a grid. Wave costs are still interned by composition —
+/// virtually all waves are identical — with an uncached [`wave_cost`]
+/// for the rare composition that overflows the inline encoding.
+fn schedule_dealing(
+    n_sm: usize,
+    k: usize,
+    total: u64,
+    lowered: &[(u64, BlockSegments)],
+    table: &mut WaveCostTable,
+) -> Schedule {
+    let mut order: Vec<u16> = Vec::with_capacity(total as usize);
     for (idx, (count, _)) in lowered.iter().enumerate() {
         order.extend(std::iter::repeat_n(idx as u16, *count as usize));
     }
-    let n_sm = device.n_sm;
     let mut per_sm: Vec<Vec<u16>> = vec![Vec::new(); n_sm];
     for (pos, cls) in order.iter().enumerate() {
         per_sm[pos % n_sm].push(*cls);
     }
-
-    // Each SM processes its blocks in waves of k; wave costs are cached
-    // by composition (virtually all waves are identical).
-    let mut wave_cache: HashMap<Vec<u16>, f64> = HashMap::new();
     let mut makespan = 0.0f64;
     let mut waves = 0u64;
     let mut sm_finish = vec![0.0f64; n_sm];
     for (sm_idx, sm) in per_sm.iter().enumerate() {
         let mut t = 0.0;
-        for wave in sm.chunks(k.max(1)) {
+        for wave in sm.chunks(k) {
             waves += 1;
-            let key = wave.to_vec();
-            let cost = *wave_cache
-                .entry(key)
-                .or_insert_with(|| wave_cost(wave.iter().map(|&c| &lowered[c as usize].1)));
+            let cost = match comp_of_slice(wave) {
+                Some(comp) => {
+                    let id = table.id_of(comp, lowered);
+                    table.cost(id)
+                }
+                None => wave_cost(wave.iter().map(|&c| &lowered[c as usize].1)),
+            };
             t += cost;
         }
         sm_finish[sm_idx] = t;
         makespan = makespan.max(t);
     }
-    KernelStats {
+    Schedule {
         makespan,
-        mem_busy,
-        comp_busy,
-        blocks: total_blocks,
         waves,
         sm_finish,
     }
@@ -477,5 +828,55 @@ mod tests {
         let wl = Workload::uniform(1, 0, 0, 0, 0, vec![], 128, 32);
         let r = simulate(&d, &wl).unwrap();
         assert!((r.total_time - d.t_launch).abs() < 1e-18);
+    }
+
+    /// The steady-state schedule must reproduce the dealing loop exactly
+    /// — including `sm_finish`, wave counts, and every bit of the fp
+    /// fold — across class mixes, SM counts, and occupancies.
+    #[test]
+    fn steady_matches_dealing_bitwise() {
+        use hhc_tiling::plan::{BlockClass, WavefrontPlan};
+        use std::sync::Arc;
+        let cls = |count: u64, width: u64| BlockClass {
+            count,
+            s1_widths: vec![width],
+            mi_rows: vec![64],
+            mo_rows: vec![64],
+            axis2: BlockClass::unit_axis(1),
+            axis3: BlockClass::unit_axis(1),
+        };
+        let cases: Vec<Vec<BlockClass>> = vec![
+            vec![cls(1, 128)],
+            vec![cls(97, 128)],
+            vec![cls(3, 128), cls(1, 4096)],
+            vec![cls(16, 64), cls(0, 32), cls(17, 256)],
+            vec![cls(5, 64), cls(5, 128), cls(5, 256), cls(5, 512)],
+            // Many single-block classes: with large k a wave mixes > 6
+            // runs, forcing the dealing fallback on a 1-SM device.
+            (0..10).map(|i| cls(1, 64 + 8 * i)).collect(),
+        ];
+        for n_sm in [1usize, 2, 3, 7, 16] {
+            let mut d = DeviceConfig::gtx980();
+            d.n_sm = n_sm;
+            for classes in &cases {
+                let mut wl = Workload::uniform(1, 0, 0, 0, 0, vec![], 128, 32);
+                wl.kernels = vec![WavefrontPlan {
+                    classes: Arc::new(classes.clone()),
+                }];
+                for k in [1usize, 2, 3, 5, 8, 13] {
+                    let steady = kernel_time(&d, &wl, classes, k);
+                    let dealing = kernel_time_dealing(&d, &wl, classes, k);
+                    assert_eq!(steady.makespan.to_bits(), dealing.makespan.to_bits());
+                    assert_eq!(steady.mem_busy.to_bits(), dealing.mem_busy.to_bits());
+                    assert_eq!(steady.comp_busy.to_bits(), dealing.comp_busy.to_bits());
+                    assert_eq!(steady.blocks, dealing.blocks);
+                    assert_eq!(steady.waves, dealing.waves);
+                    assert_eq!(steady.sm_finish.len(), dealing.sm_finish.len());
+                    for (a, b) in steady.sm_finish.iter().zip(&dealing.sm_finish) {
+                        assert_eq!(a.to_bits(), b.to_bits());
+                    }
+                }
+            }
+        }
     }
 }

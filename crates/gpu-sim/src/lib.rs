@@ -46,7 +46,9 @@ pub mod trace;
 pub mod workload;
 
 pub use device::DeviceConfig;
-pub use engine::{simulate, simulate_detailed, KernelBreakdown};
+pub use engine::{
+    kernel_time, kernel_time_dealing, simulate, simulate_detailed, KernelBreakdown, KernelStats,
+};
 pub use occupancy::{occupancy, LaunchError, Occupancy, OccupancyLimit};
 pub use report::SimReport;
 pub use trace::{trace_kernel, KernelTrace, TraceEvent, TracePipe};

@@ -19,6 +19,15 @@ use crate::hex::{HexTiling, TileId};
 use crate::inner::SkewedAxis;
 use stencil_core::{Grid, ProblemSize, RowKernel, StencilSpec};
 
+mod parallel;
+pub mod scratch;
+
+pub use parallel::{
+    run_tiled_parallel, run_tiled_parallel_into, run_tiled_parallel_with_stats,
+    run_tiled_wavefront_parallel,
+};
+pub use scratch::ScratchPool;
+
 /// Knobs for [`run_tiled_with`]: dependence checking, rolling-window
 /// storage, and specialized row kernels.
 ///
@@ -80,6 +89,11 @@ pub struct ExecStats {
     /// Bytes moved by whole-plane copies (initial-plane load plus the
     /// final-result extraction).
     pub plane_copy_bytes: u64,
+    /// Pool buffer checkouts during this run (parallel executor only;
+    /// zero on the sequential paths).
+    pub scratch_acquires: u64,
+    /// Checkouts served from the pool without allocating.
+    pub scratch_reuses: u64,
 }
 
 /// The plane-ring depth an unchecked rolling-window execution allocates:
@@ -843,140 +857,6 @@ mod tests {
             TileSizes::new_2d(6, 4, 8),
         );
     }
-}
-
-/// Run the tiled schedule with the tiles of each wavefront executed **in
-/// parallel** (rayon) — which is legal precisely because tiles within a
-/// wavefront are mutually independent, the property the GPU exploits by
-/// launching them as one kernel.
-///
-/// Each tile's writes are computed into a private buffer and applied
-/// after the wavefront joins, so the execution is deterministic and the
-/// result must equal the sequential tiled executor bit for bit (tested).
-/// Used to speed up validation runs and as an executable proof of
-/// wavefront independence.
-pub fn run_tiled_wavefront_parallel(
-    spec: &StencilSpec,
-    size: &ProblemSize,
-    tiles: TileSizes,
-    init: &Grid,
-) -> Grid {
-    use rayon::prelude::*;
-
-    tiles.validate(spec.dim).expect("invalid tile sizes");
-    assert_eq!(
-        init.sizes(),
-        size.space_extents(),
-        "init grid shape mismatch"
-    );
-    let rank = spec.dim.rank();
-    let slope = spec.order().max(1) as usize;
-    let hex = HexTiling::with_slope(tiles.t_s[0], tiles.t_t, slope);
-    let ax2 = (rank >= 2).then(|| SkewedAxis::with_slope(tiles.t_s[1], size.space[1], slope));
-    let ax3 = (rank >= 3).then(|| SkewedAxis::with_slope(tiles.t_s[2], size.space[2], slope));
-
-    // Full-depth storage: this runner applies each wavefront's write log by
-    // logical plane index after the join, so it keeps the classic layout.
-    let mut st = SpaceTime::new(size, init, false, size.time + 1);
-
-    for w in 0..hex.wavefront_count(size.time) {
-        let (phase, q) = hex.wavefront_phase(w);
-        let js: Vec<i64> = hex.wavefront_tiles(w, size.space[0], size.time).collect();
-        // Compute every tile of the wavefront independently against the
-        // frozen pre-wavefront state…
-        let st_ref = &st;
-        let writes: Vec<Vec<(usize, usize, f32)>> = js
-            .par_iter()
-            .map(|&j| {
-                let id = TileId { q, phase, j };
-                compute_tile_writes(spec, size, &hex, ax2, ax3, id, st_ref)
-            })
-            .collect();
-        // …then apply the (disjoint) writes.
-        for tile_writes in writes {
-            for (plane, idx, v) in tile_writes {
-                st.planes[plane][idx] = v;
-            }
-        }
-    }
-
-    let mut out = Grid::zeros(size.space_extents());
-    out.set_boundary(init.boundary());
-    out.as_mut_slice().copy_from_slice(&st.planes[size.time]);
-    out
-}
-
-/// Compute one tile's writes against an immutable space-time state.
-///
-/// Reads of values produced *within the tile itself* (upper hexagon
-/// rows reading lower ones) are resolved from the local write log, since
-/// the shared state is frozen for the whole wavefront.
-fn compute_tile_writes(
-    spec: &StencilSpec,
-    size: &ProblemSize,
-    hex: &HexTiling,
-    ax2: Option<SkewedAxis>,
-    ax3: Option<SkewedAxis>,
-    id: TileId,
-    st: &SpaceTime,
-) -> Vec<(usize, usize, f32)> {
-    let rows: Vec<_> = hex.tile_rows(id, size.space[0], size.time).collect();
-    let mut writes: Vec<(usize, usize, f32)> = Vec::new();
-    // Local shadow of this tile's own writes: (plane, idx) -> value.
-    let mut local: std::collections::HashMap<(usize, usize), f32> =
-        std::collections::HashMap::new();
-    if rows.is_empty() {
-        return writes;
-    }
-    let (t_lo, t_hi) = (rows[0].t, rows[rows.len() - 1].t);
-    let r3: Vec<i64> = match ax3 {
-        Some(ax) => ax.subtile_range(t_lo, t_hi).collect(),
-        None => vec![0],
-    };
-    let r2: Vec<i64> = match ax2 {
-        Some(ax) => ax.subtile_range(t_lo, t_hi).collect(),
-        None => vec![0],
-    };
-    for &l3 in &r3 {
-        for &l2 in &r2 {
-            for row in &rows {
-                let span2 = match ax2 {
-                    Some(ax) => match ax.span_at(l2, row.t) {
-                        Some(sp) => sp,
-                        None => continue,
-                    },
-                    None => (0, 0),
-                };
-                let span3 = match ax3 {
-                    Some(ax) => match ax.span_at(l3, row.t) {
-                        Some(sp) => sp,
-                        None => continue,
-                    },
-                    None => (0, 0),
-                };
-                for s1 in row.lo..=row.hi {
-                    for s2 in span2.0..=span2.1 {
-                        for s3 in span3.0..=span3.1 {
-                            let t = row.t;
-                            let v = spec.apply(|off| {
-                                let ps = [s1 + off[0], s2 + off[1], s3 + off[2]];
-                                match st.idx(ps) {
-                                    None => st.boundary,
-                                    Some(i) => *local
-                                        .get(&(t as usize, i))
-                                        .unwrap_or(&st.planes[t as usize][i]),
-                                }
-                            });
-                            let i = st.idx([s1, s2, s3]).expect("in domain");
-                            local.insert((t as usize + 1, i), v);
-                            writes.push((t as usize + 1, i, v));
-                        }
-                    }
-                }
-            }
-        }
-    }
-    writes
 }
 
 #[cfg(test)]

@@ -5,7 +5,8 @@
 //! must hold only `min(t_t + 1, T + 1)` planes resident.
 
 use hhc_tiling::{
-    rolling_window_depth, run_tiled_checked, run_tiled_unchecked_with_stats, TileSizes,
+    rolling_window_depth, run_tiled_checked, run_tiled_parallel_with_stats,
+    run_tiled_unchecked_with_stats, ScratchPool, TileSizes,
 };
 use proptest::prelude::*;
 use stencil_core::{init, reference, ProblemSize, StencilKind};
@@ -109,5 +110,40 @@ proptest! {
         prop_assert_eq!(expect.max_abs_diff(&fast), 0.0, "{} T={t}", kind.name());
         prop_assert_eq!(stats.kernel_points, 0);
         prop_assert_eq!(stats.generic_points, t as u64);
+    }
+
+    /// Pooled parallel executor == sequential fast path, bit for bit —
+    /// including nonzero boundary values and `t_t > T` — with matching
+    /// point/row classification and a warm pool reusing its buffers when
+    /// the same case runs twice.
+    #[test]
+    fn parallel_pooled_equals_sequential_fast(
+        (kind, size, tiles) in case(),
+        seed in 0u64..1024,
+        boundary in 0u32..4,
+    ) {
+        let spec = kind.spec();
+        let mut grid = init::random(size.space_extents(), seed);
+        grid.set_boundary(boundary as f32 * 0.75);
+        let (fast, fstats) = run_tiled_unchecked_with_stats(&spec, &size, tiles, &grid);
+        let pool = ScratchPool::new();
+        let (par, pstats) = run_tiled_parallel_with_stats(&spec, &size, tiles, &grid, &pool);
+        prop_assert_eq!(
+            fast.max_abs_diff(&par), 0.0,
+            "parallel vs fast: {} {} {:?}", kind.name(), size.label(), tiles
+        );
+        for (a, b) in fast.as_slice().iter().zip(par.as_slice()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        prop_assert_eq!(pstats.kernel_points, fstats.kernel_points);
+        prop_assert_eq!(pstats.generic_points, fstats.generic_points);
+        prop_assert_eq!(pstats.kernel_rows, fstats.kernel_rows);
+        prop_assert_eq!(pstats.generic_rows, fstats.generic_rows);
+        prop_assert_eq!(pstats.resident_planes, rolling_window_depth(tiles, &size));
+        // A second run against the warm pool allocates (almost) nothing.
+        let (par2, pstats2) = run_tiled_parallel_with_stats(&spec, &size, tiles, &grid, &pool);
+        prop_assert_eq!(par.max_abs_diff(&par2), 0.0);
+        prop_assert!(pstats2.scratch_reuses >= pstats.scratch_reuses);
+        prop_assert!(pstats2.scratch_reuses > 0);
     }
 }

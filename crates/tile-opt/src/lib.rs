@@ -19,11 +19,13 @@
 //!   of Section 5.1, the raw `T_alg min` point, *best within 10 % of
 //!   `T_alg min`*, and exhaustive search.
 
+pub mod run;
 pub mod solver;
 pub mod space;
 pub mod strategy;
 pub mod sweep;
 
+pub use run::{run_candidates, CandidateReport, CandidateRun};
 pub use solver::{coordinate_descent, simulated_annealing, SolverResult};
 pub use space::{feasible_tiles, is_feasible, SpaceConfig};
 pub use strategy::{
