@@ -1,0 +1,99 @@
+//! Small accessors over the vendored serde shim's [`Value`] tree.
+//!
+//! The shim's `Deserialize` is a marker trait — parsing JSON yields a
+//! [`Value`] tree, and mapping that tree onto structs is the caller's
+//! job. These helpers keep the query/advice parsers readable and give
+//! uniform, field-named error messages.
+
+use serde::Value;
+
+/// Look up `key` in a JSON object's ordered entry list.
+pub fn get<'a>(entries: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// The entry list of a JSON object, or an error naming what it was.
+pub fn as_map<'a>(v: &'a Value, what: &str) -> Result<&'a [(String, Value)], String> {
+    match v {
+        Value::Map(entries) => Ok(entries),
+        other => Err(format!("{what} must be a JSON object, got {}", kind(other))),
+    }
+}
+
+/// The elements of a JSON array.
+pub fn as_seq<'a>(v: &'a Value, what: &str) -> Result<&'a [Value], String> {
+    match v {
+        Value::Seq(items) => Ok(items),
+        other => Err(format!("{what} must be a JSON array, got {}", kind(other))),
+    }
+}
+
+/// A JSON string.
+pub fn as_str<'a>(v: &'a Value, what: &str) -> Result<&'a str, String> {
+    match v {
+        Value::Str(s) => Ok(s),
+        other => Err(format!("{what} must be a string, got {}", kind(other))),
+    }
+}
+
+/// A JSON boolean.
+pub fn as_bool(v: &Value, what: &str) -> Result<bool, String> {
+    match v {
+        Value::Bool(b) => Ok(*b),
+        other => Err(format!("{what} must be a boolean, got {}", kind(other))),
+    }
+}
+
+/// A non-negative JSON integer.
+pub fn as_u64(v: &Value, what: &str) -> Result<u64, String> {
+    match v {
+        Value::UInt(u) => Ok(*u),
+        Value::Int(i) if *i >= 0 => Ok(*i as u64),
+        other => Err(format!(
+            "{what} must be a non-negative integer, got {}",
+            kind(other)
+        )),
+    }
+}
+
+/// Any JSON number, widened to `f64`.
+pub fn as_f64(v: &Value, what: &str) -> Result<f64, String> {
+    match v {
+        Value::F64(f) => Ok(*f),
+        Value::F32(f) => Ok(*f as f64),
+        Value::UInt(u) => Ok(*u as f64),
+        Value::Int(i) => Ok(*i as f64),
+        other => Err(format!("{what} must be a number, got {}", kind(other))),
+    }
+}
+
+/// Short type name for error messages.
+pub fn kind(v: &Value) -> &'static str {
+    match v {
+        Value::Null => "null",
+        Value::Bool(_) => "a boolean",
+        Value::Int(_) | Value::UInt(_) => "an integer",
+        Value::F32(_) | Value::F64(_) => "a float",
+        Value::Str(_) => "a string",
+        Value::Seq(_) => "an array",
+        Value::Map(_) => "an object",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_accept_the_right_variants() {
+        assert_eq!(as_u64(&Value::UInt(7), "x").unwrap(), 7);
+        assert_eq!(as_u64(&Value::Int(7), "x").unwrap(), 7);
+        assert!(as_u64(&Value::Int(-1), "x").is_err());
+        assert_eq!(as_f64(&Value::UInt(2), "x").unwrap(), 2.0);
+        assert_eq!(as_f64(&Value::F64(0.5), "x").unwrap(), 0.5);
+        assert!(as_str(&Value::Null, "x").unwrap_err().contains("null"));
+        let entries = vec![("a".to_string(), Value::Bool(true))];
+        assert_eq!(get(&entries, "a"), Some(&Value::Bool(true)));
+        assert_eq!(get(&entries, "b"), None);
+    }
+}

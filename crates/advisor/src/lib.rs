@@ -1,0 +1,414 @@
+//! # advisor
+//!
+//! A tile-size advisory service over the paper's selection pipeline
+//! (Section 6.1): given a device, a stencil, a problem size, and a time
+//! horizon, answer with the ranked within-band candidate list and the
+//! predicted `T_alg` of each — optionally validated by running the
+//! candidates on the tiled executor, exactly as the paper measures its
+//! "within 10 % of `T_alg min`" set.
+//!
+//! The engine is built for repeated, overlapping queries:
+//!
+//! * **Batched evaluation with dedup** — [`Advisor::advise_batch`]
+//!   canonicalizes every query and computes each distinct one once (the
+//!   Eqn-31 model sweep itself is sharded across the rayon pool);
+//!   duplicates are answered from the batch, counted on
+//!   `advisor.batch_dedup`.
+//! * **Two-tier cache** — an in-memory LRU in front of an optional
+//!   on-disk JSON cache with git-revision invalidation (see
+//!   [`cache::DiskCache`]). Cached answers are byte-identical to cold
+//!   ones; provenance lives only in the `advisor.cache_hits_mem` /
+//!   `advisor.cache_hits_disk` counters.
+//! * **Graceful degradation** — a per-query `timeout_ms` bounds the
+//!   expensive validation phase. When the deadline expires the answer
+//!   falls back to the model-only ranking, flagged `degraded: true`
+//!   (and is *not* cached, so a later unhurried query recomputes).
+//!
+//! The `experiments serve` subcommand exposes the same engine over
+//! JSON-lines stdin/stdout; see [`serve`].
+
+pub mod advice;
+pub mod cache;
+pub mod jsonv;
+pub mod query;
+pub mod serve;
+
+pub use advice::{Advice, Candidate, MeasuredBest, SkippedOut, ValidationReport};
+pub use query::Query;
+pub use serve::{serve_lines, ServeStats};
+
+use cache::{DiskCache, MemCache};
+use gpu_sim::DeviceConfig;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+use stencil_core::{init, StencilKind};
+use tile_opt::{
+    feasible_tiles, model_sweep, run_candidates_until, within_fraction, SkipReason, SpaceConfig,
+};
+use time_model::{MeasuredParams, ModelParams};
+
+/// Tuning knobs of one advisor instance. Everything that can change an
+/// answer (micro-benchmark sampling, the enumerated space) is folded
+/// into the canonical cache key.
+#[derive(Debug, Clone)]
+pub struct AdvisorConfig {
+    /// Capacity of the in-memory LRU tier.
+    pub mem_capacity: usize,
+    /// Directory of the on-disk tier; `None` disables it.
+    pub disk_dir: Option<PathBuf>,
+    /// Samples for the `Citer` micro-benchmark (the experiments crate
+    /// uses 70 at paper scale; the advisor defaults lighter because it
+    /// is interactive).
+    pub citer_samples: usize,
+    /// Seed of the micro-benchmark sampler and the validation grid.
+    pub seed: u64,
+    /// The enumerated feasible space of Eqn 31.
+    pub space: SpaceConfig,
+}
+
+impl Default for AdvisorConfig {
+    fn default() -> Self {
+        AdvisorConfig {
+            mem_capacity: 256,
+            disk_dir: None,
+            citer_samples: 16,
+            seed: 0x5EED,
+            space: SpaceConfig::default(),
+        }
+    }
+}
+
+/// The advisory engine. Cheap to share behind a reference; all interior
+/// state (caches, measured-parameter memo) is lock-protected.
+pub struct Advisor {
+    cfg: AdvisorConfig,
+    mem: Mutex<MemCache>,
+    disk: Option<DiskCache>,
+    /// Measured `(L, τ_sync, T_sync, Citer)` per (device fingerprint,
+    /// stencil): the micro-benchmarks are deterministic for a fixed
+    /// config, so one measurement serves every query against the pair.
+    measured: Mutex<HashMap<(u64, StencilKind), MeasuredParams>>,
+}
+
+impl Advisor {
+    pub fn new(cfg: AdvisorConfig) -> Self {
+        Advisor {
+            mem: Mutex::new(MemCache::new(cfg.mem_capacity)),
+            disk: cfg.disk_dir.as_ref().map(DiskCache::new),
+            measured: Mutex::new(HashMap::new()),
+            cfg,
+        }
+    }
+
+    pub fn with_defaults() -> Self {
+        Self::new(AdvisorConfig::default())
+    }
+
+    /// The canonical cache key of a query: every answer-determining
+    /// input, none of the presentation-only ones (`id`, `timeout_ms`).
+    pub fn canonical_key(&self, q: &Query) -> String {
+        let dev = serde_json::to_string(&q.device).expect("device serializes");
+        format!(
+            "v1|dev={:016x}|st={}|s={}x{}x{}|t={}|within={:016x}|top={}|val={}|mb={}x{}|space={:016x}",
+            cache::fnv64(dev.as_bytes()),
+            q.stencil.name(),
+            q.size.space[0],
+            q.size.space[1],
+            q.size.space[2],
+            q.size.time,
+            q.within.to_bits(),
+            q.top_n,
+            q.validate,
+            self.cfg.citer_samples,
+            self.cfg.seed,
+            cache::fnv64(
+                serde_json::to_string(&self.cfg.space)
+                    .expect("space serializes")
+                    .as_bytes()
+            ),
+        )
+    }
+
+    /// Answer one query, consulting the cache tiers first.
+    pub fn advise(&self, q: &Query) -> Advice {
+        let _span = obs::span("advisor.query", "advisor");
+        if obs::active() {
+            obs::counter("advisor.queries", 1);
+        }
+        let key = self.canonical_key(q);
+        if let Some(mut hit) = self.mem.lock().get(&key) {
+            if obs::active() {
+                obs::counter("advisor.cache_hits_mem", 1);
+            }
+            hit.id = q.id.clone();
+            return hit;
+        }
+        if let Some(disk) = &self.disk {
+            if let Some(mut hit) = disk.load(&key) {
+                if obs::active() {
+                    obs::counter("advisor.cache_hits_disk", 1);
+                }
+                self.mem.lock().put(key, hit.clone());
+                hit.id = q.id.clone();
+                return hit;
+            }
+        }
+        let answer = self.compute(q);
+        if answer.degraded {
+            if obs::active() {
+                obs::counter("advisor.degraded", 1);
+            }
+        } else {
+            self.mem.lock().put(key.clone(), answer.clone());
+            if let Some(disk) = &self.disk {
+                disk.store(&key, &answer, self.cfg.seed);
+            }
+        }
+        answer
+    }
+
+    /// Answer a batch of queries, in input order. Queries that
+    /// canonicalize to the same key are computed once; the duplicates
+    /// are answered from the batch (with their own `id` echoed) and
+    /// counted on `advisor.batch_dedup`.
+    pub fn advise_batch(&self, queries: &[Query]) -> Vec<Advice> {
+        let mut first: HashMap<String, usize> = HashMap::new();
+        let mut answers: Vec<Advice> = Vec::with_capacity(queries.len());
+        let mut dedup = 0u64;
+        for (i, q) in queries.iter().enumerate() {
+            let key = self.canonical_key(q);
+            match first.get(&key) {
+                Some(&j) => {
+                    dedup += 1;
+                    let mut a = answers[j].clone();
+                    a.id = q.id.clone();
+                    answers.push(a);
+                }
+                None => {
+                    first.insert(key, i);
+                    answers.push(self.advise(q));
+                }
+            }
+        }
+        if dedup > 0 && obs::active() {
+            obs::counter("advisor.batch_dedup", dedup);
+        }
+        answers
+    }
+
+    /// Compute an answer from scratch: measured parameters → feasible
+    /// space → parallel model sweep → within-band ranking → optional
+    /// validation run, all under the query's deadline.
+    fn compute(&self, q: &Query) -> Advice {
+        let deadline = q
+            .timeout_ms
+            .map(|ms| Instant::now() + Duration::from_millis(ms));
+        let params = self.model_params(&q.device, q.stencil);
+        let dim = q.stencil.spec().dim;
+        let tiles = feasible_tiles(&q.device, dim, &self.cfg.space);
+        let sweep = model_sweep(&params, &q.size, &tiles);
+        let within = within_fraction(&sweep, q.within);
+        let rank = dim.rank();
+        let candidates: Vec<Candidate> = within
+            .iter()
+            .take(q.top_n)
+            .enumerate()
+            .map(|(i, (t, p))| Candidate {
+                rank: i,
+                t_t: t.t_t,
+                t_s: t.t_s[..rank].to_vec(),
+                talg_s: p.talg,
+                k: p.k,
+                mtile_words: p.mtile_words,
+                memory_bound: p.memory_bound(),
+            })
+            .collect();
+        let mut degraded = false;
+        let validation = if q.validate {
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                degraded = true;
+                None
+            } else {
+                let spec = q.stencil.spec();
+                let grid = init::random(q.size.space_extents(), self.cfg.seed);
+                let cand_tiles: Vec<_> = within.iter().map(|(t, _)| *t).collect();
+                let report = run_candidates_until(&spec, &q.size, &grid, &cand_tiles, deadline);
+                if report
+                    .skipped
+                    .iter()
+                    .any(|s| s.reason == SkipReason::DeadlineExceeded)
+                {
+                    degraded = true;
+                }
+                let best = report.best.map(|b| {
+                    let run = &report.runs[b];
+                    let rank_of = within
+                        .iter()
+                        .position(|(t, _)| *t == run.tiles)
+                        .unwrap_or(usize::MAX);
+                    MeasuredBest {
+                        rank: rank_of,
+                        t_t: run.tiles.t_t,
+                        t_s: run.tiles.t_s[..rank].to_vec(),
+                        wall_s: run.wall_s,
+                    }
+                });
+                Some(ValidationReport {
+                    requested: cand_tiles.len(),
+                    executed: report.runs.len(),
+                    skipped: report
+                        .skipped
+                        .iter()
+                        .map(|s| SkippedOut {
+                            index: s.index,
+                            reason: s.reason.label().to_string(),
+                        })
+                        .collect(),
+                    best,
+                })
+            }
+        } else {
+            None
+        };
+        Advice {
+            id: q.id.clone(),
+            device: q.device.name.clone(),
+            stencil: q.stencil.name().to_string(),
+            size: q.size.space[..rank].to_vec(),
+            time: q.size.time,
+            feasible_points: tiles.len(),
+            within: q.within,
+            within_points: within.len(),
+            degraded,
+            candidates,
+            validation,
+        }
+    }
+
+    /// Measured model parameters for a (device, stencil) pair, memoized
+    /// across queries.
+    fn model_params(&self, device: &DeviceConfig, kind: StencilKind) -> ModelParams {
+        let fp = cache::fnv64(
+            serde_json::to_string(device)
+                .expect("device serializes")
+                .as_bytes(),
+        );
+        let mut memo = self.measured.lock();
+        let measured = memo.entry((fp, kind)).or_insert_with(|| {
+            let _span = obs::span("advisor.microbench", "advisor");
+            microbench::measured_params_sampled(device, kind, self.cfg.citer_samples, self.cfg.seed)
+        });
+        ModelParams::from_measured(device, measured)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil_core::ProblemSize;
+
+    fn heat_query(id: &str) -> Query {
+        Query {
+            id: Some(id.into()),
+            device: DeviceConfig::gtx980(),
+            stencil: StencilKind::Heat2D,
+            size: ProblemSize::new_2d(128, 128, 16),
+            within: 0.10,
+            top_n: 5,
+            validate: false,
+            timeout_ms: None,
+        }
+    }
+
+    #[test]
+    fn cold_answer_ranks_candidates_by_predicted_time() {
+        let advisor = Advisor::with_defaults();
+        let a = advisor.advise(&heat_query("q1"));
+        assert_eq!(a.id.as_deref(), Some("q1"));
+        assert_eq!(a.device, "GTX 980");
+        assert_eq!(a.stencil, "Heat2D");
+        assert_eq!(a.size, vec![128, 128]);
+        assert!(!a.degraded);
+        assert!(a.validation.is_none());
+        assert!(a.feasible_points > 0);
+        assert!(a.within_points > 0 && a.within_points <= a.feasible_points);
+        assert!(!a.candidates.is_empty());
+        assert!(a.candidates.len() <= 5);
+        // Ranked ascending by predicted time, ranks dense from 0.
+        for (i, c) in a.candidates.iter().enumerate() {
+            assert_eq!(c.rank, i);
+            assert_eq!(c.t_s.len(), 2);
+        }
+        assert!(a.candidates.windows(2).all(|w| w[0].talg_s <= w[1].talg_s));
+    }
+
+    #[test]
+    fn canonical_key_ignores_id_and_timeout_but_not_inputs() {
+        let advisor = Advisor::with_defaults();
+        let a = heat_query("a");
+        let mut b = heat_query("b");
+        b.timeout_ms = Some(9999);
+        assert_eq!(advisor.canonical_key(&a), advisor.canonical_key(&b));
+        let mut c = heat_query("a");
+        c.within = 0.2;
+        assert_ne!(advisor.canonical_key(&a), advisor.canonical_key(&c));
+        let mut d = heat_query("a");
+        d.device = DeviceConfig::titan_x();
+        assert_ne!(advisor.canonical_key(&a), advisor.canonical_key(&d));
+        let mut e = heat_query("a");
+        e.validate = true;
+        assert_ne!(advisor.canonical_key(&a), advisor.canonical_key(&e));
+    }
+
+    #[test]
+    fn validation_runs_the_within_set_and_reports_a_winner() {
+        let advisor = Advisor::with_defaults();
+        let mut q = heat_query("v");
+        q.size = ProblemSize::new_2d(48, 48, 8);
+        q.validate = true;
+        let a = advisor.advise(&q);
+        assert!(!a.degraded);
+        let v = a.validation.expect("validation requested");
+        assert_eq!(v.requested, a.within_points);
+        assert_eq!(v.executed + v.skipped.len(), v.requested);
+        let best = v.best.expect("at least one candidate executed");
+        assert!(best.wall_s > 0.0);
+        assert!(best.rank < a.within_points);
+    }
+
+    #[test]
+    fn zero_timeout_degrades_to_model_only_and_is_not_cached() {
+        let advisor = Advisor::with_defaults();
+        let mut q = heat_query("t");
+        q.validate = true;
+        q.timeout_ms = Some(0);
+        let a = advisor.advise(&q);
+        assert!(a.degraded);
+        assert!(a.validation.is_none());
+        assert!(!a.candidates.is_empty(), "model ranking is still served");
+        // Degraded answers must not poison the cache: the same query
+        // without a deadline gets the full validated answer.
+        q.timeout_ms = None;
+        q.size = ProblemSize::new_2d(48, 48, 8);
+        let b = advisor.advise(&q);
+        assert!(!b.degraded);
+        assert!(b.validation.is_some());
+    }
+
+    #[test]
+    fn batch_answers_echo_ids_and_dedup_duplicates() {
+        let advisor = Advisor::with_defaults();
+        let qs = vec![heat_query("x"), heat_query("y")];
+        let answers = advisor.advise_batch(&qs);
+        assert_eq!(answers.len(), 2);
+        assert_eq!(answers[0].id.as_deref(), Some("x"));
+        assert_eq!(answers[1].id.as_deref(), Some("y"));
+        let mut a = answers[0].clone();
+        let mut b = answers[1].clone();
+        a.id = None;
+        b.id = None;
+        assert_eq!(a, b, "duplicates share one computed answer");
+    }
+}

@@ -1,0 +1,296 @@
+//! Advisory queries: what a client asks the service.
+//!
+//! Queries arrive as one JSON object per line. The minimal form names a
+//! device preset, a stencil, and a problem size:
+//!
+//! ```json
+//! {"id": "q1", "device": "GTX 980", "stencil": "Heat2D",
+//!  "size": [4096, 4096], "time": 1024}
+//! ```
+//!
+//! Optional fields: `within` (candidate band around the predicted
+//! minimum, default 0.10), `top_n` (ranked candidates returned, default
+//! 10), `validate` (run the within-band set on the executor, default
+//! false), and `timeout_ms` (per-query deadline; when it expires the
+//! answer degrades to the model-only ranking). Instead of a preset name,
+//! `device` may be an object with a `"preset"` base and per-field
+//! overrides of [`DeviceConfig`].
+
+use crate::jsonv::{as_bool, as_f64, as_map, as_seq, as_str, as_u64, get, kind};
+use gpu_sim::DeviceConfig;
+use serde::Value;
+use stencil_core::{ProblemSize, StencilDim, StencilKind};
+
+/// One parsed, validated advisory query.
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// Client-chosen identifier, echoed verbatim in the answer. Not part
+    /// of the cache key.
+    pub id: Option<String>,
+    /// The fully-resolved device the model runs against.
+    pub device: DeviceConfig,
+    /// The stencil benchmark.
+    pub stencil: StencilKind,
+    /// Problem size (space extents + time steps).
+    pub size: ProblemSize,
+    /// Candidate band: keep every point within this fraction of the
+    /// predicted `T_alg` minimum (the paper's 10%).
+    pub within: f64,
+    /// How many ranked candidates to return.
+    pub top_n: usize,
+    /// Whether to execute the within-band set and report the measured
+    /// winner.
+    pub validate: bool,
+    /// Per-query deadline in milliseconds. `Some(0)` forces immediate
+    /// degradation — useful for testing the degraded path.
+    pub timeout_ms: Option<u64>,
+}
+
+impl Query {
+    /// Parse one JSON-lines query.
+    pub fn parse_line(line: &str) -> Result<Query, String> {
+        let value = serde_json::from_str(line).map_err(|e| format!("invalid JSON: {e}"))?;
+        Query::from_value(&value)
+    }
+
+    /// Map a parsed JSON value onto a query.
+    pub fn from_value(value: &Value) -> Result<Query, String> {
+        let entries = as_map(value, "query")?;
+        for (k, _) in entries {
+            if !matches!(
+                k.as_str(),
+                "id" | "device"
+                    | "stencil"
+                    | "size"
+                    | "time"
+                    | "within"
+                    | "top_n"
+                    | "validate"
+                    | "timeout_ms"
+            ) {
+                return Err(format!("unknown query field '{k}'"));
+            }
+        }
+        let id = match get(entries, "id") {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(as_str(v, "id")?.to_string()),
+        };
+        let device = parse_device(get(entries, "device").ok_or("missing field 'device'")?)?;
+        let stencil = parse_stencil(as_str(
+            get(entries, "stencil").ok_or("missing field 'stencil'")?,
+            "stencil",
+        )?)?;
+        let size = parse_size(
+            get(entries, "size").ok_or("missing field 'size'")?,
+            get(entries, "time").ok_or("missing field 'time'")?,
+            stencil,
+        )?;
+        let within = match get(entries, "within") {
+            None => 0.10,
+            Some(v) => {
+                let f = as_f64(v, "within")?;
+                if !f.is_finite() || f < 0.0 {
+                    return Err(format!("within must be a finite fraction >= 0, got {f}"));
+                }
+                f
+            }
+        };
+        let top_n = match get(entries, "top_n") {
+            None => 10,
+            Some(v) => {
+                let n = as_u64(v, "top_n")?;
+                if n == 0 {
+                    return Err("top_n must be >= 1".into());
+                }
+                n as usize
+            }
+        };
+        let validate = match get(entries, "validate") {
+            None => false,
+            Some(v) => as_bool(v, "validate")?,
+        };
+        let timeout_ms = match get(entries, "timeout_ms") {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(as_u64(v, "timeout_ms")?),
+        };
+        Ok(Query {
+            id,
+            device,
+            stencil,
+            size,
+            within,
+            top_n,
+            validate,
+            timeout_ms,
+        })
+    }
+}
+
+/// Resolve the `device` field: a preset name, or an object with a
+/// `"preset"` base (default GTX 980) plus per-field overrides.
+pub fn parse_device(v: &Value) -> Result<DeviceConfig, String> {
+    match v {
+        Value::Str(name) => preset(name),
+        Value::Map(entries) => {
+            let mut dev = match get(entries, "preset") {
+                None => DeviceConfig::gtx980(),
+                Some(p) => preset(as_str(p, "device.preset")?)?,
+            };
+            for (key, val) in entries {
+                if key != "preset" {
+                    apply_override(&mut dev, key, val)?;
+                }
+            }
+            Ok(dev)
+        }
+        other => Err(format!(
+            "device must be a preset name or an object, got {}",
+            kind(other)
+        )),
+    }
+}
+
+fn preset(name: &str) -> Result<DeviceConfig, String> {
+    DeviceConfig::preset(name).ok_or_else(|| {
+        format!(
+            "unknown device preset '{name}' (known: {})",
+            DeviceConfig::preset_names().join(", ")
+        )
+    })
+}
+
+/// Set one [`DeviceConfig`] field by its JSON name.
+fn apply_override(dev: &mut DeviceConfig, key: &str, v: &Value) -> Result<(), String> {
+    let u = |v: &Value| as_u64(v, key);
+    let f = |v: &Value| {
+        let x = as_f64(v, key)?;
+        if !x.is_finite() || x < 0.0 {
+            return Err(format!("{key} must be a finite number >= 0, got {x}"));
+        }
+        Ok(x)
+    };
+    match key {
+        "name" => dev.name = as_str(v, key)?.to_string(),
+        "n_sm" => dev.n_sm = u(v)? as usize,
+        "n_v" => dev.n_v = u(v)? as usize,
+        "warp_size" => dev.warp_size = u(v)? as usize,
+        "shared_banks" => dev.shared_banks = u(v)? as usize,
+        "shared_mem_words" => dev.shared_mem_words = u(v)?,
+        "shared_per_block_words" => dev.shared_per_block_words = u(v)?,
+        "regs_per_sm" => dev.regs_per_sm = u(v)?,
+        "max_regs_per_thread" => dev.max_regs_per_thread = u(v)? as u32,
+        "reg_alloc_target" => dev.reg_alloc_target = u(v)? as u32,
+        "max_blocks_per_sm" => dev.max_blocks_per_sm = u(v)? as usize,
+        "max_threads_per_sm" => dev.max_threads_per_sm = u(v)? as usize,
+        "max_threads_per_block" => dev.max_threads_per_block = u(v)? as usize,
+        "word_time" => dev.word_time = f(v)?,
+        "mem_latency" => dev.mem_latency = f(v)?,
+        "tau_sync" => dev.tau_sync = f(v)?,
+        "t_launch" => dev.t_launch = f(v)?,
+        "op_time" => dev.op_time = f(v)?,
+        "shared_access_time" => dev.shared_access_time = f(v)?,
+        "spill_coeff" => dev.spill_coeff = f(v)?,
+        other => return Err(format!("unknown device field '{other}'")),
+    }
+    Ok(())
+}
+
+fn parse_stencil(name: &str) -> Result<StencilKind, String> {
+    let wanted = name.to_ascii_lowercase();
+    StencilKind::ALL
+        .into_iter()
+        .find(|k| k.name().to_ascii_lowercase() == wanted)
+        .ok_or_else(|| {
+            format!(
+                "unknown stencil '{name}' (known: {})",
+                StencilKind::ALL.map(|k| k.name()).join(", ")
+            )
+        })
+}
+
+fn parse_size(size: &Value, time: &Value, stencil: StencilKind) -> Result<ProblemSize, String> {
+    let items = as_seq(size, "size")?;
+    let mut s = [0usize; 3];
+    for (i, v) in items.iter().enumerate().take(3) {
+        let e = as_u64(v, "size element")?;
+        if e == 0 {
+            return Err("size extents must be >= 1".into());
+        }
+        s[i] = e as usize;
+    }
+    let t = as_u64(time, "time")? as usize;
+    if t == 0 {
+        return Err("time must be >= 1".into());
+    }
+    let dim = stencil.spec().dim;
+    let (want, built) = match items.len() {
+        1 => (StencilDim::D1, ProblemSize::new_1d(s[0], t)),
+        2 => (StencilDim::D2, ProblemSize::new_2d(s[0], s[1], t)),
+        3 => (StencilDim::D3, ProblemSize::new_3d(s[0], s[1], s[2], t)),
+        n => return Err(format!("size must have 1-3 extents, got {n}")),
+    };
+    if dim != want {
+        return Err(format!(
+            "stencil {} is {}-dimensional but size has {} extents",
+            stencil.name(),
+            dim.rank(),
+            items.len()
+        ));
+    }
+    Ok(built)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_query_gets_documented_defaults() {
+        let q = Query::parse_line(
+            r#"{"device": "gtx980", "stencil": "heat2d", "size": [512, 512], "time": 64}"#,
+        )
+        .unwrap();
+        assert_eq!(q.id, None);
+        assert_eq!(q.device.name, "GTX 980");
+        assert_eq!(q.stencil, StencilKind::Heat2D);
+        assert_eq!(q.size, ProblemSize::new_2d(512, 512, 64));
+        assert_eq!(q.within, 0.10);
+        assert_eq!(q.top_n, 10);
+        assert!(!q.validate);
+        assert_eq!(q.timeout_ms, None);
+    }
+
+    #[test]
+    fn custom_device_overrides_apply_over_the_preset() {
+        let q = Query::parse_line(
+            r#"{"device": {"preset": "Titan X", "n_sm": 20, "word_time": 1e-10},
+                "stencil": "Jacobi2D", "size": [256, 256], "time": 32}"#,
+        )
+        .unwrap();
+        assert_eq!(q.device.name, "Titan X");
+        assert_eq!(q.device.n_sm, 20);
+        assert_eq!(q.device.word_time, 1e-10);
+        // Untouched fields keep the preset's values.
+        assert_eq!(q.device.n_v, DeviceConfig::titan_x().n_v);
+    }
+
+    #[test]
+    fn dimension_mismatch_and_typos_are_rejected() {
+        let err = Query::parse_line(
+            r#"{"device": "GTX 980", "stencil": "Heat3D", "size": [256, 256], "time": 32}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("3-dimensional"), "{err}");
+        let err = Query::parse_line(
+            r#"{"device": "GTX 980", "stencil": "Heat2D", "size": [256, 256], "time": 32,
+                "topn": 5}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("unknown query field 'topn'"), "{err}");
+        let err = Query::parse_line(
+            r#"{"device": "Voodoo2", "stencil": "Heat2D", "size": [256, 256], "time": 32}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("unknown device preset"), "{err}");
+    }
+}

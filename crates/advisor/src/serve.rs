@@ -1,0 +1,104 @@
+//! JSON-lines service loop: the transport behind `experiments serve`.
+//!
+//! The loop reads queries (one JSON object per line) to end-of-input,
+//! answers the whole batch through [`Advisor::advise_batch`] — so
+//! duplicate queries inside one request stream are computed once — and
+//! writes one answer line per input line, in input order. A line that
+//! fails to parse produces an `{"error": ...}` line in its slot instead
+//! of aborting the stream; blank lines are ignored.
+
+use crate::{Advisor, Query};
+use serde::Value;
+use std::io::{BufRead, Write};
+
+/// What a service pass processed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Lines answered with an advice.
+    pub answered: usize,
+    /// Lines answered with a parse error.
+    pub errors: usize,
+}
+
+/// One output slot per non-blank input line.
+enum Slot {
+    /// Index into the parsed-query batch.
+    Query(usize),
+    Error(String),
+}
+
+/// Run the service loop over `input`, writing answers to `out`.
+pub fn serve_lines<R: BufRead, W: Write>(
+    advisor: &Advisor,
+    input: R,
+    out: &mut W,
+) -> std::io::Result<ServeStats> {
+    let _span = obs::span("advisor.serve", "advisor");
+    let mut queries = Vec::new();
+    let mut slots = Vec::new();
+    for line in input.lines() {
+        let line = line?;
+        let text = line.trim();
+        if text.is_empty() {
+            continue;
+        }
+        match Query::parse_line(text) {
+            Ok(q) => {
+                slots.push(Slot::Query(queries.len()));
+                queries.push(q);
+            }
+            Err(e) => slots.push(Slot::Error(e)),
+        }
+    }
+    let answers = advisor.advise_batch(&queries);
+    let mut stats = ServeStats {
+        answered: 0,
+        errors: 0,
+    };
+    for slot in slots {
+        match slot {
+            Slot::Query(i) => {
+                stats.answered += 1;
+                writeln!(out, "{}", answers[i].to_json_line())?;
+            }
+            Slot::Error(msg) => {
+                stats.errors += 1;
+                let line = serde_json::to_string(&Value::Map(vec![(
+                    "error".to_string(),
+                    Value::Str(msg),
+                )]))
+                .expect("error line serializes");
+                writeln!(out, "{line}")?;
+            }
+        }
+    }
+    out.flush()?;
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bad_lines_become_error_slots_in_order() {
+        let advisor = Advisor::with_defaults();
+        let input = "\nnot json\n\
+            {\"device\": \"GTX 980\", \"stencil\": \"Heat2D\", \"size\": [64, 64], \"time\": 8}\n\
+            {\"device\": \"nope\", \"stencil\": \"Heat2D\", \"size\": [64, 64], \"time\": 8}\n";
+        let mut out = Vec::new();
+        let stats = serve_lines(&advisor, input.as_bytes(), &mut out).unwrap();
+        assert_eq!(
+            stats,
+            ServeStats {
+                answered: 1,
+                errors: 2
+            }
+        );
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("{\"error\":"));
+        assert!(lines[1].contains("\"stencil\":\"Heat2D\""));
+        assert!(lines[2].contains("unknown device preset"));
+    }
+}

@@ -1,0 +1,124 @@
+//! Integration tests of the advisory service: cache-tier byte
+//! identity, batch dedup through the JSON-lines loop, and graceful
+//! degradation under a zero deadline.
+//!
+//! Tests that install a telemetry recorder share one process-global
+//! lock — the obs recorder slot is process-wide.
+
+use advisor::{Advisor, AdvisorConfig, Query};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+fn lock_obs() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("advisor-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn query_line(id: &str, stencil: &str) -> String {
+    format!(
+        "{{\"id\": \"{id}\", \"device\": \"GTX 980\", \"stencil\": \"{stencil}\", \
+         \"size\": [96, 96], \"time\": 8}}"
+    )
+}
+
+fn parse(line: &str) -> Query {
+    Query::parse_line(line).expect("test query parses")
+}
+
+#[test]
+fn cache_hits_are_byte_identical_to_cold_answers() {
+    let _g = lock_obs();
+    let rec = Arc::new(obs::MemoryRecorder::new(obs::Level::Quiet));
+    obs::install(rec.clone());
+    let dir = temp_dir("bytes");
+    let cfg = AdvisorConfig {
+        disk_dir: Some(dir.clone()),
+        ..AdvisorConfig::default()
+    };
+    let q = parse(&query_line("q1", "Heat2D"));
+
+    // Cold: computed, then stored in both tiers.
+    let advisor = Advisor::new(cfg.clone());
+    let cold = advisor.advise(&q).to_json_line();
+    // Warm: served from the in-memory LRU.
+    let warm = advisor.advise(&q).to_json_line();
+    assert_eq!(cold, warm, "memory-tier answer must be byte-identical");
+    // A fresh advisor over the same directory has an empty memory tier:
+    // this one is served from disk.
+    let fresh = Advisor::new(cfg);
+    let from_disk = fresh.advise(&q).to_json_line();
+    assert_eq!(cold, from_disk, "disk-tier answer must be byte-identical");
+
+    obs::uninstall();
+    let snap = rec.snapshot();
+    assert_eq!(snap.counter("advisor.queries"), 3);
+    assert_eq!(snap.counter("advisor.cache_hits_mem"), 1);
+    assert_eq!(snap.counter("advisor.cache_hits_disk"), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_round_trip_dedups_duplicate_queries() {
+    let _g = lock_obs();
+    let rec = Arc::new(obs::MemoryRecorder::new(obs::Level::Quiet));
+    obs::install(rec.clone());
+    let advisor = Advisor::with_defaults();
+    // Three queries, two of them identical up to `id`.
+    let input = format!(
+        "{}\n{}\n{}\n",
+        query_line("a", "Heat2D"),
+        query_line("b", "Jacobi2D"),
+        query_line("c", "Heat2D"),
+    );
+    let mut out = Vec::new();
+    let stats = advisor::serve_lines(&advisor, input.as_bytes(), &mut out).unwrap();
+    assert_eq!(stats.answered, 3);
+    assert_eq!(stats.errors, 0);
+    let text = String::from_utf8(out).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 3);
+    // Answers come back in input order, ids echoed.
+    assert!(lines[0].contains("\"id\":\"a\""));
+    assert!(lines[1].contains("\"id\":\"b\""));
+    assert!(lines[2].contains("\"id\":\"c\""));
+    // The duplicate differs from its twin only in the echoed id.
+    assert_eq!(
+        lines[0].replace("\"id\":\"a\"", "\"id\":\"c\""),
+        lines[2].to_string()
+    );
+    obs::uninstall();
+    let snap = rec.snapshot();
+    assert!(
+        snap.counter("advisor.batch_dedup") >= 1,
+        "duplicate in the batch must be counted"
+    );
+    assert_eq!(
+        snap.counter("advisor.queries"),
+        2,
+        "only distinct queries computed"
+    );
+}
+
+#[test]
+fn zero_deadline_serves_a_degraded_model_only_answer() {
+    let _g = lock_obs();
+    let rec = Arc::new(obs::MemoryRecorder::new(obs::Level::Quiet));
+    obs::install(rec.clone());
+    let advisor = Advisor::with_defaults();
+    let line = "{\"id\": \"slow\", \"device\": \"Titan X\", \"stencil\": \"Jacobi2D\", \
+                \"size\": [96, 96], \"time\": 8, \"validate\": true, \"timeout_ms\": 0}";
+    let mut out = Vec::new();
+    advisor::serve_lines(&advisor, line.as_bytes(), &mut out).unwrap();
+    let text = String::from_utf8(out).unwrap();
+    assert!(text.contains("\"degraded\":true"), "{text}");
+    assert!(text.contains("\"validation\":null"), "{text}");
+    // The model-only ranking is still present.
+    assert!(text.contains("\"candidates\":[{\"rank\":0"), "{text}");
+    obs::uninstall();
+    assert_eq!(rec.snapshot().counter("advisor.degraded"), 1);
+}

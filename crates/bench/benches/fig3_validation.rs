@@ -19,9 +19,9 @@ fn bench(c: &mut Criterion) {
         r.device,
         r.benchmark,
         r.size,
-        100.0 * r.rmse_all,
+        100.0 * r.rmse_all.unwrap_or(f64::NAN),
         r.top_points,
-        100.0 * r.rmse_top20
+        100.0 * r.rmse_top20.unwrap_or(f64::NAN)
     );
     let mut g = c.benchmark_group("fig3_validation");
     g.sample_size(10);

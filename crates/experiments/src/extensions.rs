@@ -38,10 +38,11 @@ pub struct VariantRow {
     pub benchmark: String,
     /// Problem size.
     pub size: String,
-    /// Top-20 % RMSE of the model as printed.
-    pub rmse_printed: f64,
+    /// Top-20 % RMSE of the model as printed (`None` when the band is
+    /// empty).
+    pub rmse_printed: Option<f64>,
     /// Top-20 % RMSE with the tail-aware grid term.
-    pub rmse_refined: f64,
+    pub rmse_refined: Option<f64>,
 }
 
 /// Compare the printed model against the tail-aware refinement on a
@@ -242,10 +243,10 @@ pub fn time_tiling_comparison(lab: &Lab) -> Vec<TimeTilingRow> {
 pub struct EffectRow {
     /// Which effect was disabled ("none" = the full machine).
     pub disabled: String,
-    /// Full-space relative RMSE.
-    pub rmse_all: f64,
+    /// Full-space relative RMSE (`None` when nothing measured).
+    pub rmse_all: Option<f64>,
     /// Top-20 % relative RMSE.
-    pub rmse_top20: f64,
+    pub rmse_top20: Option<f64>,
 }
 
 /// Disable the machine's unmodeled effects one at a time and re-run one
@@ -357,7 +358,9 @@ mod tests {
     fn refined_model_does_not_hurt_top_rmse() {
         let lab = Lab::new(ExperimentScale::Smoke);
         let rows = model_variant_ablation(&lab);
-        let mean = |f: fn(&VariantRow) -> f64| rows.iter().map(f).sum::<f64>() / rows.len() as f64;
+        let mean = |f: fn(&VariantRow) -> Option<f64>| {
+            rows.iter().map(|r| f(r).unwrap()).sum::<f64>() / rows.len() as f64
+        };
         let printed = mean(|r| r.rmse_printed);
         let refined = mean(|r| r.rmse_refined);
         assert!(

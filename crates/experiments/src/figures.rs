@@ -23,12 +23,15 @@ pub struct ValidationResult {
     pub points: usize,
     /// Points that launched successfully on the machine.
     pub measured_points: usize,
-    /// Relative RMSE over every measured point (paper: 45–200 %).
-    pub rmse_all: f64,
-    /// Points within 20 % of the best measured performance.
+    /// Relative RMSE over every measured point (paper: 45–200 %);
+    /// `None` when no valid pair was measured.
+    pub rmse_all: Option<f64>,
+    /// Points within 20 % of the best measured performance (GFLOPS
+    /// band: time ≤ best/(1 − 0.20)).
     pub top_points: usize,
-    /// Relative RMSE over the top-performing points (paper: < 10 %).
-    pub rmse_top20: f64,
+    /// Relative RMSE over the top-performing points (paper: < 10 %);
+    /// `None` when the band is empty.
+    pub rmse_top20: Option<f64>,
     /// (predicted, measured) pairs of the top-performing points — the
     /// scatter of Figure 3.
     pub scatter_top: Vec<(f64, f64)>,
@@ -80,12 +83,13 @@ pub struct PooledValidation {
     pub benchmark: String,
     /// Pooled measured points across all sizes.
     pub points: usize,
-    /// Relative RMSE over the pooled set.
-    pub rmse_all: f64,
+    /// Relative RMSE over the pooled set (`None` when empty).
+    pub rmse_all: Option<f64>,
     /// Points within 20 % of the best GFLOPS.
     pub top_points: usize,
-    /// Relative RMSE over the top performers (paper: < 10 %).
-    pub rmse_top20: f64,
+    /// Relative RMSE over the top performers (paper: < 10 %; `None`
+    /// when the band is empty).
+    pub rmse_top20: Option<f64>,
 }
 
 /// Pool evaluations by the paper's GFLOPS criterion and compute RMSEs.
@@ -465,18 +469,10 @@ mod tests {
             r.measured_points
         );
         assert!(r.top_points > 0);
+        let (top, all) = (r.rmse_top20.unwrap(), r.rmse_all.unwrap());
         // The paper's headline behaviour: better at the top than overall.
-        assert!(
-            r.rmse_top20 <= r.rmse_all,
-            "top {} vs all {}",
-            r.rmse_top20,
-            r.rmse_all
-        );
-        assert!(
-            r.rmse_top20 < 0.35,
-            "top-20% RMSE too high: {}",
-            r.rmse_top20
-        );
+        assert!(top <= all, "top {top} vs all {all}");
+        assert!(top < 0.35, "top-20% RMSE too high: {top}");
     }
 
     #[test]

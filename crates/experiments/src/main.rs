@@ -7,7 +7,13 @@
 //!             [--exhaustive] [--threads N] [--bench-exec] [--out DIR]
 //!             [--log-out PATH] [--log-level quiet|info|debug]
 //!             [--trace-out PATH]
+//! experiments serve [--queries PATH] [--cache-dir DIR] [--no-disk-cache]
+//!                   [--mem-cap N] [--samples N] [--threads N]
+//!                   [--log-out PATH] [--log-level quiet|info|debug]
 //! ```
+//!
+//! The `serve` subcommand runs the tile-size advisory service: JSON-lines
+//! queries in (stdin or `--queries`), JSON-lines answers out on stdout.
 
 use experiments::context::{ExperimentScale, Lab};
 use experiments::figures::Fig6Detail;
@@ -204,7 +210,10 @@ fn print_help() {
            --trace-out PATH      write a Chrome trace-event JSON file (open in\n\
                                  chrome://tracing or https://ui.perfetto.dev): driver\n\
                                  phase spans plus, with --fig6, the simulated two-pipe\n\
-                                 SM schedule of the chosen configuration"
+                                 SM schedule of the chosen configuration\n\n\
+         SUBCOMMANDS:\n\
+           serve                 tile-size advisory service over JSON lines\n\
+                                 (see: experiments serve --help)"
     );
 }
 
@@ -276,7 +285,181 @@ fn export_workload_trace(
     traced
 }
 
+/// Render an optional RMSE fraction as a percentage (NaN when absent).
+fn pct(v: Option<f64>) -> f64 {
+    v.map_or(f64::NAN, |x| 100.0 * x)
+}
+
+/// Flags of the `serve` subcommand.
+struct ServeArgs {
+    queries: Option<String>,
+    cache_dir: Option<String>,
+    mem_cap: usize,
+    samples: usize,
+    threads: Option<usize>,
+    log_out: Option<String>,
+    log_level: obs::Level,
+}
+
+fn parse_serve_args(rest: impl Iterator<Item = String>) -> Result<ServeArgs, String> {
+    let mut args = ServeArgs {
+        queries: None,
+        cache_dir: Some(format!("{}/advisor_cache", experiments::DEFAULT_OUT_DIR)),
+        mem_cap: 256,
+        samples: 16,
+        threads: None,
+        log_out: None,
+        log_level: obs::Level::Info,
+    };
+    let mut it = rest;
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--queries" => args.queries = Some(it.next().ok_or("--queries needs a value")?),
+            "--cache-dir" => args.cache_dir = Some(it.next().ok_or("--cache-dir needs a value")?),
+            "--no-disk-cache" => args.cache_dir = None,
+            "--mem-cap" => {
+                let v = it.next().ok_or("--mem-cap needs a value")?;
+                args.mem_cap = v
+                    .parse()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .ok_or(format!("invalid --mem-cap '{v}'"))?;
+            }
+            "--samples" => {
+                let v = it.next().ok_or("--samples needs a value")?;
+                args.samples = v
+                    .parse()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .ok_or(format!("invalid --samples '{v}'"))?;
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                args.threads = v
+                    .parse()
+                    .ok()
+                    .filter(|n: &usize| *n >= 1)
+                    .ok_or(format!("invalid thread count '{v}'"))?
+                    .into();
+            }
+            "--log-out" => args.log_out = Some(it.next().ok_or("--log-out needs a value")?),
+            "--log-level" => {
+                let v = it.next().ok_or("--log-level needs a value")?;
+                args.log_level = obs::Level::parse(&v).ok_or(format!("unknown log level '{v}'"))?;
+            }
+            "--help" | "-h" => {
+                print_serve_help();
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown serve argument '{other}' (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn print_serve_help() {
+    println!(
+        "Tile-size advisory service: JSON-lines queries in, JSON-lines answers out.\n\n\
+         USAGE: experiments serve [FLAGS]\n\n\
+         Reads one JSON query object per line from stdin (or --queries FILE)\n\
+         to end-of-input, answers the whole batch — duplicate queries are\n\
+         computed once — and writes one answer line per query on stdout, in\n\
+         input order. See README.md, section \"Advisor service\", for the\n\
+         query and answer schemas.\n\n\
+         FLAGS:\n\
+           --queries PATH        read queries from PATH instead of stdin\n\
+           --cache-dir DIR       on-disk answer cache (default: {}/advisor_cache);\n\
+                                 entries are invalidated by any git revision change\n\
+           --no-disk-cache       keep answers only in the in-memory LRU\n\
+           --mem-cap N           in-memory LRU capacity (default: 256)\n\
+           --samples N           Citer micro-benchmark samples (default: 16)\n\
+           --threads N           size the global rayon pool (default: all cores)\n\
+           --log-out PATH        write the run's structured telemetry as JSONL\n\
+           --log-level LEVEL     event verbosity: quiet|info|debug (default: info)",
+        experiments::DEFAULT_OUT_DIR
+    );
+}
+
+/// Run the `serve` subcommand; returns the process exit code.
+fn run_serve(rest: impl Iterator<Item = String>) -> i32 {
+    let args = match parse_serve_args(rest) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    if let Some(n) = args.threads {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build_global()
+            .expect("configure global thread pool");
+    }
+    let recorder: Option<Arc<obs::MemoryRecorder>> = args
+        .log_out
+        .is_some()
+        .then(|| Arc::new(obs::MemoryRecorder::new(args.log_level)));
+    if let Some(rec) = &recorder {
+        obs::install(rec.clone());
+    }
+    let advisor = advisor::Advisor::new(advisor::AdvisorConfig {
+        mem_capacity: args.mem_cap,
+        disk_dir: args.cache_dir.as_ref().map(Into::into),
+        citer_samples: args.samples,
+        ..advisor::AdvisorConfig::default()
+    });
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    let served = match &args.queries {
+        Some(path) => {
+            let file = match std::fs::File::open(path) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("error: cannot open --queries {path}: {e}");
+                    return 2;
+                }
+            };
+            advisor::serve_lines(&advisor, std::io::BufReader::new(file), &mut out)
+        }
+        None => advisor::serve_lines(&advisor, std::io::stdin().lock(), &mut out),
+    };
+    drop(out);
+    let stats = match served {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: serve I/O failed: {e}");
+            return 1;
+        }
+    };
+    if recorder.is_some() {
+        obs::uninstall();
+    }
+    if let Some(rec) = &recorder {
+        if let Some(path) = &args.log_out {
+            let file = std::fs::File::create(path).expect("create --log-out file");
+            let mut w = std::io::BufWriter::new(file);
+            rec.write_jsonl(&mut w).expect("write --log-out file");
+            w.flush().expect("flush --log-out file");
+        }
+    }
+    eprintln!(
+        "served {} answers ({} parse errors)",
+        stats.answered, stats.errors
+    );
+    if stats.errors > 0 {
+        1
+    } else {
+        0
+    }
+}
+
 fn main() {
+    let mut argv = std::env::args().skip(1).peekable();
+    if argv.peek().map(String::as_str) == Some("serve") {
+        argv.next();
+        std::process::exit(run_serve(argv));
+    }
+    drop(argv);
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
@@ -383,12 +566,15 @@ fn main() {
                 r.benchmark,
                 r.size,
                 r.measured_points,
-                100.0 * r.rmse_all,
+                pct(r.rmse_all),
                 r.top_points,
-                100.0 * r.rmse_top20
+                pct(r.rmse_top20)
             );
-            worst_top = worst_top.max(r.rmse_top20);
-            all_range = (all_range.0.min(r.rmse_all), all_range.1.max(r.rmse_all));
+            worst_top = worst_top.max(r.rmse_top20.unwrap_or(0.0));
+            let all = r.rmse_all.unwrap_or(f64::NAN);
+            if all.is_finite() {
+                all_range = (all_range.0.min(all), all_range.1.max(all));
+            }
         }
         println!(
             "  per-size SUMMARY: full-space RMSE range {:.0}%-{:.0}%; worst top-20% RMSE {:.1}%",
@@ -404,11 +590,11 @@ fn main() {
                 p.device,
                 p.benchmark,
                 p.points,
-                100.0 * p.rmse_all,
+                pct(p.rmse_all),
                 p.top_points,
-                100.0 * p.rmse_top20
+                pct(p.rmse_top20)
             );
-            worst_pooled = worst_pooled.max(p.rmse_top20);
+            worst_pooled = worst_pooled.max(p.rmse_top20.unwrap_or(0.0));
         }
         println!(
             "  POOLED SUMMARY: worst top-20% RMSE {:.1}% (paper: <10%); full-space RMSE within the paper's 45%-200% band",
@@ -528,8 +714,8 @@ fn main() {
                 r.device,
                 r.benchmark,
                 r.size,
-                100.0 * r.rmse_printed,
-                100.0 * r.rmse_refined
+                pct(r.rmse_printed),
+                pct(r.rmse_refined)
             );
         }
         results
@@ -542,8 +728,8 @@ fn main() {
             println!(
                 "  disabled {:16}  RMSE(all) = {:6.1}%   top-20% = {:5.1}%",
                 r.disabled,
-                100.0 * r.rmse_all,
-                100.0 * r.rmse_top20
+                pct(r.rmse_all),
+                pct(r.rmse_top20)
             );
         }
         results

@@ -134,6 +134,28 @@ impl DeviceConfig {
         vec![Self::gtx980(), Self::titan_x()]
     }
 
+    /// The names of the built-in device presets, in the paper's order
+    /// (the canonical spellings accepted by [`Self::preset`]).
+    pub fn preset_names() -> Vec<&'static str> {
+        vec!["GTX 980", "Titan X"]
+    }
+
+    /// Look up a built-in device preset by name. Matching ignores case,
+    /// spaces, and dashes, so `"gtx980"`, `"GTX-980"`, and `"GTX 980"`
+    /// all resolve to the same device; `None` for unknown names.
+    pub fn preset(name: &str) -> Option<DeviceConfig> {
+        let canon = |s: &str| {
+            s.chars()
+                .filter(|c| !c.is_whitespace() && *c != '-' && *c != '_')
+                .map(|c| c.to_ascii_lowercase())
+                .collect::<String>()
+        };
+        let wanted = canon(name);
+        Self::paper_devices()
+            .into_iter()
+            .find(|d| canon(&d.name) == wanted)
+    }
+
     /// Index-addressing overhead (in arithmetic ops per iteration) of the
     /// generated tile body, by stencil rank. Higher-rank tiles traverse
     /// skewed multi-dimensional shared-memory buffers, which is the main
@@ -196,6 +218,23 @@ mod tests {
         // 3D bodies are several times costlier (Table 4: ~4×).
         let c3 = g.iter_cost(13, 8, 3);
         assert!(c3 > 2.5 * c, "c3 = {c3:e}, c = {c:e}");
+    }
+
+    #[test]
+    fn preset_lookup_is_name_insensitive() {
+        for alias in ["GTX 980", "gtx980", "GTX-980", "gtx_980"] {
+            assert_eq!(
+                DeviceConfig::preset(alias).map(|d| d.name),
+                Some("GTX 980".to_string()),
+                "{alias}"
+            );
+        }
+        assert_eq!(DeviceConfig::preset("titan x").map(|d| d.n_sm), Some(24));
+        assert!(DeviceConfig::preset("H100").is_none());
+        // Every advertised preset name resolves to itself.
+        for name in DeviceConfig::preset_names() {
+            assert_eq!(DeviceConfig::preset(name).unwrap().name, name);
+        }
     }
 
     #[test]

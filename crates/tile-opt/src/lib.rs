@@ -25,7 +25,10 @@ pub mod space;
 pub mod strategy;
 pub mod sweep;
 
-pub use run::{run_candidates, CandidateReport, CandidateRun};
+pub use run::{
+    run_candidates, run_candidates_until, CandidateReport, CandidateRun, SkipReason,
+    SkippedCandidate,
+};
 pub use solver::{coordinate_descent, simulated_annealing, SolverResult};
 pub use space::{feasible_tiles, is_feasible, SpaceConfig};
 pub use strategy::{

@@ -9,6 +9,7 @@
 //! candidates costs one warm-up's worth of allocations.
 
 use hhc_tiling::{run_tiled_parallel_into, ExecStats, ScratchPool, TileSizes};
+use serde::{Deserialize, Serialize};
 use std::time::Instant;
 use stencil_core::{Grid, ProblemSize, StencilSpec};
 
@@ -23,14 +24,50 @@ pub struct CandidateRun {
     pub stats: ExecStats,
 }
 
+/// Why a candidate was not executed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SkipReason {
+    /// The tile sizes are invalid for the stencil's dimensionality
+    /// (carries the validator's message).
+    Infeasible(String),
+    /// The caller's deadline expired before this candidate started.
+    DeadlineExceeded,
+}
+
+impl SkipReason {
+    /// Short machine-readable label (`"infeasible"` / `"deadline"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            SkipReason::Infeasible(_) => "infeasible",
+            SkipReason::DeadlineExceeded => "deadline",
+        }
+    }
+}
+
+/// A candidate that was not executed: its position in the input set,
+/// the tile sizes, and why it was skipped.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SkippedCandidate {
+    /// Index into the input candidate slice.
+    pub index: usize,
+    /// The candidate's tile sizes.
+    pub tiles: TileSizes,
+    /// Why it was skipped.
+    pub reason: SkipReason,
+}
+
 /// Result of running a candidate set.
 #[derive(Debug, Clone)]
 pub struct CandidateReport {
-    /// Per-candidate timings, in input order (infeasible tile sizes are
-    /// skipped).
+    /// Per-candidate timings, in input order. `runs` can be shorter than
+    /// the input set; every missing candidate appears in `skipped`.
     pub runs: Vec<CandidateRun>,
     /// Index into `runs` of the fastest candidate (first of equals).
     pub best: Option<usize>,
+    /// Candidates that were not executed (input index + reason) — a set
+    /// of infeasible tile sizes or a deadline cut no longer vanishes
+    /// silently from the report.
+    pub skipped: Vec<SkippedCandidate>,
     /// Pool checkouts across the whole set.
     pub scratch_acquires: u64,
     /// Checkouts served without allocating.
@@ -41,19 +78,51 @@ pub struct CandidateReport {
 ///
 /// All candidates share one pool and one output grid; the winner is the
 /// first candidate achieving the minimal wall time, so the report is
-/// deterministic for a fixed machine load.
+/// deterministic for a fixed machine load. Infeasible candidates are
+/// recorded in [`CandidateReport::skipped`] (and counted on the
+/// `opt.candidates_skipped` counter), never silently dropped.
 pub fn run_candidates(
     spec: &StencilSpec,
     size: &ProblemSize,
     init: &Grid,
     candidates: &[TileSizes],
 ) -> CandidateReport {
+    run_candidates_until(spec, size, init, candidates, None)
+}
+
+/// [`run_candidates`] with an optional deadline: candidates whose
+/// execution has not *started* by `deadline` are skipped with
+/// [`SkipReason::DeadlineExceeded`] (a candidate already running is
+/// allowed to finish — executions are not cancellable mid-kernel). The
+/// advisor service uses this for graceful degradation under a per-query
+/// timeout.
+pub fn run_candidates_until(
+    spec: &StencilSpec,
+    size: &ProblemSize,
+    init: &Grid,
+    candidates: &[TileSizes],
+    deadline: Option<Instant>,
+) -> CandidateReport {
     let _span = obs::span("opt.run_candidates", "optimizer");
     let pool = ScratchPool::new();
     let mut out = Grid::zeros(size.space_extents());
     let mut runs = Vec::with_capacity(candidates.len());
-    for &tiles in candidates {
-        if tiles.validate(spec.dim).is_err() {
+    let mut skipped = Vec::new();
+    for (index, &tiles) in candidates.iter().enumerate() {
+        if let Err(msg) = tiles.validate(spec.dim) {
+            skipped.push(SkippedCandidate {
+                index,
+                tiles,
+                reason: SkipReason::Infeasible(msg),
+            });
+            continue;
+        }
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            skipped.push(SkippedCandidate {
+                index,
+                tiles,
+                reason: SkipReason::DeadlineExceeded,
+            });
             continue;
         }
         let start = Instant::now();
@@ -73,10 +142,12 @@ pub fn run_candidates(
     }
     if obs::active() {
         obs::counter("opt.candidate_runs", runs.len() as u64);
+        obs::counter("opt.candidates_skipped", skipped.len() as u64);
     }
     CandidateReport {
         runs,
         best,
+        skipped,
         scratch_acquires: pool.acquires(),
         scratch_reuses: pool.reuses(),
     }
@@ -99,6 +170,7 @@ mod tests {
         ];
         let report = run_candidates(&spec, &size, &grid, &candidates);
         assert_eq!(report.runs.len(), candidates.len());
+        assert!(report.skipped.is_empty());
         let best = report.best.expect("non-empty set has a winner");
         let min = report
             .runs
@@ -116,7 +188,7 @@ mod tests {
     }
 
     #[test]
-    fn infeasible_candidates_are_skipped() {
+    fn infeasible_candidates_are_recorded_as_skipped() {
         let spec = StencilKind::Jacobi1D.spec();
         let size = ProblemSize::new_1d(40, 6);
         let grid = init::random(size.space_extents(), 1);
@@ -125,5 +197,58 @@ mod tests {
         let report = run_candidates(&spec, &size, &grid, &candidates);
         assert_eq!(report.runs.len(), 1);
         assert_eq!(report.runs[0].tiles, TileSizes::new_1d(4, 4));
+        // The skip is visible, attributed to the right input slot, and
+        // carries the validator's reason.
+        assert_eq!(report.skipped.len(), 1);
+        assert_eq!(report.skipped[0].index, 0);
+        assert_eq!(report.skipped[0].tiles, TileSizes::new_1d(3, 4));
+        assert!(matches!(
+            report.skipped[0].reason,
+            SkipReason::Infeasible(_)
+        ));
+        assert_eq!(report.skipped[0].reason.label(), "infeasible");
+    }
+
+    #[test]
+    fn expired_deadline_skips_every_remaining_candidate() {
+        let spec = StencilKind::Jacobi1D.spec();
+        let size = ProblemSize::new_1d(40, 6);
+        let grid = init::random(size.space_extents(), 1);
+        let candidates = [TileSizes::new_1d(4, 4), TileSizes::new_1d(2, 8)];
+        let past = Instant::now() - std::time::Duration::from_millis(1);
+        let report = run_candidates_until(&spec, &size, &grid, &candidates, Some(past));
+        assert!(report.runs.is_empty());
+        assert!(report.best.is_none());
+        assert_eq!(report.skipped.len(), 2);
+        assert!(report
+            .skipped
+            .iter()
+            .all(|s| s.reason == SkipReason::DeadlineExceeded));
+        // A far-future deadline behaves like no deadline at all.
+        let future = Instant::now() + std::time::Duration::from_secs(3600);
+        let report = run_candidates_until(&spec, &size, &grid, &candidates, Some(future));
+        assert_eq!(report.runs.len(), 2);
+        assert!(report.skipped.is_empty());
+    }
+
+    #[test]
+    fn skip_counter_reaches_the_recorder() {
+        let _g = lock_obs();
+        let rec = std::sync::Arc::new(obs::MemoryRecorder::new(obs::Level::Quiet));
+        obs::install(rec.clone());
+        let spec = StencilKind::Jacobi1D.spec();
+        let size = ProblemSize::new_1d(40, 6);
+        let grid = init::random(size.space_extents(), 1);
+        let candidates = [TileSizes::new_1d(3, 4), TileSizes::new_1d(4, 4)];
+        run_candidates(&spec, &size, &grid, &candidates);
+        obs::uninstall();
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("opt.candidates_skipped"), 1);
+        assert_eq!(snap.counter("opt.candidate_runs"), 1);
+    }
+
+    fn lock_obs() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
     }
 }

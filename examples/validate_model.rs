@@ -58,13 +58,16 @@ fn main() {
         "\n{} points evaluated, {} launched",
         summary.points, summary.measured_points
     );
+    // `relative_rmse` returns None when no valid pair survives its
+    // degenerate-measurement filter; NaN renders that case honestly.
+    let pct = |r: Option<f64>| 100.0 * r.unwrap_or(f64::NAN);
     println!(
         "RMSE over all points     : {:6.1}%   (paper: 45%-200% — the model is deliberately optimistic)",
-        100.0 * summary.rmse_all
+        pct(summary.rmse_all)
     );
     println!(
         "RMSE over top performers : {:6.1}%   (paper: < 10% — accurate where it matters)",
-        100.0 * summary.rmse_top20
+        pct(summary.rmse_top20)
     );
 
     // Show a couple of the spectacular full-space misses for intuition.
