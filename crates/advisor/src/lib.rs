@@ -45,7 +45,7 @@ use std::path::PathBuf;
 use std::time::{Duration, Instant};
 use stencil_core::{init, StencilKind};
 use tile_opt::{
-    feasible_tiles, model_sweep, run_candidates_until, within_fraction, SkipReason, SpaceConfig,
+    feasible_space, model_sweep, run_candidates_until, within_fraction, SkipReason, SpaceConfig,
 };
 use time_model::{MeasuredParams, ModelParams};
 
@@ -109,15 +109,16 @@ impl Advisor {
     /// The canonical cache key of a query: every answer-determining
     /// input, none of the presentation-only ones (`id`, `timeout_ms`).
     pub fn canonical_key(&self, q: &Query) -> String {
-        let dev = serde_json::to_string(&q.device).expect("device serializes");
+        let w = &q.workload;
+        let dev = serde_json::to_string(&w.device).expect("device serializes");
         format!(
             "v1|dev={:016x}|st={}|s={}x{}x{}|t={}|within={:016x}|top={}|val={}|mb={}x{}|space={:016x}",
             cache::fnv64(dev.as_bytes()),
-            q.stencil.name(),
-            q.size.space[0],
-            q.size.space[1],
-            q.size.space[2],
-            q.size.time,
+            w.stencil.name(),
+            w.size.space[0],
+            w.size.space[1],
+            w.size.space[2],
+            w.size.time,
             q.within.to_bits(),
             q.top_n,
             q.validate,
@@ -202,15 +203,15 @@ impl Advisor {
     /// space → parallel model sweep → within-band ranking → optional
     /// validation run, all under the query's deadline.
     fn compute(&self, q: &Query) -> Advice {
+        let w = &q.workload;
         let deadline = q
             .timeout_ms
             .map(|ms| Instant::now() + Duration::from_millis(ms));
-        let params = self.model_params(&q.device, q.stencil);
-        let dim = q.stencil.spec().dim;
-        let tiles = feasible_tiles(&q.device, dim, &self.cfg.space);
-        let sweep = model_sweep(&params, &q.size, &tiles);
+        let params = self.model_params(&w.device, w.stencil);
+        let tiles = feasible_space(w, &self.cfg.space);
+        let sweep = model_sweep(&params, &w.size, &tiles);
         let within = within_fraction(&sweep, q.within);
-        let rank = dim.rank();
+        let rank = w.rank();
         let candidates: Vec<Candidate> = within
             .iter()
             .take(q.top_n)
@@ -231,10 +232,10 @@ impl Advisor {
                 degraded = true;
                 None
             } else {
-                let spec = q.stencil.spec();
-                let grid = init::random(q.size.space_extents(), self.cfg.seed);
+                let spec = w.spec();
+                let grid = init::random(w.size.space_extents(), self.cfg.seed);
                 let cand_tiles: Vec<_> = within.iter().map(|(t, _)| *t).collect();
-                let report = run_candidates_until(&spec, &q.size, &grid, &cand_tiles, deadline);
+                let report = run_candidates_until(&spec, &w.size, &grid, &cand_tiles, deadline);
                 if report
                     .skipped
                     .iter()
@@ -274,10 +275,10 @@ impl Advisor {
         };
         Advice {
             id: q.id.clone(),
-            device: q.device.name.clone(),
-            stencil: q.stencil.name().to_string(),
-            size: q.size.space[..rank].to_vec(),
-            time: q.size.time,
+            device: w.device.name.clone(),
+            stencil: w.stencil.name().to_string(),
+            size: w.size.space[..rank].to_vec(),
+            time: w.size.time,
             feasible_points: tiles.len(),
             within: q.within,
             within_points: within.len(),
@@ -312,9 +313,12 @@ mod tests {
     fn heat_query(id: &str) -> Query {
         Query {
             id: Some(id.into()),
-            device: DeviceConfig::gtx980(),
-            stencil: StencilKind::Heat2D,
-            size: ProblemSize::new_2d(128, 128, 16),
+            workload: gpu_sim::Workload::new(
+                DeviceConfig::gtx980(),
+                StencilKind::Heat2D,
+                ProblemSize::new_2d(128, 128, 16),
+            )
+            .unwrap(),
             within: 0.10,
             top_n: 5,
             validate: false,
@@ -355,7 +359,7 @@ mod tests {
         c.within = 0.2;
         assert_ne!(advisor.canonical_key(&a), advisor.canonical_key(&c));
         let mut d = heat_query("a");
-        d.device = DeviceConfig::titan_x();
+        d.workload.device = DeviceConfig::titan_x();
         assert_ne!(advisor.canonical_key(&a), advisor.canonical_key(&d));
         let mut e = heat_query("a");
         e.validate = true;
@@ -366,7 +370,7 @@ mod tests {
     fn validation_runs_the_within_set_and_reports_a_winner() {
         let advisor = Advisor::with_defaults();
         let mut q = heat_query("v");
-        q.size = ProblemSize::new_2d(48, 48, 8);
+        q.workload.size = ProblemSize::new_2d(48, 48, 8);
         q.validate = true;
         let a = advisor.advise(&q);
         assert!(!a.degraded);
@@ -391,7 +395,7 @@ mod tests {
         // Degraded answers must not poison the cache: the same query
         // without a deadline gets the full validated answer.
         q.timeout_ms = None;
-        q.size = ProblemSize::new_2d(48, 48, 8);
+        q.workload.size = ProblemSize::new_2d(48, 48, 8);
         let b = advisor.advise(&q);
         assert!(!b.degraded);
         assert!(b.validation.is_some());

@@ -17,9 +17,9 @@
 //! overrides of [`DeviceConfig`].
 
 use crate::jsonv::{as_bool, as_f64, as_map, as_seq, as_str, as_u64, get, kind};
-use gpu_sim::DeviceConfig;
+use gpu_sim::{DeviceConfig, Workload};
 use serde::Value;
-use stencil_core::{ProblemSize, StencilDim, StencilKind};
+use stencil_core::{ProblemSize, StencilKind};
 
 /// One parsed, validated advisory query.
 #[derive(Debug, Clone)]
@@ -27,12 +27,9 @@ pub struct Query {
     /// Client-chosen identifier, echoed verbatim in the answer. Not part
     /// of the cache key.
     pub id: Option<String>,
-    /// The fully-resolved device the model runs against.
-    pub device: DeviceConfig,
-    /// The stencil benchmark.
-    pub stencil: StencilKind,
-    /// Problem size (space extents + time steps).
-    pub size: ProblemSize,
+    /// The fully-resolved (device, stencil, size) workload the model runs
+    /// against — a query deserializes directly into a [`Workload`].
+    pub workload: Workload,
     /// Candidate band: keep every point within this fraction of the
     /// predicted `T_alg` minimum (the paper's 10%).
     pub within: f64,
@@ -83,8 +80,10 @@ impl Query {
         let size = parse_size(
             get(entries, "size").ok_or("missing field 'size'")?,
             get(entries, "time").ok_or("missing field 'time'")?,
-            stencil,
         )?;
+        // The dimensional-consistency check (and the default tile/launch
+        // configuration) lives in one place: the Workload constructor.
+        let workload = Workload::new(device, stencil, size)?;
         let within = match get(entries, "within") {
             None => 0.10,
             Some(v) => {
@@ -115,9 +114,7 @@ impl Query {
         };
         Ok(Query {
             id,
-            device,
-            stencil,
-            size,
+            workload,
             within,
             top_n,
             validate,
@@ -208,36 +205,21 @@ fn parse_stencil(name: &str) -> Result<StencilKind, String> {
         })
 }
 
-fn parse_size(size: &Value, time: &Value, stencil: StencilKind) -> Result<ProblemSize, String> {
+fn parse_size(size: &Value, time: &Value) -> Result<ProblemSize, String> {
     let items = as_seq(size, "size")?;
-    let mut s = [0usize; 3];
-    for (i, v) in items.iter().enumerate().take(3) {
+    let mut s = Vec::with_capacity(items.len());
+    for v in items {
         let e = as_u64(v, "size element")?;
         if e == 0 {
             return Err("size extents must be >= 1".into());
         }
-        s[i] = e as usize;
+        s.push(e as usize);
     }
     let t = as_u64(time, "time")? as usize;
     if t == 0 {
         return Err("time must be >= 1".into());
     }
-    let dim = stencil.spec().dim;
-    let (want, built) = match items.len() {
-        1 => (StencilDim::D1, ProblemSize::new_1d(s[0], t)),
-        2 => (StencilDim::D2, ProblemSize::new_2d(s[0], s[1], t)),
-        3 => (StencilDim::D3, ProblemSize::new_3d(s[0], s[1], s[2], t)),
-        n => return Err(format!("size must have 1-3 extents, got {n}")),
-    };
-    if dim != want {
-        return Err(format!(
-            "stencil {} is {}-dimensional but size has {} extents",
-            stencil.name(),
-            dim.rank(),
-            items.len()
-        ));
-    }
-    Ok(built)
+    ProblemSize::from_extents(&s, t)
 }
 
 #[cfg(test)]
@@ -251,9 +233,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(q.id, None);
-        assert_eq!(q.device.name, "GTX 980");
-        assert_eq!(q.stencil, StencilKind::Heat2D);
-        assert_eq!(q.size, ProblemSize::new_2d(512, 512, 64));
+        assert_eq!(q.workload.device.name, "GTX 980");
+        assert_eq!(q.workload.stencil, StencilKind::Heat2D);
+        assert_eq!(q.workload.size, ProblemSize::new_2d(512, 512, 64));
+        assert!(q.workload.validate().is_ok());
         assert_eq!(q.within, 0.10);
         assert_eq!(q.top_n, 10);
         assert!(!q.validate);
@@ -267,11 +250,11 @@ mod tests {
                 "stencil": "Jacobi2D", "size": [256, 256], "time": 32}"#,
         )
         .unwrap();
-        assert_eq!(q.device.name, "Titan X");
-        assert_eq!(q.device.n_sm, 20);
-        assert_eq!(q.device.word_time, 1e-10);
+        assert_eq!(q.workload.device.name, "Titan X");
+        assert_eq!(q.workload.device.n_sm, 20);
+        assert_eq!(q.workload.device.word_time, 1e-10);
         // Untouched fields keep the preset's values.
-        assert_eq!(q.device.n_v, DeviceConfig::titan_x().n_v);
+        assert_eq!(q.workload.device.n_v, DeviceConfig::titan_x().n_v);
     }
 
     #[test]

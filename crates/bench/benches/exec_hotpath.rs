@@ -10,7 +10,7 @@ use hhc_tiling::{run_tiled_with, ExecOptions, TileSizes};
 use microbench::measured_params_sampled;
 use std::hint::black_box;
 use stencil_core::{init, ProblemSize, StencilKind};
-use tile_opt::strategy::{baseline_points, evaluate_points, EvalCache, StrategyContext};
+use tile_opt::strategy::{baseline_points, evaluate_points, StrategyContext};
 use tile_opt::SpaceConfig;
 use time_model::ModelParams;
 
@@ -54,38 +54,25 @@ fn bench_exec_paths(c: &mut Criterion) {
 
 fn bench_strategy_memoization(c: &mut Criterion) {
     let device = DeviceConfig::gtx980();
-    let spec = StencilKind::Jacobi2D.spec();
+    let kind = StencilKind::Jacobi2D;
     let size = ProblemSize::new_2d(512, 512, 128);
-    let measured = measured_params_sampled(&device, spec.kind, 8, 3);
+    let measured = measured_params_sampled(&device, kind, 8, 3);
     let params = ModelParams::from_measured(&device, &measured);
     let space = SpaceConfig::default();
-    let points = baseline_points(&device, spec.dim, &space);
+    let workload = gpu_sim::Workload::new(device, kind, size).expect("Jacobi2D is 2-dimensional");
+    let points = baseline_points(&workload.device, workload.dim(), &space);
 
     let mut g = c.benchmark_group("strategy_eval");
     g.sample_size(10);
     // Cold: a fresh cache every iteration — every point simulates.
     g.bench_function("baseline_850_cold", |b| {
         b.iter(|| {
-            let ctx = StrategyContext {
-                device: &device,
-                params: &params,
-                spec: &spec,
-                size: &size,
-                space: &space,
-                cache: EvalCache::new(),
-            };
+            let ctx = StrategyContext::new(&workload, &params, &space);
             black_box(evaluate_points(&ctx, &points).len())
         })
     });
     // Memoized: one shared warm cache — every point is a hit.
-    let warm_ctx = StrategyContext {
-        device: &device,
-        params: &params,
-        spec: &spec,
-        size: &size,
-        space: &space,
-        cache: EvalCache::new(),
-    };
+    let warm_ctx = StrategyContext::new(&workload, &params, &space);
     evaluate_points(&warm_ctx, &points);
     g.bench_function("baseline_850_memoized", |b| {
         b.iter(|| black_box(evaluate_points(&warm_ctx, &points).len()))

@@ -6,7 +6,7 @@
 //! paths on larger workloads and persists `BENCH_exec.json`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use gpu_sim::{kernel_time, kernel_time_dealing, occupancy, simulate, DeviceConfig, Workload};
+use gpu_sim::{kernel_time, kernel_time_dealing, occupancy, simulate, DeviceConfig, SimWorkload};
 use hhc_tiling::{
     run_tiled_parallel_with_stats, run_tiled_with, ExecOptions, LaunchConfig, ScratchPool,
     TileSizes, TilingPlan,
@@ -14,7 +14,7 @@ use hhc_tiling::{
 use std::hint::black_box;
 use stencil_core::{init, ProblemSize, StencilKind};
 
-fn jacobi2d_workload() -> (DeviceConfig, Workload) {
+fn jacobi2d_workload() -> (DeviceConfig, SimWorkload) {
     let device = DeviceConfig::gtx980();
     let spec = StencilKind::Jacobi2D.spec();
     let size = ProblemSize::new_2d(1024, 1024, 128);
@@ -22,7 +22,7 @@ fn jacobi2d_workload() -> (DeviceConfig, Workload) {
     let tiles = TileSizes::new_2d(8, 32, 128);
     let plan =
         TilingPlan::build(&spec, &size, tiles, LaunchConfig::new_2d(4, 32)).expect("plan builds");
-    (device, Workload::from_plan(&plan))
+    (device, SimWorkload::from_plan(&plan))
 }
 
 fn bench_kernel_scheduling(c: &mut Criterion) {

@@ -5,7 +5,7 @@
 //! (class-based plans, separable axes, cached kernel timing).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use gpu_sim::{simulate, DeviceConfig, Workload};
+use gpu_sim::{simulate, DeviceConfig, SimWorkload};
 use hhc_tiling::{exec, HexTiling, LaunchConfig, TileSizes, TilingPlan};
 use std::hint::black_box;
 use stencil_core::{reference, Grid, ProblemSize, StencilKind};
@@ -45,7 +45,7 @@ fn bench(c: &mut Criterion) {
 
     // Discrete-event simulation of the full schedule.
     let plan = TilingPlan::build(&spec, &size, tiles, launch).unwrap();
-    let wl = Workload::from_plan(&plan);
+    let wl = SimWorkload::from_plan(&plan);
     g.bench_function("simulate_8192sq_T4096", |b| {
         b.iter(|| black_box(simulate(&device, &wl).unwrap().total_time))
     });

@@ -2,7 +2,7 @@
 //! resolution — the structural-parameter layer every experiment uses.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use gpu_sim::{occupancy, DeviceConfig, Workload};
+use gpu_sim::{occupancy, DeviceConfig, SimWorkload};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
@@ -14,7 +14,7 @@ fn bench(c: &mut Criterion) {
         })
     });
     let device = DeviceConfig::gtx980();
-    let wl = Workload::uniform(1, 64, 8, 1024, 1024, vec![[512, 1, 1]; 8], 128, 32);
+    let wl = SimWorkload::uniform(1, 64, 8, 1024, 1024, vec![[512, 1, 1]; 8], 128, 32);
     g.bench_function("occupancy_resolution", |b| {
         b.iter(|| black_box(occupancy(&device, &wl).unwrap().k))
     });

@@ -27,6 +27,13 @@
 //!
 //! * [`problem`] — problem-size descriptions (space extents + time steps)
 //!   and the exact experiment grids of the paper's Section 5.
+//!
+//! * [`tiling`] / [`workload`] — the tile-size and launch parameters the
+//!   model selects, and the [`Workload`] descriptor that carries one
+//!   fully-described unit of work (device + stencil + size + tiles +
+//!   launch) through every downstream crate. The per-dimension defaults
+//!   (`hhc_default`, `candidates`, `empirical`) live here so dimension
+//!   dispatch exists in exactly one place.
 
 pub mod grid;
 pub mod init;
@@ -35,8 +42,12 @@ pub mod norms;
 pub mod problem;
 pub mod reference;
 pub mod stencil;
+pub mod tiling;
+pub mod workload;
 
 pub use grid::Grid;
 pub use ispace::IterPoint;
 pub use problem::ProblemSize;
 pub use stencil::{Neighbor, RowKernel, StencilDim, StencilKind, StencilSpec};
+pub use tiling::{LaunchConfig, TileSizes};
+pub use workload::Workload;

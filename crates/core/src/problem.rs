@@ -49,6 +49,17 @@ impl ProblemSize {
         }
     }
 
+    /// Build a problem from a flat list of 1–3 space extents plus the
+    /// time-step count; the dimensionality is the number of extents.
+    pub fn from_extents(extents: &[usize], time: usize) -> Result<Self, String> {
+        match extents {
+            [s1] => Ok(ProblemSize::new_1d(*s1, time)),
+            [s1, s2] => Ok(ProblemSize::new_2d(*s1, *s2, time)),
+            [s1, s2, s3] => Ok(ProblemSize::new_3d(*s1, *s2, *s3, time)),
+            _ => Err(format!("size must have 1-3 extents, got {}", extents.len())),
+        }
+    }
+
     /// Space extents with trailing 1s for unused dimensions.
     #[inline]
     pub fn space_extents(&self) -> [usize; 3] {

@@ -26,6 +26,9 @@ pub enum StencilDim {
 }
 
 impl StencilDim {
+    /// Every dimensionality, in rank order.
+    pub const ALL: [StencilDim; 3] = [StencilDim::D1, StencilDim::D2, StencilDim::D3];
+
     /// Number of space dimensions as an integer.
     #[inline]
     pub fn rank(self) -> usize {
@@ -114,6 +117,16 @@ impl StencilKind {
         StencilKind::Heat3D,
         StencilKind::Laplacian3D,
     ];
+
+    /// The benchmark set evaluated per dimensionality: the paper's 2D
+    /// and 3D experiment suites, and the expository Jacobi 1D.
+    pub fn benchmarks_for(dim: StencilDim) -> &'static [StencilKind] {
+        match dim {
+            StencilDim::D1 => &[StencilKind::Jacobi1D],
+            StencilDim::D2 => &Self::BENCH_2D,
+            StencilDim::D3 => &Self::BENCH_3D,
+        }
+    }
 
     /// Human-readable name matching the paper's tables.
     pub fn name(self) -> &'static str {

@@ -1,0 +1,420 @@
+//! Tile-size and launch-configuration parameters — the HHC compiler's
+//! inputs that the paper's model selects (Table 1, "Elementary Software"
+//! parameters).
+//!
+//! These types live in `stencil-core` (rather than the tiling crate)
+//! because every layer of the pipeline — model, optimizer, simulator,
+//! advisor, CLI — names them, and because the per-dimension *defaults*
+//! (`hhc_default`, `candidates`, `empirical`) are the single home of the
+//! `match StencilDim` dispatch the rest of the workspace is forbidden to
+//! re-implement (see `ci/dispatch_guard.sh`).
+
+use crate::stencil::StencilDim;
+use serde::{Deserialize, Serialize};
+
+/// Tile-size parameters `t_T`, `t_{S1}`, `t_{S2}`, `t_{S3}`.
+///
+/// `t_T` must be even ("the HHC compiler only supports this case",
+/// Section 4.1); `t_{S2}` is normally a multiple of 32 so warps are full
+/// (Section 6.1's constraint), though this type does not force it —
+/// the feasibility check in `tile-opt` does, and the simulator charges
+/// divergence when it is violated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TileSizes {
+    /// Tile extent along the time dimension (even, ≥ 2).
+    pub t_t: usize,
+    /// Tile extents along the space dimensions; unused trailing entries
+    /// are 1.
+    pub t_s: [usize; 3],
+}
+
+impl TileSizes {
+    /// 1D tile sizes.
+    pub fn new_1d(t_t: usize, t_s1: usize) -> Self {
+        TileSizes {
+            t_t,
+            t_s: [t_s1, 1, 1],
+        }
+    }
+
+    /// 2D tile sizes.
+    pub fn new_2d(t_t: usize, t_s1: usize, t_s2: usize) -> Self {
+        TileSizes {
+            t_t,
+            t_s: [t_s1, t_s2, 1],
+        }
+    }
+
+    /// 3D tile sizes.
+    pub fn new_3d(t_t: usize, t_s1: usize, t_s2: usize, t_s3: usize) -> Self {
+        TileSizes {
+            t_t,
+            t_s: [t_s1, t_s2, t_s3],
+        }
+    }
+
+    /// Build tile sizes from a flat coordinate vector `[t_T, t_S1, …]`
+    /// with exactly `1 + rank` entries — the encoding the heuristic
+    /// solvers and CLI parsers use. Unused trailing space extents are 1.
+    pub fn from_coords(dim: StencilDim, coords: &[usize]) -> Result<Self, String> {
+        let rank = dim.rank();
+        if coords.len() != rank + 1 {
+            return Err(format!(
+                "expected {} tile coordinates (t_T + {} space extents), got {}",
+                rank + 1,
+                rank,
+                coords.len()
+            ));
+        }
+        let mut t_s = [1usize; 3];
+        t_s[..rank].copy_from_slice(&coords[1..]);
+        Ok(TileSizes {
+            t_t: coords[0],
+            t_s,
+        })
+    }
+
+    /// The flat coordinate vector `[t_T, t_S1, …]` (inverse of
+    /// [`Self::from_coords`]).
+    pub fn coords(&self, dim: StencilDim) -> Vec<usize> {
+        let mut v = Vec::with_capacity(dim.rank() + 1);
+        v.push(self.t_t);
+        v.extend_from_slice(&self.t_s[..dim.rank()]);
+        v
+    }
+
+    /// The stock HHC compiler tile shape (PPCG-style 32-point space
+    /// tiles) for each dimensionality.
+    pub fn hhc_default(dim: StencilDim) -> Self {
+        match dim {
+            StencilDim::D1 => TileSizes::new_1d(4, 32),
+            StencilDim::D2 => TileSizes::new_2d(4, 32, 32),
+            StencilDim::D3 => TileSizes::new_3d(4, 4, 4, 32),
+        }
+    }
+
+    /// Validate basic well-formedness for a stencil of dimension `dim`:
+    /// positive extents, even `t_t`, and extent 1 in unused dimensions.
+    pub fn validate(&self, dim: StencilDim) -> Result<(), String> {
+        if self.t_t < 2 {
+            return Err(format!("t_t must be >= 2, got {}", self.t_t));
+        }
+        if !self.t_t.is_multiple_of(2) {
+            return Err(format!(
+                "t_t must be even (HHC requirement), got {}",
+                self.t_t
+            ));
+        }
+        for d in 0..dim.rank() {
+            if self.t_s[d] == 0 {
+                return Err(format!("t_s{} must be positive", d + 1));
+            }
+        }
+        for d in dim.rank()..3 {
+            if self.t_s[d] != 1 {
+                return Err(format!(
+                    "t_s{} must be 1 for a {}D stencil, got {}",
+                    d + 1,
+                    dim.rank(),
+                    self.t_s[d]
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Half the time tile size, `h = t_T / 2` — the slope extent of the
+    /// hexagon's oblique sides.
+    #[inline]
+    pub fn half_height(&self) -> usize {
+        self.t_t / 2
+    }
+
+    /// Short identifier used in result files, e.g. `tT8_tS32x64`.
+    pub fn label(&self, dim: StencilDim) -> String {
+        let mut s = format!("tT{}_tS{}", self.t_t, self.t_s[0]);
+        for d in 1..dim.rank() {
+            s.push_str(&format!("x{}", self.t_s[d]));
+        }
+        s
+    }
+}
+
+/// Thread-block launch configuration: the `n_thr,i` parameters of the
+/// paper (number of threads per block in each dimension/loop).
+///
+/// The innermost (last used) dimension is the coalesced one; its extent
+/// determines warp fill. The paper's model deliberately ignores this
+/// parameter ("the threads-per-block parameter(s) have a significant
+/// impact on performance, and this is also hard to model", Section 7) —
+/// the simulator does not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LaunchConfig {
+    /// Threads per block along each space dimension of the tile; unused
+    /// trailing entries are 1.
+    pub threads: [usize; 3],
+}
+
+impl LaunchConfig {
+    /// A 1D launch of `n` threads.
+    pub fn new_1d(n: usize) -> Self {
+        LaunchConfig { threads: [n, 1, 1] }
+    }
+
+    /// A 2D launch: `n1` blocks of threads along `s1`, `n2` along `s2`.
+    pub fn new_2d(n1: usize, n2: usize) -> Self {
+        LaunchConfig {
+            threads: [n1, n2, 1],
+        }
+    }
+
+    /// A 3D launch.
+    pub fn new_3d(n1: usize, n2: usize, n3: usize) -> Self {
+        LaunchConfig {
+            threads: [n1, n2, n3],
+        }
+    }
+
+    /// Build a launch from per-dimension thread extents with exactly
+    /// `rank` entries; unused trailing entries are 1.
+    pub fn from_extents(dim: StencilDim, extents: &[usize]) -> Result<Self, String> {
+        let rank = dim.rank();
+        if extents.len() != rank {
+            return Err(format!(
+                "expected {} thread extents, got {}",
+                rank,
+                extents.len()
+            ));
+        }
+        let mut threads = [1usize; 3];
+        threads[..rank].copy_from_slice(extents);
+        Ok(LaunchConfig { threads })
+    }
+
+    /// The stock HHC compiler launch for each dimensionality (the
+    /// partner of [`TileSizes::hhc_default`]).
+    pub fn hhc_default(dim: StencilDim) -> Self {
+        match dim {
+            StencilDim::D1 => LaunchConfig::new_1d(128),
+            StencilDim::D2 => LaunchConfig::new_2d(1, 128),
+            StencilDim::D3 => LaunchConfig::new_3d(1, 4, 32),
+        }
+    }
+
+    /// The ten thread-count configurations explored per tile size
+    /// (paper Section 5.1: "for each of them, we explore 10 different
+    /// values of `n_thr,i`").
+    pub fn candidates(dim: StencilDim) -> Vec<LaunchConfig> {
+        match dim {
+            StencilDim::D1 => [32, 64, 96, 128, 160, 192, 256, 384, 512, 1024]
+                .into_iter()
+                .map(LaunchConfig::new_1d)
+                .collect(),
+            StencilDim::D2 => [32, 64, 96, 128, 160, 192, 256, 384, 512, 1024]
+                .into_iter()
+                .map(|n| LaunchConfig::new_2d(1, n))
+                .collect(),
+            StencilDim::D3 => vec![
+                LaunchConfig::new_3d(1, 1, 32),
+                LaunchConfig::new_3d(1, 2, 32),
+                LaunchConfig::new_3d(1, 4, 32),
+                LaunchConfig::new_3d(1, 2, 64),
+                LaunchConfig::new_3d(1, 4, 64),
+                LaunchConfig::new_3d(1, 8, 32),
+                LaunchConfig::new_3d(1, 2, 96),
+                LaunchConfig::new_3d(1, 8, 64),
+                LaunchConfig::new_3d(1, 16, 32),
+                LaunchConfig::new_3d(1, 8, 128),
+            ],
+        }
+    }
+
+    /// The paper's empirical threads-per-block predictor (Section 7):
+    /// among high-performing instances the locally best thread count
+    /// "was easily predictable — empirically": shape the block to the
+    /// tile's inner extents (full warps along the coalesced axis, capped
+    /// by the block limit).
+    pub fn empirical(dim: StencilDim, tiles: &TileSizes) -> LaunchConfig {
+        match dim {
+            StencilDim::D1 => LaunchConfig::new_1d(128),
+            StencilDim::D2 => LaunchConfig::new_2d(1, tiles.t_s[1].clamp(32, 512)),
+            StencilDim::D3 => {
+                let n3 = tiles.t_s[2].clamp(32, 128);
+                let n2 = tiles.t_s[1].clamp(1, 1024 / n3).min(8);
+                LaunchConfig::new_3d(1, n2, n3)
+            }
+        }
+    }
+
+    /// The launch the micro-benchmark harness drives `Citer` samples
+    /// with: modest blocks shaped to the tile so even small random tiles
+    /// launch (distinct from [`Self::empirical`], which targets
+    /// high-performing production tiles).
+    pub fn microbench(dim: StencilDim, tiles: &TileSizes) -> LaunchConfig {
+        match dim {
+            StencilDim::D1 => LaunchConfig::new_1d(128),
+            StencilDim::D2 => LaunchConfig::new_2d(1, tiles.t_s[1].min(512)),
+            StencilDim::D3 => LaunchConfig::new_3d(1, tiles.t_s[1].min(8), tiles.t_s[2].min(128)),
+        }
+    }
+
+    /// Total threads in the block, `∏ n_thr,i`.
+    #[inline]
+    pub fn total_threads(&self) -> usize {
+        self.threads.iter().product()
+    }
+
+    /// Extent of the innermost (contiguous/coalesced) thread dimension
+    /// for a stencil of rank `rank`.
+    #[inline]
+    pub fn innermost(&self, rank: usize) -> usize {
+        self.threads[rank - 1]
+    }
+
+    /// Validate: positive extents, unused dimensions 1, and a total that
+    /// does not exceed the CUDA-style 1024-thread block limit.
+    pub fn validate(&self, dim: StencilDim) -> Result<(), String> {
+        for d in 0..dim.rank() {
+            if self.threads[d] == 0 {
+                return Err(format!("threads[{d}] must be positive"));
+            }
+        }
+        for d in dim.rank()..3 {
+            if self.threads[d] != 1 {
+                return Err(format!(
+                    "threads[{d}] must be 1 for a {}D stencil",
+                    dim.rank()
+                ));
+            }
+        }
+        if self.total_threads() > 1024 {
+            return Err(format!(
+                "block of {} threads exceeds 1024",
+                self.total_threads()
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn odd_tt_rejected() {
+        assert!(TileSizes::new_1d(3, 8).validate(StencilDim::D1).is_err());
+        assert!(TileSizes::new_1d(4, 8).validate(StencilDim::D1).is_ok());
+    }
+
+    #[test]
+    fn unused_dims_must_be_one() {
+        let t = TileSizes {
+            t_t: 4,
+            t_s: [8, 2, 1],
+        };
+        assert!(t.validate(StencilDim::D1).is_err());
+        assert!(t.validate(StencilDim::D2).is_ok());
+    }
+
+    #[test]
+    fn zero_extent_rejected() {
+        assert!(TileSizes::new_2d(4, 0, 32)
+            .validate(StencilDim::D2)
+            .is_err());
+    }
+
+    #[test]
+    fn half_height() {
+        assert_eq!(TileSizes::new_1d(6, 4).half_height(), 3);
+    }
+
+    #[test]
+    fn launch_total_and_innermost() {
+        let l = LaunchConfig::new_2d(2, 64);
+        assert_eq!(l.total_threads(), 128);
+        assert_eq!(l.innermost(2), 64);
+        assert_eq!(LaunchConfig::new_1d(96).innermost(1), 96);
+    }
+
+    #[test]
+    fn launch_limit_1024() {
+        assert!(LaunchConfig::new_2d(2, 512)
+            .validate(StencilDim::D2)
+            .is_ok());
+        assert!(LaunchConfig::new_2d(4, 512)
+            .validate(StencilDim::D2)
+            .is_err());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(
+            TileSizes::new_2d(8, 16, 32).label(StencilDim::D2),
+            "tT8_tS16x32"
+        );
+        assert_eq!(TileSizes::new_1d(8, 16).label(StencilDim::D1), "tT8_tS16");
+    }
+
+    #[test]
+    fn coords_roundtrip_every_dim() {
+        for (dim, tiles) in [
+            (StencilDim::D1, TileSizes::new_1d(8, 16)),
+            (StencilDim::D2, TileSizes::new_2d(8, 16, 32)),
+            (StencilDim::D3, TileSizes::new_3d(8, 4, 16, 32)),
+        ] {
+            let coords = tiles.coords(dim);
+            assert_eq!(coords.len(), dim.rank() + 1);
+            assert_eq!(TileSizes::from_coords(dim, &coords).unwrap(), tiles);
+        }
+        assert!(TileSizes::from_coords(StencilDim::D2, &[4, 8]).is_err());
+    }
+
+    #[test]
+    fn launch_from_extents() {
+        assert_eq!(
+            LaunchConfig::from_extents(StencilDim::D2, &[1, 128]).unwrap(),
+            LaunchConfig::new_2d(1, 128)
+        );
+        assert!(LaunchConfig::from_extents(StencilDim::D3, &[1, 4]).is_err());
+    }
+
+    #[test]
+    fn defaults_validate_per_dim() {
+        for dim in [StencilDim::D1, StencilDim::D2, StencilDim::D3] {
+            assert!(TileSizes::hhc_default(dim).validate(dim).is_ok(), "{dim:?}");
+            assert!(
+                LaunchConfig::hhc_default(dim).validate(dim).is_ok(),
+                "{dim:?}"
+            );
+            assert_eq!(LaunchConfig::candidates(dim).len(), 10, "{dim:?}");
+            for l in LaunchConfig::candidates(dim) {
+                assert!(l.validate(dim).is_ok(), "{dim:?} {l:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn empirical_launch_is_warp_aligned_for_aligned_tiles() {
+        for tiles in [TileSizes::new_2d(8, 8, 128), TileSizes::new_2d(4, 16, 384)] {
+            let l = LaunchConfig::empirical(StencilDim::D2, &tiles);
+            assert_eq!(l.threads[1] % 32, 0);
+            assert!(l.validate(StencilDim::D2).is_ok());
+        }
+        let l3 = LaunchConfig::empirical(StencilDim::D3, &TileSizes::new_3d(8, 4, 4, 64));
+        assert!(l3.validate(StencilDim::D3).is_ok());
+        assert_eq!(l3.threads[2] % 32, 0);
+    }
+
+    #[test]
+    fn microbench_launch_fits_small_tiles() {
+        for (dim, tiles) in [
+            (StencilDim::D1, TileSizes::new_1d(4, 8)),
+            (StencilDim::D2, TileSizes::new_2d(4, 2, 32)),
+            (StencilDim::D3, TileSizes::new_3d(2, 2, 4, 32)),
+        ] {
+            let l = LaunchConfig::microbench(dim, &tiles);
+            assert!(l.validate(dim).is_ok(), "{dim:?} {l:?}");
+        }
+    }
+}

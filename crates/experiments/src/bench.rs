@@ -8,7 +8,7 @@
 //! so a reported speedup can never come from computing something else.
 
 use crate::context::{ExperimentScale, Lab};
-use gpu_sim::{kernel_time, kernel_time_dealing, occupancy, DeviceConfig, Workload};
+use gpu_sim::{kernel_time, kernel_time_dealing, occupancy, DeviceConfig, SimWorkload};
 use hhc_tiling::plan::{BlockClass, WavefrontPlan};
 use hhc_tiling::{
     rolling_window_depth, run_tiled_parallel_with_stats, run_tiled_with, ExecOptions, LaunchConfig,
@@ -18,7 +18,7 @@ use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::Instant;
 use stencil_core::{init, ProblemSize, StencilKind};
-use tile_opt::strategy::{baseline_points, evaluate_points, EvalCache, StrategyContext};
+use tile_opt::strategy::{baseline_points, evaluate_points, StrategyContext};
 use tile_opt::SpaceConfig;
 
 /// One executor comparison row: baseline vs fast path on one workload.
@@ -203,7 +203,7 @@ fn sim_row(
     benchmark: &str,
     size_label: String,
     device: &DeviceConfig,
-    wl: &Workload,
+    wl: &SimWorkload,
     classes: &[BlockClass],
     k: usize,
 ) -> SimBenchRow {
@@ -256,7 +256,7 @@ fn bench_sim(lab: &Lab) -> Vec<SimBenchRow> {
     };
     let plan = TilingPlan::build(&spec, &size, tiles, LaunchConfig::new_2d(4, 32))
         .expect("sim bench plan");
-    let wl = Workload::from_plan(&plan);
+    let wl = SimWorkload::from_plan(&plan);
     let k = occupancy(&device, &wl).expect("sim bench occupancy").k;
     let classes = wl
         .kernels
@@ -294,7 +294,7 @@ fn bench_sim(lab: &Lab) -> Vec<SimBenchRow> {
         wide_class(blocks / 20, 48),
         wide_class(blocks / 10 - blocks / 20, 32),
     ];
-    let mut wide_wl = Workload::uniform(1, 0, 0, 0, 0, vec![], 128, 32);
+    let mut wide_wl = SimWorkload::uniform(1, 0, 0, 0, 0, vec![], 128, 32);
     wide_wl.kernels = vec![WavefrontPlan {
         classes: Arc::new(wide.clone()),
     }];
@@ -354,19 +354,13 @@ fn workloads(scale: ExperimentScale) -> Vec<(StencilKind, ProblemSize, TileSizes
 fn bench_memo(lab: &Lab) -> MemoBenchRow {
     let device = &lab.devices[0];
     let kind = StencilKind::Jacobi2D;
-    let spec = kind.spec();
     let size = ProblemSize::new_2d(1024, 1024, 256);
     let params = lab.model_params(device, kind);
     let space = SpaceConfig::default();
-    let ctx = StrategyContext {
-        device,
-        params: &params,
-        spec: &spec,
-        size: &size,
-        space: &space,
-        cache: EvalCache::new(),
-    };
-    let points = baseline_points(device, spec.dim, &space);
+    let workload = gpu_sim::Workload::new(device.clone(), kind, size)
+        .expect("benchmark and size dimensionalities agree");
+    let ctx = StrategyContext::new(&workload, &params, &space);
+    let points = baseline_points(device, workload.dim(), &space);
     let t0 = Instant::now();
     let cold = evaluate_points(&ctx, &points);
     let cold_s = t0.elapsed().as_secs_f64();

@@ -5,7 +5,7 @@ use gpu_sim::DeviceConfig;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use stencil_core::{ProblemSize, StencilKind};
+use stencil_core::{ProblemSize, StencilDim, StencilKind};
 use time_model::{MeasuredParams, ModelParams};
 
 /// Which problem-size grids to run.
@@ -59,6 +59,15 @@ impl ExperimentScale {
                 ProblemSize::new_1d(1 << 21, 1024),
             ],
             Self::Smoke => vec![ProblemSize::new_1d(1 << 18, 256)],
+        }
+    }
+
+    /// The problem-size grid for a dimensionality at this scale.
+    pub fn sizes(self, dim: StencilDim) -> Vec<ProblemSize> {
+        match dim.rank() {
+            1 => self.sizes_1d(),
+            2 => self.sizes_2d(),
+            _ => self.sizes_3d(),
         }
     }
 

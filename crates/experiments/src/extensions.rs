@@ -17,14 +17,14 @@
 
 use crate::context::Lab;
 use crate::rmse;
-use gpu_sim::{simulate, DeviceConfig, Workload};
-use hhc_tiling::{LaunchConfig, SpaceBlock, WavefrontSchedule};
+use gpu_sim::{simulate, DeviceConfig, SimWorkload, Workload};
+use hhc_tiling::{LaunchConfig, SpaceBlock, TileSizes, WavefrontSchedule};
 use serde::{Deserialize, Serialize};
-use stencil_core::{reference, StencilDim, StencilKind};
+use stencil_core::{reference, StencilKind};
 use tile_opt::strategy::{study, Strategy, StrategyContext};
 use tile_opt::{
-    baseline_points, coordinate_descent, evaluate_points, feasible_tiles, model_sweep,
-    simulated_annealing, talg_min, EvalCache, SpaceConfig,
+    baseline_points, coordinate_descent, evaluate_points, feasible_space, model_sweep,
+    simulated_annealing, talg_min, SpaceConfig,
 };
 use time_model::predict_refined;
 
@@ -56,17 +56,11 @@ pub fn model_variant_ablation(lab: &Lab) -> Vec<VariantRow> {
             (StencilKind::Gradient2D, lab.scale.sizes_2d()[0]),
             (StencilKind::Heat3D, lab.scale.sizes_3d()[0]),
         ] {
-            let spec = kind.spec();
             let params = lab.model_params(device, kind);
-            let ctx = StrategyContext {
-                device,
-                params: &params,
-                spec: &spec,
-                size: &size,
-                space: &space,
-                cache: EvalCache::new(),
-            };
-            let points = baseline_points(device, spec.dim, &space);
+            let workload = Workload::new(device.clone(), kind, size)
+                .expect("benchmark and size dimensionalities agree");
+            let ctx = StrategyContext::new(&workload, &params, &space);
+            let points = baseline_points(device, workload.dim(), &space);
             let evals = evaluate_points(&ctx, &points);
             let top = rmse::top_performing(&evals, 0.20);
             let printed_pairs = rmse::pairs(&top);
@@ -124,13 +118,18 @@ pub fn solver_comparison(lab: &Lab) -> Vec<SolverRow> {
             (StencilKind::Heat3D, lab.scale.sizes_3d()[0]),
         ] {
             let params = lab.model_params(device, kind);
-            let space = feasible_tiles(device, kind.spec().dim, &cfg);
+            let workload = Workload::new(device.clone(), kind, size)
+                .expect("benchmark and size dimensionalities agree");
+            let space = feasible_space(&workload, &cfg);
             let sweep = model_sweep(&params, &size, &space);
             let (_, best) = talg_min(&sweep).expect("non-empty space");
-            let start = match kind.spec().dim {
-                StencilDim::D3 => hhc_tiling::TileSizes::new_3d(4, 4, 4, 32),
-                _ => hhc_tiling::TileSizes::new_2d(4, 4, 32),
-            };
+            // Start from the smallest extents on every axis — the same
+            // point for any rank: [t_T, t_S1, (mid…,)] = 4, inner = 32.
+            let dim = workload.dim();
+            let mut start_coords = vec![4usize; dim.rank()];
+            start_coords.push(32);
+            let start =
+                TileSizes::from_coords(dim, &start_coords).expect("one coordinate per axis");
             let cd = coordinate_descent(device, &params, &size, &cfg, &start);
             let sa = simulated_annealing(device, &params, &size, &cfg, 3, 80, 17);
             rows.push(SolverRow {
@@ -195,7 +194,7 @@ pub fn time_tiling_comparison(lab: &Lab) -> Vec<TimeTilingRow> {
                     ) else {
                         continue;
                     };
-                    if let Ok(r) = simulate(device, &Workload::from_wavefront(&ws)) {
+                    if let Ok(r) = simulate(device, &SimWorkload::from_wavefront(&ws)) {
                         if naive.is_none_or(|(t, _)| r.total_time < t) {
                             naive = Some((r.total_time, r.memory_bound()));
                         }
@@ -206,14 +205,9 @@ pub fn time_tiling_comparison(lab: &Lab) -> Vec<TimeTilingRow> {
 
             // Best HHC schedule: the paper's Within-10 % selection.
             let params = lab.model_params(device, kind);
-            let ctx = StrategyContext {
-                device,
-                params: &params,
-                spec: &spec,
-                size: &size,
-                space: &space,
-                cache: EvalCache::new(),
-            };
+            let workload = Workload::new(device.clone(), kind, size)
+                .expect("benchmark and size dimensionalities agree");
+            let ctx = StrategyContext::new(&workload, &params, &space);
             let st = study(&ctx, false);
             let hhc_time = st
                 .outcomes
@@ -291,16 +285,10 @@ pub fn machine_effect_ablation(lab: &Lab) -> Vec<EffectRow> {
         let measured =
             microbench::measured_params_sampled(&device, kind, lab.scale.citer_samples(), 0x5EED);
         let params = time_model::ModelParams::from_measured(&device, &measured);
-        let spec = kind.spec();
-        let ctx = StrategyContext {
-            device: &device,
-            params: &params,
-            spec: &spec,
-            size: &size,
-            space: &space,
-            cache: EvalCache::new(),
-        };
-        let points = baseline_points(&device, spec.dim, &space);
+        let workload = Workload::new(device.clone(), kind, size)
+            .expect("benchmark and size dimensionalities agree");
+        let ctx = StrategyContext::new(&workload, &params, &space);
+        let points = baseline_points(&device, workload.dim(), &space);
         let evals = evaluate_points(&ctx, &points);
         let all = rmse::pairs(&evals);
         let top = rmse::pairs(&rmse::top_performing(&evals, 0.20));

@@ -2,12 +2,12 @@
 
 use crate::context::Lab;
 use crate::rmse;
-use gpu_sim::DeviceConfig;
+use gpu_sim::{DeviceConfig, Workload};
 use hhc_tiling::TileSizes;
 use serde::{Deserialize, Serialize};
 use stencil_core::{ProblemSize, StencilDim, StencilKind};
 use tile_opt::strategy::{study, DataPoint, Strategy, StrategyContext, Study};
-use tile_opt::{baseline_points, evaluate_points, EvalCache, Evaluated, SpaceConfig};
+use tile_opt::{baseline_points, evaluate_points, Evaluated, SpaceConfig};
 
 /// One (device, benchmark, size) validation experiment — a point set of
 /// the paper's Figure 3 plus the §5.3 RMSE numbers.
@@ -46,17 +46,11 @@ pub fn validate_one_full(
     size: &ProblemSize,
     space: &SpaceConfig,
 ) -> (ValidationResult, Vec<Evaluated>) {
-    let spec = kind.spec();
     let params = lab.model_params(device, kind);
-    let ctx = StrategyContext {
-        device,
-        params: &params,
-        spec: &spec,
-        size,
-        space,
-        cache: EvalCache::new(),
-    };
-    let points = baseline_points(device, spec.dim, space);
+    let workload = Workload::new(device.clone(), kind, *size)
+        .expect("benchmark and size dimensionalities agree");
+    let ctx = StrategyContext::new(&workload, &params, space);
+    let points = baseline_points(device, workload.dim(), space);
     let evals = evaluate_points(&ctx, &points);
     (summarize_validation(device, kind, size, &evals), evals)
 }
@@ -152,11 +146,8 @@ pub fn figure3(lab: &Lab, dims: &[StencilDim]) -> (Vec<ValidationResult>, Vec<Po
     let mut pooled = Vec::new();
     for device in &lab.devices {
         for &dim in dims {
-            let (kinds, sizes): (&[StencilKind], Vec<ProblemSize>) = match dim {
-                StencilDim::D2 => (&StencilKind::BENCH_2D, lab.scale.sizes_2d()),
-                StencilDim::D3 => (&StencilKind::BENCH_3D, lab.scale.sizes_3d()),
-                StencilDim::D1 => (&[StencilKind::Jacobi1D], lab.scale.sizes_1d()),
-            };
+            let kinds = StencilKind::benchmarks_for(dim);
+            let sizes = lab.scale.sizes(dim);
             for &kind in kinds {
                 let mut all = Vec::new();
                 for size in &sizes {
@@ -214,7 +205,7 @@ pub fn figure4(lab: &Lab) -> SurfaceResult {
     for t_t in (2..=48).step_by(2) {
         for t_s2 in (32..=512).step_by(32) {
             let tiles = TileSizes::new_2d(t_t, t_s1, t_s2);
-            let feasible = tile_opt::is_feasible(device, StencilDim::D2, &tiles);
+            let feasible = tile_opt::is_feasible(device, size.dim, &tiles);
             let talg = feasible.then(|| time_model::predict(&params, &size, &tiles).talg);
             let cell = SurfaceCell { t_t, t_s2, talg };
             if let Some(v) = talg {
@@ -259,18 +250,12 @@ pub struct Fig5Result {
 pub fn figure5(lab: &Lab) -> Fig5Result {
     let device = &lab.devices[0]; // GTX 980
     let kind = StencilKind::Gradient2D;
-    let spec = kind.spec();
     let size = lab.scale.fig5_size();
     let params = lab.model_params(device, kind);
     let space = SpaceConfig::default();
-    let ctx = StrategyContext {
-        device,
-        params: &params,
-        spec: &spec,
-        size: &size,
-        space: &space,
-        cache: EvalCache::new(),
-    };
+    let workload = Workload::new(device.clone(), kind, size)
+        .expect("benchmark and size dimensionalities agree");
+    let ctx = StrategyContext::new(&workload, &params, &space);
     let st = study(&ctx, false);
     let baseline = rmse::pairs(&st.baseline);
     let candidates = rmse::pairs(&st.within);
@@ -363,20 +348,14 @@ pub fn figure6_for(
     let mut details = Vec::new();
     for device in &lab.devices {
         for &kind in kinds {
-            let spec = kind.spec();
             let params = lab.model_params(device, kind);
             let mut sums: Vec<(Strategy, f64, usize)> = Vec::new();
             let mut impr_baseline = Vec::new();
             let mut impr_hhc = Vec::new();
             for size in sizes {
-                let ctx = StrategyContext {
-                    device,
-                    params: &params,
-                    spec: &spec,
-                    size,
-                    space: &space,
-                    cache: EvalCache::new(),
-                };
+                let workload = Workload::new(device.clone(), kind, *size)
+                    .expect("benchmark and size dimensionalities agree");
+                let ctx = StrategyContext::new(&workload, &params, &space);
                 let st: Study = study(&ctx, exhaustive);
                 let mut detail = Fig6Detail {
                     device: device.name.clone(),

@@ -19,7 +19,7 @@ use experiments::context::{ExperimentScale, Lab};
 use experiments::figures::Fig6Detail;
 use experiments::output::Results;
 use experiments::{figures, tables, RunManifest};
-use gpu_sim::{DeviceConfig, Workload};
+use gpu_sim::{DeviceConfig, SimWorkload};
 use hhc_tiling::TilingPlan;
 use std::io::Write as _;
 use std::sync::Arc;
@@ -270,7 +270,7 @@ fn export_workload_trace(
     let Ok(plan) = TilingPlan::build(&spec, &p.size, p.point.tiles, p.point.launch) else {
         return 0;
     };
-    let wl = Workload::from_plan(&plan);
+    let wl = SimWorkload::from_plan(&plan);
     let mut offset_us = 0.0f64;
     let mut traced = 0usize;
     for index in 0..wl.kernels.len() {

@@ -5,13 +5,13 @@
 //! artifacts.
 
 use experiments::context::{ExperimentScale, Lab};
-use gpu_sim::{simulate, Workload};
+use gpu_sim::{simulate, SimWorkload};
 use hhc_tiling::{run_tiled_with, ExecOptions, LaunchConfig, TileSizes, TilingPlan};
 use serde::Value;
 use std::sync::{Arc, Mutex, MutexGuard};
 use stencil_core::{init, ProblemSize, StencilKind};
 use tile_opt::strategy::{study, StrategyContext};
-use tile_opt::{EvalCache, SpaceConfig};
+use tile_opt::SpaceConfig;
 
 /// The obs recorder is process-global; tests that install one serialize
 /// on this lock (tests in one integration binary share the process).
@@ -42,7 +42,7 @@ fn sim_counters_match_simreport() {
         LaunchConfig::new_2d(4, 32),
     )
     .expect("plan builds");
-    let wl = Workload::from_plan(&plan);
+    let wl = SimWorkload::from_plan(&plan);
     let (report, snap) = record(|| simulate(&device, &wl).expect("simulates"));
 
     assert_eq!(snap.counter("sim.runs"), 1);
@@ -131,19 +131,13 @@ fn study_counters_match_outcomes() {
     let lab = Lab::new(ExperimentScale::Smoke);
     let device = lab.devices[0].clone();
     let kind = StencilKind::Jacobi2D;
-    let spec = kind.spec();
     let size = lab.scale.sizes_2d()[0];
     let params = lab.model_params(&device, kind);
     let space = SpaceConfig::default();
+    let workload = gpu_sim::Workload::new(device.clone(), kind, size)
+        .expect("benchmark and size dimensionalities agree");
     let (st, snap) = record(|| {
-        let ctx = StrategyContext {
-            device: &device,
-            params: &params,
-            spec: &spec,
-            size: &size,
-            space: &space,
-            cache: EvalCache::new(),
-        };
+        let ctx = StrategyContext::new(&workload, &params, &space);
         study(&ctx, false)
     });
 

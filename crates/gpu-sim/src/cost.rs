@@ -31,7 +31,7 @@
 //!   contiguous runs waste bandwidth.
 
 use crate::device::DeviceConfig;
-use crate::workload::Workload;
+use crate::workload::SimWorkload;
 use hhc_tiling::plan::{AxisClass, BlockClass};
 
 /// Which pipe a segment occupies.
@@ -105,7 +105,7 @@ fn axis_active(axis: &[AxisClass], r: usize) -> u64 {
 
 /// Points each thread covers in the widest row of the workload — the
 /// unroll depth of the generated body.
-pub fn points_per_thread(wl: &Workload) -> u64 {
+pub fn points_per_thread(wl: &SimWorkload) -> u64 {
     let [n1, n2, n3] = wl.threads_dims;
     wl.kernels
         .iter()
@@ -136,7 +136,7 @@ pub fn points_per_thread(wl: &Workload) -> u64 {
 
 /// Register demand per thread of the fully-unrolled tile body: the base
 /// estimate plus live values per unrolled point.
-pub fn unrolled_regs_per_thread(wl: &Workload) -> u32 {
+pub fn unrolled_regs_per_thread(wl: &SimWorkload) -> u32 {
     let unroll = (4 * points_per_thread(wl)).min(4096) as u32;
     wl.regs_per_thread.saturating_add(unroll)
 }
@@ -144,7 +144,7 @@ pub fn unrolled_regs_per_thread(wl: &Workload) -> u32 {
 /// Compute slowdown factor from register spilling: 1.0 when the demand
 /// fits the compiler's allocation ceiling, growing linearly with the
 /// spilled fraction beyond it.
-pub fn spill_factor(device: &DeviceConfig, wl: &Workload) -> f64 {
+pub fn spill_factor(device: &DeviceConfig, wl: &SimWorkload) -> f64 {
     let demand = unrolled_regs_per_thread(wl) as f64;
     let cap = device.reg_alloc_target as f64;
     if demand <= cap {
@@ -177,7 +177,7 @@ pub fn coalesced_words(device: &DeviceConfig, words: u64, run: usize) -> u64 {
 
 /// Total transfer time for `words` words spread over `batches` sub-tile
 /// transfers (each batch pays the non-hidden latency and a barrier).
-pub fn transfer_time(device: &DeviceConfig, wl: &Workload, words: u64, batches: u64) -> f64 {
+pub fn transfer_time(device: &DeviceConfig, wl: &SimWorkload, words: u64, batches: u64) -> f64 {
     if words == 0 {
         return 0.0;
     }
@@ -188,7 +188,7 @@ pub fn transfer_time(device: &DeviceConfig, wl: &Workload, words: u64, batches: 
 /// Total compute time of one block of `class` (all its sub-tiles):
 /// per row and sub-tile, thread rounds × issue groups × per-iteration
 /// cost × penalty factors, plus a barrier per active (sub-tile, row).
-pub fn block_compute_time(device: &DeviceConfig, wl: &Workload, class: &BlockClass) -> f64 {
+pub fn block_compute_time(device: &DeviceConfig, wl: &SimWorkload, class: &BlockClass) -> f64 {
     let citer = device.iter_cost(wl.flops_per_iter, wl.shared_accesses_per_iter, wl.rank);
     let diverge = divergence_factor(device, wl.inner_threads);
     let spill = spill_factor(device, wl);
@@ -215,7 +215,7 @@ pub fn block_compute_time(device: &DeviceConfig, wl: &Workload, class: &BlockCla
 /// `min(sub-tiles, MAX_CHUNKS)` uniform `load → compute → store` triples,
 /// preserving both the totals and the alternation the two-pipe engine
 /// interleaves across co-resident blocks.
-pub fn lower_block(device: &DeviceConfig, wl: &Workload, class: &BlockClass) -> BlockSegments {
+pub fn lower_block(device: &DeviceConfig, wl: &SimWorkload, class: &BlockClass) -> BlockSegments {
     let n_sub = class.subtiles_per_block();
     let load = transfer_time(device, wl, class.load_words_per_block(), n_sub.max(1));
     let store = transfer_time(device, wl, class.store_words_per_block(), n_sub.max(1));
@@ -253,10 +253,10 @@ pub fn lower_block(device: &DeviceConfig, wl: &Workload, class: &BlockClass) -> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::workload::Workload;
+    use crate::workload::SimWorkload;
 
-    fn wl_with(rows: Vec<[u64; 3]>, threads_dims: [usize; 3], rank: usize) -> Workload {
-        let mut wl = Workload::uniform(
+    fn wl_with(rows: Vec<[u64; 3]>, threads_dims: [usize; 3], rank: usize) -> SimWorkload {
+        let mut wl = SimWorkload::uniform(
             1,
             1,
             1,
@@ -271,7 +271,7 @@ mod tests {
         wl
     }
 
-    fn only_class(wl: &Workload) -> BlockClass {
+    fn only_class(wl: &SimWorkload) -> BlockClass {
         wl.kernels[0].classes[0].clone()
     }
 
@@ -373,7 +373,7 @@ mod tests {
     #[test]
     fn lower_block_preserves_totals() {
         let d = DeviceConfig::gtx980();
-        let mut wl = Workload::uniform(1, 1, 3, 128, 128, vec![[256, 1, 1]], 128, 32);
+        let mut wl = SimWorkload::uniform(1, 1, 3, 128, 128, vec![[256, 1, 1]], 128, 32);
         wl.threads_dims = [128, 1, 1];
         let class = only_class(&wl);
         let b = lower_block(&d, &wl, &class);
@@ -387,7 +387,7 @@ mod tests {
     #[test]
     fn lower_block_bounds_chunks() {
         let d = DeviceConfig::gtx980();
-        let mut wl = Workload::uniform(1, 1, 100_000, 64, 64, vec![[128, 1, 1]], 128, 32);
+        let mut wl = SimWorkload::uniform(1, 1, 100_000, 64, 64, vec![[128, 1, 1]], 128, 32);
         wl.threads_dims = [128, 1, 1];
         let class = only_class(&wl);
         let b = lower_block(&d, &wl, &class);

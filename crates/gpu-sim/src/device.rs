@@ -142,7 +142,8 @@ impl DeviceConfig {
 
     /// Look up a built-in device preset by name. Matching ignores case,
     /// spaces, and dashes, so `"gtx980"`, `"GTX-980"`, and `"GTX 980"`
-    /// all resolve to the same device; `None` for unknown names.
+    /// all resolve to the same device, and the bare shorthands `"980"`
+    /// and `"titan"` are accepted; `None` for unknown names.
     pub fn preset(name: &str) -> Option<DeviceConfig> {
         let canon = |s: &str| {
             s.chars()
@@ -150,7 +151,11 @@ impl DeviceConfig {
                 .map(|c| c.to_ascii_lowercase())
                 .collect::<String>()
         };
-        let wanted = canon(name);
+        let wanted = match canon(name).as_str() {
+            "980" => "gtx980".to_string(),
+            "titan" => "titanx".to_string(),
+            w => w.to_string(),
+        };
         Self::paper_devices()
             .into_iter()
             .find(|d| canon(&d.name) == wanted)
@@ -230,6 +235,12 @@ mod tests {
             );
         }
         assert_eq!(DeviceConfig::preset("titan x").map(|d| d.n_sm), Some(24));
+        // Bare CLI shorthands resolve too.
+        assert_eq!(
+            DeviceConfig::preset("980").map(|d| d.name),
+            Some("GTX 980".into())
+        );
+        assert_eq!(DeviceConfig::preset("Titan").map(|d| d.n_sm), Some(24));
         assert!(DeviceConfig::preset("H100").is_none());
         // Every advertised preset name resolves to itself.
         for name in DeviceConfig::preset_names() {

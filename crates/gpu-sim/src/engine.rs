@@ -28,7 +28,7 @@ use crate::cost::{self, BlockSegments, Pipe};
 use crate::device::DeviceConfig;
 use crate::occupancy::{occupancy, LaunchError};
 use crate::report::SimReport;
-use crate::workload::Workload;
+use crate::workload::SimWorkload;
 use hhc_tiling::plan::BlockClass;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -36,7 +36,7 @@ use std::sync::Arc;
 /// Simulate `wl` on `device`, returning the machine's measured time.
 ///
 /// ```
-/// use gpu_sim::{simulate, DeviceConfig, Workload};
+/// use gpu_sim::{simulate, DeviceConfig, SimWorkload};
 /// use hhc_tiling::{LaunchConfig, TileSizes, TilingPlan};
 /// use stencil_core::{ProblemSize, StencilKind};
 ///
@@ -44,11 +44,11 @@ use std::sync::Arc;
 /// let size = ProblemSize::new_2d(1024, 1024, 128);
 /// let plan = TilingPlan::build(&spec, &size, TileSizes::new_2d(8, 8, 128),
 ///                              LaunchConfig::new_2d(1, 128)).unwrap();
-/// let report = simulate(&DeviceConfig::gtx980(), &Workload::from_plan(&plan)).unwrap();
+/// let report = simulate(&DeviceConfig::gtx980(), &SimWorkload::from_plan(&plan)).unwrap();
 /// assert!(report.total_time > 0.0);
 /// assert_eq!(report.kernel_launches, plan.kernel_count());
 /// ```
-pub fn simulate(device: &DeviceConfig, wl: &Workload) -> Result<SimReport, LaunchError> {
+pub fn simulate(device: &DeviceConfig, wl: &SimWorkload) -> Result<SimReport, LaunchError> {
     simulate_core(device, wl, false).map(|(report, _)| report)
 }
 
@@ -56,7 +56,7 @@ pub fn simulate(device: &DeviceConfig, wl: &Workload) -> Result<SimReport, Launc
 /// inspection, examples, and tests; [`simulate`] is the cheap path.
 pub fn simulate_detailed(
     device: &DeviceConfig,
-    wl: &Workload,
+    wl: &SimWorkload,
 ) -> Result<(SimReport, Vec<KernelBreakdown>), LaunchError> {
     simulate_core(device, wl, true)
 }
@@ -67,7 +67,7 @@ pub fn simulate_detailed(
 /// so the two can never drift.
 fn simulate_core(
     device: &DeviceConfig,
-    wl: &Workload,
+    wl: &SimWorkload,
     detailed: bool,
 ) -> Result<(SimReport, Vec<KernelBreakdown>), LaunchError> {
     let occ = occupancy(device, wl)?;
@@ -182,7 +182,7 @@ pub struct KernelBreakdown {
 /// in declaration order so both paths fold identically.
 fn lower_classes(
     device: &DeviceConfig,
-    wl: &Workload,
+    wl: &SimWorkload,
     classes: &[BlockClass],
 ) -> (Vec<(u64, BlockSegments)>, u64, f64, f64) {
     let lowered: Vec<(u64, BlockSegments)> = classes
@@ -204,7 +204,7 @@ fn lower_classes(
 /// `sched_properties.rs`).
 pub fn kernel_time(
     device: &DeviceConfig,
-    wl: &Workload,
+    wl: &SimWorkload,
     classes: &[BlockClass],
     k: usize,
 ) -> KernelStats {
@@ -254,7 +254,7 @@ pub fn kernel_time(
 /// tests to pin the steady-state schedule bit-for-bit.
 pub fn kernel_time_dealing(
     device: &DeviceConfig,
-    wl: &Workload,
+    wl: &SimWorkload,
     classes: &[BlockClass],
     k: usize,
 ) -> KernelStats {
@@ -633,7 +633,7 @@ fn wave_cost<'a>(blocks: impl Iterator<Item = &'a BlockSegments>) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::workload::Workload;
+    use crate::workload::SimWorkload;
 
     fn tiny_device(n_sm: usize) -> DeviceConfig {
         // Allow a block to own the whole shared memory so tests can
@@ -645,9 +645,9 @@ mod tests {
         d
     }
 
-    /// Workload of one kernel with `blocks` identical blocks.
-    fn wl_blocks(blocks: u64, subtiles: u64, mtile: u64) -> Workload {
-        let mut wl = Workload::uniform(
+    /// SimWorkload of one kernel with `blocks` identical blocks.
+    fn wl_blocks(blocks: u64, subtiles: u64, mtile: u64) -> SimWorkload {
+        let mut wl = SimWorkload::uniform(
             1,
             blocks,
             subtiles,
@@ -720,8 +720,8 @@ mod tests {
     #[test]
     fn launch_overhead_charged_per_kernel() {
         let d = tiny_device(2);
-        let one = Workload::uniform(1, 1, 1, 64, 64, vec![[128, 1, 1]], 128, 32);
-        let ten = Workload::uniform(10, 1, 1, 64, 64, vec![[128, 1, 1]], 128, 32);
+        let one = SimWorkload::uniform(1, 1, 1, 64, 64, vec![[128, 1, 1]], 128, 32);
+        let ten = SimWorkload::uniform(10, 1, 1, 64, 64, vec![[128, 1, 1]], 128, 32);
         let r1 = simulate(&d, &one).unwrap();
         let r10 = simulate(&d, &ten).unwrap();
         assert!((r10.total_time - 10.0 * r1.total_time).abs() < 1e-12);
@@ -790,7 +790,7 @@ mod tests {
             axis3: BlockClass::unit_axis(1),
         };
         let mk = |classes: Vec<BlockClass>| {
-            let mut wl = Workload::uniform(1, 0, 0, 0, 0, vec![], 128, 32);
+            let mut wl = SimWorkload::uniform(1, 0, 0, 0, 0, vec![], 128, 32);
             wl.kernels = vec![WavefrontPlan {
                 classes: Arc::new(classes),
             }];
@@ -811,7 +811,7 @@ mod tests {
         let d = tiny_device(1);
         d.n_sm.checked_mul(1).unwrap();
         // k large but all work is memory: co-residency cannot help.
-        let wl = Workload::uniform(1, 4, 4, 4096, 4096, vec![], 128, 32);
+        let wl = SimWorkload::uniform(1, 4, 4, 4096, 4096, vec![], 128, 32);
         let r = simulate(&d, &wl).unwrap();
         assert!(r.occupancy.k > 1);
         let t = r.total_time - d.t_launch;
@@ -825,7 +825,7 @@ mod tests {
     #[test]
     fn empty_kernel_costs_launch_only() {
         let d = DeviceConfig::gtx980();
-        let wl = Workload::uniform(1, 0, 0, 0, 0, vec![], 128, 32);
+        let wl = SimWorkload::uniform(1, 0, 0, 0, 0, vec![], 128, 32);
         let r = simulate(&d, &wl).unwrap();
         assert!((r.total_time - d.t_launch).abs() < 1e-18);
     }
@@ -859,7 +859,7 @@ mod tests {
             let mut d = DeviceConfig::gtx980();
             d.n_sm = n_sm;
             for classes in &cases {
-                let mut wl = Workload::uniform(1, 0, 0, 0, 0, vec![], 128, 32);
+                let mut wl = SimWorkload::uniform(1, 0, 0, 0, 0, vec![], 128, 32);
                 wl.kernels = vec![WavefrontPlan {
                     classes: Arc::new(classes.clone()),
                 }];

@@ -52,4 +52,11 @@ pub use engine::{
 pub use occupancy::{occupancy, LaunchError, Occupancy, OccupancyLimit};
 pub use report::SimReport;
 pub use trace::{trace_kernel, KernelTrace, TraceEvent, TracePipe};
-pub use workload::Workload;
+pub use workload::SimWorkload;
+
+/// The workspace-wide workload descriptor, concretized with this crate's
+/// [`DeviceConfig`]. `stencil-core` defines the generic shape; every
+/// crate above the simulator passes this alias around instead of loose
+/// `(device, stencil, size, tiles, launch)` tuples. Distinct from
+/// [`SimWorkload`], the simulator's lowered input IR.
+pub type Workload = stencil_core::Workload<DeviceConfig>;

@@ -14,7 +14,7 @@
 
 use crate::cost::unrolled_regs_per_thread;
 use crate::device::DeviceConfig;
-use crate::workload::Workload;
+use crate::workload::SimWorkload;
 use serde::{Deserialize, Serialize};
 
 /// Why a launch is impossible on the device.
@@ -90,7 +90,7 @@ pub struct Occupancy {
 }
 
 /// Compute the occupancy of `wl` on `device`, or why it cannot launch.
-pub fn occupancy(device: &DeviceConfig, wl: &Workload) -> Result<Occupancy, LaunchError> {
+pub fn occupancy(device: &DeviceConfig, wl: &SimWorkload) -> Result<Occupancy, LaunchError> {
     if wl.threads > device.max_threads_per_block {
         return Err(LaunchError::TooManyThreads {
             needed: wl.threads,
@@ -148,8 +148,9 @@ pub fn occupancy(device: &DeviceConfig, wl: &Workload) -> Result<Occupancy, Laun
 mod tests {
     use super::*;
 
-    fn wl(threads: usize, mtile: u64) -> Workload {
-        let mut w = Workload::uniform(1, 16, 1, 64, 64, vec![[threads as u64, 1, 1]], threads, 32);
+    fn wl(threads: usize, mtile: u64) -> SimWorkload {
+        let mut w =
+            SimWorkload::uniform(1, 16, 1, 64, 64, vec![[threads as u64, 1, 1]], threads, 32);
         w.mtile_words = mtile;
         w
     }

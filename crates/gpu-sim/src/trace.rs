@@ -11,7 +11,7 @@
 use crate::cost::{self, Pipe};
 use crate::device::DeviceConfig;
 use crate::occupancy::{occupancy, LaunchError};
-use crate::workload::Workload;
+use crate::workload::SimWorkload;
 use hhc_tiling::plan::BlockClass;
 use serde::{Deserialize, Serialize};
 
@@ -205,7 +205,7 @@ impl KernelTrace {
 /// out of range.
 pub fn trace_kernel(
     device: &DeviceConfig,
-    wl: &Workload,
+    wl: &SimWorkload,
     index: usize,
 ) -> Result<KernelTrace, LaunchError> {
     let occ = occupancy(device, wl)?;
@@ -318,8 +318,8 @@ mod tests {
     use super::*;
     use crate::engine::simulate_detailed;
 
-    fn workload() -> Workload {
-        let mut wl = Workload::uniform(
+    fn workload() -> SimWorkload {
+        let mut wl = SimWorkload::uniform(
             2,
             37,
             4,
@@ -453,7 +453,7 @@ mod tests {
     fn summary_counts_empty_sms_as_idle_lanes() {
         let d = DeviceConfig::gtx980();
         // 1 block on 16 SMs: 15 SMs are fully idle.
-        let mut wl = Workload::uniform(1, 1, 4, 2048, 2048, vec![[1024, 1, 1]], 128, 32);
+        let mut wl = SimWorkload::uniform(1, 1, 4, 2048, 2048, vec![[1024, 1, 1]], 128, 32);
         wl.mtile_words = 8192;
         let trace = trace_kernel(&d, &wl, 0).unwrap();
         let s = trace.summary(d.n_sm);

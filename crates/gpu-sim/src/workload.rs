@@ -1,6 +1,6 @@
 //! The simulator's input IR: a sequence of kernels made of block classes.
 //!
-//! [`Workload`] is a thin wrapper over the `hhc-tiling` plan structures
+//! [`SimWorkload`] is a thin wrapper over the `hhc-tiling` plan structures
 //! plus the launch-level metadata the cost model needs. Keeping it
 //! separate from [`hhc_tiling::TilingPlan`] lets the `microbench` crate
 //! synthesize degenerate workloads (pure-copy kernels, compute-only
@@ -14,7 +14,7 @@ use std::sync::Arc;
 /// A simulatable workload: kernels, launch geometry, and loop-body
 /// characteristics.
 #[derive(Debug, Clone)]
-pub struct Workload {
+pub struct SimWorkload {
     /// One entry per kernel launch, in order.
     pub kernels: Vec<WavefrontPlan>,
     /// Threads per block (`∏ n_thr,i`).
@@ -42,11 +42,11 @@ pub struct Workload {
     pub contiguous_run: usize,
 }
 
-impl Workload {
+impl SimWorkload {
     /// Lower a tiling plan to a workload.
-    pub fn from_plan(plan: &TilingPlan) -> Workload {
+    pub fn from_plan(plan: &TilingPlan) -> SimWorkload {
         let rank = plan.spec.dim.rank();
-        Workload {
+        SimWorkload {
             kernels: plan.wavefronts.clone(),
             threads: plan.launch.total_threads(),
             threads_dims: plan.launch.threads,
@@ -62,9 +62,9 @@ impl Workload {
 
     /// Lower a wavefront-parallel (non-time-tiled) schedule to a
     /// workload — the comparator of `hhc_tiling::wavefront`.
-    pub fn from_wavefront(ws: &hhc_tiling::WavefrontSchedule) -> Workload {
+    pub fn from_wavefront(ws: &hhc_tiling::WavefrontSchedule) -> SimWorkload {
         let rank = ws.spec.dim.rank();
-        Workload {
+        SimWorkload {
             kernels: ws.kernels.clone(),
             threads: ws.launch.total_threads(),
             threads_dims: ws.launch.threads,
@@ -89,8 +89,8 @@ impl Workload {
         flops_per_iter: u64,
         shared_accesses_per_iter: u64,
         contiguous_run: usize,
-    ) -> Workload {
-        Workload {
+    ) -> SimWorkload {
+        SimWorkload {
             kernels: kernels
                 .into_iter()
                 .map(|classes| WavefrontPlan {
@@ -127,7 +127,7 @@ impl Workload {
         rows: Vec<[u64; 3]>,
         threads: usize,
         contiguous_run: usize,
-    ) -> Workload {
+    ) -> SimWorkload {
         let nrows = rows.len().max(1);
         let s1_widths: Vec<u64> = if rows.is_empty() {
             vec![0]
@@ -163,7 +163,7 @@ impl Workload {
             }],
         };
         let kernels = (0..n_kernels).map(|_| vec![class.clone()]).collect();
-        Workload::synthetic(kernels, threads, threads, 1, 256, 1, 2, contiguous_run)
+        SimWorkload::synthetic(kernels, threads, threads, 1, 256, 1, 2, contiguous_run)
     }
 
     /// Total iterations across all kernels.
@@ -189,7 +189,7 @@ mod tests {
             LaunchConfig::new_2d(2, 32),
         )
         .unwrap();
-        let wl = Workload::from_plan(&plan);
+        let wl = SimWorkload::from_plan(&plan);
         assert_eq!(wl.threads, 64);
         assert_eq!(wl.inner_threads, 32);
         assert_eq!(wl.rank, 2);
@@ -201,7 +201,7 @@ mod tests {
 
     #[test]
     fn uniform_workload_counts() {
-        let wl = Workload::uniform(3, 5, 2, 100, 50, vec![[64, 1, 1], [64, 1, 1]], 64, 64);
+        let wl = SimWorkload::uniform(3, 5, 2, 100, 50, vec![[64, 1, 1], [64, 1, 1]], 64, 64);
         assert_eq!(wl.kernels.len(), 3);
         assert_eq!(wl.total_iterations(), 3 * 5 * 2 * 128);
         assert_eq!(wl.threads_dims, [64, 1, 1]);

@@ -1,7 +1,7 @@
 //! Property tests over the simulated machine: monotonicity, conservation,
 //! and determinism across randomized workloads.
 
-use gpu_sim::{occupancy, simulate, DeviceConfig, Workload};
+use gpu_sim::{occupancy, simulate, DeviceConfig, SimWorkload};
 use proptest::prelude::*;
 
 fn wl(
@@ -12,8 +12,8 @@ fn wl(
     rows: u64,
     iters: u64,
     threads: usize,
-) -> Workload {
-    Workload::uniform(
+) -> SimWorkload {
+    SimWorkload::uniform(
         kernels,
         blocks,
         subtiles,

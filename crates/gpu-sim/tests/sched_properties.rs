@@ -3,7 +3,7 @@
 //! times, wave counts, and every per-SM finish time — across randomized
 //! class vectors, occupancies, and SM counts.
 
-use gpu_sim::{kernel_time, kernel_time_dealing, DeviceConfig, Workload};
+use gpu_sim::{kernel_time, kernel_time_dealing, DeviceConfig, SimWorkload};
 use hhc_tiling::plan::{BlockClass, WavefrontPlan};
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -21,8 +21,8 @@ fn class_strategy() -> impl Strategy<Value = BlockClass> {
     })
 }
 
-fn wl_of(classes: &[BlockClass]) -> Workload {
-    let mut wl = Workload::uniform(1, 0, 0, 0, 0, vec![], 128, 32);
+fn wl_of(classes: &[BlockClass]) -> SimWorkload {
+    let mut wl = SimWorkload::uniform(1, 0, 0, 0, 0, vec![], 128, 32);
     wl.kernels = vec![WavefrontPlan {
         classes: Arc::new(classes.to_vec()),
     }];

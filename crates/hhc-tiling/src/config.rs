@@ -1,228 +1,6 @@
-//! Tile-size and launch-configuration parameters — the HHC compiler's
-//! inputs that the paper's model selects (Table 1, "Elementary Software"
-//! parameters).
+//! Tile-size and launch-configuration parameters — re-exported from
+//! `stencil-core`, which owns these types (and the per-dimension
+//! defaults) so the whole pipeline shares one definition. Kept as a
+//! module so existing `hhc_tiling::config::*` paths keep working.
 
-use serde::{Deserialize, Serialize};
-use stencil_core::StencilDim;
-
-/// Tile-size parameters `t_T`, `t_{S1}`, `t_{S2}`, `t_{S3}`.
-///
-/// `t_T` must be even ("the HHC compiler only supports this case",
-/// Section 4.1); `t_{S2}` is normally a multiple of 32 so warps are full
-/// (Section 6.1's constraint), though this type does not force it —
-/// the feasibility check in `tile-opt` does, and the simulator charges
-/// divergence when it is violated.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub struct TileSizes {
-    /// Tile extent along the time dimension (even, ≥ 2).
-    pub t_t: usize,
-    /// Tile extents along the space dimensions; unused trailing entries
-    /// are 1.
-    pub t_s: [usize; 3],
-}
-
-impl TileSizes {
-    /// 1D tile sizes.
-    pub fn new_1d(t_t: usize, t_s1: usize) -> Self {
-        TileSizes {
-            t_t,
-            t_s: [t_s1, 1, 1],
-        }
-    }
-
-    /// 2D tile sizes.
-    pub fn new_2d(t_t: usize, t_s1: usize, t_s2: usize) -> Self {
-        TileSizes {
-            t_t,
-            t_s: [t_s1, t_s2, 1],
-        }
-    }
-
-    /// 3D tile sizes.
-    pub fn new_3d(t_t: usize, t_s1: usize, t_s2: usize, t_s3: usize) -> Self {
-        TileSizes {
-            t_t,
-            t_s: [t_s1, t_s2, t_s3],
-        }
-    }
-
-    /// Validate basic well-formedness for a stencil of dimension `dim`:
-    /// positive extents, even `t_t`, and extent 1 in unused dimensions.
-    pub fn validate(&self, dim: StencilDim) -> Result<(), String> {
-        if self.t_t < 2 {
-            return Err(format!("t_t must be >= 2, got {}", self.t_t));
-        }
-        if !self.t_t.is_multiple_of(2) {
-            return Err(format!(
-                "t_t must be even (HHC requirement), got {}",
-                self.t_t
-            ));
-        }
-        for d in 0..dim.rank() {
-            if self.t_s[d] == 0 {
-                return Err(format!("t_s{} must be positive", d + 1));
-            }
-        }
-        for d in dim.rank()..3 {
-            if self.t_s[d] != 1 {
-                return Err(format!(
-                    "t_s{} must be 1 for a {}D stencil, got {}",
-                    d + 1,
-                    dim.rank(),
-                    self.t_s[d]
-                ));
-            }
-        }
-        Ok(())
-    }
-
-    /// Half the time tile size, `h = t_T / 2` — the slope extent of the
-    /// hexagon's oblique sides.
-    #[inline]
-    pub fn half_height(&self) -> usize {
-        self.t_t / 2
-    }
-
-    /// Short identifier used in result files, e.g. `tT8_tS32x64`.
-    pub fn label(&self, dim: StencilDim) -> String {
-        let mut s = format!("tT{}_tS{}", self.t_t, self.t_s[0]);
-        for d in 1..dim.rank() {
-            s.push_str(&format!("x{}", self.t_s[d]));
-        }
-        s
-    }
-}
-
-/// Thread-block launch configuration: the `n_thr,i` parameters of the
-/// paper (number of threads per block in each dimension/loop).
-///
-/// The innermost (last used) dimension is the coalesced one; its extent
-/// determines warp fill. The paper's model deliberately ignores this
-/// parameter ("the threads-per-block parameter(s) have a significant
-/// impact on performance, and this is also hard to model", Section 7) —
-/// the simulator does not.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub struct LaunchConfig {
-    /// Threads per block along each space dimension of the tile; unused
-    /// trailing entries are 1.
-    pub threads: [usize; 3],
-}
-
-impl LaunchConfig {
-    /// A 1D launch of `n` threads.
-    pub fn new_1d(n: usize) -> Self {
-        LaunchConfig { threads: [n, 1, 1] }
-    }
-
-    /// A 2D launch: `n1` blocks of threads along `s1`, `n2` along `s2`.
-    pub fn new_2d(n1: usize, n2: usize) -> Self {
-        LaunchConfig {
-            threads: [n1, n2, 1],
-        }
-    }
-
-    /// A 3D launch.
-    pub fn new_3d(n1: usize, n2: usize, n3: usize) -> Self {
-        LaunchConfig {
-            threads: [n1, n2, n3],
-        }
-    }
-
-    /// Total threads in the block, `∏ n_thr,i`.
-    #[inline]
-    pub fn total_threads(&self) -> usize {
-        self.threads.iter().product()
-    }
-
-    /// Extent of the innermost (contiguous/coalesced) thread dimension
-    /// for a stencil of rank `rank`.
-    #[inline]
-    pub fn innermost(&self, rank: usize) -> usize {
-        self.threads[rank - 1]
-    }
-
-    /// Validate: positive extents, unused dimensions 1, and a total that
-    /// does not exceed the CUDA-style 1024-thread block limit.
-    pub fn validate(&self, dim: StencilDim) -> Result<(), String> {
-        for d in 0..dim.rank() {
-            if self.threads[d] == 0 {
-                return Err(format!("threads[{d}] must be positive"));
-            }
-        }
-        for d in dim.rank()..3 {
-            if self.threads[d] != 1 {
-                return Err(format!(
-                    "threads[{d}] must be 1 for a {}D stencil",
-                    dim.rank()
-                ));
-            }
-        }
-        if self.total_threads() > 1024 {
-            return Err(format!(
-                "block of {} threads exceeds 1024",
-                self.total_threads()
-            ));
-        }
-        Ok(())
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn odd_tt_rejected() {
-        assert!(TileSizes::new_1d(3, 8).validate(StencilDim::D1).is_err());
-        assert!(TileSizes::new_1d(4, 8).validate(StencilDim::D1).is_ok());
-    }
-
-    #[test]
-    fn unused_dims_must_be_one() {
-        let t = TileSizes {
-            t_t: 4,
-            t_s: [8, 2, 1],
-        };
-        assert!(t.validate(StencilDim::D1).is_err());
-        assert!(t.validate(StencilDim::D2).is_ok());
-    }
-
-    #[test]
-    fn zero_extent_rejected() {
-        assert!(TileSizes::new_2d(4, 0, 32)
-            .validate(StencilDim::D2)
-            .is_err());
-    }
-
-    #[test]
-    fn half_height() {
-        assert_eq!(TileSizes::new_1d(6, 4).half_height(), 3);
-    }
-
-    #[test]
-    fn launch_total_and_innermost() {
-        let l = LaunchConfig::new_2d(2, 64);
-        assert_eq!(l.total_threads(), 128);
-        assert_eq!(l.innermost(2), 64);
-        assert_eq!(LaunchConfig::new_1d(96).innermost(1), 96);
-    }
-
-    #[test]
-    fn launch_limit_1024() {
-        assert!(LaunchConfig::new_2d(2, 512)
-            .validate(StencilDim::D2)
-            .is_ok());
-        assert!(LaunchConfig::new_2d(4, 512)
-            .validate(StencilDim::D2)
-            .is_err());
-    }
-
-    #[test]
-    fn labels() {
-        assert_eq!(
-            TileSizes::new_2d(8, 16, 32).label(StencilDim::D2),
-            "tT8_tS16x32"
-        );
-        assert_eq!(TileSizes::new_1d(8, 16).label(StencilDim::D1), "tT8_tS16");
-    }
-}
+pub use stencil_core::tiling::{LaunchConfig, TileSizes};

@@ -22,7 +22,7 @@
 //! keeps the model honest: any disagreement between model and machine is
 //! then a property of the *model's structure*, exactly as on hardware.
 
-use gpu_sim::{simulate, DeviceConfig, Workload};
+use gpu_sim::{simulate, DeviceConfig, SimWorkload};
 use hhc_tiling::plan::{BlockClass, TilingPlan};
 use hhc_tiling::{LaunchConfig, TileSizes};
 use rand::rngs::StdRng;
@@ -66,7 +66,7 @@ pub fn measure_memory_params(device: &DeviceConfig) -> MemoryParams {
 fn measure_l_word(device: &DeviceConfig) -> f64 {
     let time_for = |words: u64| -> f64 {
         // One block per SM, many sub-tiles, loads only, fully coalesced.
-        let wl = Workload::uniform(1, device.n_sm as u64, 64, words, 0, vec![], 128, 32);
+        let wl = SimWorkload::uniform(1, device.n_sm as u64, 64, words, 0, vec![], 128, 32);
         simulate(device, &wl)
             .expect("copy kernel launches")
             .total_time
@@ -84,7 +84,7 @@ fn measure_tau_sync(device: &DeviceConfig) -> f64 {
     let rows = 4096usize;
     let threads = 128u64;
     let time_for = |rows_v: Vec<[u64; 3]>| -> f64 {
-        let wl = Workload::uniform(1, 1, 1, 0, 0, rows_v, threads as usize, 32);
+        let wl = SimWorkload::uniform(1, 1, 1, 0, 0, rows_v, threads as usize, 32);
         simulate(device, &wl)
             .expect("sync ladder launches")
             .total_time
@@ -98,7 +98,7 @@ fn measure_tau_sync(device: &DeviceConfig) -> f64 {
 /// `T_sync`: a train of empty kernel launches.
 fn measure_t_sync(device: &DeviceConfig) -> f64 {
     let n = 256usize;
-    let wl = Workload::uniform(n, 0, 0, 0, 0, vec![], 128, 32);
+    let wl = SimWorkload::uniform(n, 0, 0, 0, 0, vec![], 128, 32);
     simulate(device, &wl)
         .expect("empty kernels launch")
         .total_time
@@ -122,11 +122,7 @@ pub fn measure_citer(device: &DeviceConfig, kind: StencilKind, samples: usize, s
         // the vector width overall) so the measurement reflects the
         // steady per-iteration cost rather than lane under-fill — the
         // paper's micro-kernels are tuned the same way.
-        let launch = match spec.dim {
-            StencilDim::D1 => LaunchConfig::new_1d(128),
-            StencilDim::D2 => LaunchConfig::new_2d(1, tiles.t_s[1].min(512)),
-            StencilDim::D3 => LaunchConfig::new_3d(1, tiles.t_s[1].min(8), tiles.t_s[2].min(128)),
-        };
+        let launch = LaunchConfig::microbench(spec.dim, &tiles);
         let Ok(plan) = TilingPlan::build(&spec, &size, tiles, launch) else {
             continue;
         };
@@ -137,7 +133,7 @@ pub fn measure_citer(device: &DeviceConfig, kind: StencilKind, samples: usize, s
         if iters == 0 {
             continue;
         }
-        let mut wl = Workload::from_plan(&plan);
+        let mut wl = SimWorkload::from_plan(&plan);
         wl.kernels = vec![hhc_tiling::plan::WavefrontPlan {
             classes: std::sync::Arc::new(vec![block]),
         }];
@@ -152,42 +148,99 @@ pub fn measure_citer(device: &DeviceConfig, kind: StencilKind, samples: usize, s
     acc / samples as f64
 }
 
+/// One space-tile axis of the `Citer` sampling distribution: either a
+/// scaled random draw (`scale * gen_range(lo..=hi)`) or a fixed extent
+/// (no RNG draw — fixed axes must not perturb the draw sequence).
+enum CiterAxis {
+    Draw { lo: usize, hi: usize, scale: usize },
+    Fixed(usize),
+}
+
+/// The per-rank sampling distribution of the `Citer` benchmark, indexed
+/// by `rank - 1`. The draw order is: `t_T` (in the caller), problem
+/// extent, time steps, then each space-tile axis in order — identical to
+/// the historical per-dimension arms, so seeded measurements are
+/// bit-stable.
+struct CiterSpace {
+    /// Cubic problem extent range.
+    s: (usize, usize),
+    /// Time-step range.
+    t: (usize, usize),
+    /// Cap on the drawn `t_T` (hexagon cross-sections shallow enough
+    /// that the unrolled body does not spill; the paper's compute-only
+    /// micro-kernels are similarly well-behaved).
+    t_t_cap: usize,
+    /// Space-tile axes `[t_S1, …]`; the innermost draw is scaled to a
+    /// multiple of the vector width so the aligned launch fills the
+    /// lanes exactly.
+    axes: &'static [CiterAxis],
+}
+
+static CITER_SPACES: [CiterSpace; 3] = [
+    CiterSpace {
+        s: (512, 4096),
+        t: (16, 64),
+        t_t_cap: usize::MAX,
+        axes: &[CiterAxis::Draw {
+            lo: 256,
+            hi: 1024,
+            scale: 1,
+        }],
+    },
+    CiterSpace {
+        s: (512, 1024),
+        t: (8, 32),
+        t_t_cap: 8,
+        axes: &[
+            CiterAxis::Draw {
+                lo: 2,
+                hi: 16,
+                scale: 1,
+            },
+            CiterAxis::Draw {
+                lo: 1,
+                hi: 4,
+                scale: 128,
+            },
+        ],
+    },
+    CiterSpace {
+        s: (96, 192),
+        t: (4, 16),
+        t_t_cap: 8,
+        axes: &[
+            CiterAxis::Draw {
+                lo: 2,
+                hi: 8,
+                scale: 1,
+            },
+            CiterAxis::Draw {
+                lo: 2,
+                hi: 4,
+                scale: 2,
+            },
+            CiterAxis::Fixed(32),
+        ],
+    },
+];
+
 /// Draw a random valid problem/tile instance for the `Citer` benchmark.
 fn random_instance(rng: &mut StdRng, dim: StencilDim) -> (ProblemSize, TileSizes) {
     let t_t = 2 * rng.gen_range(1..=8usize);
-    match dim {
-        StencilDim::D1 => {
-            let s = rng.gen_range(512..=4096usize);
-            let t = rng.gen_range(16..=64usize);
-            (
-                ProblemSize::new_1d(s, t),
-                TileSizes::new_1d(t_t, rng.gen_range(256..=1024)),
-            )
-        }
-        StencilDim::D2 => {
-            let s = rng.gen_range(512..=1024usize);
-            let t = rng.gen_range(8..=32usize);
-            // t_S2 a multiple of the vector width so the aligned launch
-            // fills the lanes exactly; hexagon cross-sections shallow
-            // enough that the unrolled body does not spill (the paper's
-            // compute-only micro-kernels are similarly well-behaved).
-            let t_t = t_t.min(8);
-            let tiles =
-                TileSizes::new_2d(t_t, rng.gen_range(2..=16), 128 * rng.gen_range(1..=4usize));
-            (ProblemSize::new_2d(s, s, t), tiles)
-        }
-        StencilDim::D3 => {
-            let s = rng.gen_range(96..=192usize);
-            let t = rng.gen_range(4..=16usize);
-            let tiles = TileSizes::new_3d(
-                t_t.min(8),
-                rng.gen_range(2..=8),
-                2 * rng.gen_range(2..=4usize),
-                32,
-            );
-            (ProblemSize::new_3d(s, s, s, t), tiles)
-        }
+    let cfg = &CITER_SPACES[dim.rank() - 1];
+    let s = rng.gen_range(cfg.s.0..=cfg.s.1);
+    let t = rng.gen_range(cfg.t.0..=cfg.t.1);
+    let mut coords = Vec::with_capacity(dim.rank() + 1);
+    coords.push(t_t.min(cfg.t_t_cap));
+    for axis in cfg.axes {
+        coords.push(match *axis {
+            CiterAxis::Draw { lo, hi, scale } => scale * rng.gen_range(lo..=hi),
+            CiterAxis::Fixed(v) => v,
+        });
     }
+    let size = ProblemSize::from_extents(&vec![s; dim.rank()], t).expect("rank is 1-3");
+    let tiles = TileSizes::from_coords(dim, &coords).expect("one coordinate per axis");
+    (size, tiles)
 }
 
 /// A steady-state interior block of the plan, with its global transfers

@@ -19,7 +19,7 @@
 //! The `--ablation` experiment compares their found minima against the
 //! exhaustive sweep's `T_alg min` over many instances.
 
-use crate::space::{is_feasible, SpaceConfig};
+use crate::space::{coordinate_axes, is_feasible, SpaceConfig};
 use gpu_sim::DeviceConfig;
 use hhc_tiling::TileSizes;
 use rand::rngs::StdRng;
@@ -38,27 +38,8 @@ pub struct SolverResult {
     pub evaluations: usize,
 }
 
-/// The candidate values per coordinate, from the same bounds the
-/// exhaustive sweep uses (so the comparison is apples-to-apples).
-fn coordinate_values(cfg: &SpaceConfig, dim: StencilDim) -> Vec<Vec<usize>> {
-    match dim {
-        StencilDim::D1 => vec![cfg.t_t.clone(), cfg.t_s1.clone()],
-        StencilDim::D2 => vec![cfg.t_t.clone(), cfg.t_s1.clone(), cfg.t_s_inner.clone()],
-        StencilDim::D3 => vec![
-            cfg.t_t.clone(),
-            cfg.t_s1.clone(),
-            cfg.t_s_mid.clone(),
-            cfg.t_s_inner.clone(),
-        ],
-    }
-}
-
 fn make_tiles(dim: StencilDim, coords: &[usize]) -> TileSizes {
-    match dim {
-        StencilDim::D1 => TileSizes::new_1d(coords[0], coords[1]),
-        StencilDim::D2 => TileSizes::new_2d(coords[0], coords[1], coords[2]),
-        StencilDim::D3 => TileSizes::new_3d(coords[0], coords[1], coords[2], coords[3]),
-    }
+    TileSizes::from_coords(dim, coords).expect("solver coordinates match the rank")
 }
 
 /// Objective: `T_alg`, or `+inf` when infeasible.
@@ -89,12 +70,10 @@ pub fn coordinate_descent(
     start: &TileSizes,
 ) -> SolverResult {
     let dim = size.dim;
-    let values = coordinate_values(cfg, dim);
-    let mut coords: Vec<usize> = match dim {
-        StencilDim::D1 => vec![start.t_t, start.t_s[0]],
-        StencilDim::D2 => vec![start.t_t, start.t_s[0], start.t_s[1]],
-        StencilDim::D3 => vec![start.t_t, start.t_s[0], start.t_s[1], start.t_s[2]],
-    };
+    // The same candidate-value axes the exhaustive sweep enumerates, so
+    // the comparison is apples-to-apples.
+    let values = coordinate_axes(cfg, dim);
+    let mut coords: Vec<usize> = start.coords(dim);
     let mut evals = 0usize;
     let mut best = objective(device, params, size, dim, &coords, &mut evals);
     loop {
@@ -102,7 +81,7 @@ pub fn coordinate_descent(
         for d in 0..coords.len() {
             let saved = coords[d];
             let mut best_v = saved;
-            for &v in &values[d] {
+            for &v in values[d] {
                 coords[d] = v;
                 let f = objective(device, params, size, dim, &coords, &mut evals);
                 if f < best {
@@ -136,7 +115,7 @@ pub fn simulated_annealing(
     seed: u64,
 ) -> SolverResult {
     let dim = size.dim;
-    let values = coordinate_values(cfg, dim);
+    let values = coordinate_axes(cfg, dim);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut evals = 0usize;
     let mut global_best: Option<(Vec<usize>, f64)> = None;

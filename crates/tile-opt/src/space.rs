@@ -11,11 +11,10 @@
 //! For 3D stencils the warp-alignment constraint moves to the innermost
 //! dimension `t_S3`; `t_S2` becomes a small free integer like `t_S1`.
 
-use gpu_sim::DeviceConfig;
+use gpu_sim::{DeviceConfig, Workload};
 use hhc_tiling::TileSizes;
 use serde::{Deserialize, Serialize};
 use stencil_core::StencilDim;
-use time_model::{hex1d, hybrid2d, hybrid3d};
 
 /// Bounds of the enumerated feasible space. The defaults cover the same
 /// ranges the paper's experiments explore; enlarging them only grows the
@@ -43,13 +42,30 @@ impl Default for SpaceConfig {
     }
 }
 
-/// The model-level `M_tile` for a tile-size candidate.
+/// The model-level `M_tile` for a tile-size candidate (the
+/// dimension-generic [`time_model::DimSpec`] footprint).
 pub fn mtile_words(dim: StencilDim, tiles: &TileSizes) -> u64 {
-    match dim {
-        StencilDim::D1 => hex1d::mtile_words(tiles),
-        StencilDim::D2 => hybrid2d::mtile_words(tiles),
-        StencilDim::D3 => hybrid3d::mtile_words(tiles),
+    time_model::mtile_words(dim, tiles)
+}
+
+/// The candidate-value axes of the feasible space, in coordinate order
+/// `[t_T, t_S1, (t_S_mid…,) t_S_inner]`: the hexagon base and time
+/// extent always, then the free middle extents, then the warp-aligned
+/// innermost extent (absent for 1D, where the hexagon base *is* the
+/// innermost dimension). The solvers walk the same axes, so the
+/// comparison with the exhaustive sweep is apples-to-apples.
+pub fn coordinate_axes(cfg: &SpaceConfig, dim: StencilDim) -> Vec<&[usize]> {
+    let rank = dim.rank();
+    let mut axes: Vec<&[usize]> = Vec::with_capacity(rank + 1);
+    axes.push(&cfg.t_t);
+    axes.push(&cfg.t_s1);
+    for _ in 2..rank {
+        axes.push(&cfg.t_s_mid);
     }
+    if rank >= 2 {
+        axes.push(&cfg.t_s_inner);
+    }
+    axes
 }
 
 /// Whether a candidate satisfies Eqn 31's constraints on `device`.
@@ -64,43 +80,35 @@ pub fn is_feasible(device: &DeviceConfig, dim: StencilDim, tiles: &TileSizes) ->
     mtile <= device.shared_per_block_words
 }
 
-/// Enumerate the feasible tile-size space for a stencil dimensionality.
+/// Enumerate the feasible tile-size space for a stencil dimensionality:
+/// the cartesian product of [`coordinate_axes`] in lexicographic order
+/// (last axis fastest), filtered by [`is_feasible`].
 pub fn feasible_tiles(device: &DeviceConfig, dim: StencilDim, cfg: &SpaceConfig) -> Vec<TileSizes> {
+    let axes = coordinate_axes(cfg, dim);
     let mut out = Vec::new();
     let mut enumerated = 0u64;
-    let mut check = |t: TileSizes, out: &mut Vec<TileSizes>| {
-        enumerated += 1;
-        if is_feasible(device, dim, &t) {
-            out.push(t);
-        }
-    };
-    match dim {
-        StencilDim::D1 => {
-            for &t_t in &cfg.t_t {
-                for &s1 in &cfg.t_s1 {
-                    check(TileSizes::new_1d(t_t, s1), &mut out);
-                }
+    if axes.iter().all(|a| !a.is_empty()) {
+        let mut idx = vec![0usize; axes.len()];
+        let mut coords = vec![0usize; axes.len()];
+        'space: loop {
+            for (c, (&i, axis)) in coords.iter_mut().zip(idx.iter().zip(&axes)) {
+                *c = axis[i];
             }
-        }
-        StencilDim::D2 => {
-            for &t_t in &cfg.t_t {
-                for &s1 in &cfg.t_s1 {
-                    for &s2 in &cfg.t_s_inner {
-                        check(TileSizes::new_2d(t_t, s1, s2), &mut out);
-                    }
-                }
+            let t = TileSizes::from_coords(dim, &coords).expect("one coordinate per axis");
+            enumerated += 1;
+            if is_feasible(device, dim, &t) {
+                out.push(t);
             }
-        }
-        StencilDim::D3 => {
-            for &t_t in &cfg.t_t {
-                for &s1 in &cfg.t_s1 {
-                    for &s2 in &cfg.t_s_mid {
-                        for &s3 in &cfg.t_s_inner {
-                            check(TileSizes::new_3d(t_t, s1, s2, s3), &mut out);
-                        }
-                    }
+            let mut d = axes.len();
+            while d > 0 {
+                d -= 1;
+                idx[d] += 1;
+                if idx[d] < axes[d].len() {
+                    continue 'space;
                 }
+                idx[d] = 0;
             }
+            break;
         }
     }
     if obs::active() {
@@ -109,6 +117,12 @@ pub fn feasible_tiles(device: &DeviceConfig, dim: StencilDim, cfg: &SpaceConfig)
         obs::counter("opt.space_pruned", enumerated - out.len() as u64);
     }
     out
+}
+
+/// [`feasible_tiles`] for a [`Workload`]: the space of Eqn 31 for the
+/// workload's device and dimensionality.
+pub fn feasible_space(w: &Workload, cfg: &SpaceConfig) -> Vec<TileSizes> {
+    feasible_tiles(&w.device, w.dim(), cfg)
 }
 
 #[cfg(test)]
@@ -157,6 +171,45 @@ mod tests {
             t_s: [8, 32, 1],
         };
         assert!(!is_feasible(&d, StencilDim::D2, &t));
+    }
+
+    #[test]
+    fn enumeration_order_is_lexicographic_in_the_axes() {
+        // The generic odometer must reproduce the historical nested-loop
+        // order exactly (result files are diffed byte-for-byte).
+        let d = DeviceConfig::gtx980();
+        let cfg = SpaceConfig::default();
+        let got = feasible_tiles(&d, StencilDim::D3, &cfg);
+        let mut expect = Vec::new();
+        for &t_t in &cfg.t_t {
+            for &s1 in &cfg.t_s1 {
+                for &s2 in &cfg.t_s_mid {
+                    for &s3 in &cfg.t_s_inner {
+                        let t = TileSizes::new_3d(t_t, s1, s2, s3);
+                        if is_feasible(&d, StencilDim::D3, &t) {
+                            expect.push(t);
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn workload_space_matches_loose_arguments() {
+        let d = DeviceConfig::gtx980();
+        let cfg = SpaceConfig::default();
+        let w = Workload::new(
+            d.clone(),
+            stencil_core::StencilKind::Heat2D,
+            stencil_core::ProblemSize::new_2d(512, 512, 64),
+        )
+        .unwrap();
+        assert_eq!(
+            feasible_space(&w, &cfg),
+            feasible_tiles(&d, StencilDim::D2, &cfg)
+        );
     }
 
     #[test]

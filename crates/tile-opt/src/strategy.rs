@@ -17,9 +17,9 @@
 //! the paper, the model-driven strategies reuse the *empirically
 //! predicted* thread count — the one the best baseline point used.
 
-use crate::space::{feasible_tiles, SpaceConfig};
+use crate::space::{feasible_space, feasible_tiles, SpaceConfig};
 use crate::sweep::{model_sweep, talg_min, within_fraction};
-use gpu_sim::{simulate, DeviceConfig, SimReport, Workload};
+use gpu_sim::{simulate, DeviceConfig, SimReport, SimWorkload, Workload};
 use hhc_tiling::{LaunchConfig, TileSizes, TilingPlan};
 use parking_lot::Mutex;
 use rayon::prelude::*;
@@ -138,16 +138,16 @@ impl EvalCache {
 }
 
 /// Everything needed to run the selection strategies for one
-/// (device, stencil, problem-size) experiment.
+/// [`Workload`] experiment.
 pub struct StrategyContext<'a> {
-    /// The machine.
-    pub device: &'a DeviceConfig,
+    /// The workload under study (device + stencil + size; the tile and
+    /// launch members are the stock configuration the strategies start
+    /// from).
+    pub workload: &'a Workload,
     /// Measured model parameters for this (device, stencil).
     pub params: &'a ModelParams,
-    /// The stencil.
-    pub spec: &'a StencilSpec,
-    /// The problem size.
-    pub size: &'a ProblemSize,
+    /// The elaborated stencil specification.
+    pub spec: StencilSpec,
     /// Feasible-space bounds.
     pub space: &'a SpaceConfig,
     /// Shared evaluation memo: strategies of one experiment often revisit
@@ -156,49 +156,46 @@ pub struct StrategyContext<'a> {
     pub cache: EvalCache,
 }
 
+impl<'a> StrategyContext<'a> {
+    /// Build a context (with a cold cache) for one workload.
+    pub fn new(workload: &'a Workload, params: &'a ModelParams, space: &'a SpaceConfig) -> Self {
+        StrategyContext {
+            workload,
+            params,
+            spec: workload.spec(),
+            space,
+            cache: EvalCache::new(),
+        }
+    }
+
+    /// The workload's device.
+    pub fn device(&self) -> &DeviceConfig {
+        &self.workload.device
+    }
+
+    /// The workload's problem size.
+    pub fn size(&self) -> &ProblemSize {
+        &self.workload.size
+    }
+
+    /// The workload's dimensionality.
+    pub fn dim(&self) -> StencilDim {
+        self.workload.dim()
+    }
+}
+
 /// The ten thread-count configurations explored per tile size
 /// (paper Section 5.1: "for each of them, we explore 10 different
-/// values of `n_thr,i`").
+/// values of `n_thr,i`") — [`LaunchConfig::candidates`].
 pub fn thread_counts(dim: StencilDim) -> Vec<LaunchConfig> {
-    match dim {
-        StencilDim::D1 => [32, 64, 96, 128, 160, 192, 256, 384, 512, 1024]
-            .into_iter()
-            .map(LaunchConfig::new_1d)
-            .collect(),
-        StencilDim::D2 => [32, 64, 96, 128, 160, 192, 256, 384, 512, 1024]
-            .into_iter()
-            .map(|n| LaunchConfig::new_2d(1, n))
-            .collect(),
-        StencilDim::D3 => vec![
-            LaunchConfig::new_3d(1, 1, 32),
-            LaunchConfig::new_3d(1, 2, 32),
-            LaunchConfig::new_3d(1, 4, 32),
-            LaunchConfig::new_3d(1, 2, 64),
-            LaunchConfig::new_3d(1, 4, 64),
-            LaunchConfig::new_3d(1, 8, 32),
-            LaunchConfig::new_3d(1, 2, 96),
-            LaunchConfig::new_3d(1, 8, 64),
-            LaunchConfig::new_3d(1, 16, 32),
-            LaunchConfig::new_3d(1, 8, 128),
-        ],
-    }
+    LaunchConfig::candidates(dim)
 }
 
 /// The stock compiler configuration (PPCG-style 32-point space tiles).
 pub fn hhc_default(dim: StencilDim) -> DataPoint {
-    match dim {
-        StencilDim::D1 => DataPoint {
-            tiles: TileSizes::new_1d(4, 32),
-            launch: LaunchConfig::new_1d(128),
-        },
-        StencilDim::D2 => DataPoint {
-            tiles: TileSizes::new_2d(4, 32, 32),
-            launch: LaunchConfig::new_2d(1, 128),
-        },
-        StencilDim::D3 => DataPoint {
-            tiles: TileSizes::new_3d(4, 4, 4, 32),
-            launch: LaunchConfig::new_3d(1, 4, 32),
-        },
+    DataPoint {
+        tiles: TileSizes::hhc_default(dim),
+        launch: LaunchConfig::hhc_default(dim),
     }
 }
 
@@ -262,21 +259,10 @@ pub fn baseline_tiles(
     out
 }
 
-/// The paper's empirical threads-per-block predictor (Section 7): among
-/// high-performing instances the locally best thread count "was easily
-/// predictable — empirically": shape the block to the tile's inner
-/// extents (full warps along the coalesced axis, capped by the block
-/// limit).
+/// The paper's empirical threads-per-block predictor (Section 7) —
+/// [`LaunchConfig::empirical`].
 pub fn empirical_launch(dim: StencilDim, tiles: &TileSizes) -> LaunchConfig {
-    match dim {
-        StencilDim::D1 => LaunchConfig::new_1d(128),
-        StencilDim::D2 => LaunchConfig::new_2d(1, tiles.t_s[1].clamp(32, 512)),
-        StencilDim::D3 => {
-            let n3 = tiles.t_s[2].clamp(32, 128);
-            let n2 = tiles.t_s[1].clamp(1, 1024 / n3).min(8);
-            LaunchConfig::new_3d(1, n2, n3)
-        }
-    }
+    LaunchConfig::empirical(dim, tiles)
 }
 
 /// The full 850-point baseline set (85 tiles × 10 thread counts).
@@ -307,7 +293,7 @@ pub fn simulate_point(
     point: &DataPoint,
 ) -> Option<SimReport> {
     let plan = TilingPlan::build(spec, size, point.tiles, point.launch).ok()?;
-    simulate(device, &Workload::from_plan(&plan)).ok()
+    simulate(device, &SimWorkload::from_plan(&plan)).ok()
 }
 
 /// Evaluate (model + machine) a set of points in parallel, memoized
@@ -317,7 +303,7 @@ pub fn simulate_point(
 /// evaluation (the evaluation is a pure function of the point); only the
 /// already-seen points skip the simulator.
 pub fn evaluate_points(ctx: &StrategyContext<'_>, points: &[DataPoint]) -> Vec<Evaluated> {
-    let flops = reference::total_flops(ctx.spec, ctx.size);
+    let flops = reference::total_flops(&ctx.spec, ctx.size());
     // Resolve prior results under one short lock…
     let cached: Vec<Option<Evaluated>> = {
         let map = ctx.cache.map.lock();
@@ -343,8 +329,9 @@ pub fn evaluate_points(ctx: &StrategyContext<'_>, points: &[DataPoint]) -> Vec<E
     let computed: Vec<Evaluated> = misses
         .par_iter()
         .map(|p| {
-            let predicted = predict(ctx.params, ctx.size, &p.tiles).talg;
-            let measured = simulate_point(ctx.device, ctx.spec, ctx.size, p).map(|r| r.total_time);
+            let predicted = predict(ctx.params, ctx.size(), &p.tiles).talg;
+            let measured =
+                simulate_point(ctx.device(), &ctx.spec, ctx.size(), p).map(|r| r.total_time);
             Evaluated {
                 point: *p,
                 predicted,
@@ -407,7 +394,7 @@ pub struct Study {
 /// measures the whole feasible space (set `false` for large problems if
 /// time matters; the simulator usually affords it).
 pub fn study(ctx: &StrategyContext<'_>, exhaustive: bool) -> Study {
-    let dim = ctx.spec.dim;
+    let dim = ctx.dim();
     let _study_span = obs::span("opt.study", "optimizer");
     // Per-strategy cache accounting: strategies run sequentially, so the
     // delta of the shared counter attributes hits to the right one.
@@ -437,7 +424,7 @@ pub fn study(ctx: &StrategyContext<'_>, exhaustive: bool) -> Study {
 
     // --- Baseline: 850 measured points ---
     let baseline = timed("opt.strategy.baseline", "opt.wall_s.baseline", || {
-        let pts = baseline_points(ctx.device, dim, ctx.space);
+        let pts = baseline_points(ctx.device(), dim, ctx.space);
         evaluate_points(ctx, &pts)
     });
     let baseline_hits = take_hits(&ctx.cache);
@@ -445,8 +432,8 @@ pub fn study(ctx: &StrategyContext<'_>, exhaustive: bool) -> Study {
 
     // --- Model sweep over the feasible space ---
     let (space, sweep) = timed("opt.model_sweep", "opt.wall_s.sweep", || {
-        let space = feasible_tiles(ctx.device, dim, ctx.space);
-        let sweep = model_sweep(ctx.params, ctx.size, &space);
+        let space = feasible_space(ctx.workload, ctx.space);
+        let sweep = model_sweep(ctx.params, ctx.size(), &space);
         (space, sweep)
     });
 
@@ -587,22 +574,19 @@ mod tests {
     #[test]
     fn study_produces_ordered_outcomes() {
         let device = DeviceConfig::gtx980();
-        let spec = StencilKind::Jacobi2D.spec();
-        let size = ProblemSize::new_2d(512, 512, 128);
+        let workload = Workload::new(
+            device.clone(),
+            StencilKind::Jacobi2D,
+            ProblemSize::new_2d(512, 512, 128),
+        )
+        .unwrap();
         // Use *measured* parameters, as the real pipeline does — the
         // model's candidate set is only meaningful with a Citer that
         // came from the machine.
-        let measured = microbench::measured_params_sampled(&device, spec.kind, 16, 3);
+        let measured = microbench::measured_params_sampled(&device, workload.stencil, 16, 3);
         let params = ModelParams::from_measured(&device, &measured);
         let space = SpaceConfig::default();
-        let ctx = StrategyContext {
-            device: &device,
-            params: &params,
-            spec: &spec,
-            size: &size,
-            space: &space,
-            cache: EvalCache::new(),
-        };
+        let ctx = StrategyContext::new(&workload, &params, &space);
         let study = study(&ctx, false);
 
         assert!(study.outcomes.len() >= 4);
@@ -635,20 +619,17 @@ mod tests {
     #[test]
     fn eval_cache_serves_repeats_identically() {
         let device = DeviceConfig::gtx980();
-        let spec = StencilKind::Jacobi2D.spec();
-        let size = ProblemSize::new_2d(256, 256, 64);
-        let measured = microbench::measured_params_sampled(&device, spec.kind, 16, 3);
+        let workload = Workload::new(
+            device.clone(),
+            StencilKind::Jacobi2D,
+            ProblemSize::new_2d(256, 256, 64),
+        )
+        .unwrap();
+        let measured = microbench::measured_params_sampled(&device, workload.stencil, 16, 3);
         let params = ModelParams::from_measured(&device, &measured);
         let space = SpaceConfig::default();
-        let ctx = StrategyContext {
-            device: &device,
-            params: &params,
-            spec: &spec,
-            size: &size,
-            space: &space,
-            cache: EvalCache::new(),
-        };
-        let pts: Vec<DataPoint> = baseline_points(&device, spec.dim, &space)
+        let ctx = StrategyContext::new(&workload, &params, &space);
+        let pts: Vec<DataPoint> = baseline_points(&device, workload.dim(), &space)
             .into_iter()
             .take(40)
             .collect();
@@ -661,29 +642,23 @@ mod tests {
         assert_eq!(cold, warm, "cache-served results must be identical");
         // A fresh context (cold cache) reproduces the same values:
         // evaluation is a pure function of the point.
-        let ctx2 = StrategyContext {
-            cache: EvalCache::new(),
-            ..ctx
-        };
+        let ctx2 = StrategyContext::new(&workload, &params, &space);
         assert_eq!(evaluate_points(&ctx2, &pts), cold);
     }
 
     #[test]
     fn study_outcomes_unchanged_by_warm_cache() {
         let device = DeviceConfig::gtx980();
-        let spec = StencilKind::Jacobi2D.spec();
-        let size = ProblemSize::new_2d(256, 256, 64);
-        let measured = microbench::measured_params_sampled(&device, spec.kind, 16, 3);
+        let workload = Workload::new(
+            device.clone(),
+            StencilKind::Jacobi2D,
+            ProblemSize::new_2d(256, 256, 64),
+        )
+        .unwrap();
+        let measured = microbench::measured_params_sampled(&device, workload.stencil, 16, 3);
         let params = ModelParams::from_measured(&device, &measured);
         let space = SpaceConfig::default();
-        let ctx = StrategyContext {
-            device: &device,
-            params: &params,
-            spec: &spec,
-            size: &size,
-            space: &space,
-            cache: EvalCache::new(),
-        };
+        let ctx = StrategyContext::new(&workload, &params, &space);
         let first = study(&ctx, false);
         let lookups_cold = ctx.cache.lookups();
         // Re-running the whole study against the now-warm cache must pick

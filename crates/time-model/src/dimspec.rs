@@ -1,0 +1,276 @@
+//! The dimension-generic model core.
+//!
+//! Sections 4.1–4.3 of the paper derive the 1D, 2D, and 3D models
+//! separately, but every formula is one shape instantiated at a rank:
+//!
+//! * the tile's I/O footprint is `inner · (t_S1 + 2 t_T)` words where
+//!   `inner = ∏_{d>1} t_Sd` is the inner-extent product (Eqns 7/13/24);
+//! * the compute sum runs over the same hexagon row widths, scaled by
+//!   `inner` (Eqns 9/15/27);
+//! * the shared-memory footprint is the product of haloed extents
+//!   (Section 4.1.1 / Eqn 19 / its 3D extension);
+//! * the prism/slab walks `⌈∏_{d>1}(S_d + t_T) / ∏_{d>1} t_Sd⌉`
+//!   sub-tiles (Section 4.2.2 / Eqn 23);
+//! * the per-wave unit time and the grid quantization are Eqns 6/17/30.
+//!
+//! [`DimSpec`] captures the rank once and evaluates each of those
+//! pieces generically; [`crate::predict`] routes through it. The legacy
+//! per-dimension modules ([`crate::hex1d`], [`crate::hybrid2d`],
+//! [`crate::hybrid3d`]) are retained as a bit-exact oracle — the tests
+//! here and the workspace-level `model_equivalence` suite assert
+//! `to_bits()` equality against them, which holds because every
+//! floating-point expression below keeps the oracle's operand order
+//! (e.g. `2.0 · mi` is an exact f64 doubling, so the 1D oracle's
+//! pre-doubled `m_io = 2(t_S + 2t_T)` and the generic
+//! `2 · inner·(t_S1 + 2t_T)` produce identical products).
+
+use crate::common;
+use crate::params::ModelParams;
+use crate::Prediction;
+use hhc_tiling::TileSizes;
+use stencil_core::{ProblemSize, StencilDim};
+
+/// The dimensional shape of a stencil model: everything the analytical
+/// model needs to know about rank to evaluate Eqns 2–30 at any
+/// dimensionality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DimSpec {
+    /// Space rank (1–3).
+    pub rank: usize,
+}
+
+impl DimSpec {
+    /// The spec for a given dimensionality.
+    #[inline]
+    pub fn of(dim: StencilDim) -> Self {
+        DimSpec { rank: dim.rank() }
+    }
+
+    /// The inner-extent product `∏_{d>1} t_Sd` (1 for 1D, `t_S2` for 2D,
+    /// `t_S2·t_S3` for 3D) — the cross-section every hexagon row is
+    /// extruded through.
+    pub fn inner(&self, tiles: &TileSizes) -> u64 {
+        tiles.t_s[1..self.rank].iter().map(|&s| s as u64).product()
+    }
+
+    /// Per-direction tile I/O footprint `m_i = m_o = inner·(t_S1 + 2t_T)`
+    /// — Eqns 7 (halved), 13, 24.
+    pub fn mi_words(&self, tiles: &TileSizes) -> u64 {
+        self.inner(tiles) * (tiles.t_s[0] as u64 + 2 * tiles.t_t as u64)
+    }
+
+    /// `m' = (m_i + m_o)·L + 2 τ_sync` — Eqns 8/14/25.
+    pub fn m_prime(&self, p: &ModelParams, tiles: &TileSizes) -> f64 {
+        2.0 * self.mi_words(tiles) as f64 * p.l_word() + 2.0 * p.tau_sync()
+    }
+
+    /// `c = 2 C_iter Σ_x ⌈x·inner/n_V⌉ + t_T τ_sync` — Eqns 9/15/27.
+    pub fn compute_time(&self, p: &ModelParams, tiles: &TileSizes) -> f64 {
+        2.0 * p.citer() * common::row_sum(p, tiles.t_s[0], tiles.t_t, self.inner(tiles)) as f64
+            + tiles.t_t as f64 * p.tau_sync()
+    }
+
+    /// Shared-memory footprint `M_tile` in words: `2(t_S + t_T)` for 1D
+    /// (Section 4.1.1, no halo in the single buffered row pair),
+    /// `2·∏_d (t_Sd + t_T + 1)` for 2D/3D (Eqn 19 and its 3D
+    /// extension).
+    pub fn mtile_words(&self, tiles: &TileSizes) -> u64 {
+        if self.rank == 1 {
+            2 * (tiles.t_s[0] as u64 + tiles.t_t as u64)
+        } else {
+            let mut words = 2u64;
+            for d in 0..self.rank {
+                words *= tiles.t_s[d] as u64 + tiles.t_t as u64 + 1;
+            }
+            words
+        }
+    }
+
+    /// Sub-tiles (sub-prisms / sub-slabs) each block walks along the
+    /// classically-tiled inner dimensions,
+    /// `⌈∏_{d>1}(S_d + t_T) / ∏_{d>1} t_Sd⌉` — Section 4.2.2 and
+    /// Eqn 23, in exact integer arithmetic (1 for 1D: the hexagon *is*
+    /// the tile).
+    pub fn subunits(&self, size: &ProblemSize, tiles: &TileSizes) -> u64 {
+        let mut num = 1u64;
+        let mut den = 1u64;
+        for d in 1..self.rank {
+            num *= size.space[d] as u64 + tiles.t_t as u64;
+            den *= tiles.t_s[d] as u64;
+        }
+        num.div_ceil(den)
+    }
+
+    /// Per-grid-round unit time at residency `k`: the 1D `T_tile` of
+    /// Eqns 10/12, or the 2D/3D `T_prism`/`T_slab` of Eqns 16/28/29
+    /// walking `n_sub` sub-tiles.
+    pub fn unit_time(&self, m: f64, c: f64, k: usize, n_sub: u64) -> f64 {
+        if self.rank == 1 {
+            m + c + (k as f64 - 1.0) * m.max(c)
+        } else if k <= 1 {
+            (m + c) * n_sub as f64
+        } else {
+            m + k as f64 * m.max(c) * n_sub as f64
+        }
+    }
+
+    /// Full prediction — Eqns 6/17/30, generic over rank.
+    pub fn predict(&self, p: &ModelParams, size: &ProblemSize, tiles: &TileSizes) -> Prediction {
+        let nw = common::wavefronts(size.time, tiles.t_t);
+        let w = common::wavefront_width(size.space[0], tiles.t_s[0], tiles.t_t);
+        let mtile = self.mtile_words(tiles);
+        let k = common::effective_k(p, w, common::hyperthreading(p, mtile));
+        let m = self.m_prime(p, tiles);
+        let c = self.compute_time(p, tiles);
+        let unit = self.unit_time(m, c, k, self.subunits(size, tiles));
+        let talg = nw as f64 * unit * common::grid_rounds(p, w, k) as f64 + nw as f64 * p.t_sync();
+        Prediction {
+            talg,
+            k,
+            nw,
+            w,
+            m_prime: m,
+            c,
+            mtile_words: mtile,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::MeasuredParams;
+    use crate::{hex1d, hybrid2d, hybrid3d};
+    use gpu_sim::DeviceConfig;
+
+    fn params(citer: f64) -> Vec<ModelParams> {
+        DeviceConfig::paper_devices()
+            .iter()
+            .map(|d| ModelParams::from_measured(d, &MeasuredParams::paper_gtx980(citer)))
+            .collect()
+    }
+
+    fn assert_bit_identical(a: &Prediction, b: &Prediction, what: &str) {
+        assert_eq!(a.talg.to_bits(), b.talg.to_bits(), "talg differs: {what}");
+        assert_eq!(
+            a.m_prime.to_bits(),
+            b.m_prime.to_bits(),
+            "m_prime differs: {what}"
+        );
+        assert_eq!(a.c.to_bits(), b.c.to_bits(), "c differs: {what}");
+        assert_eq!(
+            (a.k, a.nw, a.w, a.mtile_words),
+            (b.k, b.nw, b.w, b.mtile_words),
+            "{what}"
+        );
+    }
+
+    #[test]
+    fn inner_extent_product_by_rank() {
+        let t3 = TileSizes::new_3d(4, 8, 16, 32);
+        assert_eq!(
+            DimSpec::of(StencilDim::D1).inner(&TileSizes::new_1d(4, 8)),
+            1
+        );
+        assert_eq!(
+            DimSpec::of(StencilDim::D2).inner(&TileSizes::new_2d(4, 8, 16)),
+            16
+        );
+        assert_eq!(DimSpec::of(StencilDim::D3).inner(&t3), 16 * 32);
+    }
+
+    #[test]
+    fn generic_matches_hex1d_oracle_bitwise() {
+        let spec = DimSpec::of(StencilDim::D1);
+        for p in &params(3.39e-8) {
+            for s in [4096usize, 1 << 18, 1 << 20] {
+                for t in [64usize, 512, 4096] {
+                    let size = ProblemSize::new_1d(s, t);
+                    for t_t in [2usize, 4, 8, 16, 32] {
+                        for t_s in [1usize, 4, 16, 64, 128] {
+                            let tiles = TileSizes::new_1d(t_t, t_s);
+                            assert_bit_identical(
+                                &spec.predict(p, &size, &tiles),
+                                &hex1d::predict(p, &size, &tiles),
+                                &format!("{size:?} {tiles:?}"),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generic_matches_hybrid2d_oracle_bitwise() {
+        let spec = DimSpec::of(StencilDim::D2);
+        for p in &params(3.39e-8) {
+            for s in [512usize, 2048, 4096] {
+                for t in [64usize, 1024] {
+                    let size = ProblemSize::new_2d(s, s, t);
+                    for t_t in [2usize, 8, 16, 48] {
+                        for t_s1 in [1usize, 8, 24, 64] {
+                            for t_s2 in [32usize, 128, 512] {
+                                let tiles = TileSizes::new_2d(t_t, t_s1, t_s2);
+                                assert_bit_identical(
+                                    &spec.predict(p, &size, &tiles),
+                                    &hybrid2d::predict(p, &size, &tiles),
+                                    &format!("{size:?} {tiles:?}"),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generic_matches_hybrid3d_oracle_bitwise() {
+        let spec = DimSpec::of(StencilDim::D3);
+        for p in &params(1.55e-7) {
+            for s in [96usize, 384, 640] {
+                for t in [32usize, 128, 384] {
+                    let size = ProblemSize::new_3d(s, s, s, t);
+                    for t_t in [2usize, 4, 8, 16] {
+                        for t_s1 in [1usize, 4, 16] {
+                            for t_s2 in [4usize, 16, 32] {
+                                for t_s3 in [32usize, 128, 512] {
+                                    let tiles = TileSizes::new_3d(t_t, t_s1, t_s2, t_s3);
+                                    assert_bit_identical(
+                                        &spec.predict(p, &size, &tiles),
+                                        &hybrid3d::predict(p, &size, &tiles),
+                                        &format!("{size:?} {tiles:?}"),
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rank1_has_no_subunits() {
+        let spec = DimSpec::of(StencilDim::D1);
+        let size = ProblemSize::new_1d(1 << 16, 128);
+        assert_eq!(spec.subunits(&size, &TileSizes::new_1d(8, 32)), 1);
+    }
+
+    #[test]
+    fn mtile_matches_per_dim_formulas() {
+        assert_eq!(
+            DimSpec::of(StencilDim::D1).mtile_words(&TileSizes::new_1d(8, 32)),
+            hex1d::mtile_words(&TileSizes::new_1d(8, 32))
+        );
+        assert_eq!(
+            DimSpec::of(StencilDim::D2).mtile_words(&TileSizes::new_2d(8, 16, 32)),
+            hybrid2d::mtile_words(&TileSizes::new_2d(8, 16, 32))
+        );
+        assert_eq!(
+            DimSpec::of(StencilDim::D3).mtile_words(&TileSizes::new_3d(4, 8, 16, 16)),
+            hybrid3d::mtile_words(&TileSizes::new_3d(4, 8, 16, 16))
+        );
+    }
+}

@@ -33,11 +33,16 @@ pub fn mtile_words(tiles: &TileSizes) -> u64 {
         * (tiles.t_s[2] as u64 + tiles.t_t as u64 + 1)
 }
 
-/// `N_sslabs = ⌈((S2 + t_T)/t_S2) · ((S3 + t_T)/t_S3)⌉` — Eqn 23.
+/// `N_sslabs = ⌈(S2 + t_T)(S3 + t_T) / (t_S2 · t_S3)⌉` — Eqn 23, in
+/// exact integer arithmetic like the 2D sub-prism count: evaluating the
+/// printed nested ratios in f64 and ceiling the product mis-rounds when
+/// the quotient is an exact integer but the rounded factors land just
+/// above it (e.g. `⌈(112/6)·(432/64)⌉` gives 127 where the true count
+/// is 126).
 pub fn subslabs(size: &ProblemSize, tiles: &TileSizes) -> u64 {
-    let r2 = (size.space[1] + tiles.t_t) as f64 / tiles.t_s[1] as f64;
-    let r3 = (size.space[2] + tiles.t_t) as f64 / tiles.t_s[2] as f64;
-    (r2 * r3).ceil() as u64
+    let num = (size.space[1] as u64 + tiles.t_t as u64) * (size.space[2] as u64 + tiles.t_t as u64);
+    let den = tiles.t_s[1] as u64 * tiles.t_s[2] as u64;
+    num.div_ceil(den)
 }
 
 /// `T_slab(k)` — Eqns 28/29.
@@ -94,11 +99,20 @@ mod tests {
     fn eqn23_subslabs() {
         let size = ProblemSize::new_3d(384, 384, 384, 128);
         let tiles = TileSizes::new_3d(4, 8, 32, 32);
-        // (388/32)·(388/32) = 12.125² = 147.0; ceil = 148.
-        assert_eq!(
-            subslabs(&size, &tiles),
-            ((388.0f64 / 32.0) * (388.0 / 32.0)).ceil() as u64
-        );
+        // ⌈388·388 / (32·32)⌉ = ⌈150544/1024⌉ = ⌈147.015⌉ = 148.
+        assert_eq!(subslabs(&size, &tiles), 148);
+    }
+
+    #[test]
+    fn eqn23_exact_at_f64_rounding_boundary() {
+        // (96+16)(416+16) / (6·64) = 48384/384 = 126 exactly, but the
+        // f64 factor form rounds 112/6 up, so ⌈18.666…·6.75⌉ = 127.
+        let size = ProblemSize::new_3d(512, 96, 416, 64);
+        let tiles = TileSizes::new_3d(16, 8, 6, 64);
+        assert_eq!(subslabs(&size, &tiles), 126);
+        let r2 = (96.0f64 + 16.0) / 6.0;
+        let r3 = (416.0f64 + 16.0) / 64.0;
+        assert_eq!((r2 * r3).ceil() as u64, 127, "f64 form would mis-round");
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! accurate *where it matters* (within 20 % of the best) and cheap
 //! enough to drive tile-size selection (the `tile-opt` crate).
 
+pub mod dimspec;
 pub mod hex1d;
 pub mod hybrid2d;
 pub mod hybrid3d;
@@ -28,6 +29,7 @@ pub mod params;
 pub mod refined;
 pub mod wavefront;
 
+pub use dimspec::DimSpec;
 pub use params::{MeasuredParams, ModelParams};
 pub use refined::predict_refined;
 
@@ -67,8 +69,11 @@ impl Prediction {
 /// Evaluate `T_alg` for a stencil of dimensionality `dim` with measured
 /// parameters `p`, problem size `size`, and tile sizes `tiles`.
 ///
-/// Dispatches to the 1D hexagonal model (Section 4.1), the 2D hybrid
-/// model (4.2), or the 3D hybrid model (4.3).
+/// Evaluates the dimension-generic [`DimSpec`] model, which instantiates
+/// the 1D hexagonal model (Section 4.1), the 2D hybrid model (4.2), or
+/// the 3D hybrid model (4.3) from one set of formulas. The legacy
+/// per-dimension modules remain as a bit-exact oracle (see
+/// [`mod@dimspec`]).
 ///
 /// ```
 /// use gpu_sim::DeviceConfig;
@@ -84,11 +89,14 @@ impl Prediction {
 /// assert_eq!(pred.nw, 2 * 1024 / 8); // Eqn 3
 /// ```
 pub fn predict(p: &ModelParams, size: &ProblemSize, tiles: &TileSizes) -> Prediction {
-    match size.dim {
-        StencilDim::D1 => hex1d::predict(p, size, tiles),
-        StencilDim::D2 => hybrid2d::predict(p, size, tiles),
-        StencilDim::D3 => hybrid3d::predict(p, size, tiles),
-    }
+    DimSpec::of(size.dim).predict(p, size, tiles)
+}
+
+/// Modeled shared-memory footprint `M_tile` in words for any
+/// dimensionality (Section 4.1.1 / Eqn 19 / its 3D extension) — the
+/// feasibility bound `tile-opt` enumerates against.
+pub fn mtile_words(dim: StencilDim, tiles: &TileSizes) -> u64 {
+    DimSpec::of(dim).mtile_words(tiles)
 }
 
 /// Shared model pieces used by all three dimensionalities.

@@ -22,54 +22,29 @@
 //! tightens the top-band RMSE while leaving the full-space optimism
 //! untouched.
 
+use crate::dimspec::DimSpec;
 use crate::params::ModelParams;
-use crate::{common, hex1d, hybrid2d, hybrid3d, Prediction};
+use crate::{common, Prediction};
 use hhc_tiling::TileSizes;
-use stencil_core::{ProblemSize, StencilDim};
-
-/// The per-`k` tile/prism/slab time of the printed model, factored out
-/// so the refined grid term can evaluate it at the tail residency.
-fn t_unit(dim: StencilDim, m: f64, c: f64, k: usize, n_sub: u64) -> f64 {
-    match dim {
-        StencilDim::D1 => hex1d::t_tile(m, c, k),
-        StencilDim::D2 => hybrid2d::t_prism(m, c, k, n_sub),
-        StencilDim::D3 => hybrid3d::t_slab(m, c, k, n_sub),
-    }
-}
+use stencil_core::ProblemSize;
 
 /// Tail-aware prediction: identical per-tile terms, fractional last wave.
 pub fn predict_refined(p: &ModelParams, size: &ProblemSize, tiles: &TileSizes) -> Prediction {
-    let dim = size.dim;
+    let spec = DimSpec::of(size.dim);
     let nw = common::wavefronts(size.time, tiles.t_t);
     let w = common::wavefront_width(size.space[0], tiles.t_s[0], tiles.t_t);
-    let (mtile, m, c, n_sub) = match dim {
-        StencilDim::D1 => (
-            hex1d::mtile_words(tiles),
-            hex1d::m_prime(p, tiles),
-            hex1d::compute_time(p, tiles),
-            1,
-        ),
-        StencilDim::D2 => (
-            hybrid2d::mtile_words(tiles),
-            hybrid2d::m_prime(p, tiles),
-            hybrid2d::compute_time(p, tiles),
-            hybrid2d::subprisms(size, tiles),
-        ),
-        StencilDim::D3 => (
-            hybrid3d::mtile_words(tiles),
-            hybrid3d::m_prime(p, tiles),
-            hybrid3d::compute_time(p, tiles),
-            hybrid3d::subslabs(size, tiles),
-        ),
-    };
+    let mtile = spec.mtile_words(tiles);
+    let m = spec.m_prime(p, tiles);
+    let c = spec.compute_time(p, tiles);
+    let n_sub = spec.subunits(size, tiles);
     let k = common::effective_k(p, w, common::hyperthreading(p, mtile));
     let slots = (k * p.n_sm) as u64;
     let full = w / slots;
     let rem_blocks = w - full * slots;
     let rem_k = rem_blocks.div_ceil(p.n_sm as u64) as usize;
-    let mut per_kernel = full as f64 * t_unit(dim, m, c, k, n_sub);
+    let mut per_kernel = full as f64 * spec.unit_time(m, c, k, n_sub);
     if rem_k > 0 {
-        per_kernel += t_unit(dim, m, c, rem_k, n_sub);
+        per_kernel += spec.unit_time(m, c, rem_k, n_sub);
     }
     let talg = nw as f64 * (p.t_sync() + per_kernel);
     Prediction {

@@ -99,7 +99,7 @@ mod tests {
         // charges each tile's m' at full device bandwidth (its printed
         // per-tile optimism), one of the reasons it is only trusted to
         // rank configurations within one schedule family.
-        use gpu_sim::{simulate, Workload};
+        use gpu_sim::{simulate, SimWorkload};
         use hhc_tiling::{LaunchConfig, WavefrontSchedule};
         let device = DeviceConfig::gtx980();
         let spec = stencil_core::StencilKind::Jacobi2D.spec();
@@ -111,7 +111,7 @@ mod tests {
             LaunchConfig::new_2d(1, 128),
         )
         .unwrap();
-        let r = simulate(&device, &Workload::from_wavefront(&ws)).unwrap();
+        let r = simulate(&device, &SimWorkload::from_wavefront(&ws)).unwrap();
         assert!(
             r.memory_bound(),
             "mem {:e} vs comp {:e}",
@@ -125,7 +125,7 @@ mod tests {
         // The same problem, both schedules, on the machine: the
         // time-tiled schedule wins comfortably (what the paper's
         // introduction takes as given).
-        use gpu_sim::{simulate, Workload};
+        use gpu_sim::{simulate, SimWorkload};
         use hhc_tiling::{LaunchConfig, TileSizes, TilingPlan, WavefrontSchedule};
         let device = DeviceConfig::gtx980();
         let spec = stencil_core::StencilKind::Jacobi2D.spec();
@@ -137,7 +137,7 @@ mod tests {
             LaunchConfig::new_2d(1, 128),
         )
         .unwrap();
-        let naive = simulate(&device, &Workload::from_wavefront(&ws))
+        let naive = simulate(&device, &SimWorkload::from_wavefront(&ws))
             .unwrap()
             .total_time;
         let plan = TilingPlan::build(
@@ -147,7 +147,7 @@ mod tests {
             LaunchConfig::new_2d(1, 128),
         )
         .unwrap();
-        let hhc = simulate(&device, &Workload::from_plan(&plan))
+        let hhc = simulate(&device, &SimWorkload::from_plan(&plan))
             .unwrap()
             .total_time;
         assert!(hhc < 0.7 * naive, "hhc {hhc:e} vs naive {naive:e}");

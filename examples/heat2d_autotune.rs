@@ -12,9 +12,9 @@
 
 use hhc_stencil::core::{ProblemSize, StencilKind};
 use hhc_stencil::model::ModelParams;
-use hhc_stencil::opt::strategy::{study, EvalCache, StrategyContext};
+use hhc_stencil::opt::strategy::{study, StrategyContext};
 use hhc_stencil::opt::SpaceConfig;
-use hhc_stencil::sim::DeviceConfig;
+use hhc_stencil::sim::{DeviceConfig, Workload};
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -22,7 +22,6 @@ fn main() {
     let t: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(2048);
 
     let kind = StencilKind::Heat2D;
-    let spec = kind.spec();
     let size = ProblemSize::new_2d(s, s, t);
     let device = DeviceConfig::gtx980();
     let space = SpaceConfig::default();
@@ -37,14 +36,8 @@ fn main() {
     let measured = microbench::measured_params_sampled(&device, kind, 30, 7);
     let params = ModelParams::from_measured(&device, &measured);
 
-    let ctx = StrategyContext {
-        device: &device,
-        params: &params,
-        spec: &spec,
-        size: &size,
-        space: &space,
-        cache: EvalCache::new(),
-    };
+    let workload = Workload::new(device.clone(), kind, size).expect("Heat2D is 2-dimensional");
+    let ctx = StrategyContext::new(&workload, &params, &space);
     println!("running all strategies (incl. exhaustive search)...\n");
     let study = study(&ctx, true);
 

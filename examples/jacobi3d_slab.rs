@@ -11,7 +11,7 @@
 //! whole schedule computes exactly what the naive executor computes.
 
 use hhc_stencil::core::{reference, Grid, ProblemSize, StencilKind};
-use hhc_stencil::sim::{simulate, DeviceConfig, Workload};
+use hhc_stencil::sim::{simulate, DeviceConfig, SimWorkload};
 use hhc_stencil::tiling::{exec, LaunchConfig, TileSizes};
 use hhc_tiling::TilingPlan;
 
@@ -82,7 +82,7 @@ fn main() {
     // -- Part 3: simulate on both devices ---------------------------------
     println!("\nsimulated execution:");
     for device in DeviceConfig::paper_devices() {
-        let report = simulate(&device, &Workload::from_plan(&plan)).expect("launches");
+        let report = simulate(&device, &SimWorkload::from_plan(&plan)).expect("launches");
         println!(
             "  {:10}  T_exec = {:.3} s  ({:.1} GFLOPS/s, k = {}, {} kernels)",
             device.name,

@@ -16,8 +16,8 @@
 use hhc_stencil::core::{ProblemSize, StencilKind};
 use hhc_stencil::model::ModelParams;
 use hhc_stencil::opt::strategy::{empirical_launch, DataPoint};
-use hhc_stencil::opt::{feasible_tiles, model_sweep, talg_min, within_fraction, SpaceConfig};
-use hhc_stencil::sim::{simulate, DeviceConfig, Workload};
+use hhc_stencil::opt::{feasible_space, model_sweep, talg_min, within_fraction, SpaceConfig};
+use hhc_stencil::sim::{simulate, DeviceConfig, SimWorkload, Workload};
 use hhc_stencil::tiling::{LaunchConfig, TileSizes};
 use hhc_tiling::TilingPlan;
 
@@ -66,7 +66,7 @@ fn main() {
 
     // 4. Run it on the simulated GPU.
     let plan = TilingPlan::build(&spec, &size, tiles, launch).expect("valid configuration");
-    let report = simulate(&device, &Workload::from_plan(&plan)).expect("launches");
+    let report = simulate(&device, &SimWorkload::from_plan(&plan)).expect("launches");
     println!(
         "machine     : T_exec = {:.4} s ({:.1} GFLOPS/s, model/machine = {:.2})",
         report.total_time,
@@ -74,9 +74,11 @@ fn main() {
         pred.talg / report.total_time
     );
 
-    // 5. Let the model pick tile sizes: sweep the feasible space
-    //    (Eqn 31), take the predicted optimum and its 10 % neighborhood.
-    let space = feasible_tiles(&device, spec.dim, &SpaceConfig::default());
+    // 5. Let the model pick tile sizes: bundle the run into a Workload,
+    //    sweep its feasible space (Eqn 31), take the predicted optimum
+    //    and its 10 % neighborhood.
+    let workload = Workload::new(device.clone(), kind, size).expect("Jacobi2D is 2-dimensional");
+    let space = feasible_space(&workload, &SpaceConfig::default());
     let sweep = model_sweep(&params, &size, &space);
     let (best_tiles, best_pred) = talg_min(&sweep).expect("non-empty space");
     let within = within_fraction(&sweep, 0.10);
@@ -98,7 +100,7 @@ fn main() {
         let Ok(plan) = TilingPlan::build(&spec, &size, point.tiles, point.launch) else {
             continue;
         };
-        if let Ok(r) = simulate(&device, &Workload::from_plan(&plan)) {
+        if let Ok(r) = simulate(&device, &SimWorkload::from_plan(&plan)) {
             if best.is_none_or(|(_, t0)| r.total_time < t0) {
                 best = Some((point, r.total_time));
             }

@@ -15,8 +15,8 @@
 use hhc_stencil::core::{reference, ProblemSize, StencilKind};
 use hhc_stencil::model::ModelParams;
 use hhc_stencil::opt::strategy::{empirical_launch, DataPoint};
-use hhc_stencil::opt::{feasible_tiles, model_sweep, within_fraction, SpaceConfig};
-use hhc_stencil::sim::{simulate, DeviceConfig, Workload};
+use hhc_stencil::opt::{feasible_space, model_sweep, within_fraction, SpaceConfig};
+use hhc_stencil::sim::{simulate, DeviceConfig, SimWorkload, Workload};
 use hhc_stencil::tiling::{LaunchConfig, SpaceBlock, TilingPlan, WavefrontSchedule};
 
 /// Best naive (wavefront-parallel) time over a grid of block shapes.
@@ -36,7 +36,7 @@ fn best_naive(
             ) else {
                 continue;
             };
-            if let Ok(r) = simulate(device, &Workload::from_wavefront(&ws)) {
+            if let Ok(r) = simulate(device, &SimWorkload::from_wavefront(&ws)) {
                 if best.is_none_or(|(t, _)| r.total_time < t) {
                     best = Some((r.total_time, r.memory_bound()));
                 }
@@ -53,7 +53,9 @@ fn best_hhc(
     spec: &stencil_core::StencilSpec,
     size: &ProblemSize,
 ) -> f64 {
-    let space = feasible_tiles(device, spec.dim, &SpaceConfig::default());
+    let workload =
+        Workload::new(device.clone(), spec.kind, *size).expect("spec and size ranks agree");
+    let space = feasible_space(&workload, &SpaceConfig::default());
     let sweep = model_sweep(params, size, &space);
     let mut best = f64::INFINITY;
     for (tiles, _) in within_fraction(&sweep, 0.10) {
@@ -64,7 +66,7 @@ fn best_hhc(
         let Ok(plan) = TilingPlan::build(spec, size, point.tiles, point.launch) else {
             continue;
         };
-        if let Ok(r) = simulate(device, &Workload::from_plan(&plan)) {
+        if let Ok(r) = simulate(device, &SimWorkload::from_plan(&plan)) {
             best = best.min(r.total_time);
         }
     }

@@ -11,11 +11,11 @@
 //! The parsing and command logic live here (unit-tested); the binary in
 //! `src/bin/stencil-tune.rs` is a thin shell.
 
-use gpu_sim::{simulate, DeviceConfig, Workload};
+use gpu_sim::{simulate, DeviceConfig, SimWorkload, Workload};
 use hhc_tiling::{analyze, LaunchConfig, TileSizes, TilingPlan};
 use stencil_core::{reference, ProblemSize, StencilDim, StencilKind};
 use tile_opt::strategy::{empirical_launch, DataPoint};
-use tile_opt::{feasible_tiles, model_sweep, talg_min, within_fraction, SpaceConfig};
+use tile_opt::{feasible_space, model_sweep, talg_min, within_fraction, SpaceConfig};
 use time_model::{predict, ModelParams};
 
 /// Parse a stencil name (case-insensitive, e.g. `jacobi2d`).
@@ -53,11 +53,7 @@ pub fn parse_size(s: &str, dim: StencilDim) -> Result<ProblemSize, String> {
         );
     }
     let t = vals[rank];
-    Ok(match dim {
-        StencilDim::D1 => ProblemSize::new_1d(vals[0], t),
-        StencilDim::D2 => ProblemSize::new_2d(vals[0], vals[1], t),
-        StencilDim::D3 => ProblemSize::new_3d(vals[0], vals[1], vals[2], t),
-    })
+    ProblemSize::from_extents(&vals[..rank], t)
 }
 
 /// Parse tile sizes like `8,16,128` (`t_T` first, then the space extents).
@@ -78,11 +74,7 @@ pub fn parse_tiles(s: &str, dim: StencilDim) -> Result<TileSizes, String> {
             rank + 1
         ));
     }
-    let tiles = match dim {
-        StencilDim::D1 => TileSizes::new_1d(vals[0], vals[1]),
-        StencilDim::D2 => TileSizes::new_2d(vals[0], vals[1], vals[2]),
-        StencilDim::D3 => TileSizes::new_3d(vals[0], vals[1], vals[2], vals[3]),
-    };
+    let tiles = TileSizes::from_coords(dim, &vals)?;
     tiles.validate(dim)?;
     Ok(tiles)
 }
@@ -103,36 +95,27 @@ pub fn parse_threads(s: &str, dim: StencilDim) -> Result<LaunchConfig, String> {
             "threads '{s}' needs {rank} extents for a {rank}D stencil"
         ));
     }
-    let launch = match dim {
-        StencilDim::D1 => LaunchConfig::new_1d(vals[0]),
-        StencilDim::D2 => LaunchConfig::new_2d(vals[0], vals[1]),
-        StencilDim::D3 => LaunchConfig::new_3d(vals[0], vals[1], vals[2]),
-    };
+    let launch = LaunchConfig::from_extents(dim, &vals)?;
     launch.validate(dim)?;
     Ok(launch)
 }
 
-/// Parse a device name (`gtx980` / `titanx`).
+/// Parse a device name (`gtx980` / `titanx`, plus the registry's
+/// spelling variants) via the [`DeviceConfig::preset`] registry.
 pub fn parse_device(name: &str) -> Result<DeviceConfig, String> {
-    match name
-        .to_ascii_lowercase()
-        .replace([' ', '-', '_'], "")
-        .as_str()
-    {
-        "gtx980" | "980" => Ok(DeviceConfig::gtx980()),
-        "titanx" | "titan" => Ok(DeviceConfig::titan_x()),
-        other => Err(format!("unknown device '{other}' (gtx980 or titanx)")),
-    }
+    DeviceConfig::preset(name).ok_or_else(|| {
+        format!(
+            "unknown device '{name}' (known: {})",
+            DeviceConfig::preset_names().join(", ")
+        )
+    })
 }
 
-/// Shared flag set of all subcommands.
+/// Shared flag set of all subcommands: the (device, stencil, size)
+/// workload every command operates on, plus presentation-only knobs.
 pub struct CommonArgs {
-    /// The stencil.
-    pub kind: StencilKind,
-    /// Problem size.
-    pub size: ProblemSize,
-    /// Device.
-    pub device: DeviceConfig,
+    /// The parsed workload (device + stencil + problem size).
+    pub workload: Workload,
     /// Micro-benchmark samples for `Citer`.
     pub samples: usize,
 }
@@ -173,22 +156,21 @@ pub fn common_args(flags: &std::collections::BTreeMap<String, &str>) -> Result<C
         s.parse().map_err(|_| "bad --samples".to_string())
     })?;
     Ok(CommonArgs {
-        kind,
-        size,
-        device,
+        workload: Workload::new(device, kind, size)?,
         samples,
     })
 }
 
 fn measured_params(c: &CommonArgs) -> ModelParams {
-    let m = microbench::measured_params_sampled(&c.device, c.kind, c.samples, 0x5EED);
-    ModelParams::from_measured(&c.device, &m)
+    let w = &c.workload;
+    let m = microbench::measured_params_sampled(&w.device, w.stencil, c.samples, 0x5EED);
+    ModelParams::from_measured(&w.device, &m)
 }
 
 /// `predict`: evaluate the analytical model for one tile size.
 pub fn cmd_predict(c: &CommonArgs, tiles: TileSizes) -> Result<String, String> {
     let params = measured_params(c);
-    let p = predict(&params, &c.size, &tiles);
+    let p = predict(&params, &c.workload.size, &tiles);
     Ok(format!(
         "T_alg = {:.6} s\n  k = {}   kernels = {}   blocks/kernel = {}\n  m' = {:.3e} s   c = {:.3e} s ({})\n  M_tile = {} words ({} KB)",
         p.talg,
@@ -209,10 +191,11 @@ pub fn cmd_simulate(
     tiles: TileSizes,
     launch: LaunchConfig,
 ) -> Result<String, String> {
-    let spec = c.kind.spec();
-    let plan = TilingPlan::build(&spec, &c.size, tiles, launch)?;
-    let r = simulate(&c.device, &Workload::from_plan(&plan)).map_err(|e| e.to_string())?;
-    let flops = reference::total_flops(&spec, &c.size);
+    let w = &c.workload;
+    let spec = w.spec();
+    let plan = TilingPlan::build(&spec, &w.size, tiles, launch)?;
+    let r = simulate(&w.device, &SimWorkload::from_plan(&plan)).map_err(|e| e.to_string())?;
+    let flops = reference::total_flops(&spec, &w.size);
     Ok(format!(
         "T_exec = {:.6} s   ({:.1} GFLOPS/s)\n  k = {} ({:?}-limited)   kernels = {}\n  spill factor = {:.2}   divergence factor = {:.2}   {}",
         r.total_time,
@@ -228,9 +211,10 @@ pub fn cmd_simulate(
 
 /// `analyze`: print the plan statistics for one tile size.
 pub fn cmd_analyze(c: &CommonArgs, tiles: TileSizes) -> Result<String, String> {
-    let spec = c.kind.spec();
-    let launch = empirical_launch(spec.dim, &tiles);
-    let plan = TilingPlan::build(&spec, &c.size, tiles, launch)?;
+    let w = &c.workload;
+    let spec = w.spec();
+    let launch = empirical_launch(w.dim(), &tiles);
+    let plan = TilingPlan::build(&spec, &w.size, tiles, launch)?;
     let st = analyze(&plan);
     Ok(format!(
         "kernels = {}   blocks = {} (max {}/kernel)\n  iterations = {}   words moved = {}\n  reuse = {:.2} iterations/word   intensity = {:.2} flops/byte\n  boundary share = {:.1}%   M_tile = {} words",
@@ -249,10 +233,11 @@ pub fn cmd_analyze(c: &CommonArgs, tiles: TileSizes) -> Result<String, String> {
 /// `tune`: the paper's pipeline — sweep the model, measure the within-10 %
 /// candidates, report the best configuration.
 pub fn cmd_tune(c: &CommonArgs) -> Result<String, String> {
-    let spec = c.kind.spec();
+    let w = &c.workload;
+    let spec = w.spec();
     let params = measured_params(c);
-    let space = feasible_tiles(&c.device, spec.dim, &SpaceConfig::default());
-    let sweep = model_sweep(&params, &c.size, &space);
+    let space = feasible_space(w, &SpaceConfig::default());
+    let sweep = model_sweep(&params, &w.size, &space);
     let (tmin, pmin) = talg_min(&sweep).ok_or("empty feasible space")?;
     let within = within_fraction(&sweep, 0.10);
 
@@ -260,19 +245,19 @@ pub fn cmd_tune(c: &CommonArgs) -> Result<String, String> {
     for (tiles, _) in &within {
         let point = DataPoint {
             tiles: *tiles,
-            launch: empirical_launch(spec.dim, tiles),
+            launch: empirical_launch(w.dim(), tiles),
         };
-        let Ok(plan) = TilingPlan::build(&spec, &c.size, point.tiles, point.launch) else {
+        let Ok(plan) = TilingPlan::build(&spec, &w.size, point.tiles, point.launch) else {
             continue;
         };
-        if let Ok(r) = simulate(&c.device, &Workload::from_plan(&plan)) {
+        if let Ok(r) = simulate(&w.device, &SimWorkload::from_plan(&plan)) {
             if best.is_none_or(|(_, t)| r.total_time < t) {
                 best = Some((point, r.total_time));
             }
         }
     }
     let (point, time) = best.ok_or("no candidate launched")?;
-    let flops = reference::total_flops(&spec, &c.size) as f64;
+    let flops = reference::total_flops(&spec, &w.size) as f64;
     Ok(format!(
         "swept {} feasible tile sizes; T_alg min = {:.4} s at t = {:?}\nmeasured {} candidates within 10% of the predicted optimum\nbest: tiles (tT={}, tS={:?}) threads {:?} -> {:.6} s ({:.1} GFLOPS/s)",
         space.len(),
@@ -280,8 +265,8 @@ pub fn cmd_tune(c: &CommonArgs) -> Result<String, String> {
         (tmin.t_t, tmin.t_s),
         within.len(),
         point.tiles.t_t,
-        &point.tiles.t_s[..spec.dim.rank()],
-        &point.launch.threads[..spec.dim.rank()],
+        &point.tiles.t_s[..w.rank()],
+        &point.launch.threads[..w.rank()],
         time,
         flops / time / 1e9,
     ))
@@ -290,15 +275,16 @@ pub fn cmd_tune(c: &CommonArgs) -> Result<String, String> {
 /// `params`: print the measured model parameters (Tables 3/4 for this
 /// device/stencil).
 pub fn cmd_params(c: &CommonArgs) -> Result<String, String> {
-    let m = microbench::measured_params_sampled(&c.device, c.kind, c.samples, 0x5EED);
+    let w = &c.workload;
+    let m = microbench::measured_params_sampled(&w.device, w.stencil, c.samples, 0x5EED);
     Ok(format!(
         "device {}   stencil {}
   L      = {:.4e} s/GB   ({:.4e} s/word)
   tau_sync = {:.4e} s
   T_sync = {:.4e} s
   Citer  = {:.4e} s   ({} samples)",
-        c.device.name,
-        c.kind.name(),
+        w.device.name,
+        w.stencil.name(),
         m.l_word * 1e9 / 4.0,
         m.l_word,
         m.tau_sync,
@@ -310,23 +296,24 @@ pub fn cmd_params(c: &CommonArgs) -> Result<String, String> {
 
 /// `compare`: predict and simulate two tile configurations side by side.
 pub fn cmd_compare(c: &CommonArgs, a: TileSizes, b: TileSizes) -> Result<String, String> {
-    let spec = c.kind.spec();
+    let w = &c.workload;
+    let spec = w.spec();
     let params = measured_params(c);
     let mut lines = vec![format!(
         "{:>24} {:>14} {:>14} {:>10}",
         "tiles (tT,tS..)", "T_alg [s]", "T_exec [s]", "GFLOPS/s"
     )];
-    let flops = reference::total_flops(&spec, &c.size) as f64;
+    let flops = reference::total_flops(&spec, &w.size) as f64;
     for tiles in [a, b] {
-        let pred = predict(&params, &c.size, &tiles);
-        let launch = empirical_launch(spec.dim, &tiles);
-        let meas = TilingPlan::build(&spec, &c.size, tiles, launch)
+        let pred = predict(&params, &w.size, &tiles);
+        let launch = empirical_launch(w.dim(), &tiles);
+        let meas = TilingPlan::build(&spec, &w.size, tiles, launch)
             .ok()
-            .and_then(|plan| simulate(&c.device, &Workload::from_plan(&plan)).ok())
+            .and_then(|plan| simulate(&w.device, &SimWorkload::from_plan(&plan)).ok())
             .map(|r| r.total_time);
         lines.push(format!(
             "{:>24} {:>14.6} {:>14} {:>10}",
-            format!("({},{:?})", tiles.t_t, &tiles.t_s[..spec.dim.rank()]),
+            format!("({},{:?})", tiles.t_t, &tiles.t_s[..w.rank()]),
             pred.talg,
             meas.map_or("n/a".into(), |t| format!("{t:.6}")),
             meas.map_or("n/a".into(), |t| format!("{:.1}", flops / t / 1e9)),
@@ -346,16 +333,17 @@ pub fn cmd_trace(
     kernel: usize,
 ) -> Result<String, String> {
     use gpu_sim::{trace_kernel, TracePipe};
-    let spec = c.kind.spec();
-    let plan = TilingPlan::build(&spec, &c.size, tiles, launch)?;
-    let wl = Workload::from_plan(&plan);
+    let w = &c.workload;
+    let spec = w.spec();
+    let plan = TilingPlan::build(&spec, &w.size, tiles, launch)?;
+    let wl = SimWorkload::from_plan(&plan);
     if kernel >= wl.kernels.len() {
         return Err(format!(
             "kernel {kernel} out of range (plan has {})",
             wl.kernels.len()
         ));
     }
-    let trace = trace_kernel(&c.device, &wl, kernel).map_err(|e| e.to_string())?;
+    let trace = trace_kernel(&w.device, &wl, kernel).map_err(|e| e.to_string())?;
     let width = 72usize;
     let span = trace.makespan.max(1e-30);
     let mut out = format!(
@@ -420,7 +408,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
             let c = common_args(&flags)?;
             let tiles = parse_tiles(
                 flags.get("tile").ok_or("--tile is required")?,
-                c.kind.spec().dim,
+                c.workload.dim(),
             )?;
             cmd_predict(&c, tiles)
         }
@@ -430,7 +418,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 &["stencil", "size", "tile", "threads", "device", "samples"],
             )?;
             let c = common_args(&flags)?;
-            let dim = c.kind.spec().dim;
+            let dim = c.workload.dim();
             let tiles = parse_tiles(flags.get("tile").ok_or("--tile is required")?, dim)?;
             let launch = match flags.get("threads") {
                 Some(t) => parse_threads(t, dim)?,
@@ -443,7 +431,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
             let c = common_args(&flags)?;
             let tiles = parse_tiles(
                 flags.get("tile").ok_or("--tile is required")?,
-                c.kind.spec().dim,
+                c.workload.dim(),
             )?;
             cmd_analyze(&c, tiles)
         }
@@ -460,7 +448,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 ],
             )?;
             let c = common_args(&flags)?;
-            let dim = c.kind.spec().dim;
+            let dim = c.workload.dim();
             let tiles = parse_tiles(flags.get("tile").ok_or("--tile is required")?, dim)?;
             let launch = match flags.get("threads") {
                 Some(t) => parse_threads(t, dim)?,
@@ -482,7 +470,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 &["stencil", "size", "tile", "tile2", "device", "samples"],
             )?;
             let c = common_args(&flags)?;
-            let dim = c.kind.spec().dim;
+            let dim = c.workload.dim();
             let a = parse_tiles(flags.get("tile").ok_or("--tile is required")?, dim)?;
             let b = parse_tiles(flags.get("tile2").ok_or("--tile2 is required")?, dim)?;
             cmd_compare(&c, a, b)

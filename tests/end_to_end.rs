@@ -4,26 +4,20 @@
 use experiments::figures::{pool_validation, validate_one_full};
 use experiments::{ExperimentScale, Lab};
 use hhc_stencil::core::{ProblemSize, StencilKind};
-use hhc_stencil::opt::strategy::{study, EvalCache, Strategy, StrategyContext};
+use hhc_stencil::opt::strategy::{study, Strategy, StrategyContext};
 use hhc_stencil::opt::SpaceConfig;
+use hhc_stencil::sim::Workload;
 
 #[test]
 fn full_pipeline_produces_coherent_study() {
     let lab = Lab::new(ExperimentScale::Smoke);
     let device = lab.devices[0].clone();
     let kind = StencilKind::Heat2D;
-    let spec = kind.spec();
     let size = ProblemSize::new_2d(1024, 1024, 256);
     let params = lab.model_params(&device, kind);
     let space = SpaceConfig::default();
-    let ctx = StrategyContext {
-        device: &device,
-        params: &params,
-        spec: &spec,
-        size: &size,
-        space: &space,
-        cache: EvalCache::new(),
-    };
+    let workload = Workload::new(device, kind, size).expect("Heat2D is 2-dimensional");
+    let ctx = StrategyContext::new(&workload, &params, &space);
     let st = study(&ctx, false);
 
     // All four non-exhaustive strategies produce outcomes.

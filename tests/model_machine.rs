@@ -3,7 +3,7 @@
 
 use hhc_stencil::core::{ProblemSize, StencilKind};
 use hhc_stencil::model::{predict, ModelParams};
-use hhc_stencil::sim::{occupancy, simulate, DeviceConfig, Workload};
+use hhc_stencil::sim::{occupancy, simulate, DeviceConfig, SimWorkload};
 use hhc_stencil::tiling::{LaunchConfig, TileSizes};
 use hhc_tiling::TilingPlan;
 
@@ -29,7 +29,7 @@ fn model_tracks_machine_on_aligned_steady_state() {
     let launch = LaunchConfig::new_2d(1, 384);
     let pred = predict(&params, &size, &tiles);
     let plan = TilingPlan::build(&spec, &size, tiles, launch).unwrap();
-    let meas = simulate(&device, &Workload::from_plan(&plan))
+    let meas = simulate(&device, &SimWorkload::from_plan(&plan))
         .unwrap()
         .total_time;
     let ratio = meas / pred.talg;
@@ -55,7 +55,7 @@ fn model_is_optimistic_on_bad_thread_shapes() {
     let launch = LaunchConfig::new_2d(1, 512);
     let pred = predict(&params, &size, &tiles);
     let plan = TilingPlan::build(&spec, &size, tiles, launch).unwrap();
-    let meas = simulate(&device, &Workload::from_plan(&plan))
+    let meas = simulate(&device, &SimWorkload::from_plan(&plan))
         .unwrap()
         .total_time;
     assert!(
@@ -81,7 +81,7 @@ fn model_k_matches_machine_occupancy_when_shared_bound() {
     ] {
         let pred = predict(&params, &size, &tiles);
         let plan = TilingPlan::build(&spec, &size, tiles, LaunchConfig::new_2d(1, 128)).unwrap();
-        let occ = occupancy(&device, &Workload::from_plan(&plan)).unwrap();
+        let occ = occupancy(&device, &SimWorkload::from_plan(&plan)).unwrap();
         let diff = (pred.k as i64 - occ.k as i64).abs();
         assert!(
             diff <= 1,
@@ -137,7 +137,7 @@ fn simulation_is_deterministic_across_rebuilds() {
     let mut times = Vec::new();
     for _ in 0..3 {
         let plan = TilingPlan::build(&spec, &size, tiles, LaunchConfig::new_2d(1, 96)).unwrap();
-        let r = simulate(&device, &Workload::from_plan(&plan)).unwrap();
+        let r = simulate(&device, &SimWorkload::from_plan(&plan)).unwrap();
         times.push(r.total_time.to_bits());
     }
     assert_eq!(times[0], times[1]);
@@ -155,7 +155,7 @@ fn infeasible_rejected_consistently() {
     let tiles = TileSizes::new_2d(32, 64, 512); // enormous tile
     assert!(!tile_opt::is_feasible(&device, spec.dim, &tiles));
     let plan = TilingPlan::build(&spec, &size, tiles, LaunchConfig::new_2d(1, 512)).unwrap();
-    assert!(simulate(&device, &Workload::from_plan(&plan)).is_err());
+    assert!(simulate(&device, &SimWorkload::from_plan(&plan)).is_err());
 }
 
 /// Titan X (24 SMs, higher bandwidth) beats the GTX 980 on the same
@@ -167,7 +167,7 @@ fn titan_x_outperforms_gtx980() {
     let size = ProblemSize::new_2d(4096, 4096, 512);
     let tiles = TileSizes::new_2d(8, 8, 128);
     let plan = TilingPlan::build(&spec, &size, tiles, LaunchConfig::new_2d(1, 128)).unwrap();
-    let wl = Workload::from_plan(&plan);
+    let wl = SimWorkload::from_plan(&plan);
     let gtx = simulate(&DeviceConfig::gtx980(), &wl).unwrap().total_time;
     let titan = simulate(&DeviceConfig::titan_x(), &wl).unwrap().total_time;
     assert!(titan < gtx, "titan {titan} vs gtx {gtx}");
