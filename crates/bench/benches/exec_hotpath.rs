@@ -35,6 +35,7 @@ fn bench_exec_paths(c: &mut Criterion) {
         checked: false,
         rolling_window: true,
         row_kernels: false,
+        simd: false,
     };
     g.bench_function("jacobi2d_generic_rolling_window", |b| {
         b.iter(|| {
@@ -42,8 +43,16 @@ fn bench_exec_paths(c: &mut Criterion) {
             black_box(out.len())
         })
     });
-    // The full fast path: rolling window + specialized row kernels.
-    g.bench_function("jacobi2d_row_kernel_rolling_window", |b| {
+    // Rolling window + scalar row kernels (the pre-SIMD fast path).
+    g.bench_function("jacobi2d_row_kernel_scalar", |b| {
+        b.iter(|| {
+            let (out, _) =
+                run_tiled_with(&spec, &size, tiles, &grid, ExecOptions::FAST_SCALAR).unwrap();
+            black_box(out.len())
+        })
+    });
+    // The full fast path: rolling window + vectorized row kernels.
+    g.bench_function("jacobi2d_row_kernel_simd", |b| {
         b.iter(|| {
             let (out, _) = run_tiled_with(&spec, &size, tiles, &grid, ExecOptions::FAST).unwrap();
             black_box(out.len())

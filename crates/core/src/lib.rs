@@ -41,6 +41,7 @@ pub mod ispace;
 pub mod norms;
 pub mod problem;
 pub mod reference;
+pub mod simd;
 pub mod stencil;
 pub mod tiling;
 pub mod workload;

@@ -1,0 +1,268 @@
+//! Runtime SIMD capability detection and the vectorized interior-row
+//! span kernels behind [`crate::RowKernel::apply_span`].
+//!
+//! The vectorized kernels process [`BLOCK_WIDTH`] output points per
+//! iteration. Each lane runs the **identical per-point scalar operation
+//! sequence** as the scalar oracle ([`crate::RowKernel::apply_span_scalar`]):
+//! `acc = 0; for each tap in declaration order: acc += w · src[i + Δ];
+//! dst[i] = acc + c`. IEEE-754 single ops are deterministic and lanes are
+//! independent output points, so the blocked kernels are bit-for-bit
+//! identical to the scalar path for every input — the property the
+//! executor's bit-identity tests pin.
+//!
+//! On `x86_64` the block body is additionally compiled under
+//! `#[target_feature(enable = "avx2")]` and selected by runtime feature
+//! detection (`is_x86_feature_detected!`), so one portable binary uses
+//! 256-bit lanes where the CPU has them and falls back to the
+//! autovectorized baseline (SSE2 / NEON) elsewhere. No FMA is enabled:
+//! contraction of `mul + add` would change the bits.
+
+use std::sync::OnceLock;
+
+/// Output points computed per blocked-kernel iteration. Eight `f32`
+/// lanes: one AVX2 vector, or two SSE2/NEON vectors — wide enough for
+/// either while keeping the scalar remainder short.
+pub const BLOCK_WIDTH: usize = 8;
+
+/// What the running CPU offers the row kernels, detected once at first
+/// use and recorded into run manifests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimdCaps {
+    /// The instruction-set family the blocked kernel dispatches to
+    /// (`"avx2"`, `"sse2"`, `"neon"`, or `"portable"`).
+    pub feature: &'static str,
+    /// `f32` output points per blocked iteration ([`BLOCK_WIDTH`]).
+    pub block_width: usize,
+}
+
+impl SimdCaps {
+    /// Manifest spelling, e.g. `"avx2 x8"`.
+    pub fn describe(&self) -> String {
+        format!("{} x{}", self.feature, self.block_width)
+    }
+}
+
+/// The process-wide SIMD capabilities (detected once, then cached).
+pub fn caps() -> SimdCaps {
+    static CAPS: OnceLock<SimdCaps> = OnceLock::new();
+    *CAPS.get_or_init(detect)
+}
+
+fn detect() -> SimdCaps {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let feature = if std::arch::is_x86_feature_detected!("avx2") {
+            "avx2"
+        } else {
+            "sse2"
+        };
+        return SimdCaps {
+            feature,
+            block_width: BLOCK_WIDTH,
+        };
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        return SimdCaps {
+            feature: "neon",
+            block_width: BLOCK_WIDTH,
+        };
+    }
+    #[allow(unreachable_code)]
+    SimdCaps {
+        feature: "portable",
+        block_width: BLOCK_WIDTH,
+    }
+}
+
+/// The blocked span body for a fixed tap arity `N`: whole blocks of
+/// [`BLOCK_WIDTH`] points with per-lane scalar sequences (vectorizable —
+/// the lane loops are exact-trip-count, bounds-checked once per tap via
+/// the subslice), then a scalar remainder identical to the oracle.
+#[inline(always)]
+fn block_body<const N: usize>(
+    taps: &[(isize, f32); N],
+    constant: f32,
+    src: &[f32],
+    dst: &mut [f32],
+    lo: usize,
+    hi: usize,
+) {
+    let mut i = lo;
+    while i + BLOCK_WIDTH <= hi + 1 {
+        let mut acc = [0.0f32; BLOCK_WIDTH];
+        for &(d, w) in taps {
+            let s = &src[(i as isize + d) as usize..][..BLOCK_WIDTH];
+            for (a, &x) in acc.iter_mut().zip(s) {
+                *a += w * x;
+            }
+        }
+        for (o, a) in dst[i..i + BLOCK_WIDTH].iter_mut().zip(acc) {
+            *o = a + constant;
+        }
+        i += BLOCK_WIDTH;
+    }
+    for j in i..=hi {
+        let mut acc = 0.0f32;
+        for &(d, w) in taps {
+            acc += w * src[(j as isize + d) as usize];
+        }
+        dst[j] = acc + constant;
+    }
+}
+
+/// [`block_body`] for arbitrary tap counts (non-benchmark stencils).
+#[inline(always)]
+fn block_body_dyn(
+    taps: &[(isize, f32)],
+    constant: f32,
+    src: &[f32],
+    dst: &mut [f32],
+    lo: usize,
+    hi: usize,
+) {
+    let mut i = lo;
+    while i + BLOCK_WIDTH <= hi + 1 {
+        let mut acc = [0.0f32; BLOCK_WIDTH];
+        for &(d, w) in taps {
+            let s = &src[(i as isize + d) as usize..][..BLOCK_WIDTH];
+            for (a, &x) in acc.iter_mut().zip(s) {
+                *a += w * x;
+            }
+        }
+        for (o, a) in dst[i..i + BLOCK_WIDTH].iter_mut().zip(acc) {
+            *o = a + constant;
+        }
+        i += BLOCK_WIDTH;
+    }
+    for j in i..=hi {
+        let mut acc = 0.0f32;
+        for &(d, w) in taps {
+            acc += w * src[(j as isize + d) as usize];
+        }
+        dst[j] = acc + constant;
+    }
+}
+
+/// AVX2-compiled monomorphizations of the block bodies. The safe bodies
+/// are `#[inline(always)]`, so they are code-generated *inside* these
+/// wrappers with 256-bit vectors available. Callers must check
+/// `caps().feature == "avx2"` first (upheld by [`apply_span_auto`]).
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::{block_body, block_body_dyn};
+
+    macro_rules! avx2_span {
+        ($name:ident, $n:literal) => {
+            #[target_feature(enable = "avx2")]
+            pub unsafe fn $name(
+                taps: &[(isize, f32)],
+                constant: f32,
+                src: &[f32],
+                dst: &mut [f32],
+                lo: usize,
+                hi: usize,
+            ) {
+                let taps: &[(isize, f32); $n] = taps.try_into().expect("arity dispatch matches");
+                block_body::<$n>(taps, constant, src, dst, lo, hi)
+            }
+        };
+    }
+
+    avx2_span!(span3, 3);
+    avx2_span!(span5, 5);
+    avx2_span!(span7, 7);
+    avx2_span!(span9, 9);
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn span_dyn(
+        taps: &[(isize, f32)],
+        constant: f32,
+        src: &[f32],
+        dst: &mut [f32],
+        lo: usize,
+        hi: usize,
+    ) {
+        block_body_dyn(taps, constant, src, dst, lo, hi)
+    }
+}
+
+/// Vectorized span sweep: dispatch on the detected instruction set and
+/// the tap arity (3/5/7/9-point fast paths, generic otherwise).
+pub(crate) fn apply_span_auto(
+    taps: &[(isize, f32)],
+    constant: f32,
+    src: &[f32],
+    dst: &mut [f32],
+    lo: usize,
+    hi: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if caps().feature == "avx2" {
+        // SAFETY: AVX2 support was verified at runtime by `caps()`.
+        unsafe {
+            match taps.len() {
+                3 => avx2::span3(taps, constant, src, dst, lo, hi),
+                5 => avx2::span5(taps, constant, src, dst, lo, hi),
+                7 => avx2::span7(taps, constant, src, dst, lo, hi),
+                9 => avx2::span9(taps, constant, src, dst, lo, hi),
+                _ => avx2::span_dyn(taps, constant, src, dst, lo, hi),
+            }
+        }
+        return;
+    }
+    match taps.len() {
+        3 => block_body::<3>(taps.try_into().expect("arity"), constant, src, dst, lo, hi),
+        5 => block_body::<5>(taps.try_into().expect("arity"), constant, src, dst, lo, hi),
+        7 => block_body::<7>(taps.try_into().expect("arity"), constant, src, dst, lo, hi),
+        9 => block_body::<9>(taps.try_into().expect("arity"), constant, src, dst, lo, hi),
+        _ => block_body_dyn(taps, constant, src, dst, lo, hi),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caps_are_stable_and_plausible() {
+        let a = caps();
+        let b = caps();
+        assert_eq!(a, b);
+        assert_eq!(a.block_width, BLOCK_WIDTH);
+        assert!(["avx2", "sse2", "neon", "portable"].contains(&a.feature));
+        assert!(a.describe().contains(a.feature));
+    }
+
+    /// The blocked kernels must equal the scalar sequence bit-for-bit on
+    /// every span length covering all `len % BLOCK_WIDTH` remainders,
+    /// for every dispatch arity.
+    #[test]
+    fn blocked_matches_scalar_for_all_remainders() {
+        let n = 4 * BLOCK_WIDTH + 7;
+        let src: Vec<f32> = (0..n + 8).map(|i| (i as f32 * 0.37).sin()).collect();
+        for arity in [3usize, 5, 7, 9, 11] {
+            let taps: Vec<(isize, f32)> = (0..arity)
+                .map(|k| (k as isize - (arity / 2) as isize, 0.11 * (k as f32 + 1.0)))
+                .collect();
+            let constant = 0.25f32;
+            let lo = arity / 2 + 1;
+            for span in 1..=(3 * BLOCK_WIDTH + 1) {
+                let hi = lo + span - 1;
+                let mut simd = vec![0.0f32; n + 8];
+                let mut scalar = vec![0.0f32; n + 8];
+                apply_span_auto(&taps, constant, &src, &mut simd, lo, hi);
+                for j in lo..=hi {
+                    let mut acc = 0.0f32;
+                    for &(d, w) in &taps {
+                        acc += w * src[(j as isize + d) as usize];
+                    }
+                    scalar[j] = acc + constant;
+                }
+                for (a, b) in simd.iter().zip(&scalar) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "arity {arity} span {span}");
+                }
+            }
+        }
+    }
+}

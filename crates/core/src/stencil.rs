@@ -487,11 +487,24 @@ impl RowKernel {
     }
 
     /// Compute `dst[i] = Σ w·src[i + Δ] + c` for every flat index
-    /// `i ∈ [lo, hi]`. All points must be interior: every `i + Δ` must be
-    /// a valid index of `src` (panics on out-of-range in debug and release
-    /// via slice indexing — never reads out of bounds).
+    /// `i ∈ [lo, hi]` with the vectorized blocked kernel (see
+    /// [`mod@crate::simd`]): [`crate::simd::BLOCK_WIDTH`] output points
+    /// per iteration, each lane running the identical per-point scalar
+    /// sequence, so the result is bit-for-bit equal to
+    /// [`Self::apply_span_scalar`]. All points must be interior: every
+    /// `i + Δ` must be a valid index of `src` (panics on out-of-range in
+    /// debug and release via slice indexing — never reads out of bounds).
     #[inline]
     pub fn apply_span(&self, src: &[f32], dst: &mut [f32], lo: usize, hi: usize) {
+        crate::simd::apply_span_auto(&self.taps, self.constant, src, dst, lo, hi)
+    }
+
+    /// The scalar reference sweep — one point at a time, taps in
+    /// declaration order. This is the bit-identity oracle the vectorized
+    /// [`Self::apply_span`] is pinned against, and the baseline the
+    /// benches compare SIMD speedup to.
+    #[inline]
+    pub fn apply_span_scalar(&self, src: &[f32], dst: &mut [f32], lo: usize, hi: usize) {
         // Dispatch to a fixed-arity loop so LLVM fully unrolls the tap
         // reduction for the common neighborhood sizes (3/5/7/9-point).
         match self.taps.len() {
@@ -508,6 +521,17 @@ impl RowKernel {
                     dst[i] = acc + self.constant;
                 }
             }
+        }
+    }
+
+    /// [`Self::apply_span`] when `simd` is true, the scalar oracle
+    /// otherwise — the executor's `ExecOptions::simd` switch.
+    #[inline]
+    pub fn apply_span_mode(&self, simd: bool, src: &[f32], dst: &mut [f32], lo: usize, hi: usize) {
+        if simd {
+            self.apply_span(src, dst, lo, hi)
+        } else {
+            self.apply_span_scalar(src, dst, lo, hi)
         }
     }
 }

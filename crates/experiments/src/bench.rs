@@ -20,8 +20,10 @@ use std::time::Instant;
 use stencil_core::{init, ProblemSize, StencilKind};
 use tile_opt::strategy::{baseline_points, evaluate_points, StrategyContext};
 use tile_opt::SpaceConfig;
+use time_model::roofline;
 
-/// One executor comparison row: baseline vs fast path on one workload.
+/// One executor comparison row: baseline vs scalar fast path vs the SIMD
+/// fast path on one workload, plus the roofline self-model's verdict.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ExecBenchRow {
     pub benchmark: String,
@@ -30,19 +32,35 @@ pub struct ExecBenchRow {
     /// Seconds, best of `reps`, full-storage generic path
     /// ([`ExecOptions::BASELINE`] — the seed implementation).
     pub baseline_s: f64,
-    /// Seconds, best of `reps`, rolling-window + row kernels
+    /// Seconds, best of `reps`, rolling-window + scalar row kernels
+    /// ([`ExecOptions::FAST_SCALAR`] — the pre-SIMD fast path).
+    pub fast_scalar_s: f64,
+    /// Seconds, best of `reps`, rolling-window + vectorized row kernels
     /// ([`ExecOptions::FAST`]).
     pub fast_s: f64,
     /// `baseline_s / fast_s`.
     pub speedup: f64,
+    /// `fast_scalar_s / fast_s` — what vectorization alone bought.
+    pub simd_speedup: f64,
     /// Physical planes the baseline held resident (`T + 1`).
     pub baseline_resident_planes: usize,
     /// Physical planes the fast path held resident (`min(t_t+1, T+1)`).
     pub fast_resident_planes: usize,
     /// Fraction of points the fast path computed with the row kernel.
     pub kernel_point_fraction: f64,
-    /// Both paths produced bit-identical grids (always asserted).
+    /// Kernel rows wide enough to engage the blocked SIMD sweep.
+    pub simd_rows: u64,
+    /// All three paths produced bit-identical grids (always asserted).
     pub bit_identical: bool,
+    /// Roofline-predicted achievable throughput (points/sec) for this
+    /// stencil on this machine (`min(compute, memory)` ceiling).
+    pub roofline_pps_pred: f64,
+    /// Measured fast-path throughput: total points / `fast_s`.
+    pub measured_pps: f64,
+    /// `measured_pps / roofline_pps_pred` — the CI-gated ratio.
+    pub roofline_ratio: f64,
+    /// Which ceiling bound the prediction (`"compute"` / `"memory"`).
+    pub roofline_bound: String,
 }
 
 /// One multi-core comparison row: sequential fast path vs the pooled
@@ -64,10 +82,21 @@ pub struct ParallelBenchRow {
     /// Parallel result equals the sequential fast path bit for bit
     /// (always asserted).
     pub bit_identical: bool,
-    /// Pool checkouts during the best-timed run.
+    /// The executor's dispatch policy fell back to the sequential fast
+    /// path (single-thread pool, or batching could not pay) — when true,
+    /// `speedup` measures pooled-sequential overhead, not parallelism.
+    pub fallback: bool,
+    /// Work batches handed to the thread pool during the best-timed run.
+    pub batch_dispatches: u64,
+    /// Pool checkouts during the best-timed run (warm pool).
     pub scratch_acquires: u64,
     /// Checkouts served from the pool without allocating.
     pub scratch_reuses: u64,
+    /// Pool checkouts during the first (cold-pool) run.
+    pub cold_acquires: u64,
+    /// Cold-run checkouts served from the pool — buffers recycled within
+    /// one run, since nothing was pooled beforehand.
+    pub cold_reuses: u64,
 }
 
 /// Steady-state vs dealing-loop kernel scheduling in the simulator.
@@ -98,47 +127,83 @@ pub struct MemoBenchRow {
     pub cache_hits: u64,
 }
 
+/// The roofline self-model's calibration and overall verdict for the
+/// report (per-row predictions live on the exec rows).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RooflineSummary {
+    /// Measured stream bandwidth (GB/s, read + write counted).
+    pub stream_bw_gbs: f64,
+    /// Streaming traffic lower bound charged per point (bytes).
+    pub bytes_per_point: f64,
+    /// The CI tolerance band on `measured / predicted`.
+    pub ratio_band: (f64, f64),
+    /// Every exec row's ratio sits inside the band — the CI gate
+    /// (`--check-roofline`).
+    pub all_within_band: bool,
+}
+
 /// The full `--bench-exec` report, serialized to `BENCH_exec.json`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ExecBenchReport {
     pub scale: String,
     pub threads: usize,
     /// Hardware threads the OS exposes. When this is 1, the parallel
-    /// rows measure pure executor overhead — no speedup is observable.
+    /// rows fall back to the sequential fast path (`fallback: true`)
+    /// unless the pool was forced wider with `--threads`.
     pub hardware_threads: usize,
+    /// Detected SIMD capability the row kernels dispatch to.
+    pub simd: String,
     pub exec: Vec<ExecBenchRow>,
     /// Parallel-executor rows; empty unless `--parallel-exec` was given.
     pub parallel: Vec<ParallelBenchRow>,
     /// Simulator scheduling rows (always produced).
     pub sim: Vec<SimBenchRow>,
     pub memo: MemoBenchRow,
+    /// Roofline self-model calibration + verdict over the exec rows.
+    pub roofline: RooflineSummary,
 }
 
+/// Best-of-`reps` timing; returns the *best-timed* repetition's result,
+/// so reported stats describe the same run as the reported seconds.
 fn time_best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
     let mut best = f64::INFINITY;
     let mut out = None;
     for _ in 0..reps {
         let t0 = Instant::now();
         let r = f();
-        best = best.min(t0.elapsed().as_secs_f64());
-        out = Some(r);
+        let dt = t0.elapsed().as_secs_f64();
+        if dt < best {
+            best = dt;
+            out = Some(r);
+        }
     }
     (best, out.expect("reps >= 1"))
 }
 
-fn bench_one(kind: StencilKind, size: ProblemSize, tiles: TileSizes, reps: usize) -> ExecBenchRow {
+fn bench_one(
+    kind: StencilKind,
+    size: ProblemSize,
+    tiles: TileSizes,
+    reps: usize,
+    cal: &roofline::RooflineCalibration,
+) -> ExecBenchRow {
     let spec = kind.spec();
     let grid = init::random(size.space_extents(), 0x42);
     let (baseline_s, (base_grid, base_stats)) = time_best_of(reps, || {
         run_tiled_with(&spec, &size, tiles, &grid, ExecOptions::BASELINE).expect("baseline run")
     });
+    let (fast_scalar_s, (scalar_grid, _)) = time_best_of(reps, || {
+        run_tiled_with(&spec, &size, tiles, &grid, ExecOptions::FAST_SCALAR)
+            .expect("scalar fast run")
+    });
     let (fast_s, (fast_grid, fast_stats)) = time_best_of(reps, || {
         run_tiled_with(&spec, &size, tiles, &grid, ExecOptions::FAST).expect("fast run")
     });
-    let identical = base_grid.max_abs_diff(&fast_grid) == 0.0;
+    let identical =
+        base_grid.max_abs_diff(&fast_grid) == 0.0 && scalar_grid.max_abs_diff(&fast_grid) == 0.0;
     assert!(
         identical,
-        "{}: fast path diverged from baseline",
+        "{}: fast paths diverged from baseline",
         kind.name()
     );
     assert_eq!(
@@ -146,17 +211,26 @@ fn bench_one(kind: StencilKind, size: ProblemSize, tiles: TileSizes, reps: usize
         rolling_window_depth(tiles, &size)
     );
     let total = (fast_stats.kernel_points + fast_stats.generic_points) as f64;
+    let pred = roofline::predict(cal, roofline::measure_compute_ceiling(&spec));
+    let measured_pps = total / fast_s;
     ExecBenchRow {
         benchmark: kind.name().to_string(),
         size: size.label(),
         tiles,
         baseline_s,
+        fast_scalar_s,
         fast_s,
         speedup: baseline_s / fast_s,
+        simd_speedup: fast_scalar_s / fast_s,
         baseline_resident_planes: base_stats.resident_planes,
         fast_resident_planes: fast_stats.resident_planes,
         kernel_point_fraction: fast_stats.kernel_points as f64 / total,
+        simd_rows: fast_stats.simd_rows,
         bit_identical: identical,
+        roofline_pps_pred: pred.pps,
+        measured_pps,
+        roofline_ratio: measured_pps / pred.pps,
+        roofline_bound: pred.bound.to_string(),
     }
 }
 
@@ -171,10 +245,13 @@ fn bench_parallel_one(
     let (seq_fast_s, (fast_grid, _)) = time_best_of(reps, || {
         run_tiled_with(&spec, &size, tiles, &grid, ExecOptions::FAST).expect("fast run")
     });
-    // One pool shared across reps: the first rep warms it, later reps run
-    // allocation-free, which is the steady state `run_candidates` sees.
+    // One pool shared across reps: an untimed first run warms it (and is
+    // the source of the cold-pool stats), then every timed rep runs
+    // allocation-free — the steady state `run_candidates` sees. A warm
+    // rep's acquires == reuses is expected, not a bug.
     let pool = ScratchPool::new();
-    let (parallel_s, (par_grid, par_stats)) = time_best_of(reps.max(2), || {
+    let (_, cold) = run_tiled_parallel_with_stats(&spec, &size, tiles, &grid, &pool);
+    let (parallel_s, (par_grid, par_stats)) = time_best_of(reps, || {
         run_tiled_parallel_with_stats(&spec, &size, tiles, &grid, &pool)
     });
     let identical = fast_grid.max_abs_diff(&par_grid) == 0.0;
@@ -192,8 +269,12 @@ fn bench_parallel_one(
         parallel_s,
         speedup: seq_fast_s / parallel_s,
         bit_identical: identical,
+        fallback: par_stats.seq_fallback,
+        batch_dispatches: par_stats.batch_dispatches,
         scratch_acquires: par_stats.scratch_acquires,
         scratch_reuses: par_stats.scratch_reuses,
+        cold_acquires: cold.scratch_acquires,
+        cold_reuses: cold.scratch_reuses,
     }
 }
 
@@ -336,8 +417,8 @@ fn workloads(scale: ExperimentScale) -> Vec<(StencilKind, ProblemSize, TileSizes
             ),
             (
                 StencilKind::Heat3D,
-                ProblemSize::new_3d(64, 64, 64, 32),
-                TileSizes::new_3d(8, 8, 8, 64),
+                ProblemSize::new_3d(128, 128, 128, 24),
+                TileSizes::new_3d(8, 16, 16, 128),
                 3,
             ),
         ],
@@ -382,19 +463,27 @@ fn bench_memo(lab: &Lab) -> MemoBenchRow {
 /// `parallel_exec` additionally times the pooled wavefront-parallel
 /// executor against the sequential fast path (`--parallel-exec`).
 pub fn bench_exec(lab: &Lab, parallel_exec: bool) -> ExecBenchReport {
+    let cal = roofline::measure_stream_bandwidth();
+    println!(
+        "  roofline: stream bandwidth {:.1} GB/s, {} bytes/point charged",
+        cal.stream_bw_bytes_per_sec / 1e9,
+        roofline::BYTES_PER_POINT
+    );
     let mut exec = Vec::new();
     for (kind, size, tiles, reps) in workloads(lab.scale) {
-        let row = bench_one(kind, size, tiles, reps);
+        let row = bench_one(kind, size, tiles, reps, &cal);
         println!(
-            "  {:10} {:16} baseline {:8.3}s  fast {:8.3}s  speedup {:5.2}x  planes {} -> {}  kernel {:.1}%",
+            "  {:10} {:16} baseline {:8.3}s  scalar {:8.3}s  simd {:8.3}s  speedup {:5.2}x (simd {:4.2}x)  kernel {:.1}%  roofline {:.2} ({})",
             row.benchmark,
             row.size,
             row.baseline_s,
+            row.fast_scalar_s,
             row.fast_s,
             row.speedup,
-            row.baseline_resident_planes,
-            row.fast_resident_planes,
-            100.0 * row.kernel_point_fraction
+            row.simd_speedup,
+            100.0 * row.kernel_point_fraction,
+            row.roofline_ratio,
+            row.roofline_bound
         );
         exec.push(row);
     }
@@ -403,15 +492,19 @@ pub fn bench_exec(lab: &Lab, parallel_exec: bool) -> ExecBenchReport {
         for (kind, size, tiles, reps) in workloads(lab.scale) {
             let row = bench_parallel_one(kind, size, tiles, reps);
             println!(
-                "  {:10} {:16} seq-fast {:8.3}s  parallel {:8.3}s ({} threads)  speedup {:5.2}x  pool {}/{} reused",
+                "  {:10} {:16} seq-fast {:8.3}s  parallel {:8.3}s ({} threads{})  speedup {:5.2}x  batches {}  pool {}/{} warm, {}/{} cold",
                 row.benchmark,
                 row.size,
                 row.seq_fast_s,
                 row.parallel_s,
                 row.threads,
+                if row.fallback { ", fallback" } else { "" },
                 row.speedup,
+                row.batch_dispatches,
                 row.scratch_reuses,
-                row.scratch_acquires
+                row.scratch_acquires,
+                row.cold_reuses,
+                row.cold_acquires
             );
             parallel.push(row);
         }
@@ -428,14 +521,22 @@ pub fn bench_exec(lab: &Lab, parallel_exec: bool) -> ExecBenchReport {
         "  strategy eval ({} points): cold {:.3}s  memoized {:.4}s  speedup {:.0}x  hits {}",
         memo.points, memo.cold_s, memo.warm_s, memo.speedup, memo.cache_hits
     );
+    let all_within_band = exec.iter().all(|r| roofline::within_band(r.roofline_ratio));
     ExecBenchReport {
         scale: lab.scale.label().to_string(),
         threads: rayon::current_num_threads(),
         hardware_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        simd: stencil_core::simd::caps().describe(),
         exec,
         parallel,
         sim,
         memo,
+        roofline: RooflineSummary {
+            stream_bw_gbs: cal.stream_bw_bytes_per_sec / 1e9,
+            bytes_per_point: roofline::BYTES_PER_POINT,
+            ratio_band: roofline::RATIO_BAND,
+            all_within_band,
+        },
     }
 }
 
@@ -448,18 +549,36 @@ mod tests {
         let lab = Lab::new(ExperimentScale::Smoke);
         let report = bench_exec(&lab, true);
         assert_eq!(report.scale, "smoke");
+        assert!(report.simd.contains(" x"), "{}", report.simd);
+        assert!(report.roofline.stream_bw_gbs > 0.0);
         assert!(!report.exec.is_empty());
         for row in &report.exec {
             assert!(row.bit_identical);
             assert!(row.fast_resident_planes <= row.baseline_resident_planes);
             assert!(row.kernel_point_fraction > 0.5, "{row:?}");
+            // The roofline ratio must be a sane positive number even in
+            // debug builds; the band itself is only gated in release
+            // benchmarks (`--check-roofline`).
+            assert!(
+                row.roofline_ratio.is_finite() && row.roofline_ratio > 0.0,
+                "{row:?}"
+            );
+            assert!(row.roofline_pps_pred > 0.0 && row.measured_pps > 0.0);
         }
         assert!(!report.parallel.is_empty());
         for row in &report.parallel {
             assert!(row.bit_identical);
-            // The second rep runs against the warm pool.
+            // The best-timed rep runs against the warm pool.
             assert!(row.scratch_reuses > 0, "{row:?}");
             assert!(row.scratch_acquires >= row.scratch_reuses);
+            // The cold rep cannot have reused every checkout: the ring
+            // planes' first `depth` checkouts find an empty pool.
+            assert!(row.cold_acquires > row.cold_reuses, "{row:?}");
+            if row.fallback {
+                assert_eq!(row.batch_dispatches, 0, "{row:?}");
+            } else {
+                assert!(row.batch_dispatches > 0, "{row:?}");
+            }
         }
         assert!(!report.sim.is_empty());
         for row in &report.sim {

@@ -4,7 +4,8 @@
 //! experiments [--all] [--table2] [--table3] [--table4]
 //!             [--fig3] [--fig4] [--fig5] [--fig6]
 //!             [--scale paper|reduced|smoke] [--dims 2d|3d|all]
-//!             [--exhaustive] [--threads N] [--bench-exec] [--out DIR]
+//!             [--exhaustive] [--threads N] [--bench-exec] [--check-roofline]
+//!             [--out DIR]
 //!             [--log-out PATH] [--log-level quiet|info|debug]
 //!             [--trace-out PATH]
 //! experiments serve [--queries PATH] [--cache-dir DIR] [--no-disk-cache]
@@ -32,6 +33,7 @@ struct Args {
     wavefront: bool,
     bench_exec: bool,
     parallel_exec: bool,
+    check_roofline: bool,
     threads: Option<usize>,
     table2: bool,
     table3: bool,
@@ -56,6 +58,7 @@ fn parse_args() -> Result<Args, String> {
         wavefront: false,
         bench_exec: false,
         parallel_exec: false,
+        check_roofline: false,
         threads: None,
         table2: false,
         table3: false,
@@ -132,6 +135,11 @@ fn parse_args() -> Result<Args, String> {
                 any = true;
             }
             "--parallel-exec" => args.parallel_exec = true,
+            "--check-roofline" => {
+                args.bench_exec = true;
+                args.check_roofline = true;
+                any = true;
+            }
             "--threads" => {
                 let v = it.next().ok_or("--threads needs a value")?;
                 let n: usize = v
@@ -200,6 +208,9 @@ fn print_help() {
            --bench-exec          executor fast-path + memoization benchmark (writes BENCH_exec.json)\n\
            --parallel-exec       with --bench-exec: also time the pooled wavefront-parallel\n\
                                  executor against the sequential fast path (threads >= 2)\n\
+           --check-roofline      implies --bench-exec; exit nonzero unless every exec row's\n\
+                                 measured/predicted throughput ratio sits in the tolerance\n\
+                                 band (the roofline self-model CI gate)\n\
            --threads N           size the global rayon pool (default: all cores);\n\
                                  results are bit-identical for any N — parallel maps\n\
                                  preserve input order, so thread count only affects speed\n\
@@ -509,6 +520,23 @@ fn main() {
         let json = serde_json::to_string_pretty(&report).expect("serialize bench report");
         std::fs::write("BENCH_exec.json", json).expect("write BENCH_exec.json");
         println!("  report written to BENCH_exec.json");
+        if args.check_roofline {
+            let (lo, hi) = report.roofline.ratio_band;
+            for row in &report.exec {
+                let ok = row.roofline_ratio >= lo && row.roofline_ratio <= hi;
+                println!(
+                    "  roofline {:10} measured/predicted = {:.2} (band {lo:.2}..{hi:.2}) {}",
+                    row.benchmark,
+                    row.roofline_ratio,
+                    if ok { "ok" } else { "OUT OF BAND" }
+                );
+            }
+            if !report.roofline.all_within_band {
+                eprintln!("roofline check FAILED: executor throughput left the predicted band");
+                std::process::exit(1);
+            }
+            println!("  roofline check passed");
+        }
     }
 
     if args.table2 {

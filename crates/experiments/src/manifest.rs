@@ -21,6 +21,10 @@ pub struct RunManifest {
     pub scale: String,
     /// Size of the rayon pool the run used.
     pub threads: usize,
+    /// Detected SIMD capability the row kernels dispatched to (e.g.
+    /// `"avx2 x8"`): results are SIMD-invariant (bit-identity is pinned
+    /// by tests), but wall times are not.
+    pub simd: String,
     /// Seed of the deterministic micro-benchmark sampler.
     pub seed: u64,
     /// The command line, for replaying the exact invocation.
@@ -34,6 +38,7 @@ impl RunManifest {
             git_rev: git_rev(),
             scale: scale.to_owned(),
             threads: rayon::current_num_threads(),
+            simd: stencil_core::simd::caps().describe(),
             seed: crate::SEED,
             argv: std::env::args().collect(),
         }
@@ -68,6 +73,7 @@ mod tests {
         assert_eq!(m.scale, "smoke");
         assert_eq!(m.seed, crate::SEED);
         assert!(m.threads >= 1);
+        assert!(m.simd.contains(" x"), "{}", m.simd);
         assert!(!m.git_rev.is_empty());
         assert!(!m.argv.is_empty());
     }

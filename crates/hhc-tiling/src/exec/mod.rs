@@ -23,8 +23,8 @@ mod parallel;
 pub mod scratch;
 
 pub use parallel::{
-    run_tiled_parallel, run_tiled_parallel_into, run_tiled_parallel_with_stats,
-    run_tiled_wavefront_parallel,
+    run_tiled_parallel, run_tiled_parallel_into, run_tiled_parallel_into_with,
+    run_tiled_parallel_with_stats, run_tiled_wavefront_parallel, DispatchPolicy, MIN_BATCH_POINTS,
 };
 pub use scratch::ScratchPool;
 
@@ -44,6 +44,11 @@ pub struct ExecOptions {
     /// Sweep interior rows with the specialized [`RowKernel`] instead of
     /// the generic per-point path.
     pub row_kernels: bool,
+    /// Sweep kernel rows with the vectorized blocked kernel
+    /// (`stencil_core::simd`) instead of the scalar oracle. Results are
+    /// bit-identical either way; this is a performance/observability
+    /// switch (ignored when `row_kernels` is off).
+    pub simd: bool,
 }
 
 impl ExecOptions {
@@ -52,12 +57,22 @@ impl ExecOptions {
         checked: true,
         rolling_window: false,
         row_kernels: false,
+        simd: false,
     };
-    /// Rolling-window storage + row kernels (the fast path).
+    /// Rolling-window storage + vectorized row kernels (the fast path).
     pub const FAST: ExecOptions = ExecOptions {
         checked: false,
         rolling_window: true,
         row_kernels: true,
+        simd: true,
+    };
+    /// [`Self::FAST`] with the scalar row kernels — the pre-SIMD fast
+    /// path, kept as the `--bench-exec` SIMD-speedup reference.
+    pub const FAST_SCALAR: ExecOptions = ExecOptions {
+        checked: false,
+        rolling_window: true,
+        row_kernels: true,
+        simd: false,
     };
     /// Unchecked but with full storage and the generic per-point path —
     /// the seed implementation, kept as the `--bench-exec` baseline.
@@ -65,6 +80,7 @@ impl ExecOptions {
         checked: false,
         rolling_window: false,
         row_kernels: false,
+        simd: false,
     };
 }
 
@@ -94,6 +110,15 @@ pub struct ExecStats {
     pub scratch_acquires: u64,
     /// Checkouts served from the pool without allocating.
     pub scratch_reuses: u64,
+    /// Kernel rows whose interior span was long enough to engage the
+    /// blocked SIMD sweep (≥ `stencil_core::simd::BLOCK_WIDTH` points).
+    pub simd_rows: u64,
+    /// Work batches handed to the thread pool by the parallel executor
+    /// (zero on sequential paths and on sequential fallback).
+    pub batch_dispatches: u64,
+    /// Whether a parallel-executor call decided parallelism could not pay
+    /// and ran the sequential fast path instead.
+    pub seq_fallback: bool,
 }
 
 /// The plane-ring depth an unchecked rolling-window execution allocates:
@@ -338,6 +363,7 @@ pub fn run_tiled_with(
                 id,
                 &mut st,
                 kernel.as_ref(),
+                opts.simd,
                 &mut stats,
             )?;
         }
@@ -356,6 +382,7 @@ pub fn run_tiled_with(
         obs::counter("exec.generic_points", stats.generic_points);
         obs::counter("exec.kernel_rows", stats.kernel_rows);
         obs::counter("exec.generic_rows", stats.generic_rows);
+        obs::counter("exec.simd_rows", stats.simd_rows);
         obs::counter("exec.plane_copy_bytes", stats.plane_copy_bytes);
         // Rolling-window occupancy: how much of the full space-time
         // history stays resident (1.0 = classic full storage).
@@ -391,6 +418,7 @@ fn execute_tile(
     id: TileId,
     st: &mut SpaceTime,
     kernel: Option<&RowKernel>,
+    simd: bool,
     stats: &mut ExecStats,
 ) -> Result<(), DependenceViolation> {
     let rows: Vec<_> = hex.tile_rows(id, size.space[0], size.time).collect();
@@ -440,6 +468,7 @@ fn execute_tile(
                         wf,
                         st,
                         kernel,
+                        simd,
                         stats,
                         row.t,
                         [0, 0, 0],
@@ -454,6 +483,7 @@ fn execute_tile(
                                 wf,
                                 st,
                                 kernel,
+                                simd,
                                 stats,
                                 row.t,
                                 [s1, 0, 0],
@@ -471,6 +501,7 @@ fn execute_tile(
                                     wf,
                                     st,
                                     kernel,
+                                    simd,
                                     stats,
                                     row.t,
                                     [s1, s2, 0],
@@ -501,6 +532,7 @@ fn compute_row(
     wf: i64,
     st: &mut SpaceTime,
     kernel: Option<&RowKernel>,
+    simd: bool,
     stats: &mut ExecStats,
     t: i64,
     fixed: [i64; 3],
@@ -549,9 +581,12 @@ fn compute_row(
         debug_assert_eq!(fixed[axis], 0);
         let base = (fixed[0] * st.sizes[1] as i64 + fixed[1]) * st.sizes[2] as i64 + fixed[2];
         let (src, dst) = st.rw_planes(t);
-        k.apply_span(src, dst, (base + klo) as usize, (base + khi) as usize);
+        k.apply_span_mode(simd, src, dst, (base + klo) as usize, (base + khi) as usize);
         stats.kernel_points += (khi - klo + 1) as u64;
         stats.kernel_rows += 1;
+        if simd && (khi - klo + 1) as usize >= stencil_core::simd::BLOCK_WIDTH {
+            stats.simd_rows += 1;
+        }
     } else {
         stats.generic_rows += 1;
     }
@@ -843,6 +878,7 @@ mod tests {
             checked: true,
             rolling_window: true,
             row_kernels: false,
+            simd: false,
         };
         let _ = run_tiled_with(&spec, &size, TileSizes::new_1d(2, 2), &init, opts);
     }

@@ -1,6 +1,6 @@
 //! The production multi-core executor: wavefront-parallel tiles over the
 //! rolling-window ring, with pooled dense scratch instead of per-tile
-//! allocation.
+//! allocation and dispatch amortized over per-thread work batches.
 //!
 //! Tiles within a wavefront are mutually independent (the property the
 //! checked executor proves and the GPU exploits by launching them as one
@@ -10,10 +10,21 @@
 //! planes, so the specialized row kernels run unmodified), sweeps rows
 //! exactly like the sequential fast path, and logs one contiguous write
 //! span per row. After the wavefront joins, the spans — disjoint by the
-//! same independence property — are applied to the ring sequentially, so
-//! the result is deterministic and bit-identical to
+//! same independence property — are applied to the ring in tile order,
+//! so the result is deterministic and bit-identical to
 //! [`super::run_tiled_unchecked`] (tested, including nonzero boundaries
 //! and `t_t > T`).
+//!
+//! Dispatch is batched: a wavefront's tiles are chunked into at most
+//! `threads` contiguous batches sized from a per-tile point estimate
+//! (≥ [`MIN_BATCH_POINTS`] estimated points per batch), one scratch +
+//! write-log checkout per batch instead of per tile. When the pool has a
+//! single thread, or the estimate says no batch could amortize its
+//! dispatch, [`DispatchPolicy::Auto`] skips the staging machinery
+//! entirely and runs the sequential fast path over the pooled ring
+//! (`ExecStats::seq_fallback`), which is both faster and allocation-free
+//! — the pre-PR behavior was to stage and join anyway and lose up to
+//! 30 % to a nonexistent speedup.
 
 use super::scratch::{ScratchPool, TileScratch, TileWrites, WriteSpan};
 use super::{rolling_window_depth, ExecStats, SpaceTime};
@@ -22,6 +33,27 @@ use crate::hex::{HexTiling, TileId};
 use crate::inner::SkewedAxis;
 use rayon::prelude::*;
 use stencil_core::{Grid, ProblemSize, RowKernel, StencilSpec};
+
+/// Minimum *estimated* output points per dispatched batch for a worker
+/// task to amortize its dispatch overhead (thread hand-off plus the
+/// copy-in staging the parallel path pays and the sequential path does
+/// not). At roughly 1 ns/point, 32k points ≈ 30 µs of work per hand-off.
+pub const MIN_BATCH_POINTS: u64 = 32 * 1024;
+
+/// How [`run_tiled_parallel_into_with`] decides between batched parallel
+/// execution and the sequential fast path over the pooled ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchPolicy {
+    /// Go parallel only when the pool has ≥ 2 threads *and* the batch
+    /// estimate says the work can pay for its dispatch; otherwise run
+    /// the sequential fallback (recorded in `ExecStats::seq_fallback`).
+    #[default]
+    Auto,
+    /// Always take the batched parallel path (tests, benchmarks).
+    ForceParallel,
+    /// Always take the sequential pooled fallback.
+    ForceSequential,
+}
 
 /// Run the tiled schedule with the tiles of each wavefront executed in
 /// parallel (rayon), using a run-local [`ScratchPool`].
@@ -61,7 +93,7 @@ pub fn run_tiled_parallel_with_stats(
 
 /// Core of the parallel path: execute into a caller-owned output grid so
 /// repeated runs (candidate sweeps, benchmarks) allocate nothing once the
-/// pool is warm.
+/// pool is warm. Uses [`DispatchPolicy::Auto`].
 pub fn run_tiled_parallel_into(
     spec: &StencilSpec,
     size: &ProblemSize,
@@ -69,6 +101,20 @@ pub fn run_tiled_parallel_into(
     init: &Grid,
     pool: &ScratchPool,
     out: &mut Grid,
+) -> ExecStats {
+    run_tiled_parallel_into_with(spec, size, tiles, init, pool, out, DispatchPolicy::Auto)
+}
+
+/// [`run_tiled_parallel_into`] with an explicit [`DispatchPolicy`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_tiled_parallel_into_with(
+    spec: &StencilSpec,
+    size: &ProblemSize,
+    tiles: TileSizes,
+    init: &Grid,
+    pool: &ScratchPool,
+    out: &mut Grid,
+    policy: DispatchPolicy,
 ) -> ExecStats {
     tiles.validate(spec.dim).expect("invalid tile sizes");
     assert_eq!(
@@ -83,6 +129,16 @@ pub fn run_tiled_parallel_into(
     let ax2 = (rank >= 2).then(|| SkewedAxis::with_slope(tiles.t_s[1], size.space[1], slope));
     let ax3 = (rank >= 3).then(|| SkewedAxis::with_slope(tiles.t_s[2], size.space[2], slope));
     let kernel = spec.row_kernel(size.space_extents());
+
+    let threads = rayon::current_num_threads();
+    let est_tile_points = estimate_tile_points(size, tiles, rank);
+    let go_parallel = match policy {
+        DispatchPolicy::ForceParallel => true,
+        DispatchPolicy::ForceSequential => false,
+        DispatchPolicy::Auto => {
+            threads >= 2 && parallelism_pays(&hex, size, est_tile_points, threads)
+        }
+    };
 
     let acq0 = pool.acquires();
     let reu0 = pool.reuses();
@@ -115,39 +171,80 @@ pub fn run_tiled_parallel_into(
         ..ExecStats::default()
     };
 
-    let mut js: Vec<i64> = Vec::new();
-    for w in 0..hex.wavefront_count(size.time) {
-        let (phase, q) = hex.wavefront_phase(w);
-        js.clear();
-        js.extend(hex.wavefront_tiles(w, size.space[0], size.time));
-        // Compute every tile of the wavefront against the frozen
-        // pre-wavefront state…
-        let st_ref = &st;
-        let kernel_ref = &kernel;
-        let results: Vec<(TileWrites, TileCounts)> = js
-            .par_iter()
-            .map(|&j| {
+    if !go_parallel {
+        // Sequential fallback: run the fast-path engine directly over the
+        // pooled ring — no staging copies, no join, same bits.
+        stats.seq_fallback = true;
+        for w in 0..hex.wavefront_count(size.time) {
+            let (phase, q) = hex.wavefront_phase(w);
+            for j in hex.wavefront_tiles(w, size.space[0], size.time) {
                 let id = TileId { q, phase, j };
-                let mut scratch = pool.take_scratch();
-                let mut writes = pool.take_writes();
-                let counts = compute_tile(
+                super::execute_tile(
                     spec,
                     size,
                     &hex,
                     ax2,
                     ax3,
                     id,
-                    st_ref,
-                    kernel_ref,
-                    &mut scratch,
-                    &mut writes,
-                    slope,
-                );
+                    &mut st,
+                    Some(&kernel),
+                    true,
+                    &mut stats,
+                )
+                .expect("unchecked execution cannot fail");
+            }
+        }
+        return finish_run(size, init, pool, out, st, stats, acq0, reu0, plane_bytes);
+    }
+
+    let mut js: Vec<i64> = Vec::new();
+    for w in 0..hex.wavefront_count(size.time) {
+        let (phase, q) = hex.wavefront_phase(w);
+        js.clear();
+        js.extend(hex.wavefront_tiles(w, size.space[0], size.time));
+        if js.is_empty() {
+            continue;
+        }
+        // Chunk the wavefront into at most `threads` contiguous batches,
+        // each estimated to carry ≥ MIN_BATCH_POINTS of work; one scratch
+        // + write-log checkout per batch, not per tile.
+        let wf_points = est_tile_points.saturating_mul(js.len() as u64);
+        let by_cost = (wf_points / MIN_BATCH_POINTS).max(1) as usize;
+        let nb = threads.min(js.len()).min(by_cost);
+        let chunk = js.len().div_ceil(nb);
+        let batches: Vec<&[i64]> = js.chunks(chunk).collect();
+        stats.batch_dispatches += batches.len() as u64;
+        // Compute every batch of the wavefront against the frozen
+        // pre-wavefront state…
+        let st_ref = &st;
+        let kernel_ref = &kernel;
+        let results: Vec<(TileWrites, TileCounts)> = batches
+            .par_iter()
+            .map(|&batch| {
+                let mut scratch = pool.take_scratch();
+                let mut writes = pool.take_writes();
+                let mut counts = TileCounts::default();
+                for &j in batch {
+                    let id = TileId { q, phase, j };
+                    counts.add(compute_tile(
+                        spec,
+                        size,
+                        &hex,
+                        ax2,
+                        ax3,
+                        id,
+                        st_ref,
+                        kernel_ref,
+                        &mut scratch,
+                        &mut writes,
+                        slope,
+                    ));
+                }
                 pool.put_scratch(scratch);
                 (writes, counts)
             })
             .collect();
-        // …then apply the (disjoint) spans in tile order.
+        // …then apply the (disjoint) spans in batch = tile order.
         for (writes, counts) in results {
             let mut off = 0usize;
             for span in &writes.spans {
@@ -159,10 +256,59 @@ pub fn run_tiled_parallel_into(
             stats.generic_points += counts.generic_points;
             stats.kernel_rows += counts.kernel_rows;
             stats.generic_rows += counts.generic_rows;
+            stats.simd_rows += counts.simd_rows;
             pool.put_writes(writes);
         }
     }
+    finish_run(size, init, pool, out, st, stats, acq0, reu0, plane_bytes)
+}
 
+/// Estimated output points one tile computes: `t_t` time levels of an
+/// average-width (`t_s1 + t_t` on slope-1 hexagons) row band, times the
+/// full inner extents every sub-tile loop covers. An estimate, not a
+/// count — only batch sizing depends on it.
+fn estimate_tile_points(size: &ProblemSize, tiles: TileSizes, rank: usize) -> u64 {
+    let t = tiles.t_t.min(size.time) as u64;
+    let width = (tiles.t_s[0] + tiles.t_t).min(size.space[0]) as u64;
+    let inner: u64 = (1..rank).map(|d| size.space[d] as u64).product();
+    (t * width * inner).max(1)
+}
+
+/// Whether the batched parallel path can plausibly beat the sequential
+/// fast path: at least one wavefront must split into ≥ 2 batches that
+/// each clear [`MIN_BATCH_POINTS`].
+fn parallelism_pays(
+    hex: &HexTiling,
+    size: &ProblemSize,
+    est_tile_points: u64,
+    threads: usize,
+) -> bool {
+    let mut max_tiles = 0usize;
+    for w in 0..hex.wavefront_count(size.time) {
+        max_tiles = max_tiles.max(hex.wavefront_tiles(w, size.space[0], size.time).count());
+    }
+    if max_tiles < 2 {
+        return false;
+    }
+    let wf_points = est_tile_points.saturating_mul(max_tiles as u64);
+    let by_cost = (wf_points / MIN_BATCH_POINTS).max(1) as usize;
+    threads.min(max_tiles).min(by_cost) >= 2
+}
+
+/// Common tail of both dispatch paths: extract the final plane, return
+/// the ring to the pool, take the pool deltas, and emit telemetry.
+#[allow(clippy::too_many_arguments)]
+fn finish_run(
+    size: &ProblemSize,
+    init: &Grid,
+    pool: &ScratchPool,
+    out: &mut Grid,
+    mut st: SpaceTime,
+    mut stats: ExecStats,
+    acq0: u64,
+    reu0: u64,
+    plane_bytes: u64,
+) -> ExecStats {
     let final_slot = st.slot(size.time as i64);
     out.set_boundary(init.boundary());
     out.as_mut_slice().copy_from_slice(&st.planes[final_slot]);
@@ -177,6 +323,11 @@ pub fn run_tiled_parallel_into(
         obs::counter("exec.parallel_runs", 1);
         obs::counter("exec.scratch_acquires", stats.scratch_acquires);
         obs::counter("exec.scratch_reuses", stats.scratch_reuses);
+        obs::counter("exec.batch_dispatches", stats.batch_dispatches);
+        obs::counter("exec.simd_rows", stats.simd_rows);
+        if stats.seq_fallback {
+            obs::counter("exec.seq_fallbacks", 1);
+        }
     }
     stats
 }
@@ -187,6 +338,17 @@ struct TileCounts {
     generic_points: u64,
     kernel_rows: u64,
     generic_rows: u64,
+    simd_rows: u64,
+}
+
+impl TileCounts {
+    fn add(&mut self, o: TileCounts) {
+        self.kernel_points += o.kernel_points;
+        self.generic_points += o.generic_points;
+        self.kernel_rows += o.kernel_rows;
+        self.generic_rows += o.generic_rows;
+        self.simd_rows += o.simd_rows;
+    }
 }
 
 /// The tile's dense working view: planes `[t_lo, t_hi + 1]` over its
@@ -321,29 +483,68 @@ fn compute_tile(
     };
 
     // Load the frozen read planes; the top plane `t_hi + 1` is write-only.
-    for t in t_lo..=t_hi {
-        let p = (t - t_lo) as usize;
-        let dst = &mut buf[p * loc_cells..(p + 1) * loc_cells];
-        let src = &st.planes[st.slot(t)];
-        if ax2.is_none() {
-            // 1D: the s1 bbox is already tight — one slab per plane.
-            dst.copy_from_slice(&src[base_off..base_off + loc_cells]);
-        } else if ax3.is_none() {
-            // 2D: s2 is the stored innermost axis — one segment per s1 row.
-            for s1 in b_lo..=b_hi {
-                let row0 = s1 as usize * s23 - base_off;
-                let (a, b) = (row0 + lo2 as usize, row0 + hi2 as usize + 1);
-                dst[a..b].copy_from_slice(&src[base_off + a..base_off + b]);
-            }
-        } else {
-            // 3D: one s3 segment per (s1, s2) row.
-            for s1 in b_lo..=b_hi {
-                let row0 = s1 as usize * s23 - base_off;
-                for s2 in lo2..=hi2 {
-                    let seg = row0 + s2 as usize * st.sizes[2];
-                    let (a, b) = (seg + lo3 as usize, seg + hi3 as usize + 1);
+    if ax3.is_none() {
+        for t in t_lo..=t_hi {
+            let p = (t - t_lo) as usize;
+            let dst = &mut buf[p * loc_cells..(p + 1) * loc_cells];
+            let src = &st.planes[st.slot(t)];
+            if ax2.is_none() {
+                // 1D: the s1 bbox is already tight — one slab per plane.
+                dst.copy_from_slice(&src[base_off..base_off + loc_cells]);
+            } else {
+                // 2D: s2 is the stored innermost axis — one segment per
+                // s1 row.
+                for s1 in b_lo..=b_hi {
+                    let row0 = s1 as usize * s23 - base_off;
+                    let (a, b) = (row0 + lo2 as usize, row0 + hi2 as usize + 1);
                     dst[a..b].copy_from_slice(&src[base_off + a..base_off + b]);
                 }
+            }
+        }
+    } else if lo3 == 0 && hi3 == st.sizes[2] as i64 - 1 {
+        // 3D, full-width s3 segments: adjacent (s2, s3) rows are
+        // contiguous in memory, so the whole s2 range coalesces into one
+        // copy per (plane, s1) — long streams instead of per-row calls.
+        let (a0, b0) = (lo2 as usize * st.sizes[2], (hi2 as usize + 1) * st.sizes[2]);
+        for t in t_lo..=t_hi {
+            let p = (t - t_lo) as usize;
+            let dst = &mut buf[p * loc_cells..(p + 1) * loc_cells];
+            let src = &st.planes[st.slot(t)];
+            for s1 in b_lo..=b_hi {
+                let row0 = s1 as usize * s23 - base_off;
+                dst[row0 + a0..row0 + b0]
+                    .copy_from_slice(&src[base_off + row0 + a0..base_off + row0 + b0]);
+            }
+        }
+    } else {
+        // 3D, strided s3 segments: a Z-plane gather of
+        // `planes × s1 × s2` short segments. Stage it cache-blocked
+        // (Goto-style): pick an s2 panel small enough that one panel's
+        // source and destination segments across every staged plane fit
+        // in L1 together, then gather plane-by-plane within the panel —
+        // each short strided walk stays inside a resident footprint
+        // instead of sweeping the whole bounding box through cache once
+        // per plane.
+        const L1_STAGE_BYTES: usize = 16 * 1024;
+        let seg_len = (hi3 - lo3 + 1) as usize;
+        let per_row = 2 * seg_len * std::mem::size_of::<f32>();
+        let panel = (L1_STAGE_BYTES / (per_row * n_planes).max(1)).max(1) as i64;
+        for s1 in b_lo..=b_hi {
+            let row0 = s1 as usize * s23 - base_off;
+            let mut p2 = lo2;
+            while p2 <= hi2 {
+                let p2_hi = (p2 + panel - 1).min(hi2);
+                for t in t_lo..=t_hi {
+                    let p = (t - t_lo) as usize;
+                    let dst = &mut buf[p * loc_cells..(p + 1) * loc_cells];
+                    let src = &st.planes[st.slot(t)];
+                    for s2 in p2..=p2_hi {
+                        let seg = row0 + s2 as usize * st.sizes[2];
+                        let (a, b) = (seg + lo3 as usize, seg + hi3 as usize + 1);
+                        dst[a..b].copy_from_slice(&src[base_off + a..base_off + b]);
+                    }
+                }
+                p2 = p2_hi + 1;
             }
         }
     }
@@ -480,6 +681,9 @@ fn row_into(
         k.apply_span(src, dst, (lbase + klo) as usize, (lbase + khi) as usize);
         counts.kernel_points += (khi - klo + 1) as u64;
         counts.kernel_rows += 1;
+        if (khi - klo + 1) as usize >= stencil_core::simd::BLOCK_WIDTH {
+            counts.simd_rows += 1;
+        }
     } else {
         counts.generic_rows += 1;
     }

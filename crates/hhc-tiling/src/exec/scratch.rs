@@ -114,9 +114,15 @@ impl ScratchPool {
     /// contents (possibly from another run): the executor only ever reads
     /// cells it has already written this run, the same property that
     /// makes ring-slot recycling legal.
+    ///
+    /// A checkout only counts as a reuse when the recycled plane's
+    /// capacity actually covers `cells` — a pooled plane from a smaller
+    /// problem that must reallocate to grow is an allocation wearing a
+    /// pool hat, and counting it as a reuse is how a cold pool could
+    /// report `acquires == reuses`.
     pub(crate) fn take_plane(&self, cells: usize) -> Vec<f32> {
         let got = self.planes.lock().unwrap().pop();
-        self.count(got.is_some());
+        self.count(got.as_ref().is_some_and(|p| p.capacity() >= cells));
         let mut p = got.unwrap_or_default();
         p.resize(cells, 0.0);
         p

@@ -5,11 +5,12 @@
 //! must hold only `min(t_t + 1, T + 1)` planes resident.
 
 use hhc_tiling::{
-    rolling_window_depth, run_tiled_checked, run_tiled_parallel_with_stats,
-    run_tiled_unchecked_with_stats, ScratchPool, TileSizes,
+    rolling_window_depth, run_tiled_checked, run_tiled_parallel_into_with,
+    run_tiled_parallel_with_stats, run_tiled_unchecked_with_stats, run_tiled_with, DispatchPolicy,
+    ExecOptions, HexTiling, ScratchPool, TileSizes,
 };
 use proptest::prelude::*;
-use stencil_core::{init, reference, ProblemSize, StencilKind};
+use stencil_core::{init, reference, Grid, ProblemSize, StencilKind};
 
 /// A random (stencil, problem, tiles) case. Extents start at 1 (1-cell
 /// domains) and tile extents range well past the domain sizes, so
@@ -146,4 +147,195 @@ proptest! {
         prop_assert!(pstats2.scratch_reuses >= pstats.scratch_reuses);
         prop_assert!(pstats2.scratch_reuses > 0);
     }
+
+    /// SIMD row kernels == scalar row kernels, bit for bit, on random
+    /// cases — odd extents, boundary-heavy tiles, `t_t > T` truncation
+    /// all arise from `case()`'s ranges.
+    #[test]
+    fn simd_fast_equals_scalar_fast(
+        (kind, size, tiles) in case(),
+        seed in 0u64..1024,
+        boundary in 0u32..4,
+    ) {
+        let spec = kind.spec();
+        let mut grid = init::random(size.space_extents(), seed);
+        grid.set_boundary(boundary as f32 * 0.5);
+        let (scalar, _) = run_tiled_with(&spec, &size, tiles, &grid, ExecOptions::FAST_SCALAR)
+            .expect("scalar fast run");
+        let (simd, _) = run_tiled_with(&spec, &size, tiles, &grid, ExecOptions::FAST)
+            .expect("simd fast run");
+        for (a, b) in scalar.as_slice().iter().zip(simd.as_slice()) {
+            prop_assert_eq!(
+                a.to_bits(), b.to_bits(),
+                "simd vs scalar: {} {} {:?}", kind.name(), size.label(), tiles
+            );
+        }
+    }
+
+    /// `ForceParallel` (the batched path, even on a 1-thread pool) ==
+    /// `ForceSequential` (the pooled fallback) == the sequential fast
+    /// path, bit for bit.
+    #[test]
+    fn dispatch_policies_agree_bitwise(
+        (kind, size, tiles) in case(),
+        seed in 0u64..1024,
+    ) {
+        let spec = kind.spec();
+        let grid = init::random(size.space_extents(), seed);
+        let (fast, _) = run_tiled_unchecked_with_stats(&spec, &size, tiles, &grid);
+        let pool = ScratchPool::new();
+        let mut forced = Grid::zeros(size.space_extents());
+        let fstats = run_tiled_parallel_into_with(
+            &spec, &size, tiles, &grid, &pool, &mut forced, DispatchPolicy::ForceParallel,
+        );
+        prop_assert!(!fstats.seq_fallback);
+        prop_assert!(fstats.batch_dispatches > 0);
+        let mut seq = Grid::zeros(size.space_extents());
+        let sstats = run_tiled_parallel_into_with(
+            &spec, &size, tiles, &grid, &pool, &mut seq, DispatchPolicy::ForceSequential,
+        );
+        prop_assert!(sstats.seq_fallback);
+        prop_assert_eq!(sstats.batch_dispatches, 0);
+        for (a, b) in fast.as_slice().iter().zip(forced.as_slice()) {
+            prop_assert_eq!(
+                a.to_bits(), b.to_bits(),
+                "forced-parallel vs fast: {} {} {:?}", kind.name(), size.label(), tiles
+            );
+        }
+        for (a, b) in fast.as_slice().iter().zip(seq.as_slice()) {
+            prop_assert_eq!(
+                a.to_bits(), b.to_bits(),
+                "fallback vs fast: {} {} {:?}", kind.name(), size.label(), tiles
+            );
+        }
+    }
+}
+
+/// Every SIMD lane-width remainder (`interior len % 8` ∈ 0..8) on the
+/// contiguous axis, in 1D, 2D, and 3D, plus a `t_t > T` truncation case:
+/// the vectorized fast path must match the scalar fast path bit for bit.
+#[test]
+fn simd_matches_scalar_for_all_lane_remainders() {
+    let cases = |r: usize| {
+        vec![
+            (
+                StencilKind::Jacobi1D,
+                ProblemSize::new_1d(32 + r, 5),
+                TileSizes::new_1d(4, 6),
+            ),
+            (
+                StencilKind::Jacobi2D,
+                ProblemSize::new_2d(12, 16 + r, 6),
+                TileSizes::new_2d(4, 4, 8),
+            ),
+            // t_t = 16 > T = 3: the window truncates to the full depth.
+            (
+                StencilKind::Jacobi2D,
+                ProblemSize::new_2d(9, 16 + r, 3),
+                TileSizes::new_2d(16, 32, 64),
+            ),
+            (
+                StencilKind::Heat3D,
+                ProblemSize::new_3d(7, 6, 16 + r, 4),
+                TileSizes::new_3d(4, 3, 4, 8),
+            ),
+        ]
+    };
+    for r in 0..stencil_core::simd::BLOCK_WIDTH {
+        for (kind, size, tiles) in cases(r) {
+            let spec = kind.spec();
+            let grid = init::random(size.space_extents(), 0xC0FFEE + r as u64);
+            let (scalar, _) = run_tiled_with(&spec, &size, tiles, &grid, ExecOptions::FAST_SCALAR)
+                .expect("scalar fast run");
+            let (simd, sstats) = run_tiled_with(&spec, &size, tiles, &grid, ExecOptions::FAST)
+                .expect("simd fast run");
+            for (i, (a, b)) in scalar.as_slice().iter().zip(simd.as_slice()).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{} {} rem {r} cell {i}",
+                    kind.name(),
+                    size.label()
+                );
+            }
+            // The interior is wide enough that the blocked sweep engaged.
+            assert!(sstats.simd_rows > 0, "{} rem {r}: {sstats:?}", kind.name());
+        }
+    }
+}
+
+/// Exact pool-counter pin for a known schedule, under both dispatch
+/// policies. The workload is small enough that the cost floor makes
+/// every wavefront a single batch (`nb = 1`), so the counter arithmetic
+/// is deterministic on any pool size:
+///
+/// * `ForceParallel`, cold pool: `depth` ring-plane checkouts (all
+///   misses) plus one scratch + one write log per active wavefront; from
+///   the second active wavefront on, both are recycled within the run.
+/// * `ForceSequential` (the fallback): ring planes only — no write logs,
+///   no per-batch scratch.
+/// * Warm pool, second run: every checkout is a reuse.
+#[test]
+fn scratch_counters_pin_exact_values_for_known_schedule() {
+    let kind = StencilKind::Jacobi2D;
+    let spec = kind.spec();
+    let size = ProblemSize::new_2d(24, 8, 6);
+    let tiles = TileSizes::new_2d(4, 4, 8);
+    let grid = init::random(size.space_extents(), 7);
+    let depth = rolling_window_depth(tiles, &size) as u64;
+    let hex = HexTiling::with_slope(tiles.t_s[0], tiles.t_t, spec.order().max(1) as usize);
+    let active = (0..hex.wavefront_count(size.time))
+        .filter(|&w| hex.wavefront_tiles(w, size.space[0], size.time).count() > 0)
+        .count() as u64;
+    assert!(active >= 2, "schedule too small to pin reuse arithmetic");
+
+    let pool = ScratchPool::new();
+    let mut out = Grid::zeros(size.space_extents());
+    let cold = run_tiled_parallel_into_with(
+        &spec,
+        &size,
+        tiles,
+        &grid,
+        &pool,
+        &mut out,
+        DispatchPolicy::ForceParallel,
+    );
+    assert_eq!(cold.batch_dispatches, active, "one batch per wavefront");
+    assert_eq!(cold.scratch_acquires, depth + 2 * active);
+    assert_eq!(cold.scratch_reuses, 2 * (active - 1));
+    let warm = run_tiled_parallel_into_with(
+        &spec,
+        &size,
+        tiles,
+        &grid,
+        &pool,
+        &mut out,
+        DispatchPolicy::ForceParallel,
+    );
+    assert_eq!(warm.scratch_acquires, depth + 2 * active);
+    assert_eq!(warm.scratch_reuses, warm.scratch_acquires);
+
+    let pool2 = ScratchPool::new();
+    let fb = run_tiled_parallel_into_with(
+        &spec,
+        &size,
+        tiles,
+        &grid,
+        &pool2,
+        &mut out,
+        DispatchPolicy::ForceSequential,
+    );
+    assert_eq!(fb.scratch_acquires, depth);
+    assert_eq!(fb.scratch_reuses, 0);
+    let fb2 = run_tiled_parallel_into_with(
+        &spec,
+        &size,
+        tiles,
+        &grid,
+        &pool2,
+        &mut out,
+        DispatchPolicy::ForceSequential,
+    );
+    assert_eq!(fb2.scratch_acquires, depth);
+    assert_eq!(fb2.scratch_reuses, depth);
 }

@@ -27,6 +27,7 @@ pub mod hybrid2d;
 pub mod hybrid3d;
 pub mod params;
 pub mod refined;
+pub mod roofline;
 pub mod wavefront;
 
 pub use dimspec::DimSpec;
