@@ -39,13 +39,16 @@ pub use serve::{serve_lines, ServeStats};
 
 use cache::{DiskCache, MemCache};
 use gpu_sim::DeviceConfig;
+use hhc_tiling::LaunchConfig;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use stencil_core::{init, StencilKind};
 use tile_opt::{
-    feasible_space, model_sweep, run_candidates_until, within_fraction, SkipReason, SpaceConfig,
+    feasible_space, model_sweep, run_candidates_until, simulate_point, within_fraction, DataPoint,
+    SkipReason, SpaceConfig,
 };
 use time_model::{MeasuredParams, ModelParams};
 
@@ -66,6 +69,13 @@ pub struct AdvisorConfig {
     pub seed: u64,
     /// The enumerated feasible space of Eqn 31.
     pub space: SpaceConfig,
+    /// Where `validate: true` traffic appends its predicted-vs-measured
+    /// pairs; `None` disables accuracy telemetry. Not part of the cache
+    /// key (telemetry never changes an answer).
+    pub accuracy: Option<Arc<obs::AccuracyLog>>,
+    /// Rolling-RMSE drift band for the accuracy log (the paper's §5.3
+    /// within-10% claim by default).
+    pub accuracy_band: f64,
 }
 
 impl Default for AdvisorConfig {
@@ -76,6 +86,8 @@ impl Default for AdvisorConfig {
             citer_samples: 16,
             seed: 0x5EED,
             space: SpaceConfig::default(),
+            accuracy: None,
+            accuracy_band: 0.10,
         }
     }
 }
@@ -132,9 +144,19 @@ impl Advisor {
         )
     }
 
-    /// Answer one query, consulting the cache tiers first.
+    /// Answer one query, consulting the cache tiers first. Every exit
+    /// path records its wall time on a per-outcome latency histogram
+    /// (`advisor.latency_ms.{ok,degraded,cache_mem,cache_disk}`) so p99
+    /// under deadline pressure is measurable, not just hit counts.
     pub fn advise(&self, q: &Query) -> Advice {
         let _span = obs::span("advisor.query", "advisor");
+        let t0 = Instant::now();
+        let latency = |outcome: &str| {
+            obs::histogram(
+                &format!("advisor.latency_ms.{outcome}"),
+                t0.elapsed().as_secs_f64() * 1e3,
+            );
+        };
         if obs::active() {
             obs::counter("advisor.queries", 1);
         }
@@ -144,6 +166,7 @@ impl Advisor {
                 obs::counter("advisor.cache_hits_mem", 1);
             }
             hit.id = q.id.clone();
+            latency("cache_mem");
             return hit;
         }
         if let Some(disk) = &self.disk {
@@ -153,6 +176,7 @@ impl Advisor {
                 }
                 self.mem.lock().put(key, hit.clone());
                 hit.id = q.id.clone();
+                latency("cache_disk");
                 return hit;
             }
         }
@@ -161,11 +185,13 @@ impl Advisor {
             if obs::active() {
                 obs::counter("advisor.degraded", 1);
             }
+            latency("degraded");
         } else {
             self.mem.lock().put(key.clone(), answer.clone());
             if let Some(disk) = &self.disk {
                 disk.store(&key, &answer, self.cfg.seed);
             }
+            latency("ok");
         }
         answer
     }
@@ -226,6 +252,44 @@ impl Advisor {
                 memory_bound: p.memory_bound(),
             })
             .collect();
+        // Accuracy telemetry: validated traffic feeds the drift log
+        // with (predicted T_alg, simulated time) pairs — same time
+        // domain as the paper's §5.2 comparison, so the §5.3 band is
+        // meaningful. The closed-form simulator costs microseconds per
+        // candidate, so this never competes with the deadline.
+        if q.validate {
+            if let Some(log) = &self.cfg.accuracy {
+                for (t, p) in within.iter().take(q.top_n) {
+                    let point = DataPoint {
+                        tiles: *t,
+                        launch: LaunchConfig::empirical(w.dim(), t),
+                    };
+                    let Some(sim) = simulate_point(&w.device, &w.spec(), &w.size, &point) else {
+                        continue;
+                    };
+                    log.record(
+                        &obs::accuracy::Pair {
+                            source: "advisor".into(),
+                            device: w.device.name.clone(),
+                            stencil: w.stencil.name().into(),
+                            dim: rank as u32,
+                            key: format!(
+                                "{}x{}x{}t{}|tt{}|ts{:?}",
+                                w.size.space[0],
+                                w.size.space[1],
+                                w.size.space[2],
+                                w.size.time,
+                                t.t_t,
+                                &t.t_s[..rank]
+                            ),
+                            predicted_s: p.talg,
+                            measured_s: sim.total_time,
+                        },
+                        self.cfg.accuracy_band,
+                    );
+                }
+            }
+        }
         let mut degraded = false;
         let validation = if q.validate {
             if deadline.is_some_and(|d| Instant::now() >= d) {

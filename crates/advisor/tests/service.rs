@@ -105,6 +105,62 @@ fn serve_round_trip_dedups_duplicate_queries() {
 }
 
 #[test]
+fn validated_queries_feed_the_accuracy_log_and_latency_histograms() {
+    let _g = lock_obs();
+    let rec = Arc::new(obs::ShardedRecorder::new(obs::Level::Quiet));
+    obs::install(rec.clone());
+    let dir = temp_dir("acc");
+    let log_path = dir.join("accuracy_log.jsonl");
+    let advisor = Advisor::new(AdvisorConfig {
+        accuracy: Some(Arc::new(
+            obs::AccuracyLog::open(&log_path).expect("open accuracy log"),
+        )),
+        ..AdvisorConfig::default()
+    });
+    let line = "{\"id\": \"v1\", \"device\": \"GTX 980\", \"stencil\": \"Heat2D\", \
+                \"size\": [64, 64], \"time\": 8, \"validate\": true}";
+    let answer = advisor.advise(&parse(line));
+    assert!(
+        !answer.degraded,
+        "validation must complete with no deadline"
+    );
+    obs::uninstall();
+
+    // Every validated candidate logged one (predicted, measured) pair...
+    let snap = rec.snapshot();
+    assert!(snap.counter("model.accuracy_pairs") >= 1);
+    let text = std::fs::read_to_string(&log_path).expect("accuracy log written");
+    assert!(!text.is_empty());
+    let first = text.lines().next().unwrap();
+    for needle in [
+        "\"kind\":\"accuracy\"",
+        "\"source\":\"advisor\"",
+        "\"stencil\":\"Heat2D\"",
+        "\"predicted_s\":",
+        "\"measured_s\":",
+        "\"rel_err\":",
+    ] {
+        assert!(first.contains(needle), "{needle} missing from {first}");
+    }
+    // ...the per-segment rolling rel-error gauge is populated...
+    let gauge = snap
+        .gauges
+        .iter()
+        .find(|(k, _)| k.starts_with("model.rel_err.advisor."))
+        .map(|(k, v)| (k.clone(), *v));
+    let (name, rmse) = gauge.expect("rel_err gauge populated");
+    assert!(name.contains("heat2d"), "{name}");
+    assert!(rmse.is_finite() && rmse >= 0.0);
+    // ...and the query latency landed in the per-outcome histogram.
+    let lat = snap
+        .histogram("advisor.latency_ms.ok")
+        .expect("latency histogram for the ok outcome");
+    assert_eq!(lat.count, 1);
+    assert!(lat.sum > 0.0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn zero_deadline_serves_a_degraded_model_only_answer() {
     let _g = lock_obs();
     let rec = Arc::new(obs::MemoryRecorder::new(obs::Level::Quiet));
@@ -120,5 +176,12 @@ fn zero_deadline_serves_a_degraded_model_only_answer() {
     // The model-only ranking is still present.
     assert!(text.contains("\"candidates\":[{\"rank\":0"), "{text}");
     obs::uninstall();
-    assert_eq!(rec.snapshot().counter("advisor.degraded"), 1);
+    let snap = rec.snapshot();
+    assert_eq!(snap.counter("advisor.degraded"), 1);
+    assert_eq!(
+        snap.histogram("advisor.latency_ms.degraded")
+            .expect("latency histogram for the degraded outcome")
+            .count,
+        1
+    );
 }

@@ -534,7 +534,7 @@ pub fn bench_exec(lab: &Lab, parallel_exec: bool) -> ExecBenchReport {
         roofline: RooflineSummary {
             stream_bw_gbs: cal.stream_bw_bytes_per_sec / 1e9,
             bytes_per_point: roofline::BYTES_PER_POINT,
-            ratio_band: roofline::RATIO_BAND,
+            ratio_band: roofline::ratio_band(),
             all_within_band,
         },
     }

@@ -1,0 +1,250 @@
+//! Noise-aware comparison of two `BENCH_exec.json` reports — the CI
+//! regression gate behind the `bench-diff` binary.
+//!
+//! Absolute seconds are useless across CI runners (different silicon,
+//! different neighbors), so the diff compares only *ratio* metrics that
+//! are stable properties of the code, not the machine:
+//!
+//! * `speedup` — fast path over the seed baseline;
+//! * `simd_speedup` — what vectorization alone buys;
+//! * `roofline_ratio` — measured/predicted throughput.
+//!
+//! Rows are matched by `(benchmark, size)`; a metric regresses when the
+//! current value falls below `reference × (1 − band)`. The band is
+//! deliberately generous (CI default 0.6): the gate exists to catch the
+//! 5–10× collapse of a fast path falling off its kernel, not 10% noise.
+//! A reference row with no current counterpart is itself a regression —
+//! silently dropping a benchmark must not pass the gate.
+//!
+//! Reports are read structurally (the vendored `serde_json` parses to a
+//! [`Value`] tree, not typed structs), so the gate only requires the
+//! `exec` rows to carry `benchmark`, `size`, and the three metrics —
+//! additions elsewhere in the report never break old references.
+
+use serde::Value;
+
+/// Default tolerance band on the relative drop of a ratio metric.
+pub const DEFAULT_BAND: f64 = 0.6;
+
+/// The ratio metrics compared per row, in report order.
+pub const METRICS: [&str; 3] = ["speedup", "simd_speedup", "roofline_ratio"];
+
+/// One `exec` row reduced to its machine-stable ratio metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RatioRow {
+    pub benchmark: String,
+    pub size: String,
+    /// Values in [`METRICS`] order; a metric missing from the JSON is
+    /// `NAN` (skipped as a reference, regressed as a current value).
+    pub metrics: [f64; 3],
+}
+
+/// One compared metric of one matched row.
+#[derive(Debug, Clone)]
+pub struct MetricDiff {
+    pub benchmark: String,
+    pub size: String,
+    pub metric: &'static str,
+    pub reference: f64,
+    pub current: f64,
+    /// `current / reference`.
+    pub ratio: f64,
+    pub regressed: bool,
+}
+
+/// The full comparison of two reports.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    /// Per-metric comparisons over all matched rows.
+    pub rows: Vec<MetricDiff>,
+    /// `(benchmark, size)` keys present in the reference but absent from
+    /// the current report — each counts as a regression.
+    pub missing: Vec<String>,
+    /// The band the comparison ran with.
+    pub band: f64,
+}
+
+impl DiffReport {
+    /// Number of regressed metrics plus missing rows.
+    pub fn regressions(&self) -> usize {
+        self.rows.iter().filter(|r| r.regressed).count() + self.missing.len()
+    }
+
+    /// The gate verdict.
+    pub fn passed(&self) -> bool {
+        self.regressions() == 0
+    }
+}
+
+fn field<'a>(obj: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::F64(x) => Some(*x),
+        Value::F32(x) => Some(f64::from(*x)),
+        Value::UInt(x) => Some(*x as f64),
+        Value::Int(x) => Some(*x as f64),
+        _ => None,
+    }
+}
+
+/// Extract the `exec` rows of a parsed `BENCH_exec.json` tree.
+pub fn rows_from_value(report: &Value) -> Result<Vec<RatioRow>, String> {
+    let Value::Map(top) = report else {
+        return Err("top level is not a JSON object".into());
+    };
+    let Some(Value::Seq(exec)) = field(top, "exec") else {
+        return Err("missing exec array".into());
+    };
+    let mut rows = Vec::with_capacity(exec.len());
+    for (i, row) in exec.iter().enumerate() {
+        let Value::Map(row) = row else {
+            return Err(format!("exec[{i}] is not an object"));
+        };
+        let get_str = |key: &str| match field(row, key) {
+            Some(Value::Str(s)) => Ok(s.clone()),
+            _ => Err(format!("exec[{i}] has no string '{key}'")),
+        };
+        let mut metrics = [f64::NAN; 3];
+        for (slot, name) in metrics.iter_mut().zip(METRICS) {
+            *slot = field(row, name).and_then(as_f64).unwrap_or(f64::NAN);
+        }
+        rows.push(RatioRow {
+            benchmark: get_str("benchmark")?,
+            size: get_str("size")?,
+            metrics,
+        });
+    }
+    Ok(rows)
+}
+
+/// Read, parse, and reduce a `BENCH_exec.json` report.
+pub fn load_rows(path: &str) -> Result<Vec<RatioRow>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let value = serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
+    rows_from_value(&value).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Compare `current` against `reference` with the given relative `band`.
+pub fn diff_rows(reference: &[RatioRow], current: &[RatioRow], band: f64) -> DiffReport {
+    let mut rows = Vec::new();
+    let mut missing = Vec::new();
+    for r in reference {
+        let Some(c) = current
+            .iter()
+            .find(|c| c.benchmark == r.benchmark && c.size == r.size)
+        else {
+            missing.push(format!("{} {}", r.benchmark, r.size));
+            continue;
+        };
+        for ((name, rv), cv) in METRICS.iter().zip(r.metrics).zip(c.metrics) {
+            // A reference metric that is not a usable baseline (zero,
+            // negative, NaN) cannot regress; a current metric that is
+            // not finite always does.
+            if !(rv.is_finite() && rv > 0.0) {
+                continue;
+            }
+            let ratio = cv / rv;
+            rows.push(MetricDiff {
+                benchmark: r.benchmark.clone(),
+                size: r.size.clone(),
+                metric: name,
+                reference: rv,
+                current: cv,
+                ratio,
+                regressed: !(ratio.is_finite() && ratio >= 1.0 - band),
+            });
+        }
+    }
+    DiffReport {
+        rows,
+        missing,
+        band,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(benchmark: &str, speedup: f64, simd: f64, roofline: f64) -> RatioRow {
+        RatioRow {
+            benchmark: benchmark.into(),
+            size: "64x64 T=8".into(),
+            metrics: [speedup, simd, roofline],
+        }
+    }
+
+    #[test]
+    fn identical_rows_pass() {
+        let a = vec![row("Heat2D", 3.0, 1.5, 0.4), row("Jacobi2D", 2.5, 1.4, 0.5)];
+        let d = diff_rows(&a, &a.clone(), 0.2);
+        assert!(d.passed(), "{d:?}");
+        assert_eq!(d.rows.len(), 6);
+        assert!(d.missing.is_empty());
+    }
+
+    #[test]
+    fn synthetic_regression_is_detected() {
+        let reference = vec![row("Heat2D", 3.0, 1.5, 0.4)];
+        // Fast path collapsed: speedup 3.0 → 1.0 (a 67% drop).
+        let current = vec![row("Heat2D", 1.0, 1.5, 0.4)];
+        let d = diff_rows(&reference, &current, 0.5);
+        assert_eq!(d.regressions(), 1, "{d:?}");
+        let bad = d.rows.iter().find(|r| r.regressed).unwrap();
+        assert_eq!(bad.metric, "speedup");
+        assert!((bad.ratio - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drop_inside_the_band_passes() {
+        let reference = vec![row("Heat2D", 3.0, 1.5, 0.4)];
+        let current = vec![row("Heat2D", 2.0, 1.4, 0.35)]; // worst drop 33%
+        assert!(diff_rows(&reference, &current, 0.5).passed());
+    }
+
+    #[test]
+    fn missing_row_is_a_regression() {
+        let reference = vec![row("Heat2D", 3.0, 1.5, 0.4), row("Jacobi2D", 2.5, 1.4, 0.5)];
+        let current = vec![row("Heat2D", 3.0, 1.5, 0.4)];
+        let d = diff_rows(&reference, &current, 0.5);
+        assert_eq!(d.regressions(), 1);
+        assert_eq!(d.missing, vec!["Jacobi2D 64x64 T=8".to_string()]);
+    }
+
+    #[test]
+    fn improvements_and_nonpositive_references_never_regress() {
+        let reference = vec![row("Heat2D", 3.0, f64::NAN, 0.4)]; // NaN: skipped
+        let current = vec![row("Heat2D", 9.0, 2.0, 0.9)];
+        let d = diff_rows(&reference, &current, 0.1);
+        assert!(d.passed(), "{d:?}");
+        assert_eq!(d.rows.len(), 2, "NaN reference metric skipped");
+    }
+
+    #[test]
+    fn nonfinite_current_metric_regresses() {
+        let reference = vec![row("Heat2D", 3.0, 1.5, 0.4)];
+        let current = vec![row("Heat2D", 3.0, 1.5, f64::NAN)];
+        assert_eq!(diff_rows(&reference, &current, 0.9).regressions(), 1);
+    }
+
+    #[test]
+    fn rows_parse_from_a_report_tree() {
+        let text = r#"{"scale":"reduced","exec":[
+            {"benchmark":"Heat2D","size":"64x64 T=8","speedup":3.25,
+             "simd_speedup":1.5,"roofline_ratio":0.41,"extra_field":true}
+        ],"roofline":{"ratio_band":[0.12,1.1]}}"#;
+        let rows = rows_from_value(&serde_json::from_str(text).unwrap()).unwrap();
+        assert_eq!(
+            rows,
+            vec![RatioRow {
+                benchmark: "Heat2D".into(),
+                size: "64x64 T=8".into(),
+                metrics: [3.25, 1.5, 0.41],
+            }]
+        );
+        assert!(rows_from_value(&serde_json::from_str("[1,2]").unwrap()).is_err());
+    }
+}

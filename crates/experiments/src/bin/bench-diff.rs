@@ -1,0 +1,100 @@
+//! Compare two `BENCH_exec.json` reports and fail on regression.
+//!
+//! ```text
+//! bench-diff REFERENCE.json CURRENT.json [--band FRAC]
+//! ```
+//!
+//! Exit codes: 0 — no regression; 1 — at least one ratio metric fell
+//! below `reference × (1 − band)` or a reference row disappeared;
+//! 2 — usage or parse error. See [`experiments::benchdiff`] for what is
+//! compared and why absolute seconds are not.
+
+use experiments::benchdiff::{self, DEFAULT_BAND};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: bench-diff REFERENCE.json CURRENT.json [--band FRAC]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut paths: Vec<String> = Vec::new();
+    let mut band = DEFAULT_BAND;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--band" => {
+                let Some(v) = it.next() else {
+                    eprintln!("bench-diff: --band needs a value");
+                    return usage();
+                };
+                band = match v.parse::<f64>() {
+                    Ok(b) if (0.0..1.0).contains(&b) => b,
+                    _ => {
+                        eprintln!("bench-diff: --band must be a fraction in [0, 1), got '{v}'");
+                        return usage();
+                    }
+                };
+            }
+            "--help" | "-h" => {
+                println!(
+                    "Compare two BENCH_exec.json reports on their machine-stable ratio\n\
+                     metrics (speedup, simd_speedup, roofline_ratio) and exit nonzero\n\
+                     when any falls below reference x (1 - band).\n\n\
+                     usage: bench-diff REFERENCE.json CURRENT.json [--band FRAC]\n\
+                     default band: {DEFAULT_BAND}"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with("--") => {
+                eprintln!("bench-diff: unknown flag '{other}'");
+                return usage();
+            }
+            path => paths.push(path.to_string()),
+        }
+    }
+    let [reference, current] = paths.as_slice() else {
+        return usage();
+    };
+    let (reference, current) = match (
+        benchdiff::load_rows(reference),
+        benchdiff::load_rows(current),
+    ) {
+        (Ok(r), Ok(c)) => (r, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench-diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let diff = benchdiff::diff_rows(&reference, &current, band);
+    for r in &diff.rows {
+        println!(
+            "  {:12} {:16} {:15} ref={:8.3} cur={:8.3} ratio={:5.2} {}",
+            r.benchmark,
+            r.size,
+            r.metric,
+            r.reference,
+            r.current,
+            r.ratio,
+            if r.regressed { "REGRESSED" } else { "ok" }
+        );
+    }
+    for m in &diff.missing {
+        println!("  {m}: MISSING from current report");
+    }
+    let n = diff.regressions();
+    if n > 0 {
+        eprintln!(
+            "bench-diff: {n} regression(s) beyond the {:.0}% band",
+            100.0 * band
+        );
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "bench-diff: ok ({} metrics within the {:.0}% band)",
+            diff.rows.len(),
+            100.0 * band
+        );
+        ExitCode::SUCCESS
+    }
+}

@@ -107,7 +107,7 @@ fn check_log(path: &str) -> Result<String, String> {
             }
             "event" => counts.0 += 1,
             "span" => counts.1 += 1,
-            "counter" | "histogram" => {}
+            "counter" | "histogram" | "gauge" => {}
             other => return Err(format!("{path}:{}: unknown kind '{other}'", i + 1)),
         }
         lines += 1;

@@ -25,6 +25,7 @@
 
 pub mod ascii;
 pub mod bench;
+pub mod benchdiff;
 pub mod context;
 pub mod extensions;
 pub mod figures;

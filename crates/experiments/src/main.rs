@@ -7,10 +7,12 @@
 //!             [--exhaustive] [--threads N] [--bench-exec] [--check-roofline]
 //!             [--out DIR]
 //!             [--log-out PATH] [--log-level quiet|info|debug]
-//!             [--trace-out PATH]
+//!             [--trace-out PATH] [--metrics-out PATH] [--metrics-interval-ms N]
 //! experiments serve [--queries PATH] [--cache-dir DIR] [--no-disk-cache]
 //!                   [--mem-cap N] [--samples N] [--threads N]
 //!                   [--log-out PATH] [--log-level quiet|info|debug]
+//!                   [--metrics-out PATH] [--metrics-interval-ms N]
+//!                   [--accuracy-log PATH]
 //! ```
 //!
 //! The `serve` subcommand runs the tile-size advisory service: JSON-lines
@@ -49,6 +51,8 @@ struct Args {
     log_out: Option<String>,
     log_level: obs::Level,
     trace_out: Option<String>,
+    metrics_out: Option<String>,
+    metrics_interval_ms: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -74,6 +78,8 @@ fn parse_args() -> Result<Args, String> {
         log_out: None,
         log_level: obs::Level::Info,
         trace_out: None,
+        metrics_out: None,
+        metrics_interval_ms: 1000,
     };
     let mut it = std::env::args().skip(1);
     let mut any = false;
@@ -172,6 +178,17 @@ fn parse_args() -> Result<Args, String> {
                 args.log_level = obs::Level::parse(&v).ok_or(format!("unknown log level '{v}'"))?;
             }
             "--trace-out" => args.trace_out = Some(it.next().ok_or("--trace-out needs a value")?),
+            "--metrics-out" => {
+                args.metrics_out = Some(it.next().ok_or("--metrics-out needs a value")?)
+            }
+            "--metrics-interval-ms" => {
+                let v = it.next().ok_or("--metrics-interval-ms needs a value")?;
+                args.metrics_interval_ms = v
+                    .parse()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .ok_or(format!("invalid --metrics-interval-ms '{v}'"))?;
+            }
             "--help" | "-h" => {
                 print_help();
                 std::process::exit(0);
@@ -221,7 +238,11 @@ fn print_help() {
            --trace-out PATH      write a Chrome trace-event JSON file (open in\n\
                                  chrome://tracing or https://ui.perfetto.dev): driver\n\
                                  phase spans plus, with --fig6, the simulated two-pipe\n\
-                                 SM schedule of the chosen configuration\n\n\
+                                 SM schedule of the chosen configuration\n\
+           --metrics-out PATH    stream one JSON metrics-summary line per interval\n\
+                                 (counters, gauges, histogram quantiles); a .prom\n\
+                                 extension writes Prometheus text exposition instead\n\
+           --metrics-interval-ms N   emitter period (default: 1000)\n\n\
          SUBCOMMANDS:\n\
            serve                 tile-size advisory service over JSON lines\n\
                                  (see: experiments serve --help)"
@@ -310,6 +331,9 @@ struct ServeArgs {
     threads: Option<usize>,
     log_out: Option<String>,
     log_level: obs::Level,
+    metrics_out: Option<String>,
+    metrics_interval_ms: u64,
+    accuracy_log: String,
 }
 
 fn parse_serve_args(rest: impl Iterator<Item = String>) -> Result<ServeArgs, String> {
@@ -321,6 +345,9 @@ fn parse_serve_args(rest: impl Iterator<Item = String>) -> Result<ServeArgs, Str
         threads: None,
         log_out: None,
         log_level: obs::Level::Info,
+        metrics_out: None,
+        metrics_interval_ms: 1000,
+        accuracy_log: format!("{}/accuracy_log.jsonl", experiments::DEFAULT_OUT_DIR),
     };
     let mut it = rest;
     while let Some(a) = it.next() {
@@ -358,6 +385,20 @@ fn parse_serve_args(rest: impl Iterator<Item = String>) -> Result<ServeArgs, Str
                 let v = it.next().ok_or("--log-level needs a value")?;
                 args.log_level = obs::Level::parse(&v).ok_or(format!("unknown log level '{v}'"))?;
             }
+            "--metrics-out" => {
+                args.metrics_out = Some(it.next().ok_or("--metrics-out needs a value")?)
+            }
+            "--metrics-interval-ms" => {
+                let v = it.next().ok_or("--metrics-interval-ms needs a value")?;
+                args.metrics_interval_ms = v
+                    .parse()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .ok_or(format!("invalid --metrics-interval-ms '{v}'"))?;
+            }
+            "--accuracy-log" => {
+                args.accuracy_log = it.next().ok_or("--accuracy-log needs a value")?
+            }
             "--help" | "-h" => {
                 print_serve_help();
                 std::process::exit(0);
@@ -386,7 +427,13 @@ fn print_serve_help() {
            --samples N           Citer micro-benchmark samples (default: 16)\n\
            --threads N           size the global rayon pool (default: all cores)\n\
            --log-out PATH        write the run's structured telemetry as JSONL\n\
-           --log-level LEVEL     event verbosity: quiet|info|debug (default: info)",
+           --log-level LEVEL     event verbosity: quiet|info|debug (default: info)\n\
+           --metrics-out PATH    stream one JSON metrics-summary line per interval\n\
+                                 (.prom extension: Prometheus text exposition)\n\
+           --metrics-interval-ms N   emitter period (default: 1000)\n\
+           --accuracy-log PATH   append (predicted, measured) pairs from validated\n\
+                                 queries (default: {}/accuracy_log.jsonl)",
+        experiments::DEFAULT_OUT_DIR,
         experiments::DEFAULT_OUT_DIR
     );
 }
@@ -406,17 +453,28 @@ fn run_serve(rest: impl Iterator<Item = String>) -> i32 {
             .build_global()
             .expect("configure global thread pool");
     }
-    let recorder: Option<Arc<obs::MemoryRecorder>> = args
-        .log_out
-        .is_some()
-        .then(|| Arc::new(obs::MemoryRecorder::new(args.log_level)));
-    if let Some(rec) = &recorder {
-        obs::install(rec.clone());
-    }
+    // The sharded recorder is always installed: it feeds the flight
+    // recorder and the accuracy/drift telemetry even when no export
+    // flag was given.
+    let recorder = Arc::new(obs::ShardedRecorder::new(args.log_level));
+    obs::install(recorder.clone());
+    obs::flight::install_panic_hook(std::path::PathBuf::from(experiments::DEFAULT_OUT_DIR));
+    let emitter = args.metrics_out.as_ref().map(|path| {
+        let rec = recorder.clone();
+        obs::MetricsEmitter::start(
+            path.into(),
+            std::time::Duration::from_millis(args.metrics_interval_ms),
+            Box::new(move || rec.snapshot()),
+        )
+        .expect("start --metrics-out emitter")
+    });
+    let accuracy =
+        Arc::new(obs::AccuracyLog::open(&args.accuracy_log).expect("open --accuracy-log file"));
     let advisor = advisor::Advisor::new(advisor::AdvisorConfig {
         mem_capacity: args.mem_cap,
         disk_dir: args.cache_dir.as_ref().map(Into::into),
         citer_samples: args.samples,
+        accuracy: Some(accuracy),
         ..advisor::AdvisorConfig::default()
     });
     let stdout = std::io::stdout();
@@ -442,16 +500,26 @@ fn run_serve(rest: impl Iterator<Item = String>) -> i32 {
             return 1;
         }
     };
-    if recorder.is_some() {
-        obs::uninstall();
+    if let Some(em) = emitter {
+        em.stop();
     }
-    if let Some(rec) = &recorder {
-        if let Some(path) = &args.log_out {
-            let file = std::fs::File::create(path).expect("create --log-out file");
-            let mut w = std::io::BufWriter::new(file);
-            rec.write_jsonl(&mut w).expect("write --log-out file");
-            w.flush().expect("flush --log-out file");
+    obs::uninstall();
+    let snap = recorder.snapshot();
+    if snap.counter("advisor.degraded") > 0 {
+        match obs::flight::dump(
+            std::path::Path::new(experiments::DEFAULT_OUT_DIR),
+            "advisor_degraded",
+        ) {
+            Ok(Some(path)) => eprintln!("flight recorder dumped to {}", path.display()),
+            Ok(None) => {}
+            Err(e) => eprintln!("flight recorder dump failed: {e}"),
         }
+    }
+    if let Some(path) = &args.log_out {
+        let file = std::fs::File::create(path).expect("create --log-out file");
+        let mut w = std::io::BufWriter::new(file);
+        recorder.write_jsonl(&mut w).expect("write --log-out file");
+        w.flush().expect("flush --log-out file");
     }
     eprintln!(
         "served {} answers ({} parse errors)",
@@ -484,15 +552,21 @@ fn main() {
             .build_global()
             .expect("configure global thread pool");
     }
-    // Telemetry: one in-memory recorder feeds both exporters. Without
-    // either output flag no recorder is installed and every obs call
-    // site across the workspace stays a single relaxed atomic load.
-    let recorder: Option<Arc<obs::MemoryRecorder>> = (args.log_out.is_some()
-        || args.trace_out.is_some())
-    .then(|| Arc::new(obs::MemoryRecorder::new(args.log_level)));
-    if let Some(rec) = &recorder {
-        obs::install(rec.clone());
-    }
+    // Telemetry: the sharded recorder is always installed — it arms the
+    // flight recorder (crash dumps) and keeps hot-path cost to striped
+    // relaxed atomics — but files are only written for the flags given.
+    let recorder = Arc::new(obs::ShardedRecorder::new(args.log_level));
+    obs::install(recorder.clone());
+    obs::flight::install_panic_hook(std::path::PathBuf::from(&args.out));
+    let emitter = args.metrics_out.as_ref().map(|path| {
+        let rec = recorder.clone();
+        obs::MetricsEmitter::start(
+            path.into(),
+            std::time::Duration::from_millis(args.metrics_interval_ms),
+            Box::new(move || rec.snapshot()),
+        )
+        .expect("start --metrics-out emitter")
+    });
     let lab = Lab::new(args.scale);
     let mut results = Results::new(&args.out).expect("create output directory");
     let scale = args.scale.label();
@@ -520,6 +594,36 @@ fn main() {
         let json = serde_json::to_string_pretty(&report).expect("serialize bench report");
         std::fs::write("BENCH_exec.json", json).expect("write BENCH_exec.json");
         println!("  report written to BENCH_exec.json");
+        // Accuracy telemetry: each exec row yields one (predicted,
+        // measured) wall-clock pair. The roofline predicts throughput;
+        // predicted time = measured time x (measured/predicted ratio),
+        // so rel_err == roofline_ratio - 1 and the drift band is the
+        // roofline band re-centered on zero.
+        {
+            let (lo, hi) = report.roofline.ratio_band;
+            let band = (lo - 1.0).abs().max((hi - 1.0).abs());
+            let acc =
+                obs::AccuracyLog::open(std::path::Path::new(&args.out).join("accuracy_log.jsonl"))
+                    .expect("open accuracy log");
+            for row in &report.exec {
+                let dim = StencilKind::ALL
+                    .iter()
+                    .find(|k| k.name() == row.benchmark)
+                    .map_or(0, |k| k.spec().dim.rank() as u32);
+                acc.record(
+                    &obs::accuracy::Pair {
+                        source: "roofline".into(),
+                        device: "cpu-exec".into(),
+                        stencil: row.benchmark.clone(),
+                        dim,
+                        key: row.size.clone(),
+                        predicted_s: row.fast_s * row.roofline_ratio,
+                        measured_s: row.fast_s,
+                    },
+                    band,
+                );
+            }
+        }
         if args.check_roofline {
             let (lo, hi) = report.roofline.ratio_band;
             for row in &report.exec {
@@ -533,6 +637,11 @@ fn main() {
             }
             if !report.roofline.all_within_band {
                 eprintln!("roofline check FAILED: executor throughput left the predicted band");
+                match obs::flight::dump(std::path::Path::new(&args.out), "roofline_out_of_band") {
+                    Ok(Some(path)) => eprintln!("flight recorder dumped to {}", path.display()),
+                    Ok(None) => {}
+                    Err(e) => eprintln!("flight recorder dump failed: {e}"),
+                }
                 std::process::exit(1);
             }
             println!("  roofline check passed");
@@ -812,48 +921,48 @@ fn main() {
             .expect("write wavefront");
     }
 
-    // Exporters: detach the recorder first so the export itself is not
-    // still appending to the store it snapshots.
-    if recorder.is_some() {
-        obs::uninstall();
+    // Exporters: stop the periodic emitter (it writes its final line)
+    // and detach the recorder first so the export itself is not still
+    // appending to the store it snapshots.
+    if let Some(em) = emitter {
+        em.stop();
     }
-    if let Some(rec) = &recorder {
-        if let Some(path) = &args.trace_out {
-            let mut trace = obs::chrome::ChromeTrace::new();
-            trace.name_process(0, "experiments driver");
-            trace.add_spans(0, &rec.snapshot().spans);
-            let mut traced_kernels = 0;
-            if let Some(p) = &sim_payload {
-                trace.name_process(
-                    1,
-                    &format!(
-                        "gpu-sim: {} {} on {}",
-                        p.kind.name(),
-                        p.size.label(),
-                        p.device.name
-                    ),
-                );
-                traced_kernels = export_workload_trace(&mut trace, 1, p);
-            }
-            std::fs::write(path, trace.to_json()).expect("write --trace-out file");
-            println!(
-                "chrome trace written to {path} ({} events, {traced_kernels} simulated kernels)",
-                trace.len()
+    obs::uninstall();
+    if let Some(path) = &args.trace_out {
+        let mut trace = obs::chrome::ChromeTrace::new();
+        trace.name_process(0, "experiments driver");
+        trace.add_spans(0, &recorder.snapshot().spans);
+        let mut traced_kernels = 0;
+        if let Some(p) = &sim_payload {
+            trace.name_process(
+                1,
+                &format!(
+                    "gpu-sim: {} {} on {}",
+                    p.kind.name(),
+                    p.size.label(),
+                    p.device.name
+                ),
             );
+            traced_kernels = export_workload_trace(&mut trace, 1, p);
         }
-        if let Some(path) = &args.log_out {
-            let file = std::fs::File::create(path).expect("create --log-out file");
-            let mut w = std::io::BufWriter::new(file);
-            rec.write_jsonl(&mut w).expect("write --log-out file");
-            w.flush().expect("flush --log-out file");
-            let snap = rec.snapshot();
-            println!(
-                "telemetry log written to {path} ({} events, {} spans, {} counters)",
-                snap.events.len(),
-                snap.spans.len(),
-                snap.counters.len()
-            );
-        }
+        std::fs::write(path, trace.to_json()).expect("write --trace-out file");
+        println!(
+            "chrome trace written to {path} ({} events, {traced_kernels} simulated kernels)",
+            trace.len()
+        );
+    }
+    if let Some(path) = &args.log_out {
+        let file = std::fs::File::create(path).expect("create --log-out file");
+        let mut w = std::io::BufWriter::new(file);
+        recorder.write_jsonl(&mut w).expect("write --log-out file");
+        w.flush().expect("flush --log-out file");
+        let snap = recorder.snapshot();
+        println!(
+            "telemetry log written to {path} ({} events, {} spans, {} counters)",
+            snap.events.len(),
+            snap.spans.len(),
+            snap.counters.len()
+        );
     }
 
     println!("\nresults written to {}/", results.dir().display());

@@ -123,12 +123,19 @@ fn simulate_core(
         obs::histogram("sim.pipe_comp_busy_s", comp_busy);
         // Utilization is a property of each distinct kernel schedule, so
         // sample once per cache entry rather than once per launch.
+        let (mut util_sum, mut util_n) = (0.0f64, 0u64);
         for stats in cache.values() {
             if stats.makespan > 0.0 {
                 for &finish in &stats.sm_finish {
-                    obs::histogram("sim.sm_utilization", finish / stats.makespan);
+                    let u = finish / stats.makespan;
+                    obs::histogram("sim.sm_utilization", u);
+                    util_sum += u;
+                    util_n += 1;
                 }
             }
+        }
+        if util_n > 0 {
+            obs::gauge("sim.sm_utilization_mean", util_sum / util_n as f64);
         }
     }
     let launch_overhead = wl.kernels.len() as f64 * device.t_launch;

@@ -325,6 +325,7 @@ pub fn run_tiled_with(
         "init grid shape mismatch"
     );
     let rank = spec.dim.rank();
+    let _run_span = obs::span("exec.run_tiled", "exec");
     // Hexagon slopes and inner skews scale with the stencil order
     // (paper Section 7's generality note).
     let slope = spec.order().max(1) as usize;
@@ -350,22 +351,28 @@ pub fn run_tiled_with(
         ..ExecStats::default()
     };
 
-    for w in 0..hex.wavefront_count(size.time) {
-        let (phase, q) = hex.wavefront_phase(w);
-        for j in hex.wavefront_tiles(w, size.space[0], size.time) {
-            let id = TileId { q, phase, j };
-            execute_tile(
-                spec,
-                size,
-                &hex,
-                ax2,
-                ax3,
-                id,
-                &mut st,
-                kernel.as_ref(),
-                opts.simd,
-                &mut stats,
-            )?;
+    {
+        // A child span nested inside `exec.run_tiled` on the same
+        // track: the setup/teardown around it becomes the outer span's
+        // self-time in the Chrome export.
+        let _sweep_span = obs::span("exec.wavefront_sweep", "exec");
+        for w in 0..hex.wavefront_count(size.time) {
+            let (phase, q) = hex.wavefront_phase(w);
+            for j in hex.wavefront_tiles(w, size.space[0], size.time) {
+                let id = TileId { q, phase, j };
+                execute_tile(
+                    spec,
+                    size,
+                    &hex,
+                    ax2,
+                    ax3,
+                    id,
+                    &mut st,
+                    kernel.as_ref(),
+                    opts.simd,
+                    &mut stats,
+                )?;
+            }
         }
     }
 

@@ -1,0 +1,269 @@
+//! Accuracy and drift telemetry: every predicted-vs-measured pair the
+//! stack produces (advisor `validate: true` traffic, `--bench-exec` /
+//! `--check-roofline` runs) is appended to a JSONL log and folded into
+//! rolling per-segment error gauges, so the paper's central claim — the
+//! model stays within its §5.3 band — is continuously checked instead
+//! of eyeballed.
+//!
+//! Each [`record`](AccuracyLog::record) call appends one
+//! `{"kind":"accuracy",...}` row, updates the segment's rolling-window
+//! relative-error RMSE gauge (`model.rel_err.<source>.<device>.
+//! <stencil>.<dim>d`), and bumps `model.accuracy_pairs`. When a full
+//! window's RMSE exceeds the caller's band, a `model.drift` event fires
+//! (once per excursion — re-arming only after the window recovers) and
+//! `model.drift_detected` counts it.
+
+use crate::json::JsonWriter;
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Rolling window length for the per-segment RMSE gauges.
+pub const DEFAULT_WINDOW: usize = 32;
+
+/// One predicted-vs-measured observation.
+#[derive(Debug, Clone)]
+pub struct Pair {
+    /// Producing subsystem (`"advisor"`, `"roofline"`, ...).
+    pub source: String,
+    /// Device name the prediction was made for.
+    pub device: String,
+    /// Stencil name.
+    pub stencil: String,
+    /// Problem dimensionality.
+    pub dim: u32,
+    /// Free-form workload key (size × tile, canonical query key, ...).
+    pub key: String,
+    /// Model-predicted time (seconds).
+    pub predicted_s: f64,
+    /// Measured time (seconds), same time domain as the prediction.
+    pub measured_s: f64,
+}
+
+struct SegmentWindow {
+    errs: VecDeque<f64>,
+    drifted: bool,
+}
+
+struct State {
+    file: std::fs::File,
+    windows: HashMap<String, SegmentWindow>,
+}
+
+/// Append-only accuracy log with drift detection. Cheap enough to hold
+/// behind an `Arc` in the advisor config; each record is one short
+/// write plus O(window) arithmetic.
+pub struct AccuracyLog {
+    path: PathBuf,
+    window: usize,
+    state: Mutex<State>,
+}
+
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+impl std::fmt::Debug for AccuracyLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AccuracyLog")
+            .field("path", &self.path)
+            .field("window", &self.window)
+            .finish_non_exhaustive()
+    }
+}
+
+impl AccuracyLog {
+    /// Open (append) the log at `path`, creating parent directories.
+    pub fn open(path: impl Into<PathBuf>) -> io::Result<AccuracyLog> {
+        AccuracyLog::with_window(path, DEFAULT_WINDOW)
+    }
+
+    /// [`open`](AccuracyLog::open) with an explicit rolling-window
+    /// length (useful for tests; must be ≥ 1).
+    pub fn with_window(path: impl Into<PathBuf>, window: usize) -> io::Result<AccuracyLog> {
+        let path = path.into();
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        Ok(AccuracyLog {
+            path,
+            window: window.max(1),
+            state: Mutex::new(State {
+                file,
+                windows: HashMap::new(),
+            }),
+        })
+    }
+
+    /// Where the log is being written.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The gauge/segment name a pair folds into.
+    pub fn segment(pair: &Pair) -> String {
+        format!(
+            "{}.{}.{}.{}d",
+            sanitize(&pair.source),
+            sanitize(&pair.device),
+            sanitize(&pair.stencil),
+            pair.dim
+        )
+    }
+
+    /// Append one observation and update the segment's rolling gauge;
+    /// `band` is the acceptable rolling RMSE (e.g. `0.10` for the
+    /// paper's §5.3 within-10% claim) above which drift is raised.
+    /// Pairs with a non-positive or non-finite measurement are counted
+    /// (`model.accuracy_skipped`) but not logged.
+    pub fn record(&self, pair: &Pair, band: f64) {
+        if !(pair.measured_s > 0.0 && pair.measured_s.is_finite() && pair.predicted_s.is_finite()) {
+            crate::counter("model.accuracy_skipped", 1);
+            return;
+        }
+        let rel_err = (pair.predicted_s - pair.measured_s) / pair.measured_s;
+        let segment = AccuracyLog::segment(pair);
+        let ts_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("kind", "accuracy");
+        w.field_u64("ts_ms", ts_ms);
+        w.field_str("source", &pair.source);
+        w.field_str("device", &pair.device);
+        w.field_str("stencil", &pair.stencil);
+        w.field_u64("dim", pair.dim as u64);
+        w.field_str("key", &pair.key);
+        w.field_f64("predicted_s", pair.predicted_s);
+        w.field_f64("measured_s", pair.measured_s);
+        w.field_f64("rel_err", rel_err);
+        w.end_object();
+        let line = w.finish();
+
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = writeln!(s.file, "{line}");
+        let _ = s.file.flush();
+        let win = s.windows.entry(segment.clone()).or_insert(SegmentWindow {
+            errs: VecDeque::new(),
+            drifted: false,
+        });
+        if win.errs.len() >= self.window {
+            win.errs.pop_front();
+        }
+        win.errs.push_back(rel_err);
+        let rmse = (win.errs.iter().map(|e| e * e).sum::<f64>() / win.errs.len() as f64).sqrt();
+        let full = win.errs.len() >= self.window;
+        let drift_now = full && rmse > band;
+        let raise = drift_now && !win.drifted;
+        win.drifted = drift_now;
+        drop(s);
+
+        crate::counter("model.accuracy_pairs", 1);
+        crate::gauge(&format!("model.rel_err.{segment}"), rmse);
+        if raise {
+            crate::counter("model.drift_detected", 1);
+            crate::event(
+                crate::Level::Info,
+                "model.drift",
+                &[
+                    ("segment", crate::FieldValue::Str(segment)),
+                    ("rmse", crate::FieldValue::F64(rmse)),
+                    ("band", crate::FieldValue::F64(band)),
+                    ("window", crate::FieldValue::U64(self.window as u64)),
+                ],
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{install, uninstall, Level, MemoryRecorder};
+    use std::sync::Arc;
+
+    fn pair(err: f64) -> Pair {
+        Pair {
+            source: "test".into(),
+            device: "GTX 980".into(),
+            stencil: "Jacobi2D".into(),
+            dim: 2,
+            key: "k".into(),
+            predicted_s: 1.0 + err,
+            measured_s: 1.0,
+        }
+    }
+
+    #[test]
+    fn records_rows_updates_gauge_and_raises_drift_once() {
+        let _g = crate::test_lock();
+        let dir = std::env::temp_dir().join("obs_accuracy_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("accuracy_log.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let rec = Arc::new(MemoryRecorder::new(Level::Info));
+        install(rec.clone());
+        let log = AccuracyLog::with_window(&path, 4).unwrap();
+        // Four in-band pairs: gauge set, no drift.
+        for _ in 0..4 {
+            log.record(&pair(0.05), 0.10);
+        }
+        // Four bad pairs push the window's RMSE over the band — drift
+        // fires exactly once even though the state persists.
+        for _ in 0..4 {
+            log.record(&pair(0.50), 0.10);
+        }
+        // Recovery re-arms, another excursion fires again.
+        for _ in 0..4 {
+            log.record(&pair(0.01), 0.10);
+        }
+        for _ in 0..4 {
+            log.record(&pair(0.80), 0.10);
+        }
+        log.record(
+            &Pair {
+                measured_s: 0.0,
+                ..pair(0.0)
+            },
+            0.10,
+        );
+        uninstall();
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("model.accuracy_pairs"), 16);
+        assert_eq!(snap.counter("model.accuracy_skipped"), 1);
+        assert_eq!(snap.counter("model.drift_detected"), 2);
+        let g = snap
+            .gauge("model.rel_err.test.gtx_980.jacobi2d.2d")
+            .expect("segment gauge set");
+        assert!((g - 0.80).abs() < 1e-9, "final window is all 0.80: {g}");
+        let drift_events: Vec<_> = snap
+            .events
+            .iter()
+            .filter(|e| e.name == "model.drift")
+            .collect();
+        assert_eq!(drift_events.len(), 2);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 16, "skipped pair not logged");
+        assert!(text.contains("\"kind\":\"accuracy\""));
+        assert!(text.contains("\"rel_err\":0.05"));
+    }
+}

@@ -82,10 +82,16 @@ impl ChromeTrace {
     }
 
     /// Add every span of a telemetry snapshot under process `pid`, one
-    /// lane per span track.
+    /// lane per span track. Each event carries a `self_us` arg: its
+    /// duration minus the durations of its *direct* children (spans on
+    /// the same track nested strictly inside it), so hot loops under
+    /// nested phase spans attribute to the right level.
     pub fn add_spans(&mut self, pid: u32, spans: &[SpanRecord]) {
-        for s in spans {
+        let self_us = self_times(spans);
+        for (s, self_us) in spans.iter().zip(self_us) {
             let tid = self.lane(pid, &s.track);
+            let mut args = s.fields.clone();
+            args.push(("self_us".to_owned(), FieldValue::F64(self_us)));
             self.complete(CompleteEvent {
                 name: s.name.clone(),
                 cat: "obs".to_owned(),
@@ -93,7 +99,7 @@ impl ChromeTrace {
                 tid,
                 ts_us: s.start_us,
                 dur_us: s.dur_us(),
-                args: s.fields.clone(),
+                args,
             });
         }
     }
@@ -144,6 +150,47 @@ impl ChromeTrace {
         w.end_object();
         w.finish()
     }
+}
+
+/// Per-span self time (duration minus direct same-track children).
+///
+/// Spans are grouped by track and swept in start order with a
+/// containment stack: a span whose interval nests strictly inside the
+/// stack top is that span's direct child and its duration is charged
+/// against the parent once. Partially overlapping spans (concurrent
+/// workers sharing a track) are not treated as nested.
+fn self_times(spans: &[SpanRecord]) -> Vec<f64> {
+    let mut self_us: Vec<f64> = spans.iter().map(SpanRecord::dur_us).collect();
+    let mut by_track: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (i, s) in spans.iter().enumerate() {
+        by_track.entry(&s.track).or_default().push(i);
+    }
+    for idxs in by_track.values_mut() {
+        // Parents first: earlier start, then longer span on ties.
+        idxs.sort_by(|&a, &b| {
+            spans[a]
+                .start_us
+                .total_cmp(&spans[b].start_us)
+                .then(spans[b].end_us.total_cmp(&spans[a].end_us))
+        });
+        let mut stack: Vec<usize> = Vec::new();
+        for &i in idxs.iter() {
+            while let Some(&top) = stack.last() {
+                if spans[i].start_us >= spans[top].end_us {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            if let Some(&parent) = stack.last() {
+                if spans[i].end_us <= spans[parent].end_us {
+                    self_us[parent] -= spans[i].dur_us();
+                }
+            }
+            stack.push(i);
+        }
+    }
+    self_us
 }
 
 fn metadata(w: &mut JsonWriter, kind: &str, pid: u32, tid: u32, name: &str) {
@@ -224,5 +271,54 @@ mod tests {
         t.add_spans(0, &spans);
         assert_eq!(t.len(), 2);
         assert_eq!(t.events()[0].tid, t.events()[1].tid);
+    }
+
+    fn span(name: &str, track: &str, start: f64, end: f64) -> SpanRecord {
+        SpanRecord {
+            name: name.into(),
+            track: track.into(),
+            start_us: start,
+            end_us: end,
+            fields: vec![],
+        }
+    }
+
+    fn self_of(t: &ChromeTrace, name: &str) -> f64 {
+        let e = t.events().iter().find(|e| e.name == name).unwrap();
+        match e.args.iter().find(|(k, _)| k == "self_us").unwrap().1 {
+            FieldValue::F64(v) => v,
+            ref v => panic!("self_us not f64: {v:?}"),
+        }
+    }
+
+    #[test]
+    fn self_time_excludes_direct_children_only() {
+        let mut t = ChromeTrace::new();
+        t.add_spans(
+            0,
+            &[
+                span("root", "driver", 0.0, 100.0),
+                span("mid", "driver", 10.0, 60.0),
+                span("leaf", "driver", 20.0, 30.0),
+                span("sibling", "driver", 70.0, 90.0),
+                span("other_track", "exec", 0.0, 50.0),
+            ],
+        );
+        // root loses mid (50) and sibling (20) but not grandchild leaf.
+        assert_eq!(self_of(&t, "root"), 100.0 - 50.0 - 20.0);
+        assert_eq!(self_of(&t, "mid"), 50.0 - 10.0);
+        assert_eq!(self_of(&t, "leaf"), 10.0);
+        assert_eq!(self_of(&t, "other_track"), 50.0, "tracks are independent");
+    }
+
+    #[test]
+    fn partial_overlap_is_not_nesting() {
+        let mut t = ChromeTrace::new();
+        t.add_spans(
+            0,
+            &[span("a", "exec", 0.0, 50.0), span("b", "exec", 30.0, 80.0)],
+        );
+        assert_eq!(self_of(&t, "a"), 50.0);
+        assert_eq!(self_of(&t, "b"), 50.0);
     }
 }

@@ -1,0 +1,208 @@
+//! The flight recorder: a process-global bounded ring of the most
+//! recent events and spans per track, kept even when no exporter was
+//! requested, so a panic or an out-of-band gate can dump the last
+//! moments of every subsystem after the fact.
+//!
+//! The ring is fed by [`ShardedRecorder`](crate::ShardedRecorder) —
+//! installing one arms it — and holds the last [`RING_CAP`] entries per
+//! track (a track is a span's track, or an event name's prefix before
+//! the first `.`, so `sim.kernel` lands on track `sim`). A clean run
+//! dumps nothing: [`dump`] is called only from failure paths (the panic
+//! hook installed by [`install_panic_hook`], a degraded advisor, a
+//! roofline gate outside its band).
+
+use crate::json::JsonWriter;
+use crate::FieldValue;
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Entries retained per track; old entries fall off the front.
+pub const RING_CAP: usize = 64;
+
+#[derive(Debug, Clone)]
+struct Entry {
+    ts_us: f64,
+    /// `"event"` or `"span"`.
+    kind: &'static str,
+    name: String,
+    dur_us: Option<f64>,
+    fields: Vec<(String, FieldValue)>,
+}
+
+static RING: Mutex<BTreeMap<String, VecDeque<Entry>>> = Mutex::new(BTreeMap::new());
+
+fn with_ring<T>(f: impl FnOnce(&mut BTreeMap<String, VecDeque<Entry>>) -> T) -> T {
+    f(&mut RING.lock().unwrap_or_else(|e| e.into_inner()))
+}
+
+fn push(track: &str, entry: Entry) {
+    with_ring(|ring| {
+        let q = ring.entry(track.to_owned()).or_default();
+        if q.len() >= RING_CAP {
+            q.pop_front();
+        }
+        q.push_back(entry);
+    });
+}
+
+/// Record an event into its track's ring (the track is the name prefix
+/// before the first `.`).
+pub(crate) fn note_event(ts_us: f64, name: &str, fields: &[(&str, FieldValue)]) {
+    let track = name.split('.').next().unwrap_or(name);
+    push(
+        track,
+        Entry {
+            ts_us,
+            kind: "event",
+            name: name.to_owned(),
+            dur_us: None,
+            fields: fields
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), v.clone()))
+                .collect(),
+        },
+    );
+}
+
+/// Record a completed span into its track's ring.
+pub(crate) fn note_span(span: &crate::SpanRecord) {
+    push(
+        &span.track,
+        Entry {
+            ts_us: span.end_us,
+            kind: "span",
+            name: span.name.clone(),
+            dur_us: Some(span.dur_us()),
+            fields: span.fields.clone(),
+        },
+    );
+}
+
+/// Drop every retained entry (called when a new recorder is installed).
+pub fn clear() {
+    with_ring(|ring| ring.clear());
+}
+
+/// Whether the ring holds no entries at all.
+pub fn is_empty() -> bool {
+    with_ring(|ring| ring.values().all(|q| q.is_empty()))
+}
+
+/// Write the ring as JSONL: one `flight_meta` line carrying `reason`,
+/// then one `flight` line per retained entry, grouped by track in ring
+/// order. Returns the number of entries written.
+pub fn dump_to(out: &mut dyn Write, reason: &str) -> io::Result<usize> {
+    let ring = with_ring(|ring| ring.clone());
+    let total: usize = ring.values().map(VecDeque::len).sum();
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("kind", "flight_meta");
+    w.field_str("reason", reason);
+    w.field_u64("tracks", ring.len() as u64);
+    w.field_u64("entries", total as u64);
+    w.end_object();
+    writeln!(out, "{}", w.finish())?;
+    for (track, q) in &ring {
+        for e in q {
+            let mut w = JsonWriter::new();
+            w.begin_object();
+            w.field_str("kind", "flight");
+            w.field_str("track", track);
+            w.field_str("type", e.kind);
+            w.field_str("name", &e.name);
+            w.field_f64("ts_us", e.ts_us);
+            if let Some(d) = e.dur_us {
+                w.field_f64("dur_us", d);
+            }
+            w.begin_field_object("fields");
+            for (k, v) in &e.fields {
+                w.field_value(k, v);
+            }
+            w.end_object();
+            w.end_object();
+            writeln!(out, "{}", w.finish())?;
+        }
+    }
+    Ok(total)
+}
+
+/// Dump the ring to `dir/flightrec_<unix_ms>.jsonl` unless it is empty.
+/// Returns the path written, `None` when there was nothing to dump.
+pub fn dump(dir: &Path, reason: &str) -> io::Result<Option<PathBuf>> {
+    if is_empty() {
+        return Ok(None);
+    }
+    std::fs::create_dir_all(dir)?;
+    let ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis())
+        .unwrap_or(0);
+    let path = dir.join(format!("flightrec_{ms}.jsonl"));
+    let mut f = std::fs::File::create(&path)?;
+    dump_to(&mut f, reason)?;
+    Ok(Some(path))
+}
+
+/// Chain a panic hook that dumps the flight ring into `dir` before the
+/// default (or previously installed) hook runs. Installing twice chains
+/// twice; call once early in `main`.
+pub fn install_panic_hook(dir: PathBuf) {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if let Ok(Some(path)) = dump(&dir, "panic") {
+            eprintln!("flight recorder dumped to {}", path.display());
+        }
+        prev(info);
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Flight state is process-global; serialize with the other
+    // global-recorder tests.
+    #[test]
+    fn ring_bounds_dump_and_clear() {
+        let _g = crate::test_lock();
+        clear();
+        assert!(is_empty());
+        for i in 0..(RING_CAP + 10) {
+            note_event(i as f64, "sim.kernel", &[("i", FieldValue::U64(i as u64))]);
+        }
+        note_event(1.0, "exec.run", &[]);
+        note_span(&crate::SpanRecord {
+            name: "phase".into(),
+            track: "driver".into(),
+            start_us: 0.0,
+            end_us: 10.0,
+            fields: vec![],
+        });
+        assert!(!is_empty());
+        let mut buf = Vec::new();
+        let n = dump_to(&mut buf, "test").unwrap();
+        assert_eq!(n, RING_CAP + 2, "sim ring capped, exec + driver intact");
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text
+            .lines()
+            .next()
+            .unwrap()
+            .contains("\"kind\":\"flight_meta\""));
+        assert!(text.contains("\"reason\":\"test\""));
+        // The oldest sim entries fell off the front of the ring.
+        assert!(!text.contains("\"i\":0}"));
+        assert!(text.contains("\"dur_us\":10.0"));
+        clear();
+        assert!(is_empty());
+    }
+
+    #[test]
+    fn empty_ring_dumps_no_file() {
+        let _g = crate::test_lock();
+        clear();
+        let dir = std::env::temp_dir().join("obs_flight_empty_test");
+        assert!(dump(&dir, "noop").unwrap().is_none());
+    }
+}

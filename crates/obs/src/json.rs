@@ -92,6 +92,19 @@ impl JsonWriter {
         self.stack.push(false);
     }
 
+    /// Open a top-level or array-element array.
+    pub fn begin_array(&mut self) {
+        self.elem_prefix();
+        self.out.push('[');
+        self.stack.push(false);
+    }
+
+    /// A bare unsigned array element.
+    pub fn elem_u64(&mut self, v: u64) {
+        self.elem_prefix();
+        self.out.push_str(&v.to_string());
+    }
+
     pub fn end_array(&mut self) {
         self.stack.pop();
         self.out.push(']');

@@ -40,11 +40,19 @@
 //! obs::uninstall();
 //! ```
 
+pub mod accuracy;
 pub mod chrome;
+mod emit;
+pub mod flight;
 mod json;
 mod memory;
+mod prom;
+mod sharded;
 
+pub use accuracy::AccuracyLog;
+pub use emit::MetricsEmitter;
 pub use memory::{write_jsonl_snapshot, Histogram, LogEvent, MemoryRecorder, Snapshot, SpanRecord};
+pub use sharded::ShardedRecorder;
 
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Arc, RwLock};
@@ -143,6 +151,11 @@ pub trait Recorder: Send + Sync {
     fn counter(&self, name: &str, delta: u64);
     /// Record one sample of the named histogram.
     fn histogram(&self, name: &str, value: f64);
+    /// Set the named gauge to its most recent value (last write wins).
+    /// Default: ignored, so pre-gauge recorders stay source-compatible.
+    fn gauge(&self, name: &str, value: f64) {
+        let _ = (name, value);
+    }
     /// A completed span on a named track (wall-clock instants).
     fn span(
         &self,
@@ -166,6 +179,9 @@ pub fn install(recorder: Arc<dyn Recorder>) {
     let state = 1 + recorder.level() as u8;
     *RECORDER.write().unwrap_or_else(|e| e.into_inner()) = Some(recorder);
     STATE.store(state, Ordering::Release);
+    // Each installed recorder starts a fresh flight; stale rings from a
+    // previous run must not leak into this run's crash dumps.
+    flight::clear();
 }
 
 /// Remove the global recorder; call sites return to the free no-op path.
@@ -227,6 +243,15 @@ pub fn histogram(name: &str, value: f64) {
         return;
     }
     with_recorder(|r| r.histogram(name, value));
+}
+
+/// Set a gauge to its most recent value (last write wins).
+#[inline]
+pub fn gauge(name: &str, value: f64) {
+    if STATE.load(Ordering::Relaxed) == 0 {
+        return;
+    }
+    with_recorder(|r| r.gauge(name, value));
 }
 
 /// Open a span on `track`; it records itself when dropped. While no

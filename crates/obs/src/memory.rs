@@ -74,7 +74,7 @@ impl Histogram {
     /// Number of half-decade buckets (1e-12 ..= 1e4).
     pub const BUCKETS: usize = 33;
 
-    fn new() -> Histogram {
+    pub(crate) fn new() -> Histogram {
         Histogram {
             count: 0,
             sum: 0.0,
@@ -84,7 +84,7 @@ impl Histogram {
         }
     }
 
-    fn bucket_of(value: f64) -> usize {
+    pub(crate) fn bucket_of(value: f64) -> usize {
         if value <= 0.0 || !value.is_finite() {
             return 0;
         }
@@ -92,7 +92,7 @@ impl Histogram {
         (idx.ceil().max(0.0) as usize).min(Histogram::BUCKETS - 1)
     }
 
-    fn record(&mut self, value: f64) {
+    pub(crate) fn record(&mut self, value: f64) {
         self.count += 1;
         self.sum += value;
         self.min = self.min.min(value);
@@ -100,9 +100,77 @@ impl Histogram {
         self.buckets[Histogram::bucket_of(value)] += 1;
     }
 
+    /// Fold another histogram into this one (used by the sharded
+    /// recorder's merge-on-snapshot).
+    pub(crate) fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
+
     /// Arithmetic mean of the samples (`NaN` when empty).
     pub fn mean(&self) -> f64 {
         self.sum / self.count as f64
+    }
+
+    /// The value range `[lo, hi)` of bucket `i` (bucket 0 reaches down
+    /// to zero; the last bucket's `hi` is where clamping starts, not a
+    /// true upper bound).
+    pub fn bucket_bounds(i: usize) -> (f64, f64) {
+        let hi = 10f64.powf(i as f64 / 2.0 - 12.0);
+        let lo = if i == 0 {
+            0.0
+        } else {
+            10f64.powf((i as f64 - 1.0) / 2.0 - 12.0)
+        };
+        (lo, hi)
+    }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) from the bucket counts.
+    ///
+    /// The estimate is the geometric midpoint of the bucket holding the
+    /// rank-`ceil(q·count)` sample, clamped to the exact `[min, max]`;
+    /// since the true order statistic lies in that same bucket, the
+    /// estimate is always within one bucket (a half-decade) of it.
+    /// Returns `NaN` when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        let mut bucket = Histogram::BUCKETS - 1;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                bucket = i;
+                break;
+            }
+        }
+        let (lo, hi) = Histogram::bucket_bounds(bucket);
+        // Geometric midpoint matches the log-scale bucketing; bucket 0
+        // has no positive lower edge, so use its upper edge.
+        let mid = if lo > 0.0 { (lo * hi).sqrt() } else { hi };
+        mid.clamp(self.min, self.max)
+    }
+
+    /// Median estimate (see [`quantile`](Histogram::quantile)).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
     }
 }
 
@@ -112,6 +180,7 @@ struct Store {
     spans: Vec<SpanRecord>,
     counters: BTreeMap<String, u64>,
     histograms: BTreeMap<String, Histogram>,
+    gauges: BTreeMap<String, f64>,
     dropped: u64,
 }
 
@@ -126,6 +195,8 @@ pub struct Snapshot {
     pub counters: BTreeMap<String, u64>,
     /// Histograms by name.
     pub histograms: BTreeMap<String, Histogram>,
+    /// Gauges by name (most recent value wins).
+    pub gauges: BTreeMap<String, f64>,
     /// Events/spans discarded after the capacity cap was hit.
     pub dropped: u64,
 }
@@ -139,6 +210,11 @@ impl Snapshot {
     /// The named histogram, if any samples were recorded.
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
         self.histograms.get(name)
+    }
+
+    /// The named gauge's most recent value, if ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
     }
 }
 
@@ -192,6 +268,7 @@ impl MemoryRecorder {
             spans: s.spans.clone(),
             counters: s.counters.clone(),
             histograms: s.histograms.clone(),
+            gauges: s.gauges.clone(),
             dropped: s.dropped,
         }
     }
@@ -261,6 +338,15 @@ pub fn write_jsonl_snapshot(snap: &Snapshot, level: Level, out: &mut dyn Write) 
         w.end_object();
         writeln!(out, "{}", w.finish())?;
     }
+    for (name, value) in &snap.gauges {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("kind", "gauge");
+        w.field_str("name", name);
+        w.field_f64("value", *value);
+        w.end_object();
+        writeln!(out, "{}", w.finish())?;
+    }
     for (name, h) in &snap.histograms {
         let mut w = JsonWriter::new();
         w.begin_object();
@@ -271,6 +357,19 @@ pub fn write_jsonl_snapshot(snap: &Snapshot, level: Level, out: &mut dyn Write) 
         w.field_f64("min", h.min);
         w.field_f64("max", h.max);
         w.field_f64("mean", h.mean());
+        w.field_f64("p50", h.p50());
+        w.field_f64("p90", h.p90());
+        w.field_f64("p99", h.p99());
+        // Sparse bucket dump: [index, count] pairs for nonzero buckets
+        // keeps tails inspectable without 33 columns of zeros.
+        w.begin_field_array("buckets");
+        for (i, n) in h.buckets.iter().enumerate().filter(|(_, n)| **n > 0) {
+            w.begin_array();
+            w.elem_u64(i as u64);
+            w.elem_u64(*n);
+            w.end_array();
+        }
+        w.end_array();
         w.end_object();
         writeln!(out, "{}", w.finish())?;
     }
@@ -327,6 +426,11 @@ impl Recorder for MemoryRecorder {
                 s.histograms.insert(name.to_owned(), h);
             }
         }
+    }
+
+    fn gauge(&self, name: &str, value: f64) {
+        let mut s = self.lock();
+        s.gauges.insert(name.to_owned(), value);
     }
 
     fn span(

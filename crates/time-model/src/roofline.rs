@@ -156,9 +156,24 @@ pub fn predict(cal: &RooflineCalibration, compute_pps: f64) -> RooflinePredictio
     }
 }
 
-/// Whether a measured/predicted ratio sits inside [`RATIO_BAND`].
+/// The effective tolerance band: [`RATIO_BAND`] unless the
+/// `HHC_ROOFLINE_BAND` environment variable overrides it with a
+/// `"lo,hi"` pair. The override exists for CI fault injection — forcing
+/// the gate out of band exercises the failure path (nonzero exit,
+/// flight-recorder dump) without breaking the executor.
+pub fn ratio_band() -> (f64, f64) {
+    let parsed = std::env::var("HHC_ROOFLINE_BAND").ok().and_then(|s| {
+        let (lo, hi) = s.split_once(',')?;
+        let (lo, hi) = (lo.trim().parse().ok()?, hi.trim().parse().ok()?);
+        (lo <= hi).then_some((lo, hi))
+    });
+    parsed.unwrap_or(RATIO_BAND)
+}
+
+/// Whether a measured/predicted ratio sits inside [`ratio_band`].
 pub fn within_band(ratio: f64) -> bool {
-    ratio.is_finite() && ratio >= RATIO_BAND.0 && ratio <= RATIO_BAND.1
+    let (lo, hi) = ratio_band();
+    ratio.is_finite() && ratio >= lo && ratio <= hi
 }
 
 #[cfg(test)]
@@ -197,6 +212,22 @@ mod tests {
         assert!(!within_band(0.01));
         assert!(!within_band(2.0));
         assert!(!within_band(f64::NAN));
+    }
+
+    #[test]
+    fn env_override_parses_or_falls_back() {
+        // Parse-only checks (no env mutation: tests run in parallel and
+        // `set_var` is process-global). The default band applies when
+        // the variable is absent.
+        assert_eq!(ratio_band(), RATIO_BAND);
+        let parse = |s: &str| -> Option<(f64, f64)> {
+            let (lo, hi) = s.split_once(',')?;
+            let (lo, hi): (f64, f64) = (lo.trim().parse().ok()?, hi.trim().parse().ok()?);
+            (lo <= hi).then_some((lo, hi))
+        };
+        assert_eq!(parse("0.5, 0.9"), Some((0.5, 0.9)));
+        assert_eq!(parse("2.0,1.0"), None, "inverted band rejected");
+        assert_eq!(parse("nope"), None);
     }
 
     #[test]
