@@ -118,6 +118,10 @@ impl DiskCache {
             _ => return None,
         };
         if stored_key != key {
+            // FNV-64 collision (or a tampered file): two canonical keys
+            // hashed to the same filename. Treat as a miss — the next
+            // store for either key just overwrites the file.
+            obs::counter("advisor.disk_key_mismatch", 1);
             return None;
         }
         let meta = match crate::jsonv::get(entries, "meta") {
@@ -170,7 +174,7 @@ impl DiskCache {
 /// uncommitted changes; `"unknown"` outside a repository. (Mirrors the
 /// experiments crate's RunManifest — duplicated here because the
 /// dependency points the other way.)
-fn current_git_rev() -> String {
+pub(crate) fn current_git_rev() -> String {
     let out = |args: &[&str]| {
         std::process::Command::new("git")
             .args(args)
@@ -248,6 +252,32 @@ mod tests {
         let mut stale = DiskCache::new(&dir);
         stale.git_rev = "somebody-else".into();
         assert!(stale.load(key).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn forced_hash_collision_is_a_miss_not_a_wrong_answer() {
+        let dir = std::env::temp_dir().join(format!(
+            "advisor-cache-collision-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = DiskCache::new(&dir);
+        let key_a = "v1|canonical-key-a";
+        let key_b = "v1|canonical-key-b";
+        cache.store(key_a, &advice("a"), 7);
+        // Force the collision FNV-64 makes astronomically unlikely:
+        // plant key A's file where key B's hash points. A real collision
+        // is byte-for-byte this situation — filename matches, stored
+        // canonical key does not.
+        std::fs::copy(cache.path(key_a), cache.path(key_b)).unwrap();
+        assert!(
+            cache.load(key_b).is_none(),
+            "colliding entry must be a miss, never key A's answer"
+        );
+        // The legitimate owner of the file still hits.
+        assert_eq!(cache.load(key_a), Some(advice("a")));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -25,19 +25,30 @@
 //!   (and is *not* cached, so a later unhurried query recomputes).
 //!
 //! The `experiments serve` subcommand exposes the same engine over
-//! JSON-lines stdin/stdout; see [`serve`].
+//! JSON-lines stdin/stdout; see [`serve`]. `experiments serve --listen`
+//! runs the concurrent socket front end ([`server`]) on the same
+//! engine, and `experiments precompute` sweeps an ahead-of-time
+//! [`store::AnswerStore`] so steady-state serving is pure lookup
+//! (`advisor.store_hits`) with zero model evaluations
+//! (`advisor.model_evals`).
 
 pub mod advice;
 pub mod cache;
 pub mod jsonv;
 pub mod query;
 pub mod serve;
+pub mod server;
+pub mod shard;
+pub mod store;
 
 pub use advice::{Advice, Candidate, MeasuredBest, SkippedOut, ValidationReport};
 pub use query::Query;
 pub use serve::{serve_lines, ServeStats};
+pub use server::{Server, ServerConfig};
+pub use shard::ShardedCache;
+pub use store::{grid_queries, AnswerStore};
 
-use cache::{DiskCache, MemCache};
+use cache::DiskCache;
 use gpu_sim::DeviceConfig;
 use hhc_tiling::LaunchConfig;
 use parking_lot::Mutex;
@@ -76,6 +87,11 @@ pub struct AdvisorConfig {
     /// Rolling-RMSE drift band for the accuracy log (the paper's §5.3
     /// within-10% claim by default).
     pub accuracy_band: f64,
+    /// An ahead-of-time answer store consulted before every cache tier
+    /// (see [`store::AnswerStore`]); `None` disables it. Like the disk
+    /// tier, the store only ever changes *where* an answer comes from,
+    /// never its bytes — provenance lives on `advisor.store_hits`.
+    pub store: Option<Arc<AnswerStore>>,
 }
 
 impl Default for AdvisorConfig {
@@ -88,6 +104,7 @@ impl Default for AdvisorConfig {
             space: SpaceConfig::default(),
             accuracy: None,
             accuracy_band: 0.10,
+            store: None,
         }
     }
 }
@@ -96,7 +113,7 @@ impl Default for AdvisorConfig {
 /// state (caches, measured-parameter memo) is lock-protected.
 pub struct Advisor {
     cfg: AdvisorConfig,
-    mem: Mutex<MemCache>,
+    mem: ShardedCache,
     disk: Option<DiskCache>,
     /// Measured `(L, τ_sync, T_sync, Citer)` per (device fingerprint,
     /// stencil): the micro-benchmarks are deterministic for a fixed
@@ -107,7 +124,7 @@ pub struct Advisor {
 impl Advisor {
     pub fn new(cfg: AdvisorConfig) -> Self {
         Advisor {
-            mem: Mutex::new(MemCache::new(cfg.mem_capacity)),
+            mem: ShardedCache::new(cfg.mem_capacity),
             disk: cfg.disk_dir.as_ref().map(DiskCache::new),
             measured: Mutex::new(HashMap::new()),
             cfg,
@@ -144,11 +161,24 @@ impl Advisor {
         )
     }
 
-    /// Answer one query, consulting the cache tiers first. Every exit
-    /// path records its wall time on a per-outcome latency histogram
-    /// (`advisor.latency_ms.{ok,degraded,cache_mem,cache_disk}`) so p99
-    /// under deadline pressure is measurable, not just hit counts.
+    /// Answer one query, consulting the answer store and the cache
+    /// tiers first. Every exit path records its wall time on a
+    /// per-outcome latency histogram
+    /// (`advisor.latency_ms.{store,cache_mem,cache_disk,ok,degraded}`)
+    /// so p99 under deadline pressure is measurable, not just hit
+    /// counts. The query's own `timeout_ms` anchors the deadline here,
+    /// at call time; a server that parsed the query earlier passes the
+    /// arrival-anchored deadline through [`advise_at`](Self::advise_at)
+    /// instead, so queue wait counts against the budget.
     pub fn advise(&self, q: &Query) -> Advice {
+        let deadline = q
+            .timeout_ms
+            .map(|ms| Instant::now() + Duration::from_millis(ms));
+        self.advise_at(q, deadline)
+    }
+
+    /// [`advise`](Self::advise) with an explicit absolute deadline.
+    pub fn advise_at(&self, q: &Query, deadline: Option<Instant>) -> Advice {
         let _span = obs::span("advisor.query", "advisor");
         let t0 = Instant::now();
         let latency = |outcome: &str| {
@@ -161,7 +191,17 @@ impl Advisor {
             obs::counter("advisor.queries", 1);
         }
         let key = self.canonical_key(q);
-        if let Some(mut hit) = self.mem.lock().get(&key) {
+        if let Some(store) = &self.cfg.store {
+            if let Some(mut hit) = store.get(&key) {
+                if obs::active() {
+                    obs::counter("advisor.store_hits", 1);
+                }
+                hit.id = q.id.clone();
+                latency("store");
+                return hit;
+            }
+        }
+        if let Some(mut hit) = self.mem.get(&key) {
             if obs::active() {
                 obs::counter("advisor.cache_hits_mem", 1);
             }
@@ -174,20 +214,20 @@ impl Advisor {
                 if obs::active() {
                     obs::counter("advisor.cache_hits_disk", 1);
                 }
-                self.mem.lock().put(key, hit.clone());
+                self.mem.put(key, hit.clone());
                 hit.id = q.id.clone();
                 latency("cache_disk");
                 return hit;
             }
         }
-        let answer = self.compute(q);
+        let answer = self.compute(q, deadline);
         if answer.degraded {
             if obs::active() {
                 obs::counter("advisor.degraded", 1);
             }
             latency("degraded");
         } else {
-            self.mem.lock().put(key.clone(), answer.clone());
+            self.mem.put(key.clone(), answer.clone());
             if let Some(disk) = &self.disk {
                 disk.store(&key, &answer, self.cfg.seed);
             }
@@ -227,12 +267,15 @@ impl Advisor {
 
     /// Compute an answer from scratch: measured parameters → feasible
     /// space → parallel model sweep → within-band ranking → optional
-    /// validation run, all under the query's deadline.
-    fn compute(&self, q: &Query) -> Advice {
+    /// validation run, all under the caller's deadline. Every call is
+    /// counted on `advisor.model_evals` — the "zero model evaluations
+    /// in steady state" claim is `advisor.queries` growing while this
+    /// counter stands still.
+    fn compute(&self, q: &Query, deadline: Option<Instant>) -> Advice {
         let w = &q.workload;
-        let deadline = q
-            .timeout_ms
-            .map(|ms| Instant::now() + Duration::from_millis(ms));
+        if obs::active() {
+            obs::counter("advisor.model_evals", 1);
+        }
         let params = self.model_params(&w.device, w.stencil);
         let tiles = feasible_space(w, &self.cfg.space);
         let sweep = model_sweep(&params, &w.size, &tiles);

@@ -27,6 +27,41 @@ enum Slot {
     Error(String),
 }
 
+/// Shared per-line request handling: `None` for a blank line (no
+/// response slot), otherwise the parsed query or the error message that
+/// the caller must answer with [`error_line`]. Every parse failure is
+/// counted on `advisor.query_errors`, whichever transport saw it —
+/// stdin, a `--queries` file, or a socket connection.
+pub(crate) fn parse_slot(line: &str) -> Option<Result<Query, String>> {
+    let text = line.trim();
+    if text.is_empty() {
+        return None;
+    }
+    Some(Query::parse_line(text).inspect_err(|_| {
+        obs::counter("advisor.query_errors", 1);
+    }))
+}
+
+/// The structured response for a malformed input line.
+pub(crate) fn error_line(msg: &str) -> String {
+    serde_json::to_string(&Value::Map(vec![(
+        "error".to_string(),
+        Value::Str(msg.to_string()),
+    )]))
+    .expect("error line serializes")
+}
+
+/// The backpressure response for a shed query: explicit, parseable, and
+/// carrying the query's own `id` so a pipelining client can tell which
+/// request was refused.
+pub(crate) fn overloaded_line(id: Option<&str>) -> String {
+    let mut fields = vec![("error".to_string(), Value::Str("overloaded".to_string()))];
+    if let Some(id) = id {
+        fields.push(("id".to_string(), Value::Str(id.to_string())));
+    }
+    serde_json::to_string(&Value::Map(fields)).expect("overloaded line serializes")
+}
+
 /// Run the service loop over `input`, writing answers to `out`.
 pub fn serve_lines<R: BufRead, W: Write>(
     advisor: &Advisor,
@@ -38,16 +73,13 @@ pub fn serve_lines<R: BufRead, W: Write>(
     let mut slots = Vec::new();
     for line in input.lines() {
         let line = line?;
-        let text = line.trim();
-        if text.is_empty() {
-            continue;
-        }
-        match Query::parse_line(text) {
-            Ok(q) => {
+        match parse_slot(&line) {
+            None => continue,
+            Some(Ok(q)) => {
                 slots.push(Slot::Query(queries.len()));
                 queries.push(q);
             }
-            Err(e) => slots.push(Slot::Error(e)),
+            Some(Err(e)) => slots.push(Slot::Error(e)),
         }
     }
     let answers = advisor.advise_batch(&queries);
@@ -63,12 +95,7 @@ pub fn serve_lines<R: BufRead, W: Write>(
             }
             Slot::Error(msg) => {
                 stats.errors += 1;
-                let line = serde_json::to_string(&Value::Map(vec![(
-                    "error".to_string(),
-                    Value::Str(msg),
-                )]))
-                .expect("error line serializes");
-                writeln!(out, "{line}")?;
+                writeln!(out, "{}", error_line(&msg))?;
             }
         }
     }

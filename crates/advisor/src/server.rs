@@ -1,0 +1,481 @@
+//! The concurrent socket front end: many JSON-lines connections, one
+//! advisor.
+//!
+//! `experiments serve --listen ADDR` runs this server. Each accepted
+//! connection gets a reader thread (parses lines, admits work) and a
+//! writer thread (delivers answers back **in input order**); a shared
+//! worker pool drains one bounded queue in small batches. The moving
+//! parts, and the load-shedding story:
+//!
+//! * **Bounded admission** — the global queue and a per-connection
+//!   outstanding-line cap are both hard bounds. A line that would
+//!   exceed either is *shed* immediately with an explicit
+//!   `{"error":"overloaded", ...}` response (counted on
+//!   `advisor.shed`) instead of buffering without bound; the client
+//!   sees backpressure as data, not as silence.
+//! * **Cross-client coalescing** — a worker pops a batch (everything
+//!   queued, topped up for at most `batch_window`), groups it by
+//!   canonical key, and evaluates each distinct key **once**, whoever
+//!   sent the duplicates. Duplicate members are answered from the
+//!   group's single computation (counted on `advisor.coalesced`) and
+//!   are byte-identical to a serially computed answer, bar the echoed
+//!   `id`.
+//! * **Deadlines from arrival** — a query's `timeout_ms` clock starts
+//!   when the line is parsed, so time spent waiting in the queue
+//!   counts against it: under load a deadlined validation query
+//!   degrades to the model-only ranking rather than blowing its
+//!   budget. A coalesced group computes under its most permissive
+//!   member's deadline (an answer finished for one member is free for
+//!   all).
+//! * **Malformed input** — a bad line gets an `{"error": ...}`
+//!   response in its slot (the same shared per-line handling as the
+//!   stdin and `--queries` modes, counting `advisor.query_errors`);
+//!   the connection survives.
+
+use crate::serve::{error_line, overloaded_line, parse_slot};
+use crate::{Advisor, Query};
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of one server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads draining the shared queue.
+    pub workers: usize,
+    /// Bound of the shared work queue; an admission beyond it sheds.
+    pub queue_cap: usize,
+    /// Bound on unanswered lines per connection; beyond it, sheds.
+    pub conn_queue_cap: usize,
+    /// How long a worker tops up a non-full batch waiting for
+    /// coalescible stragglers. Zero disables the wait (a worker takes
+    /// whatever is queued and runs).
+    pub batch_window: Duration,
+    /// Most requests a worker evaluates per batch.
+    pub max_batch: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: std::thread::available_parallelism().map_or(2, |n| n.get().max(2)),
+            queue_cap: 1024,
+            conn_queue_cap: 128,
+            batch_window: Duration::from_micros(500),
+            max_batch: 64,
+        }
+    }
+}
+
+/// One admitted query waiting for a worker.
+struct Request {
+    query: Query,
+    /// Absolute deadline, anchored at parse time (queue wait counts).
+    deadline: Option<Instant>,
+    conn: Arc<Conn>,
+    seq: u64,
+}
+
+/// The shared bounded work queue (mutex + condvars; `try_push` never
+/// blocks — over capacity is the caller's signal to shed).
+struct Queue {
+    state: Mutex<QueueState>,
+    /// Signaled on push and on close.
+    ready: Condvar,
+    cap: usize,
+}
+
+struct QueueState {
+    items: VecDeque<Request>,
+    closed: bool,
+}
+
+impl Queue {
+    fn new(cap: usize) -> Queue {
+        Queue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Admit `r`, or hand it back when the queue is at capacity. The
+    /// large Err is the point: the rejected request goes straight back
+    /// to the shed path, never onto the heap.
+    #[allow(clippy::result_large_err)]
+    fn try_push(&self, r: Request) -> Result<(), Request> {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if s.closed || s.items.len() >= self.cap {
+            return Err(r);
+        }
+        s.items.push_back(r);
+        drop(s);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Block for the first request, then top the batch up to `max` for
+    /// at most `window`. An empty vector means the queue was closed and
+    /// fully drained — the worker should exit.
+    fn pop_batch(&self, max: usize, window: Duration) -> Vec<Request> {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if !s.items.is_empty() {
+                break;
+            }
+            if s.closed {
+                return Vec::new();
+            }
+            s = self.ready.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+        let mut batch = Vec::with_capacity(max.min(s.items.len()));
+        while batch.len() < max {
+            match s.items.pop_front() {
+                Some(r) => batch.push(r),
+                None => break,
+            }
+        }
+        if batch.len() < max && !window.is_zero() {
+            let top_up_until = Instant::now() + window;
+            loop {
+                let now = Instant::now();
+                if now >= top_up_until || s.closed {
+                    break;
+                }
+                if s.items.is_empty() {
+                    let (guard, _) = self
+                        .ready
+                        .wait_timeout(s, top_up_until - now)
+                        .unwrap_or_else(|e| e.into_inner());
+                    s = guard;
+                }
+                while batch.len() < max {
+                    match s.items.pop_front() {
+                        Some(r) => batch.push(r),
+                        None => break,
+                    }
+                }
+                if batch.len() >= max {
+                    break;
+                }
+            }
+        }
+        batch
+    }
+
+    fn close(&self) {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).closed = true;
+        self.ready.notify_all();
+    }
+}
+
+/// Per-connection response state: answers complete in any order (a
+/// worker batch interleaves connections) but are written strictly in
+/// input-line order via a seq-indexed reorder buffer.
+struct Conn {
+    /// Unanswered admitted lines — the per-connection backpressure bound.
+    outstanding: AtomicUsize,
+    out: Mutex<Outbox>,
+    ready: Condvar,
+}
+
+struct Outbox {
+    /// Next seq the writer will emit.
+    next_write: u64,
+    /// Completed answers waiting for their turn.
+    done: HashMap<u64, String>,
+    /// Total lines the reader admitted, fixed at connection EOF.
+    total: Option<u64>,
+}
+
+impl Conn {
+    fn new() -> Arc<Conn> {
+        Arc::new(Conn {
+            outstanding: AtomicUsize::new(0),
+            out: Mutex::new(Outbox {
+                next_write: 0,
+                done: HashMap::new(),
+                total: None,
+            }),
+            ready: Condvar::new(),
+        })
+    }
+
+    /// Deliver the response line for input line `seq`.
+    fn complete(&self, seq: u64, line: String) {
+        let mut out = self.out.lock().unwrap_or_else(|e| e.into_inner());
+        out.done.insert(seq, line);
+        drop(out);
+        self.ready.notify_one();
+    }
+
+    /// The reader reached EOF after `total` lines.
+    fn finish(&self, total: u64) {
+        self.out.lock().unwrap_or_else(|e| e.into_inner()).total = Some(total);
+        self.ready.notify_one();
+    }
+}
+
+/// A running server. Dropping without [`shutdown`](Server::shutdown)
+/// leaks the listener thread (the process usually exits right after);
+/// tests and the bench call `shutdown` for a clean join.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    queue: Arc<Queue>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    conns: Arc<Mutex<HashMap<u64, TcpStream>>>,
+}
+
+impl Server {
+    /// Bind the worker pool and acceptor over `listener` and return.
+    /// The server runs until [`shutdown`](Server::shutdown).
+    pub fn start(
+        advisor: Arc<Advisor>,
+        listener: TcpListener,
+        cfg: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let queue = Arc::new(Queue::new(cfg.queue_cap));
+        // Live connections, by id, so `shutdown` can force-close them.
+        // A connection removes itself when it finishes — the registry
+        // must not hold a duplicate handle past that point, or the
+        // client would never see EOF.
+        let conns: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
+
+        let workers = (0..cfg.workers.max(1))
+            .map(|_| {
+                let advisor = Arc::clone(&advisor);
+                let queue = Arc::clone(&queue);
+                let cfg = cfg.clone();
+                std::thread::spawn(move || worker_loop(&advisor, &queue, &cfg))
+            })
+            .collect();
+
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            let queue = Arc::clone(&queue);
+            let conns = Arc::clone(&conns);
+            let cfg = cfg.clone();
+            std::thread::spawn(move || {
+                let mut next_id = 0u64;
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    obs::counter("advisor.connections", 1);
+                    let id = next_id;
+                    next_id += 1;
+                    if let Ok(handle) = stream.try_clone() {
+                        conns
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .insert(id, handle);
+                    }
+                    let queue = Arc::clone(&queue);
+                    let cfg = cfg.clone();
+                    let conns = Arc::clone(&conns);
+                    std::thread::spawn(move || {
+                        serve_connection(stream, &queue, &cfg);
+                        conns.lock().unwrap_or_else(|e| e.into_inner()).remove(&id);
+                    });
+                }
+            })
+        };
+
+        Ok(Server {
+            addr,
+            stop,
+            queue,
+            acceptor: Some(acceptor),
+            workers,
+            conns,
+        })
+    }
+
+    /// The bound address (useful with a `:0` ephemeral-port bind).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, force-close open connections, drain the queue,
+    /// and join every thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the acceptor's blocking `incoming()`.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for stream in self
+            .conns
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+        {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        self.queue.close();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Reader + writer of one connection. Runs on the reader's thread; the
+/// writer is spawned here and joined before returning.
+fn serve_connection(stream: TcpStream, queue: &Arc<Queue>, cfg: &ServerConfig) {
+    let _span = obs::span("advisor.connection", "advisor");
+    let conn = Conn::new();
+    let write_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let writer = {
+        let conn = Arc::clone(&conn);
+        std::thread::spawn(move || write_loop(&conn, write_stream))
+    };
+
+    let mut seq = 0u64;
+    for line in BufReader::new(stream).lines() {
+        let Ok(line) = line else { break };
+        let Some(parsed) = parse_slot(&line) else {
+            continue; // blank line
+        };
+        match parsed {
+            Err(msg) => {
+                conn.outstanding.fetch_add(1, Ordering::SeqCst);
+                conn.complete(seq, error_line(&msg));
+            }
+            Ok(query) => {
+                // Backpressure, both bounds checked before admission.
+                if conn.outstanding.load(Ordering::SeqCst) >= cfg.conn_queue_cap {
+                    obs::counter("advisor.shed", 1);
+                    conn.outstanding.fetch_add(1, Ordering::SeqCst);
+                    conn.complete(seq, overloaded_line(query.id.as_deref()));
+                } else {
+                    let deadline = query
+                        .timeout_ms
+                        .map(|ms| Instant::now() + Duration::from_millis(ms));
+                    conn.outstanding.fetch_add(1, Ordering::SeqCst);
+                    let request = Request {
+                        query,
+                        deadline,
+                        conn: Arc::clone(&conn),
+                        seq,
+                    };
+                    if let Err(rejected) = queue.try_push(request) {
+                        obs::counter("advisor.shed", 1);
+                        let line = overloaded_line(rejected.query.id.as_deref());
+                        rejected.conn.complete(rejected.seq, line);
+                    }
+                }
+            }
+        }
+        seq += 1;
+    }
+    conn.finish(seq);
+    let _ = writer.join();
+}
+
+/// Drain completed answers to the socket in input order. Every ready
+/// run of consecutive answers goes out under one flush — at high
+/// pipelining depth this collapses per-response syscalls into one per
+/// wakeup.
+fn write_loop(conn: &Conn, stream: TcpStream) {
+    let mut w = BufWriter::new(stream);
+    let mut ready = Vec::new();
+    let mut out = conn.out.lock().unwrap_or_else(|e| e.into_inner());
+    loop {
+        loop {
+            let next = out.next_write;
+            match out.done.remove(&next) {
+                Some(line) => {
+                    out.next_write += 1;
+                    ready.push(line);
+                }
+                None => break,
+            }
+        }
+        if !ready.is_empty() {
+            drop(out);
+            for line in ready.drain(..) {
+                if writeln!(w, "{line}").is_err() {
+                    return; // client went away; workers still drain safely
+                }
+                conn.outstanding.fetch_sub(1, Ordering::SeqCst);
+            }
+            if w.flush().is_err() {
+                return;
+            }
+            out = conn.out.lock().unwrap_or_else(|e| e.into_inner());
+            continue;
+        }
+        if out.total == Some(out.next_write) {
+            // Every admitted line answered and written: half-close so a
+            // read-to-EOF client unblocks even if another handle to the
+            // socket is still alive somewhere.
+            let _ = w.get_ref().shutdown(std::net::Shutdown::Write);
+            return;
+        }
+        out = conn.ready.wait(out).unwrap_or_else(|e| e.into_inner());
+    }
+}
+
+/// One worker: pop a batch, coalesce by canonical key, answer each
+/// distinct key once, fan the answer out to every member.
+fn worker_loop(advisor: &Advisor, queue: &Queue, cfg: &ServerConfig) {
+    loop {
+        let batch = queue.pop_batch(cfg.max_batch, cfg.batch_window);
+        if batch.is_empty() {
+            return; // closed and drained
+        }
+        let total = batch.len();
+        // Group members by canonical key, preserving first-seen order.
+        let mut groups: Vec<(String, Vec<Request>)> = Vec::new();
+        for r in batch {
+            let key = advisor.canonical_key(&r.query);
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, members)) => members.push(r),
+                None => groups.push((key, vec![r])),
+            }
+        }
+        let coalesced = total - groups.len();
+        if coalesced > 0 && obs::active() {
+            obs::counter("advisor.coalesced", coalesced as u64);
+        }
+        for (_, members) in groups {
+            // Most permissive deadline in the group: an answer computed
+            // for the patient member is free for the hurried one.
+            let deadline = if members.iter().any(|m| m.deadline.is_none()) {
+                None
+            } else {
+                members.iter().filter_map(|m| m.deadline).max()
+            };
+            let answer = advisor.advise_at(&members[0].query, deadline);
+            // Serialize once; a member only pays for its own
+            // serialization when its echoed id differs (candidate
+            // float formatting dominates the response cost).
+            let base_line = answer.to_json_line();
+            for m in members {
+                let line = if m.query.id == answer.id {
+                    base_line.clone()
+                } else {
+                    let mut a = answer.clone();
+                    a.id = m.query.id.clone();
+                    a.to_json_line()
+                };
+                m.conn.complete(m.seq, line);
+            }
+        }
+    }
+}

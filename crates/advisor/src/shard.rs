@@ -1,0 +1,122 @@
+//! The sharded in-memory answer cache — the serving hot path's tier 1.
+//!
+//! The PR-4 advisor kept one `Mutex<MemCache>`; under a concurrent
+//! server every worker serializes on that lock just to answer a warm
+//! query. Here the LRU is split into [`SHARDS`] independent shards,
+//! each behind its own mutex on its own cache line (the same
+//! padding discipline as `obs::ShardedRecorder`), so queries against
+//! different keys never contend. A shard is picked by the FNV-64 hash
+//! of the full canonical key — the key starts with the device
+//! fingerprint and stencil name, so one device×stencil pair's working
+//! set spreads across shards instead of piling onto one hot stripe
+//! when traffic is skewed (and two pairs never share lock state by
+//! construction of the hash).
+//!
+//! Eviction is LRU *per shard* (capacity is divided evenly), which
+//! under a hashed key distribution approximates global LRU to within
+//! the usual per-shard variance; the cache stays exact in the sense
+//! that a `get` only ever returns the byte-identical advice a `put`
+//! stored under that key.
+
+use crate::advice::Advice;
+use crate::cache::{fnv64, MemCache};
+use parking_lot::Mutex;
+
+/// Number of shards. A small power of two: enough that a worker pool
+/// sized to the core count rarely collides, small enough that the
+/// per-shard capacity split stays meaningful.
+pub const SHARDS: usize = 16;
+
+/// One shard per cache line so neighboring locks never false-share.
+#[repr(align(64))]
+struct PaddedShard(Mutex<MemCache>);
+
+/// A sharded, interior-mutable LRU over canonical-key → advice.
+pub struct ShardedCache {
+    shards: Vec<PaddedShard>,
+}
+
+impl ShardedCache {
+    /// A cache holding `capacity` answers in total, split evenly over
+    /// the shards (every shard holds at least one).
+    pub fn new(capacity: usize) -> Self {
+        let per_shard = capacity.div_ceil(SHARDS).max(1);
+        ShardedCache {
+            shards: (0..SHARDS)
+                .map(|_| PaddedShard(Mutex::new(MemCache::new(per_shard))))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<MemCache> {
+        &self.shards[(fnv64(key.as_bytes()) as usize) % SHARDS].0
+    }
+
+    /// Look up `key`, refreshing its LRU position in its shard.
+    pub fn get(&self, key: &str) -> Option<Advice> {
+        self.shard(key).lock().get(key)
+    }
+
+    /// Insert (or refresh) `key`, evicting that shard's LRU victim when
+    /// the shard is over capacity.
+    pub fn put(&self, key: String, advice: Advice) {
+        self.shard(&key).lock().put(key, advice)
+    }
+
+    /// Total entries across all shards (snapshot; shards are read one
+    /// at a time).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.0.lock().len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.0.lock().is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn advice(tag: &str) -> Advice {
+        Advice {
+            id: Some(tag.into()),
+            device: "GTX 980".into(),
+            stencil: "Heat2D".into(),
+            size: vec![64, 64],
+            time: 8,
+            feasible_points: 10,
+            within: 0.1,
+            within_points: 2,
+            degraded: false,
+            candidates: Vec::new(),
+            validation: None,
+        }
+    }
+
+    #[test]
+    fn round_trips_exact_values_across_shards() {
+        let c = ShardedCache::new(256);
+        for i in 0..100 {
+            c.put(format!("key-{i}"), advice(&format!("a{i}")));
+        }
+        assert_eq!(c.len(), 100);
+        for i in 0..100 {
+            let hit = c.get(&format!("key-{i}")).expect("stored key present");
+            assert_eq!(hit, advice(&format!("a{i}")));
+        }
+        assert!(c.get("key-100").is_none());
+    }
+
+    #[test]
+    fn per_shard_eviction_bounds_total_size() {
+        // capacity 16 → one slot per shard; keys spread by hash, so the
+        // total can never exceed SHARDS entries.
+        let c = ShardedCache::new(16);
+        for i in 0..1000 {
+            c.put(format!("key-{i}"), advice("x"));
+        }
+        assert!(c.len() <= SHARDS, "len {} > shards {SHARDS}", c.len());
+        assert!(!c.is_empty());
+    }
+}

@@ -1,0 +1,297 @@
+//! The ahead-of-time answer store: a precomputed Eqn-31 sweep table.
+//!
+//! The analytical model is cheap enough to enumerate the whole query
+//! space up front — the same move the codesign follow-up paper makes
+//! when it turns the time model into an optimization objective. The
+//! `experiments precompute` subcommand sweeps every (device preset,
+//! stencil, size-bucket) cell of a configured grid through the normal
+//! advisory pipeline and writes the answers to a compact JSONL table;
+//! the server loads that table at startup and answers steady-state
+//! traffic with a pure hash lookup — **zero model evaluations**, no
+//! locks, no allocation beyond the response clone (asserted by the
+//! `advisor.store_hits` vs `advisor.model_evals` counters).
+//!
+//! File format (one JSON object per line):
+//!
+//! ```text
+//! {"kind":"advisor_store","version":1,"git_rev":...,"seed":...,
+//!  "citer_samples":...,"entries":N}          <- header
+//! {"key":"v1|dev=...","advice":{...}}        <- one line per answer
+//! ```
+//!
+//! Entries are keyed by the advisor's full canonical key, so a lookup
+//! hits only when *every* answer-determining input matches — device
+//! fingerprint, stencil, exact size, band, `top_n`, micro-benchmark
+//! sampling, and the enumerated space. A store is bound to the git
+//! revision that computed it: loading a stale store is refused unless
+//! explicitly allowed, because a model change anywhere in the
+//! workspace may change the answers.
+
+use crate::advice::Advice;
+use crate::jsonv::{as_map, as_str, as_u64, get};
+use crate::query::Query;
+use crate::Advisor;
+use serde::{Serialize, Value};
+use std::collections::HashMap;
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// The in-memory answer table: read-only after load, shared behind an
+/// `Arc`, safe to probe from every worker with no lock at all.
+#[derive(Debug)]
+pub struct AnswerStore {
+    map: HashMap<String, Advice>,
+    git_rev: String,
+    seed: u64,
+    citer_samples: u64,
+}
+
+impl AnswerStore {
+    /// An empty store bound to the current tree (the builder's starting
+    /// point).
+    pub fn empty(seed: u64, citer_samples: usize) -> AnswerStore {
+        AnswerStore {
+            map: HashMap::new(),
+            git_rev: crate::cache::current_git_rev(),
+            seed,
+            citer_samples: citer_samples as u64,
+        }
+    }
+
+    /// Number of precomputed answers.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The git revision the answers were computed at.
+    pub fn git_rev(&self) -> &str {
+        &self.git_rev
+    }
+
+    /// Pure lookup: the steady-state serving path. Stored answers carry
+    /// no `id`; the caller echoes the query's own.
+    pub fn get(&self, key: &str) -> Option<Advice> {
+        self.map.get(key).cloned()
+    }
+
+    /// Add one precomputed answer under its canonical key. The `id` is
+    /// stripped so the stored bytes are query-independent.
+    pub fn insert(&mut self, key: String, mut advice: Advice) {
+        advice.id = None;
+        self.map.insert(key, advice);
+    }
+
+    /// Compute and insert the answers for `queries` through `advisor`
+    /// (cache tiers and all — recomputation of an already-known key is
+    /// a cache hit, not a second sweep). Degraded answers are never
+    /// stored. Returns how many entries were added or refreshed.
+    pub fn precompute(&mut self, advisor: &Advisor, queries: &[Query]) -> usize {
+        let _span = obs::span("advisor.precompute", "advisor");
+        let mut added = 0;
+        for q in queries {
+            let answer = advisor.advise(q);
+            if answer.degraded {
+                continue;
+            }
+            self.insert(advisor.canonical_key(q), answer);
+            added += 1;
+        }
+        added
+    }
+
+    /// Write the table to `path` (atomically: temp file + rename).
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let tmp = path.with_extension("tmp");
+        {
+            let mut w = BufWriter::new(std::fs::File::create(&tmp)?);
+            let header = Value::Map(vec![
+                ("kind".into(), Value::Str("advisor_store".into())),
+                ("version".into(), Value::UInt(1)),
+                ("git_rev".into(), Value::Str(self.git_rev.clone())),
+                ("seed".into(), Value::UInt(self.seed)),
+                ("citer_samples".into(), Value::UInt(self.citer_samples)),
+                ("entries".into(), Value::UInt(self.map.len() as u64)),
+            ]);
+            writeln!(w, "{}", serde_json::to_string(&header).expect("header"))?;
+            // Deterministic file bytes: entries in sorted key order.
+            let mut keys: Vec<&String> = self.map.keys().collect();
+            keys.sort();
+            for key in keys {
+                let entry = Value::Map(vec![
+                    ("key".into(), Value::Str(key.clone())),
+                    ("advice".into(), self.map[key].to_value()),
+                ]);
+                writeln!(w, "{}", serde_json::to_string(&entry).expect("entry"))?;
+            }
+            w.flush()?;
+        }
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Load a table written by [`write`](AnswerStore::write). Unless
+    /// `allow_stale`, a store computed at a different git revision is
+    /// refused — its answers may no longer match what the model would
+    /// compute today.
+    pub fn load(path: &Path, allow_stale: bool) -> Result<AnswerStore, String> {
+        let file = std::fs::File::open(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let mut lines = std::io::BufReader::new(file).lines();
+        let header_line = lines
+            .next()
+            .ok_or_else(|| format!("{}: empty store file", path.display()))?
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        let header = serde_json::from_str(&header_line)
+            .map_err(|e| format!("{}: bad header: {e}", path.display()))?;
+        let h = as_map(&header, "store header")?;
+        match get(h, "kind") {
+            Some(Value::Str(k)) if k == "advisor_store" => {}
+            _ => return Err(format!("{}: not an advisor store", path.display())),
+        }
+        match get(h, "version") {
+            Some(v) if as_u64(v, "version")? == 1 => {}
+            _ => return Err(format!("{}: unsupported store version", path.display())),
+        }
+        let git_rev = as_str(
+            get(h, "git_rev").ok_or("store header missing 'git_rev'")?,
+            "git_rev",
+        )?
+        .to_string();
+        let current = crate::cache::current_git_rev();
+        if git_rev != current && !allow_stale {
+            return Err(format!(
+                "{}: store was computed at revision {git_rev} but the tree is at {current}; \
+                 re-run `experiments precompute` (or pass --store-stale-ok)",
+                path.display()
+            ));
+        }
+        let seed = as_u64(get(h, "seed").ok_or("store header missing 'seed'")?, "seed")?;
+        let citer_samples = as_u64(
+            get(h, "citer_samples").ok_or("store header missing 'citer_samples'")?,
+            "citer_samples",
+        )?;
+        let mut map = HashMap::new();
+        for (i, line) in lines.enumerate() {
+            let line = line.map_err(|e| format!("{}: {e}", path.display()))?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let value = serde_json::from_str(&line)
+                .map_err(|e| format!("{}: entry {}: {e}", path.display(), i + 1))?;
+            let m = as_map(&value, "store entry")?;
+            let key = as_str(get(m, "key").ok_or("store entry missing 'key'")?, "key")?;
+            let advice =
+                Advice::from_value(get(m, "advice").ok_or("store entry missing 'advice'")?)
+                    .map_err(|e| format!("{}: entry {}: {e}", path.display(), i + 1))?;
+            map.insert(key.to_string(), advice);
+        }
+        Ok(AnswerStore {
+            map,
+            git_rev,
+            seed,
+            citer_samples,
+        })
+    }
+}
+
+/// The precompute grid: every (device, stencil, space-extent bucket,
+/// time bucket) cell as a default-shaped query (model-only, default
+/// band and `top_n`). Space extents are cubic/square per the stencil's
+/// rank — a `size` bucket of 1024 means 1024² for a 2D stencil and
+/// 1024³ for a 3D one. Both `experiments precompute` and `serve-bench`
+/// build their universes through this one function, so precomputed
+/// keys and replayed keys match by construction.
+pub fn grid_queries(
+    devices: &[gpu_sim::DeviceConfig],
+    stencils: &[stencil_core::StencilKind],
+    sizes: &[usize],
+    times: &[usize],
+    within: f64,
+    top_n: usize,
+) -> Result<Vec<Query>, String> {
+    let mut queries = Vec::new();
+    for device in devices {
+        for &kind in stencils {
+            let rank = kind.spec().dim.rank();
+            for &s in sizes {
+                for &t in times {
+                    let size = stencil_core::ProblemSize::from_extents(&vec![s; rank], t)?;
+                    queries.push(Query {
+                        id: None,
+                        workload: gpu_sim::Workload::new(device.clone(), kind, size)?,
+                        within,
+                        top_n,
+                        validate: false,
+                        timeout_ms: None,
+                    });
+                }
+            }
+        }
+    }
+    Ok(queries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AdvisorConfig;
+    use gpu_sim::DeviceConfig;
+    use stencil_core::StencilKind;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "advisor-store-{tag}-{}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    #[test]
+    fn precompute_write_load_round_trips_byte_identical_answers() {
+        let advisor = Advisor::new(AdvisorConfig::default());
+        let queries = grid_queries(
+            &[DeviceConfig::gtx980()],
+            &[StencilKind::Heat2D],
+            &[96, 128],
+            &[8],
+            0.10,
+            5,
+        )
+        .unwrap();
+        assert_eq!(queries.len(), 2);
+        let mut store = AnswerStore::empty(0x5EED, 16);
+        assert_eq!(store.precompute(&advisor, &queries), 2);
+        let path = temp_path("rt");
+        store.write(&path).unwrap();
+        let back = AnswerStore::load(&path, false).expect("fresh store loads");
+        assert_eq!(back.len(), 2);
+        for q in &queries {
+            let key = advisor.canonical_key(q);
+            let direct = advisor.advise(q); // mem-cache hit: the canonical bytes
+            let stored = back.get(&key).expect("precomputed key present");
+            assert_eq!(stored.to_json_line(), direct.to_json_line());
+        }
+        assert!(back.get("v1|no-such-key").is_none());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn stale_revision_is_refused_unless_allowed() {
+        let mut store = AnswerStore::empty(7, 4);
+        store.git_rev = "deadbeef-elsewhere".into();
+        let path = temp_path("stale");
+        store.write(&path).unwrap();
+        let err = AnswerStore::load(&path, false).unwrap_err();
+        assert!(err.contains("deadbeef-elsewhere"), "{err}");
+        let loaded = AnswerStore::load(&path, true).expect("--store-stale-ok path");
+        assert_eq!(loaded.git_rev(), "deadbeef-elsewhere");
+        let _ = std::fs::remove_file(&path);
+    }
+}

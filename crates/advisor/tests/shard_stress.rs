@@ -1,0 +1,126 @@
+//! Multi-threaded stress tests of the sharded in-memory cache,
+//! mirroring `obs/tests/sharded_concurrency.rs`: N writer threads hammer
+//! the cache concurrently, then the merged state is checked against a
+//! sequential oracle with exact equality — the cache must only ever
+//! return the byte-identical advice that was stored under a key, no
+//! matter how the writes interleaved.
+
+use advisor::shard::{ShardedCache, SHARDS};
+use advisor::{Advice, Candidate};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A distinguishable advice per (thread, key): every field that could
+/// plausibly be torn or crossed carries the tag.
+fn advice(tag: u64) -> Advice {
+    Advice {
+        id: Some(format!("id-{tag}")),
+        device: "GTX 980".into(),
+        stencil: "Heat2D".into(),
+        size: vec![tag as usize, tag as usize],
+        time: tag as usize,
+        feasible_points: tag as usize * 3,
+        within: 0.1,
+        within_points: tag as usize,
+        degraded: false,
+        candidates: vec![Candidate {
+            rank: 0,
+            t_t: tag as usize,
+            t_s: vec![tag as usize, 1],
+            talg_s: tag as f64 * 0.5, // dyadic: exact across any path
+            k: tag as usize,
+            mtile_words: tag,
+            memory_bound: tag.is_multiple_of(2),
+        }],
+        validation: None,
+    }
+}
+
+#[test]
+fn concurrent_disjoint_writers_match_a_sequential_oracle() {
+    const THREADS: u64 = 8;
+    const KEYS_PER_THREAD: u64 = 200;
+    let cache = Arc::new(ShardedCache::new((THREADS * KEYS_PER_THREAD) as usize * 2));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || {
+                for k in 0..KEYS_PER_THREAD {
+                    let tag = t * KEYS_PER_THREAD + k;
+                    cache.put(format!("key-{tag}"), advice(tag));
+                    // Read-back mid-contention: must already be exact.
+                    let hit = cache.get(&format!("key-{tag}")).expect("just stored");
+                    assert_eq!(hit, advice(tag));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("writer thread");
+    }
+
+    // Sequential oracle: same puts, single thread, plain HashMap.
+    let mut oracle = HashMap::new();
+    for tag in 0..THREADS * KEYS_PER_THREAD {
+        oracle.insert(format!("key-{tag}"), advice(tag));
+    }
+    assert_eq!(cache.len(), oracle.len());
+    for (key, want) in &oracle {
+        let got = cache.get(key).expect("every key survives (ample capacity)");
+        assert_eq!(got, *want, "merged state diverges from oracle at {key}");
+    }
+}
+
+#[test]
+fn same_key_contention_never_tears_an_answer() {
+    const THREADS: u64 = 8;
+    const ROUNDS: u64 = 300;
+    let cache = Arc::new(ShardedCache::new(64));
+    // All threads write the same small key set; each key always gets the
+    // same value, so any read must see exactly that value — a torn or
+    // crossed write would surface as a mismatch.
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || {
+                for r in 0..ROUNDS {
+                    let tag = r % 7;
+                    cache.put(format!("hot-{tag}"), advice(tag));
+                    if let Some(hit) = cache.get(&format!("hot-{tag}")) {
+                        assert_eq!(hit, advice(tag), "torn read on hot-{tag}");
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("writer thread");
+    }
+    for tag in 0..7 {
+        assert_eq!(cache.get(&format!("hot-{tag}")), Some(advice(tag)));
+    }
+}
+
+#[test]
+fn eviction_under_contention_stays_within_the_capacity_bound() {
+    const THREADS: u64 = 4;
+    const PUTS: u64 = 1000;
+    // Tiny capacity: one slot per shard.
+    let cache = Arc::new(ShardedCache::new(SHARDS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || {
+                for k in 0..PUTS {
+                    let tag = t * PUTS + k;
+                    cache.put(format!("churn-{tag}"), advice(tag));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("writer thread");
+    }
+    assert!(cache.len() <= SHARDS, "len {} > {SHARDS}", cache.len());
+    assert!(!cache.is_empty());
+}

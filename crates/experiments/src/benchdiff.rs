@@ -1,42 +1,55 @@
-//! Noise-aware comparison of two `BENCH_exec.json` reports — the CI
-//! regression gate behind the `bench-diff` binary.
+//! Noise-aware comparison of two benchmark reports — the CI regression
+//! gate behind the `bench-diff` binary.
 //!
-//! Absolute seconds are useless across CI runners (different silicon,
-//! different neighbors), so the diff compares only *ratio* metrics that
-//! are stable properties of the code, not the machine:
+//! Absolute seconds (and absolute QPS) are useless across CI runners
+//! (different silicon, different neighbors), so the diff compares only
+//! *ratio* metrics that are stable properties of the code, not the
+//! machine. Two report shapes are recognized by their top-level key:
 //!
-//! * `speedup` — fast path over the seed baseline;
-//! * `simd_speedup` — what vectorization alone buys;
-//! * `roofline_ratio` — measured/predicted throughput.
+//! * `BENCH_exec.json` (`exec` array) — per-benchmark rows with
+//!   `speedup` (fast path over the seed baseline), `simd_speedup`
+//!   (what vectorization alone buys), and `roofline_ratio`
+//!   (measured/predicted throughput);
+//! * `BENCH_serve.json` (`serve` object) — one row with
+//!   `store_hit_rate` (fraction of queries served by the ahead-of-time
+//!   store), `answered_rate` (fraction answered rather than shed), and
+//!   `warm_speedup` (served QPS over the cold model-only sweep).
 //!
-//! Rows are matched by `(benchmark, size)`; a metric regresses when the
-//! current value falls below `reference × (1 − band)`. The band is
-//! deliberately generous (CI default 0.6): the gate exists to catch the
-//! 5–10× collapse of a fast path falling off its kernel, not 10% noise.
-//! A reference row with no current counterpart is itself a regression —
-//! silently dropping a benchmark must not pass the gate.
+//! Rows are matched by `(benchmark, size)` and metrics by name; a
+//! metric regresses when the current value falls below
+//! `reference × (1 − band)`. The band is deliberately generous (CI
+//! default 0.6): the gate exists to catch the 5–10× collapse of a fast
+//! path falling off its kernel — or a store that stops hitting — not
+//! 10% noise. A reference row with no current counterpart is itself a
+//! regression — silently dropping a benchmark must not pass the gate.
 //!
 //! Reports are read structurally (the vendored `serde_json` parses to a
 //! [`Value`] tree, not typed structs), so the gate only requires the
-//! `exec` rows to carry `benchmark`, `size`, and the three metrics —
-//! additions elsewhere in the report never break old references.
+//! rows to carry their name keys and metrics — additions elsewhere in
+//! the report never break old references.
 
 use serde::Value;
 
 /// Default tolerance band on the relative drop of a ratio metric.
 pub const DEFAULT_BAND: f64 = 0.6;
 
-/// The ratio metrics compared per row, in report order.
+/// The ratio metrics of a `BENCH_exec.json` row, in report order.
 pub const METRICS: [&str; 3] = ["speedup", "simd_speedup", "roofline_ratio"];
 
-/// One `exec` row reduced to its machine-stable ratio metrics.
+/// The ratio metrics of a `BENCH_serve.json` report. All are
+/// higher-is-better fractions/ratios, so the one-sided lower-bound gate
+/// applies unchanged.
+pub const SERVE_METRICS: [&str; 3] = ["store_hit_rate", "answered_rate", "warm_speedup"];
+
+/// One report row reduced to its machine-stable ratio metrics.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RatioRow {
     pub benchmark: String,
     pub size: String,
-    /// Values in [`METRICS`] order; a metric missing from the JSON is
-    /// `NAN` (skipped as a reference, regressed as a current value).
-    pub metrics: [f64; 3],
+    /// `(metric name, value)` pairs in report order; a metric missing
+    /// from the JSON is `NAN` (skipped as a reference, regressed as a
+    /// current value).
+    pub metrics: Vec<(&'static str, f64)>,
 }
 
 /// One compared metric of one matched row.
@@ -90,13 +103,33 @@ fn as_f64(v: &Value) -> Option<f64> {
     }
 }
 
-/// Extract the `exec` rows of a parsed `BENCH_exec.json` tree.
+fn pick_metrics(row: &[(String, Value)], names: &[&'static str]) -> Vec<(&'static str, f64)> {
+    names
+        .iter()
+        .map(|name| (*name, field(row, name).and_then(as_f64).unwrap_or(f64::NAN)))
+        .collect()
+}
+
+/// Extract the ratio rows of a parsed report tree. `BENCH_exec.json`
+/// (top-level `exec` array) yields one row per benchmark; a
+/// `BENCH_serve.json` (top-level `serve` object) yields a single
+/// `("serve", "default")` row over [`SERVE_METRICS`].
 pub fn rows_from_value(report: &Value) -> Result<Vec<RatioRow>, String> {
     let Value::Map(top) = report else {
         return Err("top level is not a JSON object".into());
     };
+    if let Some(serve) = field(top, "serve") {
+        let Value::Map(serve) = serve else {
+            return Err("'serve' is not an object".into());
+        };
+        return Ok(vec![RatioRow {
+            benchmark: "serve".into(),
+            size: "default".into(),
+            metrics: pick_metrics(serve, &SERVE_METRICS),
+        }]);
+    }
     let Some(Value::Seq(exec)) = field(top, "exec") else {
-        return Err("missing exec array".into());
+        return Err("missing exec array (or serve object)".into());
     };
     let mut rows = Vec::with_capacity(exec.len());
     for (i, row) in exec.iter().enumerate() {
@@ -107,20 +140,16 @@ pub fn rows_from_value(report: &Value) -> Result<Vec<RatioRow>, String> {
             Some(Value::Str(s)) => Ok(s.clone()),
             _ => Err(format!("exec[{i}] has no string '{key}'")),
         };
-        let mut metrics = [f64::NAN; 3];
-        for (slot, name) in metrics.iter_mut().zip(METRICS) {
-            *slot = field(row, name).and_then(as_f64).unwrap_or(f64::NAN);
-        }
         rows.push(RatioRow {
             benchmark: get_str("benchmark")?,
             size: get_str("size")?,
-            metrics,
+            metrics: pick_metrics(row, &METRICS),
         });
     }
     Ok(rows)
 }
 
-/// Read, parse, and reduce a `BENCH_exec.json` report.
+/// Read, parse, and reduce a benchmark report.
 pub fn load_rows(path: &str) -> Result<Vec<RatioRow>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let value = serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
@@ -139,19 +168,24 @@ pub fn diff_rows(reference: &[RatioRow], current: &[RatioRow], band: f64) -> Dif
             missing.push(format!("{} {}", r.benchmark, r.size));
             continue;
         };
-        for ((name, rv), cv) in METRICS.iter().zip(r.metrics).zip(c.metrics) {
+        for (name, rv) in &r.metrics {
             // A reference metric that is not a usable baseline (zero,
             // negative, NaN) cannot regress; a current metric that is
-            // not finite always does.
-            if !(rv.is_finite() && rv > 0.0) {
+            // missing or not finite always does.
+            if !(rv.is_finite() && *rv > 0.0) {
                 continue;
             }
+            let cv = c
+                .metrics
+                .iter()
+                .find(|(n, _)| n == name)
+                .map_or(f64::NAN, |(_, v)| *v);
             let ratio = cv / rv;
             rows.push(MetricDiff {
                 benchmark: r.benchmark.clone(),
                 size: r.size.clone(),
                 metric: name,
-                reference: rv,
+                reference: *rv,
                 current: cv,
                 ratio,
                 regressed: !(ratio.is_finite() && ratio >= 1.0 - band),
@@ -173,7 +207,11 @@ mod tests {
         RatioRow {
             benchmark: benchmark.into(),
             size: "64x64 T=8".into(),
-            metrics: [speedup, simd, roofline],
+            metrics: METRICS
+                .iter()
+                .zip([speedup, simd, roofline])
+                .map(|(n, v)| (*n, v))
+                .collect(),
         }
     }
 
@@ -242,9 +280,41 @@ mod tests {
             vec![RatioRow {
                 benchmark: "Heat2D".into(),
                 size: "64x64 T=8".into(),
-                metrics: [3.25, 1.5, 0.41],
+                metrics: vec![
+                    ("speedup", 3.25),
+                    ("simd_speedup", 1.5),
+                    ("roofline_ratio", 0.41)
+                ],
             }]
         );
         assert!(rows_from_value(&serde_json::from_str("[1,2]").unwrap()).is_err());
+    }
+
+    #[test]
+    fn serve_reports_reduce_to_one_row_and_gate_on_their_own_metrics() {
+        let reference = r#"{"manifest":{"git_rev":"abc"},"serve":{
+            "qps":51234.0,"store_hit_rate":0.96,"answered_rate":0.99,
+            "warm_speedup":11.5,"shed_rate":0.01}}"#;
+        let rows = rows_from_value(&serde_json::from_str(reference).unwrap()).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].benchmark, "serve");
+        assert_eq!(
+            rows[0].metrics,
+            vec![
+                ("store_hit_rate", 0.96),
+                ("answered_rate", 0.99),
+                ("warm_speedup", 11.5)
+            ]
+        );
+        // A store that stops hitting regresses even inside a generous band.
+        let current = r#"{"serve":{"store_hit_rate":0.02,"answered_rate":0.99,
+            "warm_speedup":11.0}}"#;
+        let cur = rows_from_value(&serde_json::from_str(current).unwrap()).unwrap();
+        let d = diff_rows(&rows, &cur, 0.5);
+        assert_eq!(d.regressions(), 1, "{d:?}");
+        assert_eq!(
+            d.rows.iter().find(|r| r.regressed).unwrap().metric,
+            "store_hit_rate"
+        );
     }
 }

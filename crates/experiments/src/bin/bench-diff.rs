@@ -1,4 +1,5 @@
-//! Compare two `BENCH_exec.json` reports and fail on regression.
+//! Compare two benchmark reports (`BENCH_exec.json` or
+//! `BENCH_serve.json`) and fail on regression.
 //!
 //! ```text
 //! bench-diff REFERENCE.json CURRENT.json [--band FRAC]
@@ -38,9 +39,11 @@ fn main() -> ExitCode {
             }
             "--help" | "-h" => {
                 println!(
-                    "Compare two BENCH_exec.json reports on their machine-stable ratio\n\
-                     metrics (speedup, simd_speedup, roofline_ratio) and exit nonzero\n\
-                     when any falls below reference x (1 - band).\n\n\
+                    "Compare two benchmark reports on their machine-stable ratio\n\
+                     metrics and exit nonzero when any falls below\n\
+                     reference x (1 - band). BENCH_exec.json rows gate on\n\
+                     speedup, simd_speedup, and roofline_ratio; BENCH_serve.json\n\
+                     gates on store_hit_rate, answered_rate, and warm_speedup.\n\n\
                      usage: bench-diff REFERENCE.json CURRENT.json [--band FRAC]\n\
                      default band: {DEFAULT_BAND}"
                 );

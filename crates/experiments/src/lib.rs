@@ -32,6 +32,7 @@ pub mod figures;
 pub mod manifest;
 pub mod output;
 pub mod rmse;
+pub mod servebench;
 pub mod tables;
 
 pub use context::{ExperimentScale, Lab};

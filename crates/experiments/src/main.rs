@@ -10,13 +10,24 @@
 //!             [--trace-out PATH] [--metrics-out PATH] [--metrics-interval-ms N]
 //! experiments serve [--queries PATH] [--cache-dir DIR] [--no-disk-cache]
 //!                   [--mem-cap N] [--samples N] [--threads N]
+//!                   [--listen ADDR] [--port-file PATH]
+//!                   [--store PATH] [--store-stale-ok]
+//!                   [--workers N] [--queue-cap N] [--conn-queue-cap N]
+//!                   [--window-us N] [--max-batch N]
 //!                   [--log-out PATH] [--log-level quiet|info|debug]
 //!                   [--metrics-out PATH] [--metrics-interval-ms N]
 //!                   [--accuracy-log PATH]
+//! experiments precompute [--out PATH] [--devices a,b] [--stencils x,y]
+//!                        [--sizes s1,s2] [--times t1,t2] [--within F]
+//!                        [--top-n N] [--samples N] [--threads N]
 //! ```
 //!
 //! The `serve` subcommand runs the tile-size advisory service: JSON-lines
-//! queries in (stdin or `--queries`), JSON-lines answers out on stdout.
+//! queries in (stdin or `--queries`), JSON-lines answers out on stdout —
+//! or, with `--listen`, over a TCP socket with concurrent connections,
+//! cross-client coalescing, and bounded-queue load shedding.
+//! `precompute` sweeps the model over a grid into the answer store that
+//! `serve --store` loads for pure-lookup steady-state serving.
 
 use experiments::context::{ExperimentScale, Lab};
 use experiments::figures::Fig6Detail;
@@ -244,8 +255,10 @@ fn print_help() {
                                  extension writes Prometheus text exposition instead\n\
            --metrics-interval-ms N   emitter period (default: 1000)\n\n\
          SUBCOMMANDS:\n\
-           serve                 tile-size advisory service over JSON lines\n\
-                                 (see: experiments serve --help)"
+           serve                 tile-size advisory service over JSON lines or a\n\
+                                 TCP socket (see: experiments serve --help)\n\
+           precompute            sweep the model over a grid into an on-disk\n\
+                                 answer store (see: experiments precompute --help)"
     );
 }
 
@@ -325,6 +338,11 @@ fn pct(v: Option<f64>) -> f64 {
 /// Flags of the `serve` subcommand.
 struct ServeArgs {
     queries: Option<String>,
+    listen: Option<String>,
+    port_file: Option<String>,
+    store: Option<String>,
+    store_stale_ok: bool,
+    server: advisor::ServerConfig,
     cache_dir: Option<String>,
     mem_cap: usize,
     samples: usize,
@@ -339,6 +357,11 @@ struct ServeArgs {
 fn parse_serve_args(rest: impl Iterator<Item = String>) -> Result<ServeArgs, String> {
     let mut args = ServeArgs {
         queries: None,
+        listen: None,
+        port_file: None,
+        store: None,
+        store_stale_ok: false,
+        server: advisor::ServerConfig::default(),
         cache_dir: Some(format!("{}/advisor_cache", experiments::DEFAULT_OUT_DIR)),
         mem_cap: 256,
         samples: 16,
@@ -353,6 +376,49 @@ fn parse_serve_args(rest: impl Iterator<Item = String>) -> Result<ServeArgs, Str
     while let Some(a) = it.next() {
         match a.as_str() {
             "--queries" => args.queries = Some(it.next().ok_or("--queries needs a value")?),
+            "--listen" => args.listen = Some(it.next().ok_or("--listen needs a value")?),
+            "--port-file" => args.port_file = Some(it.next().ok_or("--port-file needs a value")?),
+            "--store" => args.store = Some(it.next().ok_or("--store needs a value")?),
+            "--store-stale-ok" => args.store_stale_ok = true,
+            "--workers" => {
+                let v = it.next().ok_or("--workers needs a value")?;
+                args.server.workers = v
+                    .parse()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .ok_or(format!("invalid --workers '{v}'"))?;
+            }
+            "--queue-cap" => {
+                let v = it.next().ok_or("--queue-cap needs a value")?;
+                args.server.queue_cap = v
+                    .parse()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .ok_or(format!("invalid --queue-cap '{v}'"))?;
+            }
+            "--conn-queue-cap" => {
+                let v = it.next().ok_or("--conn-queue-cap needs a value")?;
+                args.server.conn_queue_cap = v
+                    .parse()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .ok_or(format!("invalid --conn-queue-cap '{v}'"))?;
+            }
+            "--window-us" => {
+                let v = it.next().ok_or("--window-us needs a value")?;
+                let us: u64 = v
+                    .parse()
+                    .map_err(|_| format!("invalid --window-us '{v}'"))?;
+                args.server.batch_window = std::time::Duration::from_micros(us);
+            }
+            "--max-batch" => {
+                let v = it.next().ok_or("--max-batch needs a value")?;
+                args.server.max_batch = v
+                    .parse()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .ok_or(format!("invalid --max-batch '{v}'"))?;
+            }
             "--cache-dir" => args.cache_dir = Some(it.next().ok_or("--cache-dir needs a value")?),
             "--no-disk-cache" => args.cache_dir = None,
             "--mem-cap" => {
@@ -416,10 +482,25 @@ fn print_serve_help() {
          Reads one JSON query object per line from stdin (or --queries FILE)\n\
          to end-of-input, answers the whole batch — duplicate queries are\n\
          computed once — and writes one answer line per query on stdout, in\n\
-         input order. See README.md, section \"Advisor service\", for the\n\
-         query and answer schemas.\n\n\
+         input order. With --listen, runs the concurrent socket server\n\
+         instead: many JSON-lines connections on a worker pool, with\n\
+         cross-client coalescing, bounded queues (explicit 'overloaded'\n\
+         shedding), and optional precomputed-answer serving. See README.md,\n\
+         sections \"Advisor service\" and \"Serving at scale\".\n\n\
          FLAGS:\n\
            --queries PATH        read queries from PATH instead of stdin\n\
+           --listen ADDR         serve over TCP (e.g. 127.0.0.1:7077; port 0 picks\n\
+                                 an ephemeral port) until killed\n\
+           --port-file PATH      write the bound port number to PATH once listening\n\
+                                 (readiness signal for scripts and CI)\n\
+           --store PATH          load a precomputed answer store (see: experiments\n\
+                                 precompute); steady-state hits are pure lookup\n\
+           --store-stale-ok      accept a store from a different git revision\n\
+           --workers N           socket worker threads (default: core count)\n\
+           --queue-cap N         shared admission queue bound (default: 1024)\n\
+           --conn-queue-cap N    per-connection outstanding-line bound (default: 128)\n\
+           --window-us N         batch coalescing window in us (default: 500)\n\
+           --max-batch N         max requests per worker batch (default: 64)\n\
            --cache-dir DIR       on-disk answer cache (default: {}/advisor_cache);\n\
                                  entries are invalidated by any git revision change\n\
            --no-disk-cache       keep answers only in the in-memory LRU\n\
@@ -436,6 +517,184 @@ fn print_serve_help() {
         experiments::DEFAULT_OUT_DIR,
         experiments::DEFAULT_OUT_DIR
     );
+}
+
+/// Flags of the `precompute` subcommand.
+struct PrecomputeArgs {
+    out: String,
+    devices: Vec<DeviceConfig>,
+    stencils: Vec<StencilKind>,
+    sizes: Vec<usize>,
+    times: Vec<usize>,
+    within: f64,
+    top_n: usize,
+    samples: usize,
+    threads: Option<usize>,
+}
+
+fn parse_precompute_args(rest: impl Iterator<Item = String>) -> Result<PrecomputeArgs, String> {
+    use experiments::servebench::{
+        parse_devices, parse_stencils, parse_usizes, DEFAULT_DEVICES, DEFAULT_SIZES,
+        DEFAULT_STENCILS, DEFAULT_TIMES,
+    };
+    let mut args = PrecomputeArgs {
+        out: format!("{}/advisor_store.jsonl", experiments::DEFAULT_OUT_DIR),
+        devices: parse_devices(DEFAULT_DEVICES)?,
+        stencils: parse_stencils(DEFAULT_STENCILS)?,
+        sizes: parse_usizes(DEFAULT_SIZES, "--sizes")?,
+        times: parse_usizes(DEFAULT_TIMES, "--times")?,
+        within: 0.10,
+        top_n: 10,
+        samples: 16,
+        threads: None,
+    };
+    let mut it = rest;
+    while let Some(a) = it.next() {
+        let mut next = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match a.as_str() {
+            "--out" => args.out = next("--out")?,
+            "--devices" => args.devices = parse_devices(&next("--devices")?)?,
+            "--stencils" => args.stencils = parse_stencils(&next("--stencils")?)?,
+            "--sizes" => args.sizes = parse_usizes(&next("--sizes")?, "--sizes")?,
+            "--times" => args.times = parse_usizes(&next("--times")?, "--times")?,
+            "--within" => {
+                let v = next("--within")?;
+                args.within = v
+                    .parse()
+                    .ok()
+                    .filter(|f: &f64| f.is_finite() && *f >= 0.0)
+                    .ok_or(format!("invalid --within '{v}'"))?;
+            }
+            "--top-n" => {
+                let v = next("--top-n")?;
+                args.top_n = v
+                    .parse()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .ok_or(format!("invalid --top-n '{v}'"))?;
+            }
+            "--samples" => {
+                let v = next("--samples")?;
+                args.samples = v
+                    .parse()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .ok_or(format!("invalid --samples '{v}'"))?;
+            }
+            "--threads" => {
+                let v = next("--threads")?;
+                args.threads = Some(
+                    v.parse()
+                        .ok()
+                        .filter(|n: &usize| *n >= 1)
+                        .ok_or(format!("invalid thread count '{v}'"))?,
+                );
+            }
+            "--help" | "-h" => {
+                print_precompute_help();
+                std::process::exit(0);
+            }
+            other => {
+                return Err(format!(
+                    "unknown precompute argument '{other}' (try --help)"
+                ))
+            }
+        }
+    }
+    Ok(args)
+}
+
+fn print_precompute_help() {
+    use experiments::servebench::{
+        DEFAULT_DEVICES, DEFAULT_SIZES, DEFAULT_STENCILS, DEFAULT_TIMES,
+    };
+    println!(
+        "Sweep the Eqn-31 model over a (device, stencil, size, time) grid and write\n\
+         the answers to an on-disk store that `experiments serve --store` loads at\n\
+         startup — steady-state serving becomes pure lookup with zero model\n\
+         evaluations.\n\n\
+         USAGE: experiments precompute [FLAGS]\n\n\
+         FLAGS:\n\
+           --out PATH            store file (default: {}/advisor_store.jsonl)\n\
+           --devices a,b         device presets (default: {DEFAULT_DEVICES})\n\
+           --stencils x,y        stencil kinds (default: {DEFAULT_STENCILS})\n\
+           --sizes s1,s2         per-dimension extents (default: {DEFAULT_SIZES});\n\
+                                 a 2D stencil at 1024 means 1024 x 1024\n\
+           --times t1,t2         time horizons (default: {DEFAULT_TIMES})\n\
+           --within F            candidate band fraction (default: 0.10 — must match\n\
+                                 the queries the server will see)\n\
+           --top-n N             candidates per answer (default: 10 — ditto)\n\
+           --samples N           Citer micro-benchmark samples (default: 16)\n\
+           --threads N           size the global rayon pool\n\n\
+         The store records the git revision that computed it; serving a stale\n\
+         store requires --store-stale-ok.",
+        experiments::DEFAULT_OUT_DIR
+    );
+}
+
+/// Run the `precompute` subcommand; returns the process exit code.
+fn run_precompute(rest: impl Iterator<Item = String>) -> i32 {
+    let args = match parse_precompute_args(rest) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    if let Some(n) = args.threads {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build_global()
+            .expect("configure global thread pool");
+    }
+    let queries = match advisor::grid_queries(
+        &args.devices,
+        &args.stencils,
+        &args.sizes,
+        &args.times,
+        args.within,
+        args.top_n,
+    ) {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("error: invalid grid: {e}");
+            return 2;
+        }
+    };
+    println!(
+        "precomputing {} answers ({} devices x {} stencils x {} sizes x {} times) ...",
+        queries.len(),
+        args.devices.len(),
+        args.stencils.len(),
+        args.sizes.len(),
+        args.times.len()
+    );
+    let advisor = advisor::Advisor::new(advisor::AdvisorConfig {
+        citer_samples: args.samples,
+        seed: experiments::SEED,
+        disk_dir: None,
+        mem_capacity: queries.len().max(1),
+        ..advisor::AdvisorConfig::default()
+    });
+    let t0 = std::time::Instant::now();
+    let mut store = advisor::AnswerStore::empty(experiments::SEED, args.samples);
+    let added = store.precompute(&advisor, &queries);
+    let elapsed = t0.elapsed().as_secs_f64();
+    let path = std::path::PathBuf::from(&args.out);
+    store.write(&path).expect("write answer store");
+    println!(
+        "{added} answers written to {} in {elapsed:.1}s ({:.1} sweeps/s), git_rev {}",
+        args.out,
+        added as f64 / elapsed.max(1e-9),
+        store.git_rev()
+    );
+    if added < queries.len() {
+        eprintln!(
+            "warning: {} grid cells not stored (degraded answers are never stored)",
+            queries.len() - added
+        );
+    }
+    0
 }
 
 /// Run the `serve` subcommand; returns the process exit code.
@@ -470,13 +729,56 @@ fn run_serve(rest: impl Iterator<Item = String>) -> i32 {
     });
     let accuracy =
         Arc::new(obs::AccuracyLog::open(&args.accuracy_log).expect("open --accuracy-log file"));
+    let store = args.store.as_ref().map(|path| {
+        let store = advisor::AnswerStore::load(std::path::Path::new(path), args.store_stale_ok)
+            .unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            });
+        eprintln!(
+            "answer store: {} precomputed answers from {path}",
+            store.len()
+        );
+        Arc::new(store)
+    });
     let advisor = advisor::Advisor::new(advisor::AdvisorConfig {
         mem_capacity: args.mem_cap,
         disk_dir: args.cache_dir.as_ref().map(Into::into),
         citer_samples: args.samples,
         accuracy: Some(accuracy),
+        store,
         ..advisor::AdvisorConfig::default()
     });
+    if let Some(addr) = &args.listen {
+        // Socket mode: serve until killed. The one-shot exporters below
+        // never run; --metrics-out keeps streaming periodically.
+        let listener = match std::net::TcpListener::bind(addr) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("error: cannot listen on {addr}: {e}");
+                return 2;
+            }
+        };
+        let server = advisor::Server::start(Arc::new(advisor), listener, args.server.clone())
+            .expect("start server");
+        let bound = server.addr();
+        if let Some(path) = &args.port_file {
+            std::fs::write(path, format!("{}\n", bound.port())).expect("write --port-file");
+        }
+        eprintln!(
+            "advisor listening on {bound} ({} workers)",
+            args.server.workers
+        );
+        if args.log_out.is_some() {
+            eprintln!(
+                "note: --log-out writes once at end of run and socket mode never ends; \
+                 use --metrics-out for periodic snapshots"
+            );
+        }
+        loop {
+            std::thread::park();
+        }
+    }
     let stdout = std::io::stdout();
     let mut out = std::io::BufWriter::new(stdout.lock());
     let served = match &args.queries {
@@ -537,6 +839,10 @@ fn main() {
     if argv.peek().map(String::as_str) == Some("serve") {
         argv.next();
         std::process::exit(run_serve(argv));
+    }
+    if argv.peek().map(String::as_str) == Some("precompute") {
+        argv.next();
+        std::process::exit(run_precompute(argv));
     }
     drop(argv);
     let args = match parse_args() {
