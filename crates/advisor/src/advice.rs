@@ -68,7 +68,13 @@ pub struct ValidationReport {
 }
 
 /// The service's answer to one [`crate::Query`].
-#[derive(Debug, Clone, PartialEq, Serialize)]
+///
+/// `Serialize` is hand-written rather than derived for one reason:
+/// [`calib_rev`](Advice::calib_rev) must be *absent* — not `null` —
+/// when no calibration store is loaded, so the bytes of an uncalibrated
+/// answer are identical to what every pre-calibration release produced
+/// (the shim derive renders `None` as `null`, which would break that).
+#[derive(Debug, Clone, PartialEq)]
 pub struct Advice {
     /// The query's `id`, echoed verbatim.
     pub id: Option<String>,
@@ -89,11 +95,40 @@ pub struct Advice {
     /// True when a per-query deadline cut the answer down to the
     /// model-only ranking (validation skipped or truncated).
     pub degraded: bool,
+    /// Revision of the calibration store whose corrections shaped this
+    /// ranking; `None` (omitted from the JSON) when the answer is the
+    /// uncorrected model's.
+    pub calib_rev: Option<String>,
     /// The ranked candidates (up to `top_n`), best predicted first.
     pub candidates: Vec<Candidate>,
     /// Validation outcome, when the query asked for it and the deadline
     /// allowed it to start.
     pub validation: Option<ValidationReport>,
+}
+
+impl Serialize for Advice {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("id".to_string(), self.id.to_value()),
+            ("device".to_string(), self.device.to_value()),
+            ("stencil".to_string(), self.stencil.to_value()),
+            ("size".to_string(), self.size.to_value()),
+            ("time".to_string(), self.time.to_value()),
+            (
+                "feasible_points".to_string(),
+                self.feasible_points.to_value(),
+            ),
+            ("within".to_string(), self.within.to_value()),
+            ("within_points".to_string(), self.within_points.to_value()),
+            ("degraded".to_string(), self.degraded.to_value()),
+        ];
+        if let Some(rev) = &self.calib_rev {
+            fields.push(("calib_rev".to_string(), Value::Str(rev.clone())));
+        }
+        fields.push(("candidates".to_string(), self.candidates.to_value()));
+        fields.push(("validation".to_string(), self.validation.to_value()));
+        Value::Map(fields)
+    }
 }
 
 impl Advice {
@@ -119,6 +154,10 @@ impl Advice {
             None | Some(Value::Null) => None,
             Some(v) => Some(validation_from_value(v)?),
         };
+        let calib_rev = match get(m, "calib_rev") {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(as_str(v, "calib_rev")?.to_string()),
+        };
         Ok(Advice {
             id,
             device: as_str(need("device")?, "device")?.to_string(),
@@ -129,6 +168,7 @@ impl Advice {
             within: as_f64(need("within")?, "within")?,
             within_points: as_u64(need("within_points")?, "within_points")? as usize,
             degraded: as_bool(need("degraded")?, "degraded")?,
+            calib_rev,
             candidates,
             validation,
         })
@@ -212,6 +252,7 @@ mod tests {
             within: 0.1,
             within_points: 23,
             degraded: false,
+            calib_rev: None,
             candidates: vec![Candidate {
                 rank: 0,
                 t_t: 16,
@@ -259,5 +300,20 @@ mod tests {
         assert!(line.contains("\"validation\":null"));
         let back = Advice::from_value(&serde_json::from_str(&line).unwrap()).unwrap();
         assert_eq!(a, back);
+    }
+
+    #[test]
+    fn calib_rev_is_omitted_when_absent_and_round_trips_when_set() {
+        // Absence must be *byte* absence, not null — uncalibrated
+        // answers keep their pre-calibration serialization.
+        let a = sample();
+        assert!(!a.to_json_line().contains("calib_rev"));
+        let mut b = sample();
+        b.calib_rev = Some("00c0ffee00c0ffee".into());
+        let line = b.to_json_line();
+        assert!(line.contains("\"calib_rev\":\"00c0ffee00c0ffee\""));
+        let back = Advice::from_value(&serde_json::from_str(&line).unwrap()).unwrap();
+        assert_eq!(b, back);
+        assert_eq!(line, back.to_json_line());
     }
 }

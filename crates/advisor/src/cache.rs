@@ -205,6 +205,7 @@ mod tests {
             within: 0.1,
             within_points: 2,
             degraded: false,
+            calib_rev: None,
             candidates: Vec::new(),
             validation: None,
         }

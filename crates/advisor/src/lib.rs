@@ -49,6 +49,7 @@ pub use shard::ShardedCache;
 pub use store::{grid_queries, AnswerStore};
 
 use cache::DiskCache;
+use calib::CalibrationStore;
 use gpu_sim::DeviceConfig;
 use hhc_tiling::LaunchConfig;
 use parking_lot::Mutex;
@@ -58,8 +59,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use stencil_core::{init, StencilKind};
 use tile_opt::{
-    feasible_space, model_sweep, run_candidates_until, simulate_point, within_fraction, DataPoint,
-    SkipReason, SpaceConfig,
+    feasible_space, model_sweep_with, run_candidates_until, simulate_point, within_fraction,
+    DataPoint, SkipReason, SpaceConfig,
 };
 use time_model::{MeasuredParams, ModelParams};
 
@@ -92,6 +93,19 @@ pub struct AdvisorConfig {
     /// tier, the store only ever changes *where* an answer comes from,
     /// never its bytes — provenance lives on `advisor.store_hits`.
     pub store: Option<Arc<AnswerStore>>,
+    /// A calibration store whose per-segment corrections refine the
+    /// model before ranking (see the `calib` crate); `None` serves the
+    /// uncorrected model bit-identically. The store's revision is part
+    /// of the canonical key, so answers minted under a different
+    /// calibration are structurally unreachable from the caches.
+    pub calib: Option<Arc<CalibrationStore>>,
+    /// Fault-injection factor on the measured `Citer` (1.0 = off): the
+    /// advisor's model sees `citer × citer_scale` while the validation
+    /// executor keeps the truth, simulating a miscalibrated
+    /// micro-benchmark. Exists so tests and the CI calibration smoke
+    /// can create a known model bias for the closed loop to remove
+    /// (`HHC_CITER_SCALE` in `experiments serve` sets it).
+    pub citer_scale: f64,
 }
 
 impl Default for AdvisorConfig {
@@ -105,6 +119,8 @@ impl Default for AdvisorConfig {
             accuracy: None,
             accuracy_band: 0.10,
             store: None,
+            calib: None,
+            citer_scale: 1.0,
         }
     }
 }
@@ -115,6 +131,10 @@ pub struct Advisor {
     cfg: AdvisorConfig,
     mem: ShardedCache,
     disk: Option<DiskCache>,
+    /// The loaded calibration store's revision, computed once — the
+    /// store is immutable while serving, so this is stable for the
+    /// process lifetime and safe inside cache keys.
+    calib_rev: Option<String>,
     /// Measured `(L, τ_sync, T_sync, Citer)` per (device fingerprint,
     /// stencil): the micro-benchmarks are deterministic for a fixed
     /// config, so one measurement serves every query against the pair.
@@ -126,6 +146,7 @@ impl Advisor {
         Advisor {
             mem: ShardedCache::new(cfg.mem_capacity),
             disk: cfg.disk_dir.as_ref().map(DiskCache::new),
+            calib_rev: cfg.calib.as_ref().map(|c| c.revision()),
             measured: Mutex::new(HashMap::new()),
             cfg,
         }
@@ -137,11 +158,17 @@ impl Advisor {
 
     /// The canonical cache key of a query: every answer-determining
     /// input, none of the presentation-only ones (`id`, `timeout_ms`).
+    /// `cal=` pins the calibration revision (`none` when no store is
+    /// loaded), so disk-cache entries and answer stores minted under a
+    /// different calibration can never be served: their keys simply
+    /// don't exist under the current one. `fi=` appears only when the
+    /// `citer_scale` fault injection is armed — a biased model must not
+    /// share answers with an unbiased one.
     pub fn canonical_key(&self, q: &Query) -> String {
         let w = &q.workload;
         let dev = serde_json::to_string(&w.device).expect("device serializes");
-        format!(
-            "v1|dev={:016x}|st={}|s={}x{}x{}|t={}|within={:016x}|top={}|val={}|mb={}x{}|space={:016x}",
+        let mut key = format!(
+            "v2|dev={:016x}|st={}|s={}x{}x{}|t={}|within={:016x}|top={}|val={}|mb={}x{}|space={:016x}|cal={}",
             cache::fnv64(dev.as_bytes()),
             w.stencil.name(),
             w.size.space[0],
@@ -158,7 +185,17 @@ impl Advisor {
                     .expect("space serializes")
                     .as_bytes()
             ),
-        )
+            self.calib_rev.as_deref().unwrap_or("none"),
+        );
+        if self.cfg.citer_scale != 1.0 {
+            key.push_str(&format!("|fi={:016x}", self.cfg.citer_scale.to_bits()));
+        }
+        key
+    }
+
+    /// The revision of the loaded calibration store, if any.
+    pub fn calib_rev(&self) -> Option<&str> {
+        self.calib_rev.as_deref()
     }
 
     /// Answer one query, consulting the answer store and the cache
@@ -278,9 +315,21 @@ impl Advisor {
         }
         let params = self.model_params(&w.device, w.stencil);
         let tiles = feasible_space(w, &self.cfg.space);
-        let sweep = model_sweep(&params, &w.size, &tiles);
-        let within = within_fraction(&sweep, q.within);
         let rank = w.rank();
+        // Calibration: a correction fires only when the store has
+        // enough evidence for this exact (device, stencil, dim)
+        // segment; otherwise the sweep below is the plain model,
+        // bit-identical to a calibration-free advisor.
+        let corr = self
+            .cfg
+            .calib
+            .as_ref()
+            .and_then(|c| c.correction(&w.device.name, w.stencil.name(), rank as u32));
+        if corr.is_some() && obs::active() {
+            obs::counter("calib.corrections_applied", 1);
+        }
+        let sweep = model_sweep_with(&params, &w.size, &tiles, corr.as_ref());
+        let within = within_fraction(&sweep, q.within);
         let candidates: Vec<Candidate> = within
             .iter()
             .take(q.top_n)
@@ -310,6 +359,14 @@ impl Advisor {
                     let Some(sim) = simulate_point(&w.device, &w.spec(), &w.size, &point) else {
                         continue;
                     };
+                    // When a correction shaped this prediction, also
+                    // log the raw model's view: the calibration fitter
+                    // targets the raw prediction (corrections must not
+                    // compound), and the attribution bit comes from the
+                    // raw model's regime for the same reason.
+                    let raw = corr
+                        .is_some()
+                        .then(|| time_model::predict(&params, &w.size, t));
                     log.record(
                         &obs::accuracy::Pair {
                             source: "advisor".into(),
@@ -327,6 +384,11 @@ impl Advisor {
                             ),
                             predicted_s: p.talg,
                             measured_s: sim.total_time,
+                            raw_predicted_s: raw.as_ref().map(|r| r.talg),
+                            memory_bound: Some(
+                                raw.as_ref()
+                                    .map_or_else(|| p.memory_bound(), |r| r.memory_bound()),
+                            ),
                         },
                         self.cfg.accuracy_band,
                     );
@@ -390,6 +452,11 @@ impl Advisor {
             within: q.within,
             within_points: within.len(),
             degraded,
+            calib_rev: if corr.is_some() {
+                self.calib_rev.clone()
+            } else {
+                None
+            },
             candidates,
             validation,
         }
@@ -408,6 +475,14 @@ impl Advisor {
             let _span = obs::span("advisor.microbench", "advisor");
             microbench::measured_params_sampled(device, kind, self.cfg.citer_samples, self.cfg.seed)
         });
+        // Fault injection (tests / CI calibration smoke): bias the
+        // model's view of Citer while the memo keeps the true
+        // measurement. The 1.0 case must not touch the value at all.
+        if self.cfg.citer_scale != 1.0 {
+            let mut biased = *measured;
+            biased.citer *= self.cfg.citer_scale;
+            return ModelParams::from_measured(device, &biased);
+        }
         ModelParams::from_measured(device, measured)
     }
 }

@@ -44,18 +44,32 @@ pub struct AnswerStore {
     git_rev: String,
     seed: u64,
     citer_samples: u64,
+    calib_rev: Option<String>,
 }
 
 impl AnswerStore {
     /// An empty store bound to the current tree (the builder's starting
-    /// point).
+    /// point), minted without calibration.
     pub fn empty(seed: u64, citer_samples: usize) -> AnswerStore {
         AnswerStore {
             map: HashMap::new(),
             git_rev: crate::cache::current_git_rev(),
             seed,
             citer_samples: citer_samples as u64,
+            calib_rev: None,
         }
+    }
+
+    /// Bind the store to the calibration revision its answers were
+    /// minted under (`None` = uncalibrated).
+    pub fn with_calib_rev(mut self, calib_rev: Option<String>) -> AnswerStore {
+        self.calib_rev = calib_rev;
+        self
+    }
+
+    /// The calibration revision the answers were minted under, if any.
+    pub fn calib_rev(&self) -> Option<&str> {
+        self.calib_rev.as_deref()
     }
 
     /// Number of precomputed answers.
@@ -113,14 +127,20 @@ impl AnswerStore {
         let tmp = path.with_extension("tmp");
         {
             let mut w = BufWriter::new(std::fs::File::create(&tmp)?);
-            let header = Value::Map(vec![
+            let mut header_fields = vec![
                 ("kind".into(), Value::Str("advisor_store".into())),
                 ("version".into(), Value::UInt(1)),
                 ("git_rev".into(), Value::Str(self.git_rev.clone())),
                 ("seed".into(), Value::UInt(self.seed)),
                 ("citer_samples".into(), Value::UInt(self.citer_samples)),
-                ("entries".into(), Value::UInt(self.map.len() as u64)),
-            ]);
+            ];
+            // Omitted (not null) when uncalibrated, so stores minted
+            // before calibration existed parse identically.
+            if let Some(rev) = &self.calib_rev {
+                header_fields.push(("calib_rev".into(), Value::Str(rev.clone())));
+            }
+            header_fields.push(("entries".into(), Value::UInt(self.map.len() as u64)));
+            let header = Value::Map(header_fields);
             writeln!(w, "{}", serde_json::to_string(&header).expect("header"))?;
             // Deterministic file bytes: entries in sorted key order.
             let mut keys: Vec<&String> = self.map.keys().collect();
@@ -138,10 +158,20 @@ impl AnswerStore {
     }
 
     /// Load a table written by [`write`](AnswerStore::write). Unless
-    /// `allow_stale`, a store computed at a different git revision is
-    /// refused — its answers may no longer match what the model would
-    /// compute today.
-    pub fn load(path: &Path, allow_stale: bool) -> Result<AnswerStore, String> {
+    /// `allow_stale`, a store computed at a different git revision or
+    /// under a different calibration revision (`expected_calib` is the
+    /// serving advisor's, `None` = no calibration) is refused — its
+    /// answers may no longer match what the model would compute today.
+    /// A calibration mismatch bumps `advisor.store_stale_calib` whether
+    /// refused or tolerated; when tolerated, the stale entries are
+    /// unreachable anyway (the canonical key embeds the calibration
+    /// revision), so every query re-derives instead of serving a
+    /// stale-calibration answer.
+    pub fn load(
+        path: &Path,
+        allow_stale: bool,
+        expected_calib: Option<&str>,
+    ) -> Result<AnswerStore, String> {
         let file = std::fs::File::open(path).map_err(|e| format!("{}: {e}", path.display()))?;
         let mut lines = std::io::BufReader::new(file).lines();
         let header_line = lines
@@ -172,6 +202,23 @@ impl AnswerStore {
                 path.display()
             ));
         }
+        let calib_rev = match get(h, "calib_rev") {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(as_str(v, "calib_rev")?.to_string()),
+        };
+        if calib_rev.as_deref() != expected_calib {
+            obs::counter("advisor.store_stale_calib", 1);
+            if !allow_stale {
+                return Err(format!(
+                    "{}: store was minted under calibration {} but the server is using {}; \
+                     re-run `experiments precompute` with the current --calib \
+                     (or pass --store-stale-ok to load it anyway and re-derive on miss)",
+                    path.display(),
+                    calib_rev.as_deref().unwrap_or("none"),
+                    expected_calib.unwrap_or("none"),
+                ));
+            }
+        }
         let seed = as_u64(get(h, "seed").ok_or("store header missing 'seed'")?, "seed")?;
         let citer_samples = as_u64(
             get(h, "citer_samples").ok_or("store header missing 'citer_samples'")?,
@@ -197,6 +244,7 @@ impl AnswerStore {
             git_rev,
             seed,
             citer_samples,
+            calib_rev,
         })
     }
 }
@@ -270,7 +318,7 @@ mod tests {
         assert_eq!(store.precompute(&advisor, &queries), 2);
         let path = temp_path("rt");
         store.write(&path).unwrap();
-        let back = AnswerStore::load(&path, false).expect("fresh store loads");
+        let back = AnswerStore::load(&path, false, None).expect("fresh store loads");
         assert_eq!(back.len(), 2);
         for q in &queries {
             let key = advisor.canonical_key(q);
@@ -278,7 +326,7 @@ mod tests {
             let stored = back.get(&key).expect("precomputed key present");
             assert_eq!(stored.to_json_line(), direct.to_json_line());
         }
-        assert!(back.get("v1|no-such-key").is_none());
+        assert!(back.get("v2|no-such-key").is_none());
         let _ = std::fs::remove_file(&path);
     }
 
@@ -288,10 +336,37 @@ mod tests {
         store.git_rev = "deadbeef-elsewhere".into();
         let path = temp_path("stale");
         store.write(&path).unwrap();
-        let err = AnswerStore::load(&path, false).unwrap_err();
+        let err = AnswerStore::load(&path, false, None).unwrap_err();
         assert!(err.contains("deadbeef-elsewhere"), "{err}");
-        let loaded = AnswerStore::load(&path, true).expect("--store-stale-ok path");
+        let loaded = AnswerStore::load(&path, true, None).expect("--store-stale-ok path");
         assert_eq!(loaded.git_rev(), "deadbeef-elsewhere");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn stale_calibration_is_refused_and_counted() {
+        // Only lib test that installs a recorder — no cross-test lock
+        // needed (the integration test files each guard their own).
+        let rec = std::sync::Arc::new(obs::MemoryRecorder::new(obs::Level::Info));
+        obs::install(rec.clone());
+        let store = AnswerStore::empty(7, 4).with_calib_rev(Some("aaaa000011112222".into()));
+        let path = temp_path("stale-calib");
+        store.write(&path).unwrap();
+        // Server without calibration: mismatch, refused.
+        let err = AnswerStore::load(&path, false, None).unwrap_err();
+        assert!(err.contains("aaaa000011112222"), "{err}");
+        // Server under a *different* calibration: mismatch, refused.
+        let err = AnswerStore::load(&path, false, Some("bbbb000011112222")).unwrap_err();
+        assert!(err.contains("bbbb000011112222"), "{err}");
+        // Matching calibration: loads clean, not counted.
+        let ok = AnswerStore::load(&path, false, Some("aaaa000011112222"));
+        assert!(ok.is_ok(), "{ok:?}");
+        assert_eq!(ok.unwrap().calib_rev(), Some("aaaa000011112222"));
+        // --store-stale-ok tolerates the mismatch but still counts it.
+        let tolerated = AnswerStore::load(&path, true, None).expect("stale-ok load");
+        assert_eq!(tolerated.calib_rev(), Some("aaaa000011112222"));
+        obs::uninstall();
+        assert_eq!(rec.snapshot().counter("advisor.store_stale_calib"), 3);
         let _ = std::fs::remove_file(&path);
     }
 }

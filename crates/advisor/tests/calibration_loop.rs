@@ -1,0 +1,175 @@
+//! The closed calibration loop, end to end and in-process: a known
+//! Citer bias is injected into the advisor's model, validated serving
+//! logs the (biased) predicted-vs-measured pairs, a calibration store
+//! is fitted from that log, and re-serving with the store loaded must
+//! shrink the served per-segment RMSE by at least 2× — the accuracy
+//! measurements stop being discarded and start correcting the model.
+
+use advisor::{Advisor, AdvisorConfig, Query};
+use calib::CalibrationStore;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+fn lock_obs() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("advisor-calib-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Distinct validated Heat2D queries in one (device, stencil, dim)
+/// segment. The problems are big enough that T_alg is dominated by the
+/// per-tile terms the Citer bias actually inflates (tiny grids drown in
+/// launch overhead and the bias becomes invisible); the zero deadline
+/// degrades the answer *after* the accuracy pairs are logged from the
+/// closed-form simulator, so no full executor run slows the test down.
+fn queries() -> Vec<Query> {
+    [
+        (256, 256, 64),
+        (192, 192, 64),
+        (224, 224, 48),
+        (256, 192, 64),
+    ]
+    .iter()
+    .enumerate()
+    .map(|(i, (x, y, t))| {
+        Query::parse_line(&format!(
+            "{{\"id\": \"q{i}\", \"device\": \"GTX 980\", \"stencil\": \"Heat2D\", \
+             \"size\": [{x}, {y}], \"time\": {t}, \"validate\": true, \"within\": 0.25, \
+             \"top_n\": 12, \"timeout_ms\": 0}}"
+        ))
+        .expect("test query parses")
+    })
+    .collect()
+}
+
+fn serve_all(advisor: &Advisor, qs: &[Query]) -> Vec<advisor::Advice> {
+    qs.iter().map(|q| advisor.advise(q)).collect()
+}
+
+fn segment_rmse(log: &std::path::Path) -> f64 {
+    let per_segment = calib::log_segment_rmse(log).expect("read accuracy log");
+    let key = calib::segment_key("GTX 980", "Heat2D", 2);
+    per_segment.get(&key).expect("segment logged").1
+}
+
+const BIAS: f64 = 3.0;
+
+#[test]
+fn fitted_store_halves_the_served_segment_rmse_under_a_citer_bias() {
+    let _g = lock_obs();
+    let rec = Arc::new(obs::ShardedRecorder::new(obs::Level::Quiet));
+    obs::install(rec.clone());
+    let dir = temp_dir("loop");
+    let pre_log = dir.join("pre.jsonl");
+    let post_log = dir.join("post.jsonl");
+
+    // Round 1: serve with a 3x-biased Citer, no calibration. Every
+    // answer is uncalibrated (no calib_rev), and the accuracy log fills
+    // with pairs whose predictions carry the bias.
+    let biased = Advisor::new(AdvisorConfig {
+        citer_scale: BIAS,
+        accuracy: Some(Arc::new(
+            obs::AccuracyLog::open(&pre_log).expect("open pre log"),
+        )),
+        ..AdvisorConfig::default()
+    });
+    for a in serve_all(&biased, &queries()) {
+        assert!(a.calib_rev.is_none(), "no store loaded, no calib_rev");
+    }
+    drop(biased);
+
+    // Fit: consume the log into a store; the biased segment must clear
+    // the evidence gate and serve a correction.
+    let mut store = CalibrationStore::new(calib::DEFAULT_MIN_EVIDENCE);
+    let stats = store.consume_log(&pre_log).expect("consume pre log");
+    assert!(
+        stats.consumed >= calib::DEFAULT_MIN_EVIDENCE,
+        "only {} pairs logged",
+        stats.consumed
+    );
+    assert!(store.active_segments() >= 1, "no segment cleared the gate");
+    let corr = store
+        .correction("GTX 980", "Heat2D", 2)
+        .expect("correction for the biased segment");
+    assert!(
+        corr.citer_scale < 1.0 || corr.mem_scale < 1.0,
+        "a 3x overprediction must fit shrinking factors, got {corr:?}"
+    );
+
+    // Persist + reload: the round trip must preserve the revision, so
+    // answers minted now remain attributable to this exact store.
+    let store_path = dir.join("calib_store.jsonl");
+    store.save(&store_path).expect("save store");
+    let loaded = CalibrationStore::load(&store_path).expect("reload store");
+    assert_eq!(loaded.revision(), store.revision());
+
+    // Round 2: same bias, store loaded. Served predictions are now
+    // corrected, answers carry the revision, and the same segment's
+    // logged RMSE shrinks at least 2x.
+    let rev = loaded.revision();
+    let corrected = Advisor::new(AdvisorConfig {
+        citer_scale: BIAS,
+        calib: Some(Arc::new(loaded)),
+        accuracy: Some(Arc::new(
+            obs::AccuracyLog::open(&post_log).expect("open post log"),
+        )),
+        ..AdvisorConfig::default()
+    });
+    for a in serve_all(&corrected, &queries()) {
+        assert_eq!(a.calib_rev.as_deref(), Some(rev.as_str()));
+    }
+    obs::uninstall();
+
+    let pre = segment_rmse(&pre_log);
+    let post = segment_rmse(&post_log);
+    assert!(
+        post <= pre / 2.0,
+        "calibration must at least halve the served RMSE: pre {pre:.4}, post {post:.4}"
+    );
+
+    // The post log also records the raw (uncorrected) prediction per
+    // pair, so the pre-correction error remains observable after the
+    // store is live.
+    let text = std::fs::read_to_string(&post_log).expect("post log");
+    assert!(text.contains("\"raw_predicted_s\":"), "{text}");
+
+    let snap = rec.snapshot();
+    assert!(snap.counter("calib.corrections_applied") >= 1);
+    assert!(
+        snap.gauges
+            .iter()
+            .any(|(k, _)| k.starts_with("model.rel_err_raw.advisor.")),
+        "raw-error gauge must be populated when corrected"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn an_empty_or_missing_store_leaves_answers_bit_identical() {
+    let _g = lock_obs();
+    let plain = Advisor::new(AdvisorConfig::default());
+    // An empty store (no evidence at all) serves no corrections: every
+    // answer must be byte-identical to a calibration-free advisor's.
+    // Model-only queries — validation wall-clock times are real
+    // measurements and never byte-stable across runs.
+    let empty = Advisor::new(AdvisorConfig {
+        calib: Some(Arc::new(CalibrationStore::new(calib::DEFAULT_MIN_EVIDENCE))),
+        ..AdvisorConfig::default()
+    });
+    for (x, y) in [(64, 64), (96, 96), (80, 80)] {
+        let q = Query::parse_line(&format!(
+            "{{\"device\": \"GTX 980\", \"stencil\": \"Heat2D\", \
+             \"size\": [{x}, {y}], \"time\": 8}}"
+        ))
+        .expect("test query parses");
+        let a = plain.advise(&q).to_json_line();
+        let b = empty.advise(&q).to_json_line();
+        assert_eq!(a, b, "empty store changed an answer");
+        assert!(!b.contains("calib_rev"));
+    }
+}

@@ -23,6 +23,7 @@ fn advice(tag: u64) -> Advice {
         within: 0.1,
         within_points: tag as usize,
         degraded: false,
+        calib_rev: None,
         candidates: vec![Candidate {
             rank: 0,
             t_t: tag as usize,

@@ -296,11 +296,12 @@ fn main() {
     let (cold_qps, store) = if args.addr.is_some() {
         (0.0, None)
     } else if let Some(path) = &args.store {
-        let store = advisor::AnswerStore::load(std::path::Path::new(path), args.store_stale_ok)
-            .unwrap_or_else(|e| {
-                eprintln!("error: {e}");
-                std::process::exit(2);
-            });
+        let store =
+            advisor::AnswerStore::load(std::path::Path::new(path), args.store_stale_ok, None)
+                .unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                });
         eprintln!("store: loaded {} answers from {path}", store.len());
         (cold_baseline(&advisor_cfg, &universe_queries), Some(store))
     } else {

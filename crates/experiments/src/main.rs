@@ -12,6 +12,7 @@
 //!                   [--mem-cap N] [--samples N] [--threads N]
 //!                   [--listen ADDR] [--port-file PATH]
 //!                   [--store PATH] [--store-stale-ok]
+//!                   [--calib PATH]
 //!                   [--workers N] [--queue-cap N] [--conn-queue-cap N]
 //!                   [--window-us N] [--max-batch N]
 //!                   [--log-out PATH] [--log-level quiet|info|debug]
@@ -20,6 +21,10 @@
 //! experiments precompute [--out PATH] [--devices a,b] [--stencils x,y]
 //!                        [--sizes s1,s2] [--times t1,t2] [--within F]
 //!                        [--top-n N] [--samples N] [--threads N]
+//!                        [--calib PATH]
+//! experiments calibrate [--log PATH] [--out PATH] [--min-evidence N]
+//!                       [--merge PATH] [--freeze]
+//!                       [--inspect PATH] [--compare PRE POST]
 //! ```
 //!
 //! The `serve` subcommand runs the tile-size advisory service: JSON-lines
@@ -28,6 +33,10 @@
 //! cross-client coalescing, and bounded-queue load shedding.
 //! `precompute` sweeps the model over a grid into the answer store that
 //! `serve --store` loads for pure-lookup steady-state serving.
+//! `calibrate` closes the loop: it fits per-(device, stencil, dim)
+//! model corrections from the accuracy log that validated serving (and
+//! `--bench-exec`) appended, writing a calibration store that
+//! `serve --calib` and `precompute --calib` apply before ranking.
 
 use experiments::context::{ExperimentScale, Lab};
 use experiments::figures::Fig6Detail;
@@ -258,7 +267,9 @@ fn print_help() {
            serve                 tile-size advisory service over JSON lines or a\n\
                                  TCP socket (see: experiments serve --help)\n\
            precompute            sweep the model over a grid into an on-disk\n\
-                                 answer store (see: experiments precompute --help)"
+                                 answer store (see: experiments precompute --help)\n\
+           calibrate             fit model corrections from the accuracy log into\n\
+                                 a calibration store (see: experiments calibrate --help)"
     );
 }
 
@@ -342,6 +353,7 @@ struct ServeArgs {
     port_file: Option<String>,
     store: Option<String>,
     store_stale_ok: bool,
+    calib: Option<String>,
     server: advisor::ServerConfig,
     cache_dir: Option<String>,
     mem_cap: usize,
@@ -361,6 +373,7 @@ fn parse_serve_args(rest: impl Iterator<Item = String>) -> Result<ServeArgs, Str
         port_file: None,
         store: None,
         store_stale_ok: false,
+        calib: None,
         server: advisor::ServerConfig::default(),
         cache_dir: Some(format!("{}/advisor_cache", experiments::DEFAULT_OUT_DIR)),
         mem_cap: 256,
@@ -380,6 +393,7 @@ fn parse_serve_args(rest: impl Iterator<Item = String>) -> Result<ServeArgs, Str
             "--port-file" => args.port_file = Some(it.next().ok_or("--port-file needs a value")?),
             "--store" => args.store = Some(it.next().ok_or("--store needs a value")?),
             "--store-stale-ok" => args.store_stale_ok = true,
+            "--calib" => args.calib = Some(it.next().ok_or("--calib needs a value")?),
             "--workers" => {
                 let v = it.next().ok_or("--workers needs a value")?;
                 args.server.workers = v
@@ -495,7 +509,11 @@ fn print_serve_help() {
                                  (readiness signal for scripts and CI)\n\
            --store PATH          load a precomputed answer store (see: experiments\n\
                                  precompute); steady-state hits are pure lookup\n\
-           --store-stale-ok      accept a store from a different git revision\n\
+           --store-stale-ok      accept a store from a different git or calibration\n\
+                                 revision (stale entries are re-derived, not served)\n\
+           --calib PATH          load a calibration store (see: experiments\n\
+                                 calibrate); its per-segment corrections refine the\n\
+                                 model before ranking, and answers carry calib_rev\n\
            --workers N           socket worker threads (default: core count)\n\
            --queue-cap N         shared admission queue bound (default: 1024)\n\
            --conn-queue-cap N    per-connection outstanding-line bound (default: 128)\n\
@@ -530,6 +548,7 @@ struct PrecomputeArgs {
     top_n: usize,
     samples: usize,
     threads: Option<usize>,
+    calib: Option<String>,
 }
 
 fn parse_precompute_args(rest: impl Iterator<Item = String>) -> Result<PrecomputeArgs, String> {
@@ -547,6 +566,7 @@ fn parse_precompute_args(rest: impl Iterator<Item = String>) -> Result<Precomput
         top_n: 10,
         samples: 16,
         threads: None,
+        calib: None,
     };
     let mut it = rest;
     while let Some(a) = it.next() {
@@ -590,6 +610,7 @@ fn parse_precompute_args(rest: impl Iterator<Item = String>) -> Result<Precomput
                         .ok_or(format!("invalid thread count '{v}'"))?,
                 );
             }
+            "--calib" => args.calib = Some(next("--calib")?),
             "--help" | "-h" => {
                 print_precompute_help();
                 std::process::exit(0);
@@ -625,11 +646,239 @@ fn print_precompute_help() {
                                  the queries the server will see)\n\
            --top-n N             candidates per answer (default: 10 — ditto)\n\
            --samples N           Citer micro-benchmark samples (default: 16)\n\
-           --threads N           size the global rayon pool\n\n\
-         The store records the git revision that computed it; serving a stale\n\
-         store requires --store-stale-ok.",
+           --threads N           size the global rayon pool\n\
+           --calib PATH          apply a calibration store's corrections while\n\
+                                 sweeping; the answer store records its revision\n\n\
+         The store records the git revision (and calibration revision, if any)\n\
+         that computed it; serving under a different one requires\n\
+         --store-stale-ok.",
         experiments::DEFAULT_OUT_DIR
     );
+}
+
+/// Flags of the `calibrate` subcommand.
+struct CalibrateArgs {
+    log: String,
+    out: String,
+    min_evidence: u64,
+    merge: Option<String>,
+    freeze: bool,
+    inspect: Option<String>,
+    compare: Option<(String, String)>,
+}
+
+fn parse_calibrate_args(rest: impl Iterator<Item = String>) -> Result<CalibrateArgs, String> {
+    let mut args = CalibrateArgs {
+        log: format!("{}/accuracy_log.jsonl", experiments::DEFAULT_OUT_DIR),
+        out: format!("{}/calib_store.jsonl", experiments::DEFAULT_OUT_DIR),
+        min_evidence: calib::DEFAULT_MIN_EVIDENCE,
+        merge: None,
+        freeze: false,
+        inspect: None,
+        compare: None,
+    };
+    let mut it = rest;
+    while let Some(a) = it.next() {
+        let mut next = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match a.as_str() {
+            "--log" => args.log = next("--log")?,
+            "--out" => args.out = next("--out")?,
+            "--min-evidence" => {
+                let v = next("--min-evidence")?;
+                args.min_evidence = v
+                    .parse()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .ok_or(format!("invalid --min-evidence '{v}'"))?;
+            }
+            "--merge" => args.merge = Some(next("--merge")?),
+            "--freeze" => args.freeze = true,
+            "--inspect" => args.inspect = Some(next("--inspect")?),
+            "--compare" => {
+                let pre = next("--compare")?;
+                let post = next("--compare POST")?;
+                args.compare = Some((pre, post));
+            }
+            "--help" | "-h" => {
+                print_calibrate_help();
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown calibrate argument '{other}' (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn print_calibrate_help() {
+    println!(
+        "Fit per-(device, stencil, dim) model corrections from the accuracy log\n\
+         that validated serving (and --bench-exec) appended, and write them to a\n\
+         calibration store for `experiments serve --calib` / `precompute --calib`.\n\n\
+         USAGE: experiments calibrate [FLAGS]\n\n\
+         Each accuracy row whose measured/predicted ratio and memory-bound\n\
+         attribution are usable feeds the segment's Citer factor (compute-bound\n\
+         rows) or memory-term factor (memory-bound rows). A factor is served\n\
+         only once it has at least --min-evidence pairs; under-evidenced\n\
+         segments leave the model untouched, bit for bit.\n\n\
+         FLAGS:\n\
+           --log PATH            accuracy log to fit from, .1 rollover included\n\
+                                 (default: {}/accuracy_log.jsonl)\n\
+           --out PATH            calibration store to write\n\
+                                 (default: {}/calib_store.jsonl)\n\
+           --min-evidence N      pairs before a factor is served (default: {})\n\
+           --merge PATH          fold an existing store's evidence into the fit\n\
+                                 (running sums add; the new gate wins)\n\
+           --freeze              mark the store frozen: later calibrate runs\n\
+                                 refuse to fold more evidence into it\n\
+           --inspect PATH        print a store's segments and factors, then exit\n\
+                                 (no fitting)\n\
+           --compare PRE POST    compare per-segment RMSE of two accuracy logs;\n\
+                                 exit 0 iff every shared segment improved or held\n\
+                                 and at least one segment is shared (no fitting)",
+        experiments::DEFAULT_OUT_DIR,
+        experiments::DEFAULT_OUT_DIR,
+        calib::DEFAULT_MIN_EVIDENCE
+    );
+}
+
+/// Run the `calibrate` subcommand; returns the process exit code.
+fn run_calibrate(rest: impl Iterator<Item = String>) -> i32 {
+    let args = match parse_calibrate_args(rest) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    if let Some(path) = &args.inspect {
+        let store = match calib::CalibrationStore::load(std::path::Path::new(path)) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return 1;
+            }
+        };
+        println!(
+            "calibration store {path}: {} segments ({} active), min_evidence {}, revision {}{}",
+            store.len(),
+            store.active_segments(),
+            store.min_evidence(),
+            store.revision(),
+            if store.frozen() { ", frozen" } else { "" }
+        );
+        for (key, seg) in store.segments() {
+            println!(
+                "  {key:32}  citer: n={:3} factor={:.4}{}   mem: n={:3} factor={:.4}{}",
+                seg.citer.n,
+                seg.citer.factor(),
+                if seg.citer.n >= store.min_evidence() {
+                    ""
+                } else {
+                    " (gated)"
+                },
+                seg.mem.n,
+                seg.mem.factor(),
+                if seg.mem.n >= store.min_evidence() {
+                    ""
+                } else {
+                    " (gated)"
+                },
+            );
+        }
+        return 0;
+    }
+    if let Some((pre, post)) = &args.compare {
+        let load = |p: &str| {
+            calib::log_segment_rmse(std::path::Path::new(p)).unwrap_or_else(|e| {
+                eprintln!("error: {p}: {e}");
+                std::process::exit(1);
+            })
+        };
+        let (pre_rmse, post_rmse) = (load(pre), load(post));
+        let mut shared = 0usize;
+        let mut regressed = 0usize;
+        for (key, (n_post, r_post)) in &post_rmse {
+            let Some((n_pre, r_pre)) = pre_rmse.get(key) else {
+                println!(
+                    "  {key:32}  post RMSE {:6.1}% (n={n_post}) — no pre data",
+                    100.0 * r_post
+                );
+                continue;
+            };
+            shared += 1;
+            let improved = r_post <= r_pre;
+            if !improved {
+                regressed += 1;
+            }
+            println!(
+                "  {key:32}  RMSE {:6.1}% (n={n_pre}) -> {:6.1}% (n={n_post})  {}",
+                100.0 * r_pre,
+                100.0 * r_post,
+                if improved { "ok" } else { "REGRESSED" }
+            );
+        }
+        if shared == 0 {
+            eprintln!("compare FAILED: the two logs share no segment");
+            return 1;
+        }
+        if regressed > 0 {
+            eprintln!("compare FAILED: {regressed}/{shared} shared segments regressed");
+            return 1;
+        }
+        println!("compare passed: all {shared} shared segments improved or held");
+        return 0;
+    }
+    let mut store = calib::CalibrationStore::new(args.min_evidence);
+    if let Some(path) = &args.merge {
+        let prior = match calib::CalibrationStore::load(std::path::Path::new(path)) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: --merge {path}: {e}");
+                return 1;
+            }
+        };
+        if let Err(e) = store.merge(&prior) {
+            eprintln!("error: --merge {path}: {e}");
+            return 1;
+        }
+    }
+    let stats = match store.consume_log(std::path::Path::new(&args.log)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: --log {}: {e}", args.log);
+            return 1;
+        }
+    };
+    if args.freeze {
+        store.freeze();
+    }
+    if let Err(e) = store.save(std::path::Path::new(&args.out)) {
+        eprintln!("error: cannot write {}: {e}", args.out);
+        return 1;
+    }
+    println!(
+        "calibrated {} segments ({} active) from {} pairs ({} rejected) -> {}, revision {}{}",
+        store.len(),
+        store.active_segments(),
+        stats.consumed,
+        stats.rejected,
+        args.out,
+        store.revision(),
+        if store.frozen() { ", frozen" } else { "" }
+    );
+    for (key, seg) in store.segments() {
+        let gate = store.min_evidence();
+        println!(
+            "  {key:32}  citer x{:.4} (n={}{})   mem x{:.4} (n={}{})",
+            seg.citer.factor(),
+            seg.citer.n,
+            if seg.citer.n >= gate { "" } else { ", gated" },
+            seg.mem.factor(),
+            seg.mem.n,
+            if seg.mem.n >= gate { "" } else { ", gated" },
+        );
+    }
+    0
 }
 
 /// Run the `precompute` subcommand; returns the process exit code.
@@ -669,15 +918,31 @@ fn run_precompute(rest: impl Iterator<Item = String>) -> i32 {
         args.sizes.len(),
         args.times.len()
     );
+    let calib = args.calib.as_ref().map(|path| {
+        let store = calib::CalibrationStore::load(std::path::Path::new(path)).unwrap_or_else(|e| {
+            eprintln!("error: --calib {path}: {e}");
+            std::process::exit(2);
+        });
+        println!(
+            "calibration store: {} segments ({} active), revision {}",
+            store.len(),
+            store.active_segments(),
+            store.revision()
+        );
+        Arc::new(store)
+    });
+    let calib_rev = calib.as_ref().map(|c| c.revision());
     let advisor = advisor::Advisor::new(advisor::AdvisorConfig {
         citer_samples: args.samples,
         seed: experiments::SEED,
         disk_dir: None,
         mem_capacity: queries.len().max(1),
+        calib,
         ..advisor::AdvisorConfig::default()
     });
     let t0 = std::time::Instant::now();
-    let mut store = advisor::AnswerStore::empty(experiments::SEED, args.samples);
+    let mut store =
+        advisor::AnswerStore::empty(experiments::SEED, args.samples).with_calib_rev(calib_rev);
     let added = store.precompute(&advisor, &queries);
     let elapsed = t0.elapsed().as_secs_f64();
     let path = std::path::PathBuf::from(&args.out);
@@ -729,24 +994,62 @@ fn run_serve(rest: impl Iterator<Item = String>) -> i32 {
     });
     let accuracy =
         Arc::new(obs::AccuracyLog::open(&args.accuracy_log).expect("open --accuracy-log file"));
+    let calib = args.calib.as_ref().map(|path| {
+        let store = calib::CalibrationStore::load(std::path::Path::new(path)).unwrap_or_else(|e| {
+            eprintln!("error: --calib {path}: {e}");
+            std::process::exit(2);
+        });
+        obs::gauge("calib.segments_active", store.active_segments() as f64);
+        eprintln!(
+            "calibration store: {} segments ({} active) from {path}, revision {}",
+            store.len(),
+            store.active_segments(),
+            store.revision()
+        );
+        Arc::new(store)
+    });
+    let calib_rev = calib.as_ref().map(|c| c.revision());
     let store = args.store.as_ref().map(|path| {
-        let store = advisor::AnswerStore::load(std::path::Path::new(path), args.store_stale_ok)
-            .unwrap_or_else(|e| {
-                eprintln!("error: {e}");
-                std::process::exit(2);
-            });
+        let store = advisor::AnswerStore::load(
+            std::path::Path::new(path),
+            args.store_stale_ok,
+            calib_rev.as_deref(),
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        });
         eprintln!(
             "answer store: {} precomputed answers from {path}",
             store.len()
         );
         Arc::new(store)
     });
+    // Fault injection for tests and the CI calibration smoke job: bias
+    // the advisor's view of the measured Citer so the closed loop has a
+    // real model error to remove (mirrors HHC_ROOFLINE_BAND's style).
+    let citer_scale = match std::env::var("HHC_CITER_SCALE") {
+        Ok(v) => v
+            .parse::<f64>()
+            .ok()
+            .filter(|s| s.is_finite() && *s > 0.0)
+            .unwrap_or_else(|| {
+                eprintln!("error: invalid HHC_CITER_SCALE '{v}'");
+                std::process::exit(2);
+            }),
+        Err(_) => 1.0,
+    };
+    if citer_scale != 1.0 {
+        eprintln!("fault injection: Citer biased by x{citer_scale} (HHC_CITER_SCALE)");
+    }
     let advisor = advisor::Advisor::new(advisor::AdvisorConfig {
         mem_capacity: args.mem_cap,
         disk_dir: args.cache_dir.as_ref().map(Into::into),
         citer_samples: args.samples,
         accuracy: Some(accuracy),
         store,
+        calib,
+        citer_scale,
         ..advisor::AdvisorConfig::default()
     });
     if let Some(addr) = &args.listen {
@@ -844,6 +1147,10 @@ fn main() {
         argv.next();
         std::process::exit(run_precompute(argv));
     }
+    if argv.peek().map(String::as_str) == Some("calibrate") {
+        argv.next();
+        std::process::exit(run_calibrate(argv));
+    }
     drop(argv);
     let args = match parse_args() {
         Ok(a) => a,
@@ -925,6 +1232,12 @@ fn main() {
                         key: row.size.clone(),
                         predicted_s: row.fast_s * row.roofline_ratio,
                         measured_s: row.fast_s,
+                        // The roofline is never correction-adjusted, so
+                        // its prediction is already "raw"; which ceiling
+                        // bound it tells the calibration fitter which
+                        // term the error belongs to.
+                        raw_predicted_s: None,
+                        memory_bound: Some(row.roofline_bound == "memory"),
                     },
                     band,
                 );

@@ -35,4 +35,4 @@ pub use strategy::{
     baseline_points, best_measured, evaluate_points, simulate_point, study, thread_counts,
     DataPoint, EvalCache, Evaluated, Strategy, StrategyContext, StrategyOutcome, Study,
 };
-pub use sweep::{model_sweep, talg_min, within_fraction};
+pub use sweep::{model_sweep, model_sweep_with, talg_min, within_fraction};

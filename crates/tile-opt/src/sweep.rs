@@ -5,7 +5,7 @@
 use hhc_tiling::TileSizes;
 use rayon::prelude::*;
 use stencil_core::ProblemSize;
-use time_model::{predict, ModelParams, Prediction};
+use time_model::{predict, predict_with, Correction, ModelParams, Prediction};
 
 /// Evaluate `T_alg` for every candidate, in parallel.
 pub fn model_sweep(
@@ -17,6 +17,25 @@ pub fn model_sweep(
         .par_iter()
         .map(|t| (*t, predict(params, size, t)))
         .collect()
+}
+
+/// [`model_sweep`] under an optional calibration [`Correction`] — what
+/// the advisor ranks when a calibration store has enough evidence for
+/// the queried (device, stencil, dim) segment. `None` routes through
+/// the plain [`predict`] path and is bit-identical to [`model_sweep`].
+pub fn model_sweep_with(
+    params: &ModelParams,
+    size: &ProblemSize,
+    tiles: &[TileSizes],
+    corr: Option<&Correction>,
+) -> Vec<(TileSizes, Prediction)> {
+    match corr {
+        None => model_sweep(params, size, tiles),
+        Some(corr) => tiles
+            .par_iter()
+            .map(|t| (*t, predict_with(params, size, t, Some(corr))))
+            .collect(),
+    }
 }
 
 /// The predicted-optimal point `T_alg min` of a sweep.

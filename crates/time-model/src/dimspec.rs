@@ -26,7 +26,7 @@
 
 use crate::common;
 use crate::params::ModelParams;
-use crate::Prediction;
+use crate::{Correction, Prediction};
 use hhc_tiling::TileSizes;
 use stencil_core::{ProblemSize, StencilDim};
 
@@ -116,12 +116,38 @@ impl DimSpec {
 
     /// Full prediction — Eqns 6/17/30, generic over rank.
     pub fn predict(&self, p: &ModelParams, size: &ProblemSize, tiles: &TileSizes) -> Prediction {
+        self.predict_with(p, size, tiles, None)
+    }
+
+    /// [`predict`](DimSpec::predict) with an optional calibration
+    /// [`Correction`]. The `None` arm evaluates the original unscaled
+    /// expressions — no `× 1.0` sneaks into the uncalibrated path, so
+    /// its output is bit-identical to the pre-calibration model. The
+    /// `Some` arm rescales `m'` wholesale and the `2 C_iter Σ` product
+    /// of `c` (leaving `t_T τ_sync` to the memory factor); geometry
+    /// (`k`, `N_w`, `w`, `M_tile`) is never corrected.
+    pub fn predict_with(
+        &self,
+        p: &ModelParams,
+        size: &ProblemSize,
+        tiles: &TileSizes,
+        corr: Option<&Correction>,
+    ) -> Prediction {
         let nw = common::wavefronts(size.time, tiles.t_t);
         let w = common::wavefront_width(size.space[0], tiles.t_s[0], tiles.t_t);
         let mtile = self.mtile_words(tiles);
         let k = common::effective_k(p, w, common::hyperthreading(p, mtile));
-        let m = self.m_prime(p, tiles);
-        let c = self.compute_time(p, tiles);
+        let (m, c) = match corr {
+            None => (self.m_prime(p, tiles), self.compute_time(p, tiles)),
+            Some(corr) => (
+                corr.mem_scale * self.m_prime(p, tiles),
+                corr.citer_scale
+                    * (2.0
+                        * p.citer()
+                        * common::row_sum(p, tiles.t_s[0], tiles.t_t, self.inner(tiles)) as f64)
+                    + tiles.t_t as f64 * p.tau_sync(),
+            ),
+        };
         let unit = self.unit_time(m, c, k, self.subunits(size, tiles));
         let talg = nw as f64 * unit * common::grid_rounds(p, w, k) as f64 + nw as f64 * p.t_sync();
         Prediction {

@@ -67,6 +67,64 @@ impl Prediction {
     }
 }
 
+/// Multiplicative correction factors for the model's two measured time
+/// terms, fitted from observed (predicted, measured) pairs by the
+/// `calib` crate.
+///
+/// The model's per-tile time splits into a memory term
+/// `m' = (m_i + m_o)·L + 2 τ_sync` (Eqns 8/14/25) and a compute term
+/// `c = 2 C_iter Σ + t_T τ_sync` (Eqns 9/15/27). A correction rescales
+/// each term's *measured-parameter* contribution:
+///
+/// * `mem_scale` multiplies the whole of `m'` (both `L` and the
+///   barrier latency are transfer-path measurements that drift
+///   together);
+/// * `citer_scale` multiplies only the `2 C_iter Σ` product — the
+///   `t_T τ_sync` addend stays unscaled, because `τ_sync` is already
+///   covered by the memory-path factor and double-scaling it would let
+///   the two factors fight over the same evidence.
+///
+/// Structural quantities (`k`, `N_w`, `w`, `M_tile`) are never
+/// touched: calibration refines *time*, not geometry. A scaled tile
+/// can, however, legitimately flip [`Prediction::memory_bound`].
+///
+/// [`predict`] is exactly [`predict_with`] with `None`: when no
+/// correction is supplied the arithmetic is the pre-calibration
+/// expression, not a multiplication by `1.0` — uncorrected
+/// predictions stay bit-identical by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Correction {
+    /// Factor on the `2 C_iter Σ` compute product.
+    pub citer_scale: f64,
+    /// Factor on the memory term `m'`.
+    pub mem_scale: f64,
+}
+
+impl Correction {
+    /// The no-op correction. Note `predict_with(.., Some(&IDENTITY))`
+    /// still produces bit-identical output to `None` — multiplying by
+    /// exactly `1.0` is exact in IEEE-754 — but callers should pass
+    /// `None` when uncalibrated so the intent is visible.
+    pub const IDENTITY: Correction = Correction {
+        citer_scale: 1.0,
+        mem_scale: 1.0,
+    };
+
+    /// Whether both factors are exactly 1.0.
+    pub fn is_identity(&self) -> bool {
+        self.citer_scale == 1.0 && self.mem_scale == 1.0
+    }
+
+    /// A usable correction has finite, strictly positive factors —
+    /// anything else would reorder or destroy the Eqn-31 sweep.
+    pub fn is_valid(&self) -> bool {
+        self.citer_scale.is_finite()
+            && self.citer_scale > 0.0
+            && self.mem_scale.is_finite()
+            && self.mem_scale > 0.0
+    }
+}
+
 /// Evaluate `T_alg` for a stencil of dimensionality `dim` with measured
 /// parameters `p`, problem size `size`, and tile sizes `tiles`.
 ///
@@ -91,6 +149,19 @@ impl Prediction {
 /// ```
 pub fn predict(p: &ModelParams, size: &ProblemSize, tiles: &TileSizes) -> Prediction {
     DimSpec::of(size.dim).predict(p, size, tiles)
+}
+
+/// [`predict`] with an optional calibration [`Correction`] applied to
+/// the model's time terms (see [`Correction`] for exactly what is and
+/// is not rescaled). `predict_with(p, size, tiles, None)` is
+/// *definitionally* [`predict`] — same code path, no extra arithmetic.
+pub fn predict_with(
+    p: &ModelParams,
+    size: &ProblemSize,
+    tiles: &TileSizes,
+    corr: Option<&Correction>,
+) -> Prediction {
+    DimSpec::of(size.dim).predict_with(p, size, tiles, corr)
 }
 
 /// Modeled shared-memory footprint `M_tile` in words for any

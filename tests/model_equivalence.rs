@@ -9,7 +9,7 @@ use gpu_sim::{DeviceConfig, Workload};
 use hhc_tiling::TileSizes;
 use stencil_core::{ProblemSize, StencilDim, StencilKind};
 use tile_opt::{feasible_space, SpaceConfig};
-use time_model::{hex1d, hybrid2d, hybrid3d, ModelParams, Prediction};
+use time_model::{hex1d, hybrid2d, hybrid3d, Correction, ModelParams, Prediction};
 
 const SEED: u64 = 0x5EED;
 
@@ -107,6 +107,15 @@ fn generic_dimspec_is_bit_identical_to_legacy_oracles_across_paper_sweep() {
                         let legacy = legacy_predict(&params, size, t);
                         let ctx = format!("{} {kind:?} size={size:?} tiles={t:?}", device.name);
                         assert_bit_identical(&generic, &legacy, &ctx);
+                        // The calibration hook must be invisible when no
+                        // correction is loaded — both the `None` arm and
+                        // the explicit identity correction reproduce the
+                        // uncorrected prediction bit for bit.
+                        let uncorrected = time_model::predict_with(&params, size, t, None);
+                        assert_bit_identical(&uncorrected, &legacy, &ctx);
+                        let identity =
+                            time_model::predict_with(&params, size, t, Some(&Correction::IDENTITY));
+                        assert_bit_identical(&identity, &legacy, &ctx);
                         assert_eq!(
                             time_model::mtile_words(dim, t),
                             legacy_mtile_words(dim, t),
