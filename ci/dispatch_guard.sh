@@ -32,4 +32,31 @@ if [ -n "$offenders" ]; then
   exit 1
 fi
 
-echo "dispatch guard: OK (no per-dimension match arms outside crates/core, crates/time-model)"
+# Per-kind dispatch guard.
+#
+# After the descriptor refactor, stencil semantics (footprint, halo,
+# coefficients, FLOPs) derive from StencilDescriptor. `match` over
+# `StencilKind` — and per-kind `StencilKind::X =>` arms generally — are
+# allowed only inside crates/core, where the presets and their
+# descriptor elaboration live. Everywhere else, matching on the kind
+# enum means a layer is special-casing paper benchmarks instead of
+# consuming the descriptor surface, and a new zoo stencil would silently
+# take a different code path.
+kind_offenders=$(grep -rnE '(match[[:space:]].*StencilKind|StencilKind::[A-Z][A-Za-z0-9]*[[:space:]]*(\|[[:space:]]*StencilKind::[A-Z][A-Za-z0-9]*[[:space:]]*)*=>)' \
+  --include='*.rs' \
+  src tests examples crates shims 2>/dev/null \
+  | grep -vE '^crates/core/' || true)
+
+if [ -n "$kind_offenders" ]; then
+  echo "error: per-kind StencilKind dispatch outside crates/core:" >&2
+  echo >&2
+  echo "$kind_offenders" >&2
+  echo >&2
+  echo "Derive the behaviour from StencilDescriptor (footprint, radius," >&2
+  echo "coefficients, flops_per_point, fingerprint) so presets and zoo" >&2
+  echo "stencils share one code path." >&2
+  exit 1
+fi
+
+echo "dispatch guard: OK (no per-dimension match arms outside crates/core, crates/time-model;"
+echo "                    no per-kind StencilKind dispatch outside crates/core)"

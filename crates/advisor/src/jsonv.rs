@@ -56,6 +56,15 @@ pub fn as_u64(v: &Value, what: &str) -> Result<u64, String> {
     }
 }
 
+/// A (possibly negative) JSON integer.
+pub fn as_i64(v: &Value, what: &str) -> Result<i64, String> {
+    match v {
+        Value::Int(i) => Ok(*i),
+        Value::UInt(u) if *u <= i64::MAX as u64 => Ok(*u as i64),
+        other => Err(format!("{what} must be an integer, got {}", kind(other))),
+    }
+}
+
 /// Any JSON number, widened to `f64`.
 pub fn as_f64(v: &Value, what: &str) -> Result<f64, String> {
     match v {

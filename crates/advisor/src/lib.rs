@@ -57,12 +57,12 @@ use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use stencil_core::{init, StencilKind};
+use stencil_core::{init, StencilDescriptor};
 use tile_opt::{
-    feasible_space, model_sweep_with, run_candidates_until, simulate_point, within_fraction,
+    feasible_space, model_sweep_spec, run_candidates_until, simulate_point, within_fraction,
     DataPoint, SkipReason, SpaceConfig,
 };
-use time_model::{MeasuredParams, ModelParams};
+use time_model::{DimSpec, MeasuredParams, ModelParams};
 
 /// Tuning knobs of one advisor instance. Everything that can change an
 /// answer (micro-benchmark sampling, the enumerated space) is folded
@@ -136,9 +136,11 @@ pub struct Advisor {
     /// process lifetime and safe inside cache keys.
     calib_rev: Option<String>,
     /// Measured `(L, τ_sync, T_sync, Citer)` per (device fingerprint,
-    /// stencil): the micro-benchmarks are deterministic for a fixed
-    /// config, so one measurement serves every query against the pair.
-    measured: Mutex<HashMap<(u64, StencilKind), MeasuredParams>>,
+    /// stencil fingerprint): the micro-benchmarks are deterministic for
+    /// a fixed config, so one measurement serves every query against
+    /// the pair. Descriptor fingerprints collapse equivalent spellings
+    /// of the same stencil onto one measurement.
+    measured: Mutex<HashMap<(u64, u64), MeasuredParams>>,
 }
 
 impl Advisor {
@@ -170,7 +172,7 @@ impl Advisor {
         let mut key = format!(
             "v2|dev={:016x}|st={}|s={}x{}x{}|t={}|within={:016x}|top={}|val={}|mb={}x{}|space={:016x}|cal={}",
             cache::fnv64(dev.as_bytes()),
-            w.stencil.name(),
+            w.stencil.key_token(),
             w.size.space[0],
             w.size.space[1],
             w.size.space[2],
@@ -313,9 +315,10 @@ impl Advisor {
         if obs::active() {
             obs::counter("advisor.model_evals", 1);
         }
-        let params = self.model_params(&w.device, w.stencil);
+        let params = self.model_params(&w.device, &w.stencil);
         let tiles = feasible_space(w, &self.cfg.space);
         let rank = w.rank();
+        let dspec = DimSpec::for_stencil(&w.stencil);
         // Calibration: a correction fires only when the store has
         // enough evidence for this exact (device, stencil, dim)
         // segment; otherwise the sweep below is the plain model,
@@ -324,11 +327,11 @@ impl Advisor {
             .cfg
             .calib
             .as_ref()
-            .and_then(|c| c.correction(&w.device.name, w.stencil.name(), rank as u32));
+            .and_then(|c| c.correction(&w.device.name, &w.stencil.name, rank as u32));
         if corr.is_some() && obs::active() {
             obs::counter("calib.corrections_applied", 1);
         }
-        let sweep = model_sweep_with(&params, &w.size, &tiles, corr.as_ref());
+        let sweep = model_sweep_spec(dspec, &params, &w.size, &tiles, corr.as_ref());
         let within = within_fraction(&sweep, q.within);
         let candidates: Vec<Candidate> = within
             .iter()
@@ -364,14 +367,12 @@ impl Advisor {
                     // targets the raw prediction (corrections must not
                     // compound), and the attribution bit comes from the
                     // raw model's regime for the same reason.
-                    let raw = corr
-                        .is_some()
-                        .then(|| time_model::predict(&params, &w.size, t));
+                    let raw = corr.is_some().then(|| dspec.predict(&params, &w.size, t));
                     log.record(
                         &obs::accuracy::Pair {
                             source: "advisor".into(),
                             device: w.device.name.clone(),
-                            stencil: w.stencil.name().into(),
+                            stencil: w.stencil.name.clone(),
                             dim: rank as u32,
                             key: format!(
                                 "{}x{}x{}t{}|tt{}|ts{:?}",
@@ -445,7 +446,7 @@ impl Advisor {
         Advice {
             id: q.id.clone(),
             device: w.device.name.clone(),
-            stencil: w.stencil.name().to_string(),
+            stencil: w.stencil.name.clone(),
             size: w.size.space[..rank].to_vec(),
             time: w.size.time,
             feasible_points: tiles.len(),
@@ -464,16 +465,21 @@ impl Advisor {
 
     /// Measured model parameters for a (device, stencil) pair, memoized
     /// across queries.
-    fn model_params(&self, device: &DeviceConfig, kind: StencilKind) -> ModelParams {
+    fn model_params(&self, device: &DeviceConfig, stencil: &StencilDescriptor) -> ModelParams {
         let fp = cache::fnv64(
             serde_json::to_string(device)
                 .expect("device serializes")
                 .as_bytes(),
         );
         let mut memo = self.measured.lock();
-        let measured = memo.entry((fp, kind)).or_insert_with(|| {
+        let measured = memo.entry((fp, stencil.fingerprint())).or_insert_with(|| {
             let _span = obs::span("advisor.microbench", "advisor");
-            microbench::measured_params_sampled(device, kind, self.cfg.citer_samples, self.cfg.seed)
+            microbench::measured_params_sampled(
+                device,
+                stencil,
+                self.cfg.citer_samples,
+                self.cfg.seed,
+            )
         });
         // Fault injection (tests / CI calibration smoke): bias the
         // model's view of Citer while the memo keeps the true
@@ -490,7 +496,7 @@ impl Advisor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use stencil_core::ProblemSize;
+    use stencil_core::{ProblemSize, StencilKind};
 
     fn heat_query(id: &str) -> Query {
         Query {

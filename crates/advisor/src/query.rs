@@ -14,12 +14,15 @@
 //! false), and `timeout_ms` (per-query deadline; when it expires the
 //! answer degrades to the model-only ranking). Instead of a preset name,
 //! `device` may be an object with a `"preset"` base and per-field
-//! overrides of [`DeviceConfig`].
+//! overrides of [`DeviceConfig`], and `stencil` may be an inline
+//! [`StencilDescriptor`] object (see [`parse_stencil`]) — the zoo path,
+//! where a stencil the repo has never seen flows through the same
+//! model, optimizer, and executor as the paper's eight.
 
-use crate::jsonv::{as_bool, as_f64, as_map, as_seq, as_str, as_u64, get, kind};
+use crate::jsonv::{as_bool, as_f64, as_i64, as_map, as_seq, as_str, as_u64, get, kind};
 use gpu_sim::{DeviceConfig, Workload};
 use serde::Value;
-use stencil_core::{ProblemSize, StencilKind};
+use stencil_core::{Footprint, ProblemSize, StencilDescriptor, StencilDim};
 
 /// One parsed, validated advisory query.
 #[derive(Debug, Clone)]
@@ -73,10 +76,7 @@ impl Query {
             Some(v) => Some(as_str(v, "id")?.to_string()),
         };
         let device = parse_device(get(entries, "device").ok_or("missing field 'device'")?)?;
-        let stencil = parse_stencil(as_str(
-            get(entries, "stencil").ok_or("missing field 'stencil'")?,
-            "stencil",
-        )?)?;
+        let stencil = parse_stencil(get(entries, "stencil").ok_or("missing field 'stencil'")?)?;
         let size = parse_size(
             get(entries, "size").ok_or("missing field 'size'")?,
             get(entries, "time").ok_or("missing field 'time'")?,
@@ -192,17 +192,147 @@ fn apply_override(dev: &mut DeviceConfig, key: &str, v: &Value) -> Result<(), St
     Ok(())
 }
 
-fn parse_stencil(name: &str) -> Result<StencilKind, String> {
-    let wanted = name.to_ascii_lowercase();
-    StencilKind::ALL
-        .into_iter()
-        .find(|k| k.name().to_ascii_lowercase() == wanted)
-        .ok_or_else(|| {
+/// Resolve the `stencil` field: a named descriptor (the eight paper
+/// presets plus the zoo, case-insensitive), or an inline descriptor
+/// object:
+///
+/// ```json
+/// {"name": "mystencil", "dim": 2, "radius": 2, "footprint": "star",
+///  "coefficients": [0.8, 0.05, 0.0125, 0.05, 0.0125, 0.05, 0.0125, 0.05, 0.0125],
+///  "constant": 0.0, "extra_flops": 0}
+/// ```
+///
+/// `footprint` is `"star"` (default) or `"box"`; a custom footprint
+/// instead supplies `"offsets": [[dx, …], …]` — one offset per
+/// coefficient, in coefficient order. Validation (rank/radius bounds,
+/// coefficient-count vs footprint, duplicate offsets) happens in
+/// [`StencilDescriptor::new`], so inline descriptors are held to the
+/// same rules as built-ins.
+pub fn parse_stencil(v: &Value) -> Result<StencilDescriptor, String> {
+    match v {
+        Value::Str(name) => StencilDescriptor::from_name(name).ok_or_else(|| {
             format!(
-                "unknown stencil '{name}' (known: {})",
-                StencilKind::ALL.map(|k| k.name()).join(", ")
+                "unknown stencil '{name}' (known: {}); or pass an inline descriptor object",
+                StencilDescriptor::named()
+                    .iter()
+                    .map(|d| d.name.clone())
+                    .collect::<Vec<_>>()
+                    .join(", ")
             )
-        })
+        }),
+        Value::Map(entries) => parse_inline_stencil(entries),
+        other => Err(format!(
+            "stencil must be a name or a descriptor object, got {}",
+            kind(other)
+        )),
+    }
+}
+
+fn parse_inline_stencil(entries: &[(String, Value)]) -> Result<StencilDescriptor, String> {
+    for (k, _) in entries {
+        if !matches!(
+            k.as_str(),
+            "name"
+                | "dim"
+                | "radius"
+                | "footprint"
+                | "offsets"
+                | "coefficients"
+                | "constant"
+                | "extra_flops"
+        ) {
+            return Err(format!("unknown stencil field '{k}'"));
+        }
+    }
+    let name = as_str(
+        get(entries, "name").ok_or("missing stencil field 'name'")?,
+        "stencil.name",
+    )?
+    .to_string();
+    let dim = match as_u64(
+        get(entries, "dim").ok_or("missing stencil field 'dim'")?,
+        "stencil.dim",
+    )? {
+        1 => StencilDim::D1,
+        2 => StencilDim::D2,
+        3 => StencilDim::D3,
+        d => return Err(format!("stencil.dim must be 1, 2, or 3, got {d}")),
+    };
+    let radius = match get(entries, "radius") {
+        None => 1,
+        Some(v) => as_i64(v, "stencil.radius")?,
+    };
+    let footprint = match (get(entries, "footprint"), get(entries, "offsets")) {
+        (Some(_), Some(_)) => {
+            return Err("stencil cannot have both 'footprint' and 'offsets'".into());
+        }
+        (None, None) => Footprint::Star,
+        (Some(f), None) => match as_str(f, "stencil.footprint")? {
+            "star" => Footprint::Star,
+            "box" => Footprint::Box,
+            other => {
+                return Err(format!(
+                    "stencil.footprint must be 'star' or 'box' (use 'offsets' for a custom \
+                     footprint), got '{other}'"
+                ));
+            }
+        },
+        (None, Some(offs)) => {
+            let rank = dim.rank();
+            let mut out = Vec::new();
+            for (i, o) in as_seq(offs, "stencil.offsets")?.iter().enumerate() {
+                let coords = as_seq(o, "stencil offset")?;
+                if coords.len() != rank {
+                    return Err(format!(
+                        "stencil offset #{i} has {} coordinates; a {rank}D stencil needs {rank}",
+                        coords.len()
+                    ));
+                }
+                let mut point = [0i64; 3];
+                for (slot, c) in point.iter_mut().zip(coords) {
+                    *slot = as_i64(c, "stencil offset coordinate")?;
+                }
+                out.push(point);
+            }
+            Footprint::Custom(out)
+        }
+    };
+    let coeffs_v = get(entries, "coefficients").ok_or("missing stencil field 'coefficients'")?;
+    let mut coefficients = Vec::new();
+    for c in as_seq(coeffs_v, "stencil.coefficients")? {
+        let x = as_f64(c, "stencil coefficient")?;
+        if !x.is_finite() {
+            return Err("stencil coefficients must be finite".into());
+        }
+        coefficients.push(x as f32);
+    }
+    let constant = match get(entries, "constant") {
+        None => 0.0,
+        Some(v) => {
+            let x = as_f64(v, "stencil.constant")?;
+            if !x.is_finite() {
+                return Err("stencil.constant must be finite".into());
+            }
+            x as f32
+        }
+    };
+    let extra_flops = match get(entries, "extra_flops") {
+        None => 0,
+        Some(v) => {
+            let n = as_u64(v, "stencil.extra_flops")?;
+            u32::try_from(n).map_err(|_| format!("stencil.extra_flops too large: {n}"))?
+        }
+    };
+    StencilDescriptor::new(
+        name,
+        dim,
+        radius,
+        footprint,
+        coefficients,
+        constant,
+        extra_flops,
+    )
+    .map_err(|e| format!("invalid stencil descriptor: {e}"))
 }
 
 fn parse_size(size: &Value, time: &Value) -> Result<ProblemSize, String> {
@@ -234,7 +364,10 @@ mod tests {
         .unwrap();
         assert_eq!(q.id, None);
         assert_eq!(q.workload.device.name, "GTX 980");
-        assert_eq!(q.workload.stencil, StencilKind::Heat2D);
+        assert_eq!(
+            q.workload.stencil.preset_kind(),
+            Some(stencil_core::StencilKind::Heat2D)
+        );
         assert_eq!(q.workload.size, ProblemSize::new_2d(512, 512, 64));
         assert!(q.workload.validate().is_ok());
         assert_eq!(q.within, 0.10);
@@ -275,5 +408,102 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.contains("unknown device preset"), "{err}");
+    }
+
+    #[test]
+    fn zoo_stencils_resolve_by_name() {
+        let q = Query::parse_line(
+            r#"{"device": "gtx980", "stencil": "lap4_2d", "size": [512, 512], "time": 64}"#,
+        )
+        .unwrap();
+        assert_eq!(q.workload.stencil, StencilDescriptor::lap4_2d());
+        assert_eq!(q.workload.stencil.preset_kind(), None);
+    }
+
+    #[test]
+    fn inline_descriptor_parses_and_matches_builtin() {
+        // An inline spelling of the built-in Lap4_2D must collapse onto
+        // the same fingerprint (one micro-benchmark, one cache segment).
+        // `{:?}` on f32 prints the shortest round-tripping literal, so
+        // JSON's f64 reading casts back to the identical bits.
+        let zoo = StencilDescriptor::lap4_2d();
+        let coeffs = zoo
+            .coefficients
+            .iter()
+            .map(|c| format!("{c:?}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let line = format!(
+            r#"{{"device": "gtx980",
+                "stencil": {{"name": "Lap4_2D", "dim": 2, "radius": 2, "footprint": "star",
+                            "coefficients": [{coeffs}]}},
+                "size": [512, 512], "time": 64}}"#
+        );
+        let q = Query::parse_line(&line).unwrap();
+        assert_eq!(q.workload.stencil.dim, StencilDim::D2);
+        assert_eq!(q.workload.stencil.radius, 2);
+        assert_eq!(q.workload.stencil.fingerprint(), zoo.fingerprint());
+    }
+
+    #[test]
+    fn inline_descriptor_with_custom_offsets() {
+        let q = Query::parse_line(
+            r#"{"device": "gtx980",
+                "stencil": {"name": "slash3", "dim": 2, "radius": 1,
+                            "offsets": [[0, 0], [-1, -1], [1, 1]],
+                            "coefficients": [0.5, 0.25, 0.25]},
+                "size": [256, 256], "time": 16}"#,
+        )
+        .unwrap();
+        assert_eq!(q.workload.stencil.coefficients.len(), 3);
+        assert!(q.workload.validate().is_ok());
+    }
+
+    #[test]
+    fn malformed_inline_descriptors_are_rejected() {
+        // Coefficient count must match the footprint.
+        let err = Query::parse_line(
+            r#"{"device": "gtx980",
+                "stencil": {"name": "bad", "dim": 2, "radius": 2,
+                            "coefficients": [1.0, 2.0]},
+                "size": [512, 512], "time": 64}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("invalid stencil descriptor"), "{err}");
+        // Radius outside the supported range.
+        let err = Query::parse_line(
+            r#"{"device": "gtx980",
+                "stencil": {"name": "bad", "dim": 1, "radius": 99,
+                            "coefficients": [1.0]},
+                "size": [512], "time": 64}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("radius"), "{err}");
+        // Rank mismatch between descriptor and problem size.
+        let err = Query::parse_line(
+            r#"{"device": "gtx980",
+                "stencil": {"name": "ok1d", "dim": 1, "radius": 1,
+                            "coefficients": [0.4, 0.3, 0.3]},
+                "size": [512, 512], "time": 64}"#,
+        )
+        .unwrap_err();
+        assert!(!err.is_empty());
+        // Unknown fields and bad footprints name themselves.
+        let err = Query::parse_line(
+            r#"{"device": "gtx980",
+                "stencil": {"name": "bad", "dim": 2, "radius": 1, "shape": "star",
+                            "coefficients": [1.0]},
+                "size": [512, 512], "time": 64}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("unknown stencil field 'shape'"), "{err}");
+        let err = Query::parse_line(
+            r#"{"device": "gtx980",
+                "stencil": {"name": "bad", "dim": 2, "footprint": "hexagon",
+                            "coefficients": [1.0]},
+                "size": [512, 512], "time": 64}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("'star' or 'box'"), "{err}");
     }
 }

@@ -258,7 +258,7 @@ impl AnswerStore {
 /// keys and replayed keys match by construction.
 pub fn grid_queries(
     devices: &[gpu_sim::DeviceConfig],
-    stencils: &[stencil_core::StencilKind],
+    stencils: &[stencil_core::StencilDescriptor],
     sizes: &[usize],
     times: &[usize],
     within: f64,
@@ -266,14 +266,14 @@ pub fn grid_queries(
 ) -> Result<Vec<Query>, String> {
     let mut queries = Vec::new();
     for device in devices {
-        for &kind in stencils {
-            let rank = kind.spec().dim.rank();
+        for stencil in stencils {
+            let rank = stencil.dim.rank();
             for &s in sizes {
                 for &t in times {
                     let size = stencil_core::ProblemSize::from_extents(&vec![s; rank], t)?;
                     queries.push(Query {
                         id: None,
-                        workload: gpu_sim::Workload::new(device.clone(), kind, size)?,
+                        workload: gpu_sim::Workload::new(device.clone(), stencil.clone(), size)?,
                         within,
                         top_n,
                         validate: false,
@@ -306,7 +306,7 @@ mod tests {
         let advisor = Advisor::new(AdvisorConfig::default());
         let queries = grid_queries(
             &[DeviceConfig::gtx980()],
-            &[StencilKind::Heat2D],
+            &[StencilKind::Heat2D.into()],
             &[96, 128],
             &[8],
             0.10,

@@ -97,6 +97,54 @@ fn malformed_lines_get_error_responses_and_the_connection_survives() {
 }
 
 #[test]
+fn malformed_inline_descriptors_error_without_dropping_the_connection() {
+    let _g = lock_obs();
+    let rec = Arc::new(obs::MemoryRecorder::new(obs::Level::Quiet));
+    obs::install(rec.clone());
+    let server = start_server(Advisor::with_defaults(), ServerConfig::default());
+    // An inline descriptor with the wrong coefficient count, then one
+    // with an unknown footprint, then a well-formed inline star —
+    // proving the connection survives descriptor validation failures.
+    let bad_coeffs = "{\"id\": \"bc\", \"device\": \"GTX 980\", \"stencil\": \
+         {\"name\": \"broken\", \"dim\": 2, \"coefficients\": [0.25, 0.25]}, \
+         \"size\": [96, 96], \"time\": 8}";
+    let bad_footprint = "{\"id\": \"bf\", \"device\": \"GTX 980\", \"stencil\": \
+         {\"name\": \"hex\", \"dim\": 2, \"footprint\": \"hexagon\", \
+          \"coefficients\": [0.2, 0.2, 0.2, 0.2, 0.2]}, \
+         \"size\": [96, 96], \"time\": 8}";
+    let good = "{\"id\": \"inl\", \"device\": \"GTX 980\", \"stencil\": \
+         {\"name\": \"mean5\", \"dim\": 2, \
+          \"coefficients\": [0.2, 0.2, 0.2, 0.2, 0.2]}, \
+         \"size\": [96, 96], \"time\": 8}";
+    let lines = [
+        bad_coeffs.to_string(),
+        bad_footprint.to_string(),
+        good.to_string(),
+    ];
+    let responses = roundtrip(&server, &lines);
+    server.shutdown();
+    obs::uninstall();
+
+    assert_eq!(responses.len(), 3, "one response per line");
+    assert!(responses[0].starts_with("{\"error\":"), "{}", responses[0]);
+    assert!(
+        responses[0].contains("invalid stencil descriptor"),
+        "{}",
+        responses[0]
+    );
+    assert!(responses[1].starts_with("{\"error\":"), "{}", responses[1]);
+    assert!(responses[1].contains("'star' or 'box'"), "{}", responses[1]);
+    assert!(
+        responses[2].contains("\"id\":\"inl\"") && responses[2].contains("\"candidates\":"),
+        "valid inline descriptor answered after the errors: {}",
+        responses[2]
+    );
+    let snap = rec.snapshot();
+    assert_eq!(snap.counter("advisor.query_errors"), 2);
+    assert_eq!(snap.counter("advisor.queries"), 1);
+}
+
+#[test]
 fn coalesced_duplicates_are_byte_identical_and_computed_once() {
     let _g = lock_obs();
     let rec = Arc::new(obs::MemoryRecorder::new(obs::Level::Quiet));

@@ -65,7 +65,7 @@ fn bench_strategy_memoization(c: &mut Criterion) {
     let device = DeviceConfig::gtx980();
     let kind = StencilKind::Jacobi2D;
     let size = ProblemSize::new_2d(512, 512, 128);
-    let measured = measured_params_sampled(&device, kind, 8, 3);
+    let measured = measured_params_sampled(&device, &kind.into(), 8, 3);
     let params = ModelParams::from_measured(&device, &measured);
     let space = SpaceConfig::default();
     let workload = gpu_sim::Workload::new(device, kind, size).expect("Jacobi2D is 2-dimensional");

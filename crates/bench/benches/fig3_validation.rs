@@ -13,7 +13,7 @@ fn bench(c: &mut Criterion) {
     let device = lab.devices[0].clone();
     let size = ProblemSize::new_2d(1024, 1024, 256);
     let space = SpaceConfig::default();
-    let r = validate_one(&lab, &device, StencilKind::Jacobi2D, &size, &space);
+    let r = validate_one(&lab, &device, &StencilKind::Jacobi2D.into(), &size, &space);
     println!(
         "[fig3] {} {} {}: RMSE(all) = {:.1}%, top-20%: n = {}, RMSE = {:.1}%",
         r.device,
@@ -27,7 +27,7 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("validate_850_points_jacobi2d_1024", |b| {
         b.iter(|| {
-            black_box(validate_one(&lab, &device, StencilKind::Jacobi2D, &size, &space).rmse_top20)
+            black_box(validate_one(&lab, &device, &StencilKind::Jacobi2D.into(), &size, &space).rmse_top20)
         })
     });
     g.finish();

@@ -24,7 +24,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             black_box(microbench::measure_citer(
                 &device,
-                StencilKind::Jacobi2D,
+                &StencilKind::Jacobi2D.into(),
                 8,
                 1,
             ))

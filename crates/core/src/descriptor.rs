@@ -1,0 +1,715 @@
+//! Descriptor-driven stencil definitions: the open "stencil zoo".
+//!
+//! [`StencilKind`] is a closed enum of the paper's benchmarks. A
+//! [`StencilDescriptor`] is the open generalization — rank, radius,
+//! star-vs-box footprint, coefficient table, FLOP accounting — from
+//! which every layer of the workspace derives: the reference executor
+//! and row kernels (via [`StencilDescriptor::spec`]), the halo
+//! geometry in `time_model::DimSpec` (via [`StencilDescriptor::radius`]),
+//! the `Citer` microbench RNG streams (via
+//! [`StencilDescriptor::rng_stream`]), the tile-size feasible space,
+//! and advisor queries (preset names or inline descriptors, keyed by
+//! [`StencilDescriptor::fingerprint`]).
+//!
+//! The four paper benchmarks (plus the expository Jacobi variants) are
+//! *presets*: descriptors whose elaborated [`StencilSpec`] is
+//! bit-identical to the legacy `StencilKind::spec()` table, which is
+//! kept as the oracle and pinned by tests here and in
+//! `tests/descriptor_equivalence.rs`.
+
+use crate::stencil::{Neighbor, StencilDim, StencilKind, StencilSpec};
+
+/// Maximum supported stencil radius (matches the order bound of
+/// [`StencilSpec::convolution`]: hexagon slopes scale with the order).
+pub const MAX_RADIUS: i64 = 8;
+
+/// The shape of a stencil neighborhood, before coefficients.
+///
+/// Enumeration order is part of the contract: coefficients pair with
+/// offsets positionally, and floating-point accumulation follows the
+/// same order, so two descriptors with the same points in different
+/// orders are *different* stencils bit-wise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Footprint {
+    /// Axis-aligned cross: the center point, then for each space
+    /// dimension `d` (in order) and each distance `k = 1..=radius`,
+    /// the offsets `−k` and `+k` along `d`. `1 + 2·radius·rank`
+    /// points. At radius 1 this is exactly the neighbor order of the
+    /// paper's 5-point/7-point benchmarks.
+    Star,
+    /// Full hypercube `[−radius, +radius]^rank`, enumerated row-major
+    /// (first dimension slowest). `(2·radius+1)^rank` points,
+    /// including the center.
+    Box,
+    /// Explicit offset list, used verbatim. Unused dimensions must be
+    /// zero and the maximum Chebyshev norm must equal the descriptor's
+    /// radius. This is how presets with historical neighbor orders
+    /// (Jacobi1D, Gradient2D) reproduce the legacy tables bit-for-bit.
+    Custom(Vec<[i64; 3]>),
+}
+
+impl Footprint {
+    /// Short tag for keys and error messages.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Footprint::Star => "star",
+            Footprint::Box => "box",
+            Footprint::Custom(_) => "custom",
+        }
+    }
+
+    /// The offsets of this footprint for a given rank and radius, in
+    /// enumeration order.
+    pub fn offsets(&self, dim: StencilDim, radius: i64) -> Vec<[i64; 3]> {
+        match self {
+            Footprint::Star => {
+                let mut out = Vec::with_capacity(1 + 2 * radius as usize * dim.rank());
+                out.push([0, 0, 0]);
+                for d in 0..dim.rank() {
+                    for k in 1..=radius {
+                        for s in [-k, k] {
+                            let mut off = [0i64; 3];
+                            off[d] = s;
+                            out.push(off);
+                        }
+                    }
+                }
+                out
+            }
+            Footprint::Box => {
+                let r = |d: usize| if d < dim.rank() { radius } else { 0 };
+                let mut out = Vec::new();
+                for o1 in -r(0)..=r(0) {
+                    for o2 in -r(1)..=r(1) {
+                        for o3 in -r(2)..=r(2) {
+                            out.push([o1, o2, o3]);
+                        }
+                    }
+                }
+                out
+            }
+            Footprint::Custom(offsets) => offsets.clone(),
+        }
+    }
+
+    /// Number of points the footprint enumerates.
+    pub fn points(&self, dim: StencilDim, radius: i64) -> usize {
+        match self {
+            Footprint::Star => 1 + 2 * radius as usize * dim.rank(),
+            Footprint::Box => (2 * radius as usize + 1).pow(dim.rank() as u32),
+            Footprint::Custom(offsets) => offsets.len(),
+        }
+    }
+}
+
+/// An open, data-driven stencil definition — rank, radius, footprint,
+/// coefficient table, and FLOP accounting — from which the elaborated
+/// [`StencilSpec`] (and everything downstream of it) derives.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StencilDescriptor {
+    /// Display name (paper-table style, e.g. `"Heat2D"`, `"Lap4_2D"`).
+    pub name: String,
+    /// Number of space dimensions.
+    pub dim: StencilDim,
+    /// Halo radius: maximum Chebyshev distance of any neighbor. Drives
+    /// hexagon slopes, plan halos, and the model's halo geometry.
+    pub radius: i64,
+    /// Neighborhood shape; pairs positionally with `coefficients`.
+    pub footprint: Footprint,
+    /// One coefficient per footprint point, in enumeration order.
+    pub coefficients: Vec<f32>,
+    /// The additive constant `c` of the paper's Eqn (1).
+    pub constant: f32,
+    /// Extra per-point FLOPs beyond the convolution (scaling, gradient
+    /// magnitude, …) — feeds `Citer` microbenches and GFLOPS numbers.
+    pub extra_flops: u32,
+    /// `Some(kind)` when this descriptor *is* a paper benchmark: the
+    /// elaborated spec carries the kind tag and the microbench RNG
+    /// stream matches the legacy per-kind seed exactly.
+    preset: Option<StencilKind>,
+}
+
+impl StencilDescriptor {
+    /// Build and validate a custom (non-preset) descriptor.
+    pub fn new(
+        name: impl Into<String>,
+        dim: StencilDim,
+        radius: i64,
+        footprint: Footprint,
+        coefficients: Vec<f32>,
+        constant: f32,
+        extra_flops: u32,
+    ) -> Result<Self, String> {
+        let d = StencilDescriptor {
+            name: name.into(),
+            dim,
+            radius,
+            footprint,
+            coefficients,
+            constant,
+            extra_flops,
+            preset: None,
+        };
+        d.validate()?;
+        Ok(d)
+    }
+
+    /// Check the descriptor's internal consistency. Every constructor
+    /// runs this; advisor inline descriptors surface the message as an
+    /// `{"error": …}` line.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("descriptor name must be non-empty".into());
+        }
+        if !(1..=MAX_RADIUS).contains(&self.radius) {
+            return Err(format!(
+                "radius {} outside supported range 1..={MAX_RADIUS}",
+                self.radius
+            ));
+        }
+        let want = self.footprint.points(self.dim, self.radius);
+        if want == 0 {
+            return Err("footprint must enumerate at least one point".into());
+        }
+        if self.coefficients.len() != want {
+            return Err(format!(
+                "coefficient table has {} entries but the {} footprint (rank {}, radius {}) has {} points",
+                self.coefficients.len(),
+                self.footprint.tag(),
+                self.dim.rank(),
+                self.radius,
+                want
+            ));
+        }
+        if let Footprint::Custom(offsets) = &self.footprint {
+            let mut max_cheb = 0i64;
+            for off in offsets {
+                for (d, &o) in off.iter().enumerate() {
+                    if d >= self.dim.rank() && o != 0 {
+                        return Err(format!(
+                            "offset {off:?} references unused dimension {}",
+                            d + 1
+                        ));
+                    }
+                    max_cheb = max_cheb.max(o.abs());
+                }
+            }
+            if max_cheb != self.radius {
+                return Err(format!(
+                    "declared radius {} but custom offsets have Chebyshev radius {max_cheb}",
+                    self.radius
+                ));
+            }
+            for (i, a) in offsets.iter().enumerate() {
+                if offsets[..i].contains(a) {
+                    return Err(format!("duplicate offset {a:?} in custom footprint"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The paper-benchmark kind this descriptor is a preset of, if any.
+    #[inline]
+    pub fn preset_kind(&self) -> Option<StencilKind> {
+        self.preset
+    }
+
+    /// Elaborate into the [`StencilSpec`] every executor, plan, and
+    /// model consumes. For presets this is bit-identical (including the
+    /// `kind` tag and neighbor order) to the legacy
+    /// `StencilKind::spec()` table.
+    pub fn spec(&self) -> StencilSpec {
+        let offsets = self.footprint.offsets(self.dim, self.radius);
+        debug_assert_eq!(offsets.len(), self.coefficients.len());
+        let neighbors: Vec<Neighbor> = offsets
+            .into_iter()
+            .zip(self.coefficients.iter())
+            .map(|(off, &w)| Neighbor::new(off, w))
+            .collect();
+        let mut spec =
+            StencilSpec::convolution(self.dim, neighbors, self.constant, self.extra_flops)
+                .expect("validated descriptor elaborates");
+        if let Some(kind) = self.preset {
+            spec.kind = kind;
+        }
+        spec
+    }
+
+    /// Sum of the coefficient table (averaging stencils sum to 1).
+    pub fn weight_sum(&self) -> f32 {
+        self.coefficients.iter().sum()
+    }
+
+    /// Number of points read per output point.
+    pub fn reads_per_point(&self) -> usize {
+        self.coefficients.len()
+    }
+
+    /// FLOPs per point — same accounting as [`StencilSpec::flops_per_point`].
+    pub fn flops_per_point(&self) -> u64 {
+        let n = self.coefficients.len() as u64;
+        n + n.saturating_sub(1) + u64::from(self.constant != 0.0) + u64::from(self.extra_flops)
+    }
+
+    /// Stable 64-bit content fingerprint (FNV-1a over the canonical
+    /// encoding). Two descriptors fingerprint equal iff they elaborate
+    /// to the same stencil — the advisor's canonical cache keys and the
+    /// precompute store key inline descriptors by this.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf29ce484222325;
+        const PRIME: u64 = 0x100000001b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(&[self.dim.rank() as u8]);
+        eat(&self.radius.to_le_bytes());
+        // Fingerprint the *elaborated* neighborhood so Star/Box/Custom
+        // spellings of the same stencil collapse to one key.
+        for off in self.footprint.offsets(self.dim, self.radius) {
+            for o in off {
+                eat(&o.to_le_bytes());
+            }
+        }
+        for c in &self.coefficients {
+            eat(&c.to_bits().to_le_bytes());
+        }
+        eat(&self.constant.to_bits().to_le_bytes());
+        eat(&self.extra_flops.to_le_bytes());
+        h
+    }
+
+    /// The microbench RNG stream selector. Presets return the legacy
+    /// `kind as u64` discriminant so `measure_citer`'s
+    /// `seed ^ stream` reproduces the exact pre-descriptor random
+    /// sequence (Table 3/4 values pinned by tests); custom stencils get
+    /// a content-derived stream with the high bit set so it can never
+    /// collide with a preset discriminant.
+    pub fn rng_stream(&self) -> u64 {
+        match self.preset {
+            Some(kind) => kind as u64,
+            None => self.fingerprint() | (1 << 63),
+        }
+    }
+
+    /// A canonical-key token: the preset name for presets (stable across
+    /// processes and pre-descriptor cache entries), or
+    /// `custom-<fingerprint-hex>` for inline descriptors.
+    pub fn key_token(&self) -> String {
+        match self.preset {
+            Some(kind) => kind.name().to_string(),
+            None => format!("custom-{:016x}", self.fingerprint()),
+        }
+    }
+
+    // ---- presets -------------------------------------------------------
+
+    /// The descriptor preset for a paper benchmark. `spec()` of the
+    /// result is bit-identical to `kind.spec()`.
+    pub fn preset(kind: StencilKind) -> StencilDescriptor {
+        let alpha = 0.125f32; // diffusion coefficient for the Heat stencils
+        let (dim, radius, footprint, coefficients, extra) = match kind {
+            // Jacobi1D's historical neighbor order is −1, 0, +1 (not
+            // center-first), so it is a Custom footprint.
+            StencilKind::Jacobi1D => (
+                StencilDim::D1,
+                1,
+                Footprint::Custom(vec![[-1, 0, 0], [0, 0, 0], [1, 0, 0]]),
+                vec![1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0],
+                0,
+            ),
+            StencilKind::Jacobi2D => (StencilDim::D2, 1, Footprint::Star, vec![0.2; 5], 0),
+            StencilKind::Heat2D => (
+                StencilDim::D2,
+                1,
+                Footprint::Star,
+                vec![1.0 - 4.0 * alpha, alpha, alpha, alpha, alpha],
+                2,
+            ),
+            StencilKind::Laplacian2D => (
+                StencilDim::D2,
+                1,
+                Footprint::Star,
+                vec![0.5, 0.125, 0.125, 0.125, 0.125],
+                0,
+            ),
+            // Gradient2D's 9-point box enumerates center, axes, then
+            // diagonals — not row-major — so it is a Custom footprint.
+            StencilKind::Gradient2D => (
+                StencilDim::D2,
+                1,
+                Footprint::Custom(vec![
+                    [0, 0, 0],
+                    [-1, 0, 0],
+                    [1, 0, 0],
+                    [0, -1, 0],
+                    [0, 1, 0],
+                    [-1, -1, 0],
+                    [-1, 1, 0],
+                    [1, -1, 0],
+                    [1, 1, 0],
+                ]),
+                vec![0.2, 0.15, 0.15, 0.15, 0.15, 0.05, 0.05, 0.05, 0.05],
+                8,
+            ),
+            StencilKind::Jacobi3D => (StencilDim::D3, 1, Footprint::Star, vec![1.0 / 7.0; 7], 0),
+            StencilKind::Heat3D => (
+                StencilDim::D3,
+                1,
+                Footprint::Star,
+                vec![1.0 - 6.0 * alpha, alpha, alpha, alpha, alpha, alpha, alpha],
+                2,
+            ),
+            StencilKind::Laplacian3D => (
+                StencilDim::D3,
+                1,
+                Footprint::Star,
+                vec![0.4, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1],
+                0,
+            ),
+        };
+        let d = StencilDescriptor {
+            name: kind.name().to_string(),
+            dim,
+            radius,
+            footprint,
+            coefficients,
+            constant: 0.0,
+            extra_flops: extra,
+            preset: Some(kind),
+        };
+        debug_assert!(d.validate().is_ok());
+        d
+    }
+
+    /// Radius-2 star 2D: a 4th-order-accurate Laplacian smoothing step
+    /// (central finite differences, smoothing weight `α = 0.05`). The
+    /// first non-paper citizen of the stencil zoo — its larger halo is
+    /// where hexagonal-tiling redundancy genuinely differs from Jacobi.
+    pub fn lap4_2d() -> StencilDescriptor {
+        let alpha = 0.05f32;
+        let ax1 = alpha * (4.0 / 3.0); // ±1 axial taps
+        let ax2 = alpha * (-1.0 / 12.0); // ±2 axial taps
+        let d = StencilDescriptor {
+            name: "Lap4_2D".to_string(),
+            dim: StencilDim::D2,
+            radius: 2,
+            footprint: Footprint::Star,
+            // Star order: center, x ∓1, x ∓2, y ∓1, y ∓2.
+            coefficients: vec![1.0 - 5.0 * alpha, ax1, ax1, ax2, ax2, ax1, ax1, ax2, ax2],
+            constant: 0.0,
+            extra_flops: 0,
+            preset: None,
+        };
+        debug_assert!(d.validate().is_ok());
+        d
+    }
+
+    /// 7-point 3D upwind-style advection-diffusion step with
+    /// *asymmetric* coefficients (flow-direction bias): the second zoo
+    /// stencil, exercising non-symmetric tables through the whole
+    /// pipeline.
+    pub fn advect3d() -> StencilDescriptor {
+        let d = StencilDescriptor {
+            name: "Advect3D".to_string(),
+            dim: StencilDim::D3,
+            radius: 1,
+            footprint: Footprint::Star,
+            // Star order: center, −x, +x, −y, +y, −z, +z.
+            coefficients: vec![0.4, 0.15, 0.05, 0.12, 0.08, 0.14, 0.06],
+            constant: 0.0,
+            extra_flops: 2,
+            preset: None,
+        };
+        debug_assert!(d.validate().is_ok());
+        d
+    }
+
+    /// The non-paper zoo stencils with committed Figure-3/Figure-6
+    /// artifacts.
+    pub fn zoo() -> Vec<StencilDescriptor> {
+        vec![Self::lap4_2d(), Self::advect3d()]
+    }
+
+    /// Look up a descriptor by name: the eight paper presets plus the
+    /// zoo stencils, case-insensitively.
+    pub fn from_name(name: &str) -> Option<StencilDescriptor> {
+        for kind in StencilKind::ALL {
+            if kind.name().eq_ignore_ascii_case(name) {
+                return Some(Self::preset(kind));
+            }
+        }
+        Self::zoo()
+            .into_iter()
+            .find(|d| d.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Every named descriptor: presets in `StencilKind::ALL` order,
+    /// then the zoo.
+    pub fn named() -> Vec<StencilDescriptor> {
+        let mut v: Vec<_> = StencilKind::ALL.into_iter().map(Self::preset).collect();
+        v.extend(Self::zoo());
+        v
+    }
+}
+
+impl From<StencilKind> for StencilDescriptor {
+    fn from(kind: StencilKind) -> Self {
+        StencilDescriptor::preset(kind)
+    }
+}
+
+impl std::fmt::Display for StencilDescriptor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The tentpole bit-identity pin: every preset elaborates to the
+    /// exact legacy spec — kind tag, neighbor order, weight bits.
+    #[test]
+    fn presets_match_legacy_specs_bitwise() {
+        for kind in StencilKind::ALL {
+            let legacy = kind.spec();
+            let spec = StencilDescriptor::preset(kind).spec();
+            assert_eq!(spec.kind, legacy.kind, "{}", kind.name());
+            assert_eq!(spec.dim, legacy.dim, "{}", kind.name());
+            assert_eq!(spec.constant.to_bits(), legacy.constant.to_bits());
+            assert_eq!(spec.extra_flops, legacy.extra_flops, "{}", kind.name());
+            assert_eq!(
+                spec.neighbors.len(),
+                legacy.neighbors.len(),
+                "{}",
+                kind.name()
+            );
+            for (a, b) in spec.neighbors.iter().zip(&legacy.neighbors) {
+                assert_eq!(a.offset, b.offset, "{}", kind.name());
+                assert_eq!(a.weight.to_bits(), b.weight.to_bits(), "{}", kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn preset_metadata_matches_legacy() {
+        for kind in StencilKind::ALL {
+            let d = StencilDescriptor::preset(kind);
+            assert_eq!(d.name, kind.name());
+            assert_eq!(d.preset_kind(), Some(kind));
+            assert_eq!(d.rng_stream(), kind as u64);
+            assert_eq!(d.key_token(), kind.name());
+            assert_eq!(d.radius, 1);
+            assert_eq!(d.spec().order(), 1);
+            assert_eq!(d.flops_per_point(), kind.spec().flops_per_point());
+            assert_eq!(d.reads_per_point(), kind.spec().reads_per_point());
+        }
+    }
+
+    #[test]
+    fn star_enumeration_order_is_the_paper_order() {
+        let offs = Footprint::Star.offsets(StencilDim::D2, 1);
+        assert_eq!(
+            offs,
+            vec![[0, 0, 0], [-1, 0, 0], [1, 0, 0], [0, -1, 0], [0, 1, 0]]
+        );
+        let offs3 = Footprint::Star.offsets(StencilDim::D3, 1);
+        assert_eq!(offs3.len(), 7);
+        assert_eq!(offs3[5], [0, 0, -1]);
+        // Radius 2: distances group per dimension, nearest first.
+        let r2 = Footprint::Star.offsets(StencilDim::D2, 2);
+        assert_eq!(
+            r2,
+            vec![
+                [0, 0, 0],
+                [-1, 0, 0],
+                [1, 0, 0],
+                [-2, 0, 0],
+                [2, 0, 0],
+                [0, -1, 0],
+                [0, 1, 0],
+                [0, -2, 0],
+                [0, 2, 0],
+            ]
+        );
+    }
+
+    #[test]
+    fn box_enumeration_is_row_major() {
+        let offs = Footprint::Box.offsets(StencilDim::D2, 1);
+        assert_eq!(offs.len(), 9);
+        assert_eq!(offs[0], [-1, -1, 0]);
+        assert_eq!(offs[4], [0, 0, 0]);
+        assert_eq!(offs[8], [1, 1, 0]);
+        assert_eq!(Footprint::Box.points(StencilDim::D3, 1), 27);
+        assert_eq!(Footprint::Box.points(StencilDim::D1, 2), 5);
+    }
+
+    #[test]
+    fn zoo_stencils_validate_and_average() {
+        let lap4 = StencilDescriptor::lap4_2d();
+        assert_eq!(lap4.radius, 2);
+        assert_eq!(lap4.spec().order(), 2);
+        assert_eq!(lap4.reads_per_point(), 9);
+        assert!((lap4.weight_sum() - 1.0).abs() < 1e-6);
+        assert!(lap4.preset_kind().is_none());
+        assert!(lap4.rng_stream() >= (1 << 63));
+
+        let adv = StencilDescriptor::advect3d();
+        assert_eq!(adv.radius, 1);
+        assert_eq!(adv.spec().order(), 1);
+        assert_eq!(adv.reads_per_point(), 7);
+        assert!((adv.weight_sum() - 1.0).abs() < 1e-6);
+        // Asymmetric: the ∓x weights differ.
+        assert_ne!(adv.coefficients[1], adv.coefficients[2]);
+    }
+
+    #[test]
+    fn validation_catches_mismatches() {
+        // Coefficient-table length mismatch.
+        assert!(StencilDescriptor::new(
+            "bad",
+            StencilDim::D2,
+            1,
+            Footprint::Star,
+            vec![1.0; 4],
+            0.0,
+            0
+        )
+        .is_err());
+        // Radius out of range.
+        assert!(StencilDescriptor::new(
+            "bad",
+            StencilDim::D1,
+            0,
+            Footprint::Star,
+            vec![1.0],
+            0.0,
+            0
+        )
+        .is_err());
+        assert!(StencilDescriptor::new(
+            "bad",
+            StencilDim::D1,
+            9,
+            Footprint::Star,
+            vec![1.0; 19],
+            0.0,
+            0
+        )
+        .is_err());
+        // Custom offsets referencing unused dimensions.
+        assert!(StencilDescriptor::new(
+            "bad",
+            StencilDim::D1,
+            1,
+            Footprint::Custom(vec![[0, 1, 0]]),
+            vec![1.0],
+            0.0,
+            0
+        )
+        .is_err());
+        // Custom radius not matching the declared radius.
+        assert!(StencilDescriptor::new(
+            "bad",
+            StencilDim::D1,
+            2,
+            Footprint::Custom(vec![[-1, 0, 0], [1, 0, 0]]),
+            vec![0.5, 0.5],
+            0.0,
+            0
+        )
+        .is_err());
+        // Duplicate custom offsets.
+        assert!(StencilDescriptor::new(
+            "bad",
+            StencilDim::D1,
+            1,
+            Footprint::Custom(vec![[1, 0, 0], [1, 0, 0]]),
+            vec![0.5, 0.5],
+            0.0,
+            0
+        )
+        .is_err());
+        // A good one for contrast.
+        assert!(StencilDescriptor::new(
+            "ok",
+            StencilDim::D2,
+            2,
+            Footprint::Star,
+            vec![0.2; 9],
+            0.0,
+            0
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_content_not_spelling() {
+        // Same stencil spelled Star vs Custom fingerprints identically…
+        let star = StencilDescriptor::new(
+            "a",
+            StencilDim::D2,
+            1,
+            Footprint::Star,
+            vec![0.2; 5],
+            0.0,
+            0,
+        )
+        .unwrap();
+        let custom = StencilDescriptor::new(
+            "b",
+            StencilDim::D2,
+            1,
+            Footprint::Custom(vec![
+                [0, 0, 0],
+                [-1, 0, 0],
+                [1, 0, 0],
+                [0, -1, 0],
+                [0, 1, 0],
+            ]),
+            vec![0.2; 5],
+            0.0,
+            0,
+        )
+        .unwrap();
+        assert_eq!(star.fingerprint(), custom.fingerprint());
+        // …while any content change moves it.
+        let mut other = star.clone();
+        other.coefficients[0] = 0.25;
+        assert_ne!(star.fingerprint(), other.fingerprint());
+        let mut extra = star.clone();
+        extra.extra_flops = 1;
+        assert_ne!(star.fingerprint(), extra.fingerprint());
+    }
+
+    #[test]
+    fn from_name_resolves_presets_and_zoo() {
+        assert_eq!(
+            StencilDescriptor::from_name("heat2d")
+                .unwrap()
+                .preset_kind(),
+            Some(StencilKind::Heat2D)
+        );
+        assert_eq!(StencilDescriptor::from_name("Lap4_2D").unwrap().radius, 2);
+        assert_eq!(
+            StencilDescriptor::from_name("advect3d").unwrap().dim,
+            StencilDim::D3
+        );
+        assert!(StencilDescriptor::from_name("NoSuch").is_none());
+        assert_eq!(StencilDescriptor::named().len(), 10);
+    }
+
+    #[test]
+    fn from_kind_is_the_preset() {
+        let d: StencilDescriptor = StencilKind::Gradient2D.into();
+        assert_eq!(d.preset_kind(), Some(StencilKind::Gradient2D));
+        assert_eq!(d.spec(), StencilKind::Gradient2D.spec());
+    }
+}

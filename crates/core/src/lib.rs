@@ -17,6 +17,12 @@
 //!   A_t(s) = ( Σ_{a ∈ N} w_a · A_{t-1}(s + a) ) + c
 //!   ```
 //!
+//! * [`StencilDescriptor`] — the open "stencil zoo" generalization: rank,
+//!   radius, star-vs-box footprint, coefficient table. The paper benchmarks
+//!   are presets (bit-identical to the legacy `StencilKind::spec()` table);
+//!   arbitrary descriptors flow through the same executors, model, and
+//!   advisor.
+//!
 //! * [`Grid`] — a dense rectangular array of `f32` cells with Dirichlet
 //!   (constant) boundary handling.
 //!
@@ -35,6 +41,7 @@
 //!   (`hhc_default`, `candidates`, `empirical`) live here so dimension
 //!   dispatch exists in exactly one place.
 
+pub mod descriptor;
 pub mod grid;
 pub mod init;
 pub mod ispace;
@@ -46,6 +53,7 @@ pub mod stencil;
 pub mod tiling;
 pub mod workload;
 
+pub use descriptor::{Footprint, StencilDescriptor};
 pub use grid::Grid;
 pub use ispace::IterPoint;
 pub use problem::ProblemSize;

@@ -10,13 +10,20 @@
 //!      core → time-model → tile-opt → gpu-sim/exec → advisor/experiments
 //! ```
 //!
+//! Since the stencil zoo opened, the stencil member is a full
+//! [`StencilDescriptor`] rather than the closed [`StencilKind`] enum;
+//! `Workload::new` still accepts a bare kind (via
+//! `From<StencilKind> for StencilDescriptor`), which yields the
+//! bit-identical preset descriptor.
+//!
 //! The type is generic over the device description `D` because
 //! `stencil-core` sits below the device registry (`gpu-sim` owns
 //! [`DeviceConfig`](https://docs.rs/) and re-exports the concrete
 //! `Workload<DeviceConfig>` alias the rest of the workspace uses).
 
+use crate::descriptor::StencilDescriptor;
 use crate::problem::ProblemSize;
-use crate::stencil::{StencilDim, StencilKind, StencilSpec};
+use crate::stencil::{StencilDim, StencilSpec};
 use crate::tiling::{LaunchConfig, TileSizes};
 
 /// One fully-described unit of work: which machine, which stencil, at
@@ -25,8 +32,8 @@ use crate::tiling::{LaunchConfig, TileSizes};
 pub struct Workload<D> {
     /// The device the workload targets.
     pub device: D,
-    /// The stencil benchmark.
-    pub stencil: StencilKind,
+    /// The stencil descriptor (a paper preset or any zoo member).
+    pub stencil: StencilDescriptor,
     /// Problem size (space extents + time steps).
     pub size: ProblemSize,
     /// Tile-size parameters the HHC compiler would be invoked with.
@@ -37,14 +44,22 @@ pub struct Workload<D> {
 
 impl<D> Workload<D> {
     /// Describe a workload with the stock HHC tile/launch configuration;
-    /// refine with [`Self::with_tiles`] / [`Self::with_launch`]. Errors
-    /// when the stencil's dimensionality does not match the size's.
-    pub fn new(device: D, stencil: StencilKind, size: ProblemSize) -> Result<Self, String> {
-        let dim = stencil.spec().dim;
+    /// refine with [`Self::with_tiles`] / [`Self::with_launch`]. Accepts
+    /// either a [`StencilKind`](crate::StencilKind) (elaborated to its
+    /// preset descriptor) or a [`StencilDescriptor`]. Errors when the
+    /// stencil's dimensionality does not match the size's.
+    pub fn new(
+        device: D,
+        stencil: impl Into<StencilDescriptor>,
+        size: ProblemSize,
+    ) -> Result<Self, String> {
+        let stencil = stencil.into();
+        stencil.validate()?;
+        let dim = stencil.dim;
         if dim != size.dim {
             return Err(format!(
                 "stencil {} is {}-dimensional but size {} is {}-dimensional",
-                stencil.name(),
+                stencil.name,
                 dim.rank(),
                 size.label(),
                 size.dim.rank()
@@ -85,6 +100,12 @@ impl<D> Workload<D> {
         self.size.dim.rank()
     }
 
+    /// The stencil's halo radius (1 for all paper presets).
+    #[inline]
+    pub fn radius(&self) -> i64 {
+        self.stencil.radius
+    }
+
     /// Elaborate the stencil specification (neighborhood, weights, op
     /// counts).
     pub fn spec(&self) -> StencilSpec {
@@ -93,11 +114,12 @@ impl<D> Workload<D> {
 
     /// Validate dimensional consistency of every component.
     pub fn validate(&self) -> Result<(), String> {
-        let dim = self.stencil.spec().dim;
+        self.stencil.validate()?;
+        let dim = self.stencil.dim;
         if dim != self.size.dim {
             return Err(format!(
                 "stencil {} is {}-dimensional but size {} is {}-dimensional",
-                self.stencil.name(),
+                self.stencil.name,
                 dim.rank(),
                 self.size.label(),
                 self.size.dim.rank()
@@ -125,7 +147,7 @@ impl<D> Workload<D> {
     pub fn label(&self) -> String {
         format!(
             "{}_{}_{}",
-            self.stencil.name(),
+            self.stencil.name,
             self.size.label(),
             self.tiles.label(self.dim())
         )
@@ -135,6 +157,7 @@ impl<D> Workload<D> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::stencil::StencilKind;
 
     #[test]
     fn new_defaults_to_hhc_configuration() {
@@ -142,6 +165,20 @@ mod tests {
         assert_eq!(w.tiles, TileSizes::hhc_default(StencilDim::D2));
         assert_eq!(w.launch, LaunchConfig::hhc_default(StencilDim::D2));
         assert_eq!(w.rank(), 2);
+        assert_eq!(w.radius(), 1);
+        assert!(w.validate().is_ok());
+    }
+
+    #[test]
+    fn new_accepts_descriptors() {
+        let w = Workload::new(
+            (),
+            StencilDescriptor::lap4_2d(),
+            ProblemSize::new_2d(512, 512, 64),
+        )
+        .unwrap();
+        assert_eq!(w.radius(), 2);
+        assert_eq!(w.spec().order(), 2);
         assert!(w.validate().is_ok());
     }
 
@@ -184,6 +221,6 @@ mod tests {
         let w = Workload::new(1u32, StencilKind::Heat2D, ProblemSize::new_2d(64, 64, 8)).unwrap();
         let w2 = w.map_device(|d| d as u64 + 1);
         assert_eq!(w2.device, 2u64);
-        assert_eq!(w2.stencil, StencilKind::Heat2D);
+        assert_eq!(w2.stencil.preset_kind(), Some(StencilKind::Heat2D));
     }
 }

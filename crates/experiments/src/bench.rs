@@ -436,7 +436,7 @@ fn bench_memo(lab: &Lab) -> MemoBenchRow {
     let device = &lab.devices[0];
     let kind = StencilKind::Jacobi2D;
     let size = ProblemSize::new_2d(1024, 1024, 256);
-    let params = lab.model_params(device, kind);
+    let params = lab.model_params(device, &kind.into());
     let space = SpaceConfig::default();
     let workload = gpu_sim::Workload::new(device.clone(), kind, size)
         .expect("benchmark and size dimensionalities agree");

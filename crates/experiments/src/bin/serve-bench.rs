@@ -43,7 +43,7 @@ use gpu_sim::DeviceConfig;
 use std::net::TcpListener;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use stencil_core::StencilKind;
+use stencil_core::StencilDescriptor;
 
 struct Args {
     queries: usize,
@@ -52,7 +52,7 @@ struct Args {
     zipf_s: f64,
     seed: u64,
     devices: Vec<DeviceConfig>,
-    stencils: Vec<StencilKind>,
+    stencils: Vec<StencilDescriptor>,
     sizes: Vec<usize>,
     times: Vec<usize>,
     samples: usize,
@@ -265,10 +265,10 @@ fn main() {
     });
     let mut universe_lines = Vec::with_capacity(universe_queries.len());
     for device in &args.devices {
-        for &kind in &args.stencils {
+        for stencil in &args.stencils {
             for &s in &args.sizes {
                 for &t in &args.times {
-                    universe_lines.push(query_jsonl(device, kind, s, t));
+                    universe_lines.push(query_jsonl(device, stencil, s, t));
                 }
             }
         }
@@ -475,7 +475,10 @@ fn main() {
 fn cold_baseline(cfg: &advisor::AdvisorConfig, universe: &[advisor::Query]) -> f64 {
     let cold = advisor::Advisor::new(cfg.clone());
     let devices: Vec<DeviceConfig> = universe.iter().map(|q| q.workload.device.clone()).collect();
-    let stencils: Vec<StencilKind> = universe.iter().map(|q| q.workload.stencil).collect();
+    let stencils: Vec<StencilDescriptor> = universe
+        .iter()
+        .map(|q| q.workload.stencil.clone())
+        .collect();
     let sizes: Vec<usize> = universe.iter().map(|q| q.workload.size.space[0]).collect();
     prewarm_microbench(&cold, &devices, &stencils, &sizes);
     let t0 = Instant::now();
@@ -491,7 +494,7 @@ fn cold_baseline(cfg: &advisor::AdvisorConfig, universe: &[advisor::Query]) -> f
 fn prewarm_microbench(
     advisor: &advisor::Advisor,
     devices: &[DeviceConfig],
-    stencils: &[StencilKind],
+    stencils: &[StencilDescriptor],
     sizes: &[usize],
 ) {
     let mut warm_size = 56;
@@ -499,10 +502,10 @@ fn prewarm_microbench(
         warm_size += 8;
     }
     for device in devices {
-        for &kind in stencils {
+        for stencil in stencils {
             let Ok(queries) = advisor::grid_queries(
                 std::slice::from_ref(device),
-                &[kind],
+                std::slice::from_ref(stencil),
                 &[warm_size],
                 &[4],
                 0.10,

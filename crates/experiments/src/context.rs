@@ -5,7 +5,7 @@ use gpu_sim::DeviceConfig;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use stencil_core::{ProblemSize, StencilDim, StencilKind};
+use stencil_core::{ProblemSize, StencilDescriptor, StencilDim};
 use time_model::{MeasuredParams, ModelParams};
 
 /// Which problem-size grids to run.
@@ -117,7 +117,7 @@ pub struct Lab {
     pub devices: Vec<DeviceConfig>,
     /// Experiment scale.
     pub scale: ExperimentScale,
-    cache: Mutex<HashMap<(String, StencilKind), MeasuredParams>>,
+    cache: Mutex<HashMap<(String, u64), MeasuredParams>>,
 }
 
 impl Lab {
@@ -131,15 +131,16 @@ impl Lab {
     }
 
     /// Measured parameters for a (device, stencil) pair, micro-benchmarked
-    /// on first use.
-    pub fn measured(&self, device: &DeviceConfig, kind: StencilKind) -> MeasuredParams {
-        let key = (device.name.clone(), kind);
+    /// on first use. Keyed by the descriptor fingerprint, so equivalent
+    /// spellings of one stencil share a single measurement.
+    pub fn measured(&self, device: &DeviceConfig, stencil: &StencilDescriptor) -> MeasuredParams {
+        let key = (device.name.clone(), stencil.fingerprint());
         if let Some(m) = self.cache.lock().get(&key) {
             return *m;
         }
         let m = microbench::measured_params_sampled(
             device,
-            kind,
+            stencil,
             self.scale.citer_samples(),
             crate::SEED,
         );
@@ -148,8 +149,8 @@ impl Lab {
     }
 
     /// Full model parameters for a (device, stencil) pair.
-    pub fn model_params(&self, device: &DeviceConfig, kind: StencilKind) -> ModelParams {
-        ModelParams::from_measured(device, &self.measured(device, kind))
+    pub fn model_params(&self, device: &DeviceConfig, stencil: &StencilDescriptor) -> ModelParams {
+        ModelParams::from_measured(device, &self.measured(device, stencil))
     }
 }
 
@@ -181,8 +182,9 @@ mod tests {
     fn measured_params_are_cached_and_deterministic() {
         let lab = Lab::new(ExperimentScale::Smoke);
         let d = &lab.devices[0];
-        let a = lab.measured(d, StencilKind::Jacobi2D);
-        let b = lab.measured(d, StencilKind::Jacobi2D);
+        let j2 = StencilDescriptor::from(stencil_core::StencilKind::Jacobi2D);
+        let a = lab.measured(d, &j2);
+        let b = lab.measured(d, &j2);
         assert_eq!(a, b);
         assert!(a.citer > 0.0 && a.l_word > 0.0);
     }

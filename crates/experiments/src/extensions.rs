@@ -20,7 +20,7 @@ use crate::rmse;
 use gpu_sim::{simulate, DeviceConfig, SimWorkload, Workload};
 use hhc_tiling::{LaunchConfig, SpaceBlock, TileSizes, WavefrontSchedule};
 use serde::{Deserialize, Serialize};
-use stencil_core::{reference, StencilKind};
+use stencil_core::{reference, StencilDescriptor, StencilKind};
 use tile_opt::strategy::{study, Strategy, StrategyContext};
 use tile_opt::{
     baseline_points, coordinate_descent, evaluate_points, feasible_space, model_sweep,
@@ -56,7 +56,7 @@ pub fn model_variant_ablation(lab: &Lab) -> Vec<VariantRow> {
             (StencilKind::Gradient2D, lab.scale.sizes_2d()[0]),
             (StencilKind::Heat3D, lab.scale.sizes_3d()[0]),
         ] {
-            let params = lab.model_params(device, kind);
+            let params = lab.model_params(device, &StencilDescriptor::preset(kind));
             let workload = Workload::new(device.clone(), kind, size)
                 .expect("benchmark and size dimensionalities agree");
             let ctx = StrategyContext::new(&workload, &params, &space);
@@ -117,7 +117,7 @@ pub fn solver_comparison(lab: &Lab) -> Vec<SolverRow> {
             (StencilKind::Heat2D, *lab.scale.sizes_2d().last().unwrap()),
             (StencilKind::Heat3D, lab.scale.sizes_3d()[0]),
         ] {
-            let params = lab.model_params(device, kind);
+            let params = lab.model_params(device, &StencilDescriptor::preset(kind));
             let workload = Workload::new(device.clone(), kind, size)
                 .expect("benchmark and size dimensionalities agree");
             let space = feasible_space(&workload, &cfg);
@@ -204,7 +204,7 @@ pub fn time_tiling_comparison(lab: &Lab) -> Vec<TimeTilingRow> {
             let (naive_time, naive_mb) = naive.expect("some naive config launches");
 
             // Best HHC schedule: the paper's Within-10 % selection.
-            let params = lab.model_params(device, kind);
+            let params = lab.model_params(device, &StencilDescriptor::preset(kind));
             let workload = Workload::new(device.clone(), kind, size)
                 .expect("benchmark and size dimensionalities agree");
             let ctx = StrategyContext::new(&workload, &params, &space);
@@ -282,8 +282,12 @@ pub fn machine_effect_ablation(lab: &Lab) -> Vec<EffectRow> {
     for (name, device) in variants {
         // Re-measure the model parameters on the modified machine — the
         // methodology is part of what is being ablated.
-        let measured =
-            microbench::measured_params_sampled(&device, kind, lab.scale.citer_samples(), 0x5EED);
+        let measured = microbench::measured_params_sampled(
+            &device,
+            &StencilDescriptor::preset(kind),
+            lab.scale.citer_samples(),
+            0x5EED,
+        );
         let params = time_model::ModelParams::from_measured(&device, &measured);
         let workload = Workload::new(device.clone(), kind, size)
             .expect("benchmark and size dimensionalities agree");

@@ -5,7 +5,7 @@ use crate::rmse;
 use gpu_sim::{DeviceConfig, Workload};
 use hhc_tiling::TileSizes;
 use serde::{Deserialize, Serialize};
-use stencil_core::{ProblemSize, StencilDim, StencilKind};
+use stencil_core::{ProblemSize, StencilDescriptor, StencilDim, StencilKind};
 use tile_opt::strategy::{study, DataPoint, Strategy, StrategyContext, Study};
 use tile_opt::{baseline_points, evaluate_points, Evaluated, SpaceConfig};
 
@@ -42,28 +42,28 @@ pub struct ValidationResult {
 pub fn validate_one_full(
     lab: &Lab,
     device: &DeviceConfig,
-    kind: StencilKind,
+    stencil: &StencilDescriptor,
     size: &ProblemSize,
     space: &SpaceConfig,
 ) -> (ValidationResult, Vec<Evaluated>) {
-    let params = lab.model_params(device, kind);
-    let workload = Workload::new(device.clone(), kind, *size)
+    let params = lab.model_params(device, stencil);
+    let workload = Workload::new(device.clone(), stencil.clone(), *size)
         .expect("benchmark and size dimensionalities agree");
     let ctx = StrategyContext::new(&workload, &params, space);
     let points = baseline_points(device, workload.dim(), space);
     let evals = evaluate_points(&ctx, &points);
-    (summarize_validation(device, kind, size, &evals), evals)
+    (summarize_validation(device, stencil, size, &evals), evals)
 }
 
 /// Run the Figure 3 validation for one (device, benchmark, size).
 pub fn validate_one(
     lab: &Lab,
     device: &DeviceConfig,
-    kind: StencilKind,
+    stencil: &StencilDescriptor,
     size: &ProblemSize,
     space: &SpaceConfig,
 ) -> ValidationResult {
-    validate_one_full(lab, device, kind, size, space).0
+    validate_one_full(lab, device, stencil, size, space).0
 }
 
 /// The paper's §5.3 aggregation: pool the 850 points of *every* problem
@@ -89,7 +89,7 @@ pub struct PooledValidation {
 /// Pool evaluations by the paper's GFLOPS criterion and compute RMSEs.
 pub fn pool_validation(
     device: &DeviceConfig,
-    kind: StencilKind,
+    stencil: &StencilDescriptor,
     evals: &[Evaluated],
 ) -> PooledValidation {
     let all_pairs = rmse::pairs(evals);
@@ -106,7 +106,7 @@ pub fn pool_validation(
     let top_pairs = rmse::pairs(&top);
     PooledValidation {
         device: device.name.clone(),
-        benchmark: kind.name().to_string(),
+        benchmark: stencil.name.clone(),
         points: all_pairs.len(),
         rmse_all: rmse::relative_rmse(&all_pairs),
         top_points: top_pairs.len(),
@@ -117,7 +117,7 @@ pub fn pool_validation(
 /// Compute the RMSE summary from evaluated baseline points.
 pub fn summarize_validation(
     device: &DeviceConfig,
-    kind: StencilKind,
+    stencil: &StencilDescriptor,
     size: &ProblemSize,
     evals: &[Evaluated],
 ) -> ValidationResult {
@@ -126,7 +126,7 @@ pub fn summarize_validation(
     let top_pairs = rmse::pairs(&top);
     ValidationResult {
         device: device.name.clone(),
-        benchmark: kind.name().to_string(),
+        benchmark: stencil.name.clone(),
         size: size.label(),
         points: evals.len(),
         measured_points: all_pairs.len(),
@@ -141,22 +141,35 @@ pub fn summarize_validation(
 /// requested dimensionalities. Returns per-size results plus the
 /// paper's pooled per-(benchmark, platform) aggregation.
 pub fn figure3(lab: &Lab, dims: &[StencilDim]) -> (Vec<ValidationResult>, Vec<PooledValidation>) {
+    let mut stencils = Vec::new();
+    for &dim in dims {
+        for &kind in StencilKind::benchmarks_for(dim) {
+            stencils.push(StencilDescriptor::preset(kind));
+        }
+    }
+    figure3_for(lab, &stencils)
+}
+
+/// The Figure-3 machinery over an arbitrary descriptor set — the zoo
+/// path (`experiments zoo`) runs non-paper stencils through exactly
+/// this pipeline.
+pub fn figure3_for(
+    lab: &Lab,
+    stencils: &[StencilDescriptor],
+) -> (Vec<ValidationResult>, Vec<PooledValidation>) {
     let space = SpaceConfig::default();
     let mut out = Vec::new();
     let mut pooled = Vec::new();
     for device in &lab.devices {
-        for &dim in dims {
-            let kinds = StencilKind::benchmarks_for(dim);
-            let sizes = lab.scale.sizes(dim);
-            for &kind in kinds {
-                let mut all = Vec::new();
-                for size in &sizes {
-                    let (r, evals) = validate_one_full(lab, device, kind, size, &space);
-                    out.push(r);
-                    all.extend(evals);
-                }
-                pooled.push(pool_validation(device, kind, &all));
+        for stencil in stencils {
+            let sizes = lab.scale.sizes(stencil.dim);
+            let mut all = Vec::new();
+            for size in &sizes {
+                let (r, evals) = validate_one_full(lab, device, stencil, size, &space);
+                out.push(r);
+                all.extend(evals);
             }
+            pooled.push(pool_validation(device, stencil, &all));
         }
     }
     (out, pooled)
@@ -191,14 +204,14 @@ pub struct SurfaceResult {
 /// Regenerate Figure 4.
 pub fn figure4(lab: &Lab) -> SurfaceResult {
     let device = &lab.devices[0]; // GTX 980
-    let kind = StencilKind::Heat2D;
+    let stencil = StencilDescriptor::preset(StencilKind::Heat2D);
     let size = lab
         .scale
         .sizes_2d()
         .first()
         .copied()
         .unwrap_or_else(|| ProblemSize::new_2d(4096, 4096, 1024));
-    let params = lab.model_params(device, kind);
+    let params = lab.model_params(device, &stencil);
     let t_s1 = 8usize;
     let mut cells = Vec::new();
     let mut min_cell: Option<SurfaceCell> = None;
@@ -249,11 +262,11 @@ pub struct Fig5Result {
 /// Regenerate Figure 5.
 pub fn figure5(lab: &Lab) -> Fig5Result {
     let device = &lab.devices[0]; // GTX 980
-    let kind = StencilKind::Gradient2D;
+    let stencil = StencilDescriptor::preset(StencilKind::Gradient2D);
     let size = lab.scale.fig5_size();
-    let params = lab.model_params(device, kind);
+    let params = lab.model_params(device, &stencil);
     let space = SpaceConfig::default();
-    let workload = Workload::new(device.clone(), kind, size)
+    let workload = Workload::new(device.clone(), stencil, size)
         .expect("benchmark and size dimensionalities agree");
     let ctx = StrategyContext::new(&workload, &params, &space);
     let st = study(&ctx, false);
@@ -327,19 +340,18 @@ pub struct Fig6Detail {
 /// Regenerate Figure 6 for the 2D benchmarks (the paper's figure), with
 /// optional exhaustive search.
 pub fn figure6(lab: &Lab, exhaustive: bool) -> (Vec<Fig6Row>, Vec<Fig6Detail>) {
-    figure6_for(
-        lab,
-        &StencilKind::BENCH_2D,
-        &lab.scale.sizes_2d(),
-        exhaustive,
-    )
+    let stencils: Vec<StencilDescriptor> = StencilKind::BENCH_2D
+        .into_iter()
+        .map(StencilDescriptor::preset)
+        .collect();
+    figure6_for(lab, &stencils, &lab.scale.sizes_2d(), exhaustive)
 }
 
 /// Figure 6 machinery over an arbitrary benchmark/size set (used for the
 /// 3D extension experiments).
 pub fn figure6_for(
     lab: &Lab,
-    kinds: &[StencilKind],
+    stencils: &[StencilDescriptor],
     sizes: &[ProblemSize],
     exhaustive: bool,
 ) -> (Vec<Fig6Row>, Vec<Fig6Detail>) {
@@ -347,19 +359,19 @@ pub fn figure6_for(
     let mut rows = Vec::new();
     let mut details = Vec::new();
     for device in &lab.devices {
-        for &kind in kinds {
-            let params = lab.model_params(device, kind);
+        for stencil in stencils {
+            let params = lab.model_params(device, stencil);
             let mut sums: Vec<(Strategy, f64, usize)> = Vec::new();
             let mut impr_baseline = Vec::new();
             let mut impr_hhc = Vec::new();
             for size in sizes {
-                let workload = Workload::new(device.clone(), kind, *size)
+                let workload = Workload::new(device.clone(), stencil.clone(), *size)
                     .expect("benchmark and size dimensionalities agree");
                 let ctx = StrategyContext::new(&workload, &params, &space);
                 let st: Study = study(&ctx, exhaustive);
                 let mut detail = Fig6Detail {
                     device: device.name.clone(),
-                    benchmark: kind.name().to_string(),
+                    benchmark: stencil.name.clone(),
                     size: size.label(),
                     outcomes: Vec::new(),
                 };
@@ -397,7 +409,7 @@ pub fn figure6_for(
             }
             rows.push(Fig6Row {
                 device: device.name.clone(),
-                benchmark: kind.name().to_string(),
+                benchmark: stencil.name.clone(),
                 sizes: sizes.len(),
                 gflops: sums
                     .iter()
@@ -437,7 +449,7 @@ mod tests {
         let r = validate_one(
             &lab,
             &device,
-            StencilKind::Jacobi2D,
+            &StencilDescriptor::preset(StencilKind::Jacobi2D),
             &size,
             &SpaceConfig::default(),
         );

@@ -64,6 +64,7 @@ struct Args {
     fig4: bool,
     fig5: bool,
     fig6: bool,
+    zoo: bool,
     scale: ExperimentScale,
     dims: Vec<StencilDim>,
     exhaustive: bool,
@@ -91,6 +92,7 @@ fn parse_args() -> Result<Args, String> {
         fig4: false,
         fig5: false,
         fig6: false,
+        zoo: false,
         scale: ExperimentScale::Paper,
         dims: vec![StencilDim::D2, StencilDim::D3],
         exhaustive: false,
@@ -141,6 +143,10 @@ fn parse_args() -> Result<Args, String> {
             }
             "--fig6" | "--figure6" => {
                 args.fig6 = true;
+                any = true;
+            }
+            "--zoo" => {
+                args.zoo = true;
                 any = true;
             }
             "--exhaustive" => args.exhaustive = true,
@@ -236,6 +242,9 @@ fn print_help() {
            --fig4                Talg surface for Heat2D (Figure 4)\n\
            --fig5                Gradient2D candidate scatter (Figure 5)\n\
            --fig6                strategy GFLOPS comparison (Figure 6)\n\
+           --zoo                 run the non-paper zoo stencils (radius-2 star, asymmetric\n\
+                                 3D advection) through the Figure 3 + Figure 6 pipelines;\n\
+                                 exits nonzero if any within-10% candidate set is empty\n\
            --scale paper|reduced|smoke   problem-size grids (default: paper)\n\
            --dims 1d|2d|3d|all|all+1d  dimensionalities for --fig3 (default: all)\n\
            --exhaustive          add the Exhaustive strategy to --fig6\n\
@@ -541,7 +550,7 @@ fn print_serve_help() {
 struct PrecomputeArgs {
     out: String,
     devices: Vec<DeviceConfig>,
-    stencils: Vec<StencilKind>,
+    stencils: Vec<stencil_core::StencilDescriptor>,
     sizes: Vec<usize>,
     times: Vec<usize>,
     within: f64,
@@ -1458,6 +1467,106 @@ fn main() {
         results
             .write_json(&format!("figure6_details_{scale}"), &details)
             .expect("write fig6 details");
+    }
+
+    if args.zoo {
+        let _phase = obs::span("phase.zoo", "driver");
+        println!(
+            "\n=== Stencil zoo: non-paper descriptors through the full pipeline (scale: {scale}) ==="
+        );
+        let zoo = stencil_core::StencilDescriptor::zoo();
+        for s in &zoo {
+            println!(
+                "  {:12} rank={} radius={} points={} flops/pt={}",
+                s.name,
+                s.dim.rank(),
+                s.radius,
+                s.footprint.points(s.dim, s.radius),
+                s.flops_per_point()
+            );
+        }
+
+        // Figure-3-style validation: the 850-point baseline sweep,
+        // RMSE bands, and the paper's pooled aggregation — on stencils
+        // the paper never ran.
+        let (rows, pooled) = figures::figure3_for(&lab, &zoo);
+        for p in &pooled {
+            println!(
+                "  fig3 {:10} {:12}  points={:5}  RMSE(all)={:6.1}%  top20%: n={:4}  RMSE={:5.1}%",
+                p.device,
+                p.benchmark,
+                p.points,
+                pct(p.rmse_all),
+                p.top_points,
+                pct(p.rmse_top20)
+            );
+        }
+        results
+            .write_json(&format!("figure3_zoo_{scale}"), &rows)
+            .expect("write zoo fig3");
+        results
+            .write_json(&format!("figure3_zoo_pooled_{scale}"), &pooled)
+            .expect("write zoo fig3 pooled");
+
+        // Figure-6-style strategy comparison, one stencil at a time so
+        // each runs on the size grid of its own dimensionality.
+        let mut zrows = Vec::new();
+        let mut zdetails: Vec<Fig6Detail> = Vec::new();
+        for stencil in &zoo {
+            let sizes = lab.scale.sizes(stencil.dim);
+            let (r, d) = figures::figure6_for(&lab, std::slice::from_ref(stencil), &sizes, false);
+            zrows.extend(r);
+            zdetails.extend(d);
+        }
+        for r in &zrows {
+            let strategies: Vec<String> = r
+                .gflops
+                .iter()
+                .map(|(s, g)| format!("{s}={g:.1}"))
+                .collect();
+            println!(
+                "  fig6 {:10} {:12} ({} sizes): {}",
+                r.device,
+                r.benchmark,
+                r.sizes,
+                strategies.join("  ")
+            );
+        }
+        results
+            .write_json(&format!("figure6_zoo_{scale}"), &zrows)
+            .expect("write zoo fig6");
+        results
+            .write_json(&format!("figure6_zoo_details_{scale}"), &zdetails)
+            .expect("write zoo fig6 details");
+
+        // CI gate: every (device, stencil, size) must yield a non-empty
+        // within-10% candidate set — an empty band means the model sweep
+        // or the feasible space broke for the non-paper descriptor.
+        let mut empty_bands = 0usize;
+        for d in &zdetails {
+            let within = d
+                .outcomes
+                .iter()
+                .find(|o| o.strategy == Strategy::Within10.name());
+            match within {
+                Some(o) if o.measured_count > 0 => {}
+                _ => {
+                    eprintln!(
+                        "  EMPTY within-10% band: {} / {} / {}",
+                        d.device, d.benchmark, d.size
+                    );
+                    empty_bands += 1;
+                }
+            }
+        }
+        if empty_bands > 0 {
+            eprintln!("zoo check FAILED: {empty_bands} empty within-10% candidate set(s)");
+            std::process::exit(1);
+        }
+        println!(
+            "  zoo check passed: all {} within-10% candidate sets non-empty",
+            zdetails.len()
+        );
     }
 
     if args.ablation {

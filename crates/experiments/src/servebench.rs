@@ -17,7 +17,7 @@ use serde::Serialize;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Instant;
-use stencil_core::StencilKind;
+use stencil_core::StencilDescriptor;
 
 /// Default precompute/replay grid, shared by `experiments precompute`
 /// and `serve-bench` so a default store always covers the default
@@ -44,19 +44,19 @@ pub fn parse_devices(spec: &str) -> Result<Vec<DeviceConfig>, String> {
 }
 
 /// Parse a comma-separated stencil list (`"Heat2D,Jacobi3D"`),
-/// case-insensitively.
-pub fn parse_stencils(spec: &str) -> Result<Vec<StencilKind>, String> {
+/// case-insensitively. Any named descriptor resolves — the paper's
+/// eight presets and the zoo alike.
+pub fn parse_stencils(spec: &str) -> Result<Vec<StencilDescriptor>, String> {
     spec.split(',')
         .map(|name| {
             let name = name.trim();
-            StencilKind::ALL
-                .iter()
-                .copied()
-                .find(|k| k.name().eq_ignore_ascii_case(name))
-                .ok_or_else(|| {
-                    let known: Vec<&str> = StencilKind::ALL.iter().map(|k| k.name()).collect();
-                    format!("unknown stencil '{name}' (known: {})", known.join(", "))
-                })
+            StencilDescriptor::from_name(name).ok_or_else(|| {
+                let known: Vec<String> = StencilDescriptor::named()
+                    .into_iter()
+                    .map(|d| d.name)
+                    .collect();
+                format!("unknown stencil '{name}' (known: {})", known.join(", "))
+            })
         })
         .collect()
 }
@@ -80,12 +80,17 @@ pub fn parse_usizes(spec: &str, flag: &str) -> Result<Vec<usize>, String> {
 /// grid produced, because the preset name resolves to the identical
 /// `DeviceConfig` and `within`/`top_n` ride on their documented
 /// defaults.
-pub fn query_jsonl(device: &DeviceConfig, kind: StencilKind, size: usize, time: usize) -> String {
-    let extents = vec![size.to_string(); kind.spec().dim.rank()];
+pub fn query_jsonl(
+    device: &DeviceConfig,
+    stencil: &StencilDescriptor,
+    size: usize,
+    time: usize,
+) -> String {
+    let extents = vec![size.to_string(); stencil.dim.rank()];
     format!(
         "{{\"device\": \"{}\", \"stencil\": \"{}\", \"size\": [{}], \"time\": {}}}",
         device.name,
-        kind.name(),
+        stencil.name,
         extents.join(", "),
         time
     )
@@ -337,10 +342,10 @@ mod tests {
             grid.iter().map(|q| advisor.canonical_key(q)).collect();
         let mut wire_keys = std::collections::HashSet::new();
         for device in &devices {
-            for &kind in &stencils {
+            for stencil in &stencils {
                 for &s in &sizes {
                     for &t in &times {
-                        let line = query_jsonl(device, kind, s, t);
+                        let line = query_jsonl(device, stencil, s, t);
                         let q = advisor::Query::parse_line(&line).expect("wire line parses");
                         wire_keys.insert(advisor.canonical_key(&q));
                     }

@@ -2,7 +2,7 @@
 
 use crate::context::Lab;
 use serde::{Deserialize, Serialize};
-use stencil_core::StencilKind;
+use stencil_core::{StencilDescriptor, StencilKind};
 
 /// One device column of Table 2 (GPU configuration).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -82,54 +82,24 @@ pub struct Table4Row {
     pub paper_citer: Option<f64>,
 }
 
-/// The paper's Table 4 values, for side-by-side reporting.
-pub fn paper_citer(kind: StencilKind, device: &str) -> Option<f64> {
+/// The paper's Table 4 values, for side-by-side reporting — a plain
+/// (benchmark name, GTX 980, Titan X) lookup, so the table covers
+/// exactly the six cells the paper prints and nothing dispatches on
+/// stencil structure here.
+pub fn paper_citer(benchmark: &str, device: &str) -> Option<f64> {
+    const TABLE: &[(&str, f64, f64)] = &[
+        ("Jacobi2D", 3.39e-8, 3.83e-8),
+        ("Heat2D", 3.68e-8, 4.23e-8),
+        ("Laplacian2D", 3.11e-8, 3.81e-8),
+        ("Gradient2D", 6.09e-8, 7.60e-8),
+        ("Heat3D", 1.55e-7, 1.64e-7),
+        ("Laplacian3D", 1.36e-7, 1.44e-7),
+    ];
     let gtx = device.contains("980");
-    Some(match kind {
-        StencilKind::Jacobi2D => {
-            if gtx {
-                3.39e-8
-            } else {
-                3.83e-8
-            }
-        }
-        StencilKind::Heat2D => {
-            if gtx {
-                3.68e-8
-            } else {
-                4.23e-8
-            }
-        }
-        StencilKind::Laplacian2D => {
-            if gtx {
-                3.11e-8
-            } else {
-                3.81e-8
-            }
-        }
-        StencilKind::Gradient2D => {
-            if gtx {
-                6.09e-8
-            } else {
-                7.60e-8
-            }
-        }
-        StencilKind::Heat3D => {
-            if gtx {
-                1.55e-7
-            } else {
-                1.64e-7
-            }
-        }
-        StencilKind::Laplacian3D => {
-            if gtx {
-                1.36e-7
-            } else {
-                1.44e-7
-            }
-        }
-        _ => return None,
-    })
+    TABLE
+        .iter()
+        .find(|(name, _, _)| *name == benchmark)
+        .map(|(_, g, t)| if gtx { *g } else { *t })
 }
 
 /// Regenerate Table 4 by running the `Citer` micro-benchmark for every
@@ -137,13 +107,14 @@ pub fn paper_citer(kind: StencilKind, device: &str) -> Option<f64> {
 pub fn table4(lab: &Lab) -> Vec<Table4Row> {
     let mut rows = Vec::new();
     for kind in StencilKind::TABLE4 {
+        let stencil = StencilDescriptor::preset(kind);
         for d in &lab.devices {
-            let m = lab.measured(d, kind);
+            let m = lab.measured(d, &stencil);
             rows.push(Table4Row {
-                benchmark: kind.name().to_string(),
+                benchmark: stencil.name.clone(),
                 device: d.name.clone(),
                 citer: m.citer,
-                paper_citer: paper_citer(kind, &d.name),
+                paper_citer: paper_citer(&stencil.name, &d.name),
             });
         }
     }

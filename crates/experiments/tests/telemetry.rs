@@ -132,7 +132,7 @@ fn study_counters_match_outcomes() {
     let device = lab.devices[0].clone();
     let kind = StencilKind::Jacobi2D;
     let size = lab.scale.sizes_2d()[0];
-    let params = lab.model_params(&device, kind);
+    let params = lab.model_params(&device, &kind.into());
     let space = SpaceConfig::default();
     let workload = gpu_sim::Workload::new(device.clone(), kind, size)
         .expect("benchmark and size dimensionalities agree");

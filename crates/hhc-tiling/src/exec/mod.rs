@@ -978,19 +978,20 @@ mod higher_order_tests {
     }
 
     #[test]
-    fn plan_rejects_higher_order_with_clear_message() {
+    fn plan_builds_higher_order_with_scaled_slopes() {
         use crate::config::LaunchConfig;
         use crate::plan::TilingPlan;
         let spec = order2_2d();
         let size = ProblemSize::new_2d(64, 64, 8);
-        let err = TilingPlan::build(
+        let plan = TilingPlan::build(
             &spec,
             &size,
             TileSizes::new_2d(4, 8, 16),
             LaunchConfig::new_2d(1, 32),
         )
-        .unwrap_err();
-        assert!(err.contains("first-order"), "{err}");
+        .unwrap();
+        assert_eq!(plan.hex.slope, 2);
+        assert_eq!(plan.total_iterations(), size.iter_points());
     }
 }
 

@@ -233,15 +233,12 @@ impl TilingPlan {
         if size.time == 0 {
             return Err("problem must have at least one time step".into());
         }
-        if spec.order() > 1 {
-            return Err(format!(
-                "plans and the analytical model cover first-order stencils (got order {}); \
-                 the tiled executors support higher orders via scaled hexagon slopes",
-                spec.order()
-            ));
-        }
+        // Higher-order stencils (radius r) tile with hexagon slopes of
+        // ±r — "the slopes of the hexagons change by constant factors"
+        // (paper Section 7) — and the inner skew steepens to match.
+        let slope = usize::try_from(spec.order().max(1)).map_err(|_| "bad stencil order")?;
         let rank = spec.dim.rank();
-        let hex = HexTiling::new(tiles.t_s[0], tiles.t_t);
+        let hex = HexTiling::with_slope(tiles.t_s[0], tiles.t_t, slope);
         let offsets: Vec<[i64; 3]> = spec.neighbors.iter().map(|n| n.offset).collect();
 
         let builder = PlanBuilder {
@@ -249,8 +246,8 @@ impl TilingPlan {
             offsets,
             s1: size.space[0],
             time: size.time,
-            axis2: (rank >= 2).then(|| SkewedAxis::new(tiles.t_s[1], size.space[1])),
-            axis3: (rank >= 3).then(|| SkewedAxis::new(tiles.t_s[2], size.space[2])),
+            axis2: (rank >= 2).then(|| SkewedAxis::with_slope(tiles.t_s[1], size.space[1], slope)),
+            axis3: (rank >= 3).then(|| SkewedAxis::with_slope(tiles.t_s[2], size.space[2], slope)),
         };
 
         let nw = hex.wavefront_count(size.time);
@@ -269,10 +266,12 @@ impl TilingPlan {
 
         // Shared-memory footprint: a double buffer of (widest row + halo)
         // scaled by the skewed inner extents (paper Eqn 19 and its 3D
-        // analogue).
-        let mut mtile = 2 * (hex.max_row_width() as u64 + 2);
+        // analogue). Halos and skews widen by the slope; at slope 1 these
+        // are exactly the paper's `2(t_S1 + t_T + 1)` and `(t_S + t_T + 1)`
+        // factors.
+        let mut mtile = 2 * (hex.max_row_width() as u64 + 2 * slope as u64);
         for d in 1..rank {
-            mtile *= (tiles.t_s[d] + tiles.t_t + 1) as u64;
+            mtile *= (tiles.t_s[d] + slope * tiles.t_t + slope) as u64;
         }
 
         Ok(TilingPlan {
@@ -643,6 +642,39 @@ mod tests {
         let got = plan.mtile_words;
         let rel = (got as f64 - paper as f64).abs() / paper as f64;
         assert!(rel < 0.05, "Mtile {got} vs paper {paper}");
+    }
+
+    #[test]
+    fn higher_order_plans_cover_the_domain() {
+        // Radius-2 star (4th-order Laplacian): slope-2 hexagons still
+        // partition the iteration space exactly, and the shared-memory
+        // footprint accounts for the wider halos.
+        let spec = stencil_core::StencilDescriptor::lap4_2d().spec();
+        assert_eq!(spec.order(), 2);
+        for (s, t, tiles) in [
+            (48usize, 12usize, TileSizes::new_2d(4, 16, 32)),
+            (64, 8, TileSizes::new_2d(6, 24, 64)),
+        ] {
+            let size = ProblemSize::new_2d(s, s, t);
+            let plan = TilingPlan::build(&spec, &size, tiles, LaunchConfig::new_2d(1, 32)).unwrap();
+            assert_eq!(plan.hex.slope, 2, "{tiles:?}");
+            assert_eq!(plan.total_iterations(), size.iter_points(), "{tiles:?}");
+            let slope1 = 2
+                * (tiles.t_s[0] + tiles.t_t - 1 + 2) as u64
+                * (tiles.t_s[1] + tiles.t_t + 1) as u64;
+            assert!(plan.mtile_words > slope1, "halo must widen with slope");
+        }
+    }
+
+    #[test]
+    fn slope1_mtile_formula_unchanged() {
+        // The generalized footprint formula must reduce exactly to the
+        // historical slope-1 expression for every paper benchmark shape.
+        let tiles = TileSizes::new_2d(8, 16, 32);
+        let plan = plan_2d(512, 64, tiles);
+        let legacy =
+            2 * (plan.hex.max_row_width() as u64 + 2) * (tiles.t_s[1] + tiles.t_t + 1) as u64;
+        assert_eq!(plan.mtile_words, legacy);
     }
 
     #[test]

@@ -48,6 +48,13 @@ pub fn mtile_words(dim: StencilDim, tiles: &TileSizes) -> u64 {
     time_model::mtile_words(dim, tiles)
 }
 
+/// [`mtile_words`] for a radius-`r` stencil: halos and skews widen with
+/// the hexagon slope, so larger-radius descriptors fit fewer candidate
+/// tiles under the shared-memory cap.
+pub fn mtile_words_r(dim: StencilDim, radius: u64, tiles: &TileSizes) -> u64 {
+    time_model::DimSpec::with_radius(dim, radius).mtile_words(tiles)
+}
+
 /// The candidate-value axes of the feasible space, in coordinate order
 /// `[t_T, t_S1, (t_S_mid…,) t_S_inner]`: the hexagon base and time
 /// extent always, then the free middle extents, then the warp-aligned
@@ -70,10 +77,20 @@ pub fn coordinate_axes(cfg: &SpaceConfig, dim: StencilDim) -> Vec<&[usize]> {
 
 /// Whether a candidate satisfies Eqn 31's constraints on `device`.
 pub fn is_feasible(device: &DeviceConfig, dim: StencilDim, tiles: &TileSizes) -> bool {
+    is_feasible_r(device, dim, 1, tiles)
+}
+
+/// [`is_feasible`] for a radius-`r` stencil (radius-aware `M_tile`).
+pub fn is_feasible_r(
+    device: &DeviceConfig,
+    dim: StencilDim,
+    radius: u64,
+    tiles: &TileSizes,
+) -> bool {
     if tiles.validate(dim).is_err() {
         return false;
     }
-    let mtile = mtile_words(dim, tiles);
+    let mtile = mtile_words_r(dim, radius, tiles);
     // M_tile ≤ M_SM/threadblock (the 48 KB per-block cap); the k·M_tile
     // ≤ M_SM and k ≤ MTB_SM constraints are then satisfied by the
     // definition of k (Eqn 11).
@@ -84,6 +101,18 @@ pub fn is_feasible(device: &DeviceConfig, dim: StencilDim, tiles: &TileSizes) ->
 /// the cartesian product of [`coordinate_axes`] in lexicographic order
 /// (last axis fastest), filtered by [`is_feasible`].
 pub fn feasible_tiles(device: &DeviceConfig, dim: StencilDim, cfg: &SpaceConfig) -> Vec<TileSizes> {
+    feasible_tiles_r(device, dim, 1, cfg)
+}
+
+/// [`feasible_tiles`] for a radius-`r` stencil. Radius 1 enumerates the
+/// identical space in the identical order (the radius only enters the
+/// `M_tile` filter, through exact integer arithmetic).
+pub fn feasible_tiles_r(
+    device: &DeviceConfig,
+    dim: StencilDim,
+    radius: u64,
+    cfg: &SpaceConfig,
+) -> Vec<TileSizes> {
     let axes = coordinate_axes(cfg, dim);
     let mut out = Vec::new();
     let mut enumerated = 0u64;
@@ -96,7 +125,7 @@ pub fn feasible_tiles(device: &DeviceConfig, dim: StencilDim, cfg: &SpaceConfig)
             }
             let t = TileSizes::from_coords(dim, &coords).expect("one coordinate per axis");
             enumerated += 1;
-            if is_feasible(device, dim, &t) {
+            if is_feasible_r(device, dim, radius, &t) {
                 out.push(t);
             }
             let mut d = axes.len();
@@ -120,9 +149,9 @@ pub fn feasible_tiles(device: &DeviceConfig, dim: StencilDim, cfg: &SpaceConfig)
 }
 
 /// [`feasible_tiles`] for a [`Workload`]: the space of Eqn 31 for the
-/// workload's device and dimensionality.
+/// workload's device, dimensionality, and stencil radius.
 pub fn feasible_space(w: &Workload, cfg: &SpaceConfig) -> Vec<TileSizes> {
-    feasible_tiles(&w.device, w.dim(), cfg)
+    feasible_tiles_r(&w.device, w.dim(), w.radius().max(1) as u64, cfg)
 }
 
 #[cfg(test)]
@@ -209,6 +238,40 @@ mod tests {
         assert_eq!(
             feasible_space(&w, &cfg),
             feasible_tiles(&d, StencilDim::D2, &cfg)
+        );
+    }
+
+    #[test]
+    fn larger_radius_shrinks_the_space_monotonically() {
+        let d = DeviceConfig::gtx980();
+        let cfg = SpaceConfig::default();
+        for dim in [StencilDim::D1, StencilDim::D2, StencilDim::D3] {
+            let r1 = feasible_tiles_r(&d, dim, 1, &cfg);
+            let r2 = feasible_tiles_r(&d, dim, 2, &cfg);
+            assert_eq!(r1, feasible_tiles(&d, dim, &cfg));
+            assert!(!r2.is_empty(), "{dim:?}");
+            assert!(r2.len() <= r1.len(), "{dim:?}");
+            // Radius 2 is a filtered subsequence of radius 1.
+            let mut it = r1.iter();
+            for t in &r2 {
+                assert!(it.any(|u| u == t), "{t:?} not in radius-1 order");
+            }
+        }
+    }
+
+    #[test]
+    fn descriptor_radius_flows_into_workload_space() {
+        let d = DeviceConfig::gtx980();
+        let cfg = SpaceConfig::default();
+        let w = Workload::new(
+            d.clone(),
+            stencil_core::StencilDescriptor::lap4_2d(),
+            stencil_core::ProblemSize::new_2d(512, 512, 64),
+        )
+        .unwrap();
+        assert_eq!(
+            feasible_space(&w, &cfg),
+            feasible_tiles_r(&d, StencilDim::D2, 2, &cfg)
         );
     }
 

@@ -583,7 +583,7 @@ mod tests {
         // Use *measured* parameters, as the real pipeline does — the
         // model's candidate set is only meaningful with a Citer that
         // came from the machine.
-        let measured = microbench::measured_params_sampled(&device, workload.stencil, 16, 3);
+        let measured = microbench::measured_params_sampled(&device, &workload.stencil, 16, 3);
         let params = ModelParams::from_measured(&device, &measured);
         let space = SpaceConfig::default();
         let ctx = StrategyContext::new(&workload, &params, &space);
@@ -625,7 +625,7 @@ mod tests {
             ProblemSize::new_2d(256, 256, 64),
         )
         .unwrap();
-        let measured = microbench::measured_params_sampled(&device, workload.stencil, 16, 3);
+        let measured = microbench::measured_params_sampled(&device, &workload.stencil, 16, 3);
         let params = ModelParams::from_measured(&device, &measured);
         let space = SpaceConfig::default();
         let ctx = StrategyContext::new(&workload, &params, &space);
@@ -655,7 +655,7 @@ mod tests {
             ProblemSize::new_2d(256, 256, 64),
         )
         .unwrap();
-        let measured = microbench::measured_params_sampled(&device, workload.stencil, 16, 3);
+        let measured = microbench::measured_params_sampled(&device, &workload.stencil, 16, 3);
         let params = ModelParams::from_measured(&device, &measured);
         let space = SpaceConfig::default();
         let ctx = StrategyContext::new(&workload, &params, &space);

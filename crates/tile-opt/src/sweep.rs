@@ -5,7 +5,7 @@
 use hhc_tiling::TileSizes;
 use rayon::prelude::*;
 use stencil_core::ProblemSize;
-use time_model::{predict, predict_with, Correction, ModelParams, Prediction};
+use time_model::{predict, predict_with, Correction, DimSpec, ModelParams, Prediction};
 
 /// Evaluate `T_alg` for every candidate, in parallel.
 pub fn model_sweep(
@@ -36,6 +36,22 @@ pub fn model_sweep_with(
             .map(|t| (*t, predict_with(params, size, t, Some(corr))))
             .collect(),
     }
+}
+
+/// [`model_sweep_with`] for an explicit [`DimSpec`] — the descriptor
+/// path, where the stencil radius widens halos and row sums. A radius-1
+/// spec is bit-identical to [`model_sweep_with`] (which it subsumes).
+pub fn model_sweep_spec(
+    spec: DimSpec,
+    params: &ModelParams,
+    size: &ProblemSize,
+    tiles: &[TileSizes],
+    corr: Option<&Correction>,
+) -> Vec<(TileSizes, Prediction)> {
+    tiles
+        .par_iter()
+        .map(|t| (*t, spec.predict_with(params, size, t, corr)))
+        .collect()
 }
 
 /// The predicted-optimal point `T_alg min` of a sweep.
@@ -138,6 +154,48 @@ mod tests {
             assert_eq!(x.0, y.0);
             assert_eq!(x.1.talg.to_bits(), y.1.talg.to_bits());
         }
+    }
+
+    #[test]
+    fn spec_sweep_at_radius_one_matches_legacy_bitwise() {
+        let d = DeviceConfig::gtx980();
+        let tiles = feasible_tiles(&d, StencilDim::D2, &SpaceConfig::default());
+        let size = ProblemSize::new_2d(1024, 1024, 512);
+        let legacy = model_sweep_with(&params(), &size, &tiles, None);
+        let spec = model_sweep_spec(DimSpec::of(StencilDim::D2), &params(), &size, &tiles, None);
+        assert_eq!(legacy.len(), spec.len());
+        for (a, b) in legacy.iter().zip(&spec) {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1.talg.to_bits(), b.1.talg.to_bits());
+        }
+    }
+
+    #[test]
+    fn radius_enters_the_spec_sweep() {
+        let d = DeviceConfig::gtx980();
+        let size = ProblemSize::new_2d(1024, 1024, 512);
+        let tiles = feasible_tiles(&d, StencilDim::D2, &SpaceConfig::default());
+        let r1 = model_sweep_spec(DimSpec::of(StencilDim::D2), &params(), &size, &tiles, None);
+        let r2 = model_sweep_spec(
+            DimSpec::with_radius(StencilDim::D2, 2),
+            &params(),
+            &size,
+            &tiles,
+            None,
+        );
+        // Same candidates, different geometry: every prediction is finite
+        // and positive, and the radius visibly moves the surface.
+        assert_eq!(r1.len(), r2.len());
+        assert!(r2.iter().all(|(_, p)| p.talg.is_finite() && p.talg > 0.0));
+        let moved = r1
+            .iter()
+            .zip(&r2)
+            .filter(|(a, b)| a.1.talg.to_bits() != b.1.talg.to_bits())
+            .count();
+        assert!(moved > r1.len() / 2, "only {moved}/{} moved", r1.len());
+        // And the predicted optimum is not the same point-by-accident
+        // value: minima exist on both surfaces.
+        assert!(talg_min(&r1).is_some() && talg_min(&r2).is_some());
     }
 
     #[test]

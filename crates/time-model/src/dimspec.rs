@@ -28,22 +28,50 @@ use crate::common;
 use crate::params::ModelParams;
 use crate::{Correction, Prediction};
 use hhc_tiling::TileSizes;
-use stencil_core::{ProblemSize, StencilDim};
+use stencil_core::{ProblemSize, StencilDescriptor, StencilDim};
 
 /// The dimensional shape of a stencil model: everything the analytical
-/// model needs to know about rank to evaluate Eqns 2–30 at any
-/// dimensionality.
+/// model needs to know about rank *and halo radius* to evaluate
+/// Eqns 2–30 at any dimensionality.
+///
+/// Radius generalizes the paper's first-order geometry the same way the
+/// tiling does (Section 7: "the slopes of the hexagons change by
+/// constant factors"): hexagon pitch `2·t_S1 + r·t_T`, row widths
+/// stepping by `2r`, halos of `r` cells per face, skews of `r` per time
+/// step. Every generalized expression reduces — in exact integer
+/// arithmetic, hence bit-identically through the floating-point that
+/// follows — to the historical formula at `r = 1`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DimSpec {
     /// Space rank (1–3).
     pub rank: usize,
+    /// Stencil halo radius (1 for every paper benchmark).
+    pub radius: u64,
 }
 
 impl DimSpec {
-    /// The spec for a given dimensionality.
+    /// The spec for a given dimensionality, at the paper's radius 1.
     #[inline]
     pub fn of(dim: StencilDim) -> Self {
-        DimSpec { rank: dim.rank() }
+        DimSpec {
+            rank: dim.rank(),
+            radius: 1,
+        }
+    }
+
+    /// The spec for a given dimensionality and halo radius.
+    #[inline]
+    pub fn with_radius(dim: StencilDim, radius: u64) -> Self {
+        DimSpec {
+            rank: dim.rank(),
+            radius: radius.max(1),
+        }
+    }
+
+    /// The spec a stencil descriptor's geometry induces.
+    #[inline]
+    pub fn for_stencil(stencil: &StencilDescriptor) -> Self {
+        Self::with_radius(stencil.dim, stencil.radius.max(1) as u64)
     }
 
     /// The inner-extent product `∏_{d>1} t_Sd` (1 for 1D, `t_S2` for 2D,
@@ -53,10 +81,12 @@ impl DimSpec {
         tiles.t_s[1..self.rank].iter().map(|&s| s as u64).product()
     }
 
-    /// Per-direction tile I/O footprint `m_i = m_o = inner·(t_S1 + 2t_T)`
-    /// — Eqns 7 (halved), 13, 24.
+    /// Per-direction tile I/O footprint
+    /// `m_i = m_o = inner·(t_S1 + 2·r·t_T)` — Eqns 7 (halved), 13, 24;
+    /// the oblique faces exchange `r` columns per time step at radius
+    /// `r`.
     pub fn mi_words(&self, tiles: &TileSizes) -> u64 {
-        self.inner(tiles) * (tiles.t_s[0] as u64 + 2 * tiles.t_t as u64)
+        self.inner(tiles) * (tiles.t_s[0] as u64 + 2 * self.radius * tiles.t_t as u64)
     }
 
     /// `m' = (m_i + m_o)·L + 2 τ_sync` — Eqns 8/14/25.
@@ -64,23 +94,28 @@ impl DimSpec {
         2.0 * self.mi_words(tiles) as f64 * p.l_word() + 2.0 * p.tau_sync()
     }
 
-    /// `c = 2 C_iter Σ_x ⌈x·inner/n_V⌉ + t_T τ_sync` — Eqns 9/15/27.
+    /// `c = 2 C_iter Σ_x ⌈x·inner/n_V⌉ + t_T τ_sync` — Eqns 9/15/27,
+    /// the row widths stepping by `2r` between the radius-`r` hexagon's
+    /// rows.
     pub fn compute_time(&self, p: &ModelParams, tiles: &TileSizes) -> f64 {
-        2.0 * p.citer() * common::row_sum(p, tiles.t_s[0], tiles.t_t, self.inner(tiles)) as f64
+        2.0 * p.citer()
+            * common::row_sum_r(p, tiles.t_s[0], tiles.t_t, self.inner(tiles), self.radius) as f64
             + tiles.t_t as f64 * p.tau_sync()
     }
 
-    /// Shared-memory footprint `M_tile` in words: `2(t_S + t_T)` for 1D
-    /// (Section 4.1.1, no halo in the single buffered row pair),
-    /// `2·∏_d (t_Sd + t_T + 1)` for 2D/3D (Eqn 19 and its 3D
-    /// extension).
+    /// Shared-memory footprint `M_tile` in words: `2(t_S + r·t_T)` for
+    /// 1D (Section 4.1.1, no halo in the single buffered row pair),
+    /// `2·∏_d (t_Sd + r·t_T + r)` for 2D/3D (Eqn 19 and its 3D
+    /// extension; halo and skew widen with the radius, matching the
+    /// slope-generic `TilingPlan` footprint).
     pub fn mtile_words(&self, tiles: &TileSizes) -> u64 {
+        let r = self.radius;
         if self.rank == 1 {
-            2 * (tiles.t_s[0] as u64 + tiles.t_t as u64)
+            2 * (tiles.t_s[0] as u64 + r * tiles.t_t as u64)
         } else {
             let mut words = 2u64;
             for d in 0..self.rank {
-                words *= tiles.t_s[d] as u64 + tiles.t_t as u64 + 1;
+                words *= tiles.t_s[d] as u64 + r * tiles.t_t as u64 + r;
             }
             words
         }
@@ -88,14 +123,14 @@ impl DimSpec {
 
     /// Sub-tiles (sub-prisms / sub-slabs) each block walks along the
     /// classically-tiled inner dimensions,
-    /// `⌈∏_{d>1}(S_d + t_T) / ∏_{d>1} t_Sd⌉` — Section 4.2.2 and
+    /// `⌈∏_{d>1}(S_d + r·t_T) / ∏_{d>1} t_Sd⌉` — Section 4.2.2 and
     /// Eqn 23, in exact integer arithmetic (1 for 1D: the hexagon *is*
-    /// the tile).
+    /// the tile). The skew per prism is `r` columns per time step.
     pub fn subunits(&self, size: &ProblemSize, tiles: &TileSizes) -> u64 {
         let mut num = 1u64;
         let mut den = 1u64;
         for d in 1..self.rank {
-            num *= size.space[d] as u64 + tiles.t_t as u64;
+            num *= size.space[d] as u64 + self.radius * tiles.t_t as u64;
             den *= tiles.t_s[d] as u64;
         }
         num.div_ceil(den)
@@ -134,7 +169,7 @@ impl DimSpec {
         corr: Option<&Correction>,
     ) -> Prediction {
         let nw = common::wavefronts(size.time, tiles.t_t);
-        let w = common::wavefront_width(size.space[0], tiles.t_s[0], tiles.t_t);
+        let w = common::wavefront_width_r(size.space[0], tiles.t_s[0], tiles.t_t, self.radius);
         let mtile = self.mtile_words(tiles);
         let k = common::effective_k(p, w, common::hyperthreading(p, mtile));
         let (m, c) = match corr {
@@ -144,7 +179,13 @@ impl DimSpec {
                 corr.citer_scale
                     * (2.0
                         * p.citer()
-                        * common::row_sum(p, tiles.t_s[0], tiles.t_t, self.inner(tiles)) as f64)
+                        * common::row_sum_r(
+                            p,
+                            tiles.t_s[0],
+                            tiles.t_t,
+                            self.inner(tiles),
+                            self.radius,
+                        ) as f64)
                     + tiles.t_t as f64 * p.tau_sync(),
             ),
         };
@@ -275,6 +316,43 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn radius_one_is_the_default_spec() {
+        for dim in StencilDim::ALL {
+            assert_eq!(DimSpec::of(dim), DimSpec::with_radius(dim, 1));
+        }
+        // for_stencil reads the descriptor's geometry.
+        let lap4 = stencil_core::StencilDescriptor::lap4_2d();
+        let spec = DimSpec::for_stencil(&lap4);
+        assert_eq!(spec.rank, 2);
+        assert_eq!(spec.radius, 2);
+    }
+
+    #[test]
+    fn radius_widens_every_geometric_term() {
+        let size = ProblemSize::new_2d(1024, 1024, 128);
+        let tiles = TileSizes::new_2d(8, 16, 64);
+        let r1 = DimSpec::with_radius(StencilDim::D2, 1);
+        let r2 = DimSpec::with_radius(StencilDim::D2, 2);
+        let p = &params(3.39e-8)[0];
+        // Wider halos: more I/O words, more shared memory, more
+        // sub-prisms, fewer (wider-pitched) tiles per wavefront.
+        assert!(r2.mi_words(&tiles) > r1.mi_words(&tiles));
+        assert!(r2.mtile_words(&tiles) > r1.mtile_words(&tiles));
+        assert!(r2.subunits(&size, &tiles) >= r1.subunits(&size, &tiles));
+        let p1 = r1.predict(p, &size, &tiles);
+        let p2 = r2.predict(p, &size, &tiles);
+        assert!(
+            p2.w < p1.w,
+            "pitch doubles the tile span: {} {}",
+            p2.w,
+            p1.w
+        );
+        assert!(p2.talg > 0.0 && p2.talg.is_finite());
+        // Same wavefront count: N_w depends on t_T only.
+        assert_eq!(p1.nw, p2.nw);
     }
 
     #[test]

@@ -171,6 +171,30 @@ pub fn mtile_words(dim: StencilDim, tiles: &TileSizes) -> u64 {
     DimSpec::of(dim).mtile_words(tiles)
 }
 
+/// [`predict`] for an arbitrary stencil descriptor: the halo geometry
+/// (pitch, row widths, footprints, skews) scales with the descriptor's
+/// radius. For every radius-1 descriptor — all paper presets — this is
+/// bit-identical to [`predict`].
+pub fn predict_stencil(
+    p: &ModelParams,
+    stencil: &stencil_core::StencilDescriptor,
+    size: &ProblemSize,
+    tiles: &TileSizes,
+) -> Prediction {
+    DimSpec::for_stencil(stencil).predict(p, size, tiles)
+}
+
+/// [`predict_stencil`] with an optional calibration [`Correction`].
+pub fn predict_stencil_with(
+    p: &ModelParams,
+    stencil: &stencil_core::StencilDescriptor,
+    size: &ProblemSize,
+    tiles: &TileSizes,
+    corr: Option<&Correction>,
+) -> Prediction {
+    DimSpec::for_stencil(stencil).predict_with(p, size, tiles, corr)
+}
+
 /// Shared model pieces used by all three dimensionalities.
 pub(crate) mod common {
     use super::ModelParams;
@@ -188,7 +212,14 @@ pub(crate) mod common {
     /// the pitch form for all dimensionalities and record the deviation
     /// in EXPERIMENTS.md.
     pub fn wavefront_width(s1: usize, t_s1: usize, t_t: usize) -> u64 {
-        (s1 as u64).div_ceil(2 * t_s1 as u64 + t_t as u64)
+        wavefront_width_r(s1, t_s1, t_t, 1)
+    }
+
+    /// [`wavefront_width`] for a radius-`r` stencil: the hexagon pitch
+    /// grows to `2·t_S1 + r·t_T` with the slope (integer arithmetic, so
+    /// `r = 1` is exactly the historical value).
+    pub fn wavefront_width_r(s1: usize, t_s1: usize, t_t: usize, r: u64) -> u64 {
+        (s1 as u64).div_ceil(2 * t_s1 as u64 + r * t_t as u64)
     }
 
     /// The compute-row summation `Σ_x ⌈x·inner/n_V⌉` over the hexagon's
@@ -205,13 +236,22 @@ pub(crate) mod common {
     /// bounds on our geometry would *halve* the predicted compute of
     /// degenerate `t_S1 = 1` tiles and pin the model minimum to them.
     pub fn row_sum(p: &ModelParams, t_s1: usize, t_t: usize, inner: u64) -> u64 {
-        let first = t_s1 as u64 + 1;
-        let last = (t_s1 + t_t - 1) as u64;
+        row_sum_r(p, t_s1, t_t, inner, 1)
+    }
+
+    /// [`row_sum`] for a radius-`r` stencil: the slope-`r` hexagon's
+    /// bottom-half rows widen by `2r` per time step, running
+    /// `t_S1 + r … t_S1 + r·(t_T − 1)` — the same `t_T/2` rows, each
+    /// `r×` wider in the growth term. Exact integer arithmetic; `r = 1`
+    /// reproduces the historical sum bit-for-bit.
+    pub fn row_sum_r(p: &ModelParams, t_s1: usize, t_t: usize, inner: u64, r: u64) -> u64 {
+        let first = t_s1 as u64 + r;
+        let last = t_s1 as u64 + r * (t_t as u64 - 1);
         let mut sum = 0u64;
         let mut x = first;
         while x <= last {
             sum += (x * inner).div_ceil(p.n_v as u64);
-            x += 2;
+            x += 2 * r;
         }
         sum
     }

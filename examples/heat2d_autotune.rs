@@ -33,7 +33,7 @@ fn main() {
         size.label()
     );
     println!("measuring model parameters (micro-benchmarks)...");
-    let measured = microbench::measured_params_sampled(&device, kind, 30, 7);
+    let measured = microbench::measured_params_sampled(&device, &kind.into(), 30, 7);
     let params = ModelParams::from_measured(&device, &measured);
 
     let workload = Workload::new(device.clone(), kind, size).expect("Heat2D is 2-dimensional");

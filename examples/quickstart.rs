@@ -41,7 +41,7 @@ fn main() {
 
     // 2. Measure the model's parameters from the machine, exactly as the
     //    paper measures them from hardware (Section 5.2).
-    let measured = microbench::measured_params_sampled(&device, kind, 30, 42);
+    let measured = microbench::measured_params_sampled(&device, &kind.into(), 30, 42);
     println!(
         "\nmeasured : L = {:.2e} s/GB, tau_sync = {:.2e} s, T_sync = {:.2e} s, Citer = {:.2e} s",
         measured.l_word * 1e9 / 4.0,

@@ -91,7 +91,7 @@ fn main() {
         "T", "naive [s]", "hhc [s]", "speedup", "naive GF/s"
     );
 
-    let measured = microbench::measured_params_sampled(&device, kind, 20, 9);
+    let measured = microbench::measured_params_sampled(&device, &kind.into(), 20, 9);
     let params = ModelParams::from_measured(&device, &measured);
 
     let mut t = 32usize;

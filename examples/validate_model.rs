@@ -39,7 +39,8 @@ fn main() {
         device.name
     );
     println!("evaluating the 850-point baseline set (model + machine)...\n");
-    let (summary, evals) = validate_one_full(&lab, &device, kind, &size, &SpaceConfig::default());
+    let (summary, evals) =
+        validate_one_full(&lab, &device, &kind.into(), &size, &SpaceConfig::default());
 
     // A terminal scatter: predicted vs measured for the top performers.
     println!("top-performing points (within 20% of best) — predicted vs measured:");

@@ -13,23 +13,23 @@
 
 use gpu_sim::{simulate, DeviceConfig, SimWorkload, Workload};
 use hhc_tiling::{analyze, LaunchConfig, TileSizes, TilingPlan};
-use stencil_core::{reference, ProblemSize, StencilDim, StencilKind};
+use stencil_core::{reference, ProblemSize, StencilDescriptor, StencilDim};
 use tile_opt::strategy::{empirical_launch, DataPoint};
 use tile_opt::{feasible_space, model_sweep, talg_min, within_fraction, SpaceConfig};
 use time_model::{predict, ModelParams};
 
 /// Parse a stencil name (case-insensitive, e.g. `jacobi2d`).
-pub fn parse_stencil(name: &str) -> Result<StencilKind, String> {
-    StencilKind::ALL
-        .into_iter()
-        .find(|k| k.name().eq_ignore_ascii_case(name))
-        .ok_or_else(|| {
-            let names: Vec<_> = StencilKind::ALL.iter().map(|k| k.name()).collect();
-            format!(
-                "unknown stencil '{name}' (expected one of {})",
-                names.join(", ")
-            )
-        })
+pub fn parse_stencil(name: &str) -> Result<StencilDescriptor, String> {
+    StencilDescriptor::from_name(name).ok_or_else(|| {
+        let names: Vec<_> = StencilDescriptor::named()
+            .into_iter()
+            .map(|d| d.name)
+            .collect();
+        format!(
+            "unknown stencil '{name}' (expected one of {})",
+            names.join(", ")
+        )
+    })
 }
 
 /// Parse a problem size like `4096x4096xT1024` (the `T` marker is
@@ -146,8 +146,8 @@ pub fn parse_flags<'a>(
 
 /// Build the common arguments from parsed flags.
 pub fn common_args(flags: &std::collections::BTreeMap<String, &str>) -> Result<CommonArgs, String> {
-    let kind = parse_stencil(flags.get("stencil").ok_or("--stencil is required")?)?;
-    let dim = kind.spec().dim;
+    let stencil = parse_stencil(flags.get("stencil").ok_or("--stencil is required")?)?;
+    let dim = stencil.dim;
     let size = parse_size(flags.get("size").ok_or("--size is required")?, dim)?;
     let device = flags
         .get("device")
@@ -156,14 +156,14 @@ pub fn common_args(flags: &std::collections::BTreeMap<String, &str>) -> Result<C
         s.parse().map_err(|_| "bad --samples".to_string())
     })?;
     Ok(CommonArgs {
-        workload: Workload::new(device, kind, size)?,
+        workload: Workload::new(device, stencil, size)?,
         samples,
     })
 }
 
 fn measured_params(c: &CommonArgs) -> ModelParams {
     let w = &c.workload;
-    let m = microbench::measured_params_sampled(&w.device, w.stencil, c.samples, 0x5EED);
+    let m = microbench::measured_params_sampled(&w.device, &w.stencil, c.samples, 0x5EED);
     ModelParams::from_measured(&w.device, &m)
 }
 
@@ -276,7 +276,7 @@ pub fn cmd_tune(c: &CommonArgs) -> Result<String, String> {
 /// device/stencil).
 pub fn cmd_params(c: &CommonArgs) -> Result<String, String> {
     let w = &c.workload;
-    let m = microbench::measured_params_sampled(&w.device, w.stencil, c.samples, 0x5EED);
+    let m = microbench::measured_params_sampled(&w.device, &w.stencil, c.samples, 0x5EED);
     Ok(format!(
         "device {}   stencil {}
   L      = {:.4e} s/GB   ({:.4e} s/word)
@@ -284,7 +284,7 @@ pub fn cmd_params(c: &CommonArgs) -> Result<String, String> {
   T_sync = {:.4e} s
   Citer  = {:.4e} s   ({} samples)",
         w.device.name,
-        w.stencil.name(),
+        w.stencil.name,
         m.l_word * 1e9 / 4.0,
         m.l_word,
         m.tau_sync,

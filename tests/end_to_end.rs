@@ -14,7 +14,7 @@ fn full_pipeline_produces_coherent_study() {
     let device = lab.devices[0].clone();
     let kind = StencilKind::Heat2D;
     let size = ProblemSize::new_2d(1024, 1024, 256);
-    let params = lab.model_params(&device, kind);
+    let params = lab.model_params(&device, &kind.into());
     let space = SpaceConfig::default();
     let workload = Workload::new(device, kind, size).expect("Heat2D is 2-dimensional");
     let ctx = StrategyContext::new(&workload, &params, &space);
@@ -74,11 +74,12 @@ fn validation_pools_and_summarizes() {
     let device = lab.devices[1].clone(); // Titan X
     let kind = StencilKind::Laplacian2D;
     let size = ProblemSize::new_2d(1024, 1024, 128);
-    let (summary, evals) = validate_one_full(&lab, &device, kind, &size, &SpaceConfig::default());
+    let (summary, evals) =
+        validate_one_full(&lab, &device, &kind.into(), &size, &SpaceConfig::default());
     assert_eq!(summary.points, 850);
     assert!(summary.measured_points > 700);
     assert!(summary.rmse_all > summary.rmse_top20);
-    let pooled = pool_validation(&device, kind, &evals);
+    let pooled = pool_validation(&device, &kind.into(), &evals);
     assert_eq!(pooled.points, summary.measured_points);
     assert!(pooled.top_points > 0);
 }

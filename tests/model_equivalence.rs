@@ -20,7 +20,7 @@ const SEED: u64 = 0x5EED;
 fn params_for(device: &DeviceConfig, kind: StencilKind) -> ModelParams {
     ModelParams::from_measured(
         device,
-        &microbench::measured_params_sampled(device, kind, 4, SEED),
+        &microbench::measured_params_sampled(device, &kind.into(), 4, SEED),
     )
 }
 

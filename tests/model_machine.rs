@@ -10,7 +10,7 @@ use hhc_tiling::TilingPlan;
 fn measured(device: &DeviceConfig, kind: StencilKind) -> ModelParams {
     ModelParams::from_measured(
         device,
-        &microbench::measured_params_sampled(device, kind, 12, 99),
+        &microbench::measured_params_sampled(device, &kind.into(), 12, 99),
     )
 }
 
@@ -99,27 +99,15 @@ fn model_k_matches_machine_occupancy_when_shared_bound() {
 fn citer_table_matches_paper_scale() {
     for device in DeviceConfig::paper_devices() {
         for kind in StencilKind::TABLE4 {
-            let measured = microbench::measure_citer(&device, kind, 12, 5);
-            let paper = match (kind, device.name.contains("980")) {
-                (StencilKind::Jacobi2D, true) => 3.39e-8,
-                (StencilKind::Jacobi2D, false) => 3.83e-8,
-                (StencilKind::Heat2D, true) => 3.68e-8,
-                (StencilKind::Heat2D, false) => 4.23e-8,
-                (StencilKind::Laplacian2D, true) => 3.11e-8,
-                (StencilKind::Laplacian2D, false) => 3.81e-8,
-                (StencilKind::Gradient2D, true) => 6.09e-8,
-                (StencilKind::Gradient2D, false) => 7.60e-8,
-                (StencilKind::Heat3D, true) => 1.55e-7,
-                (StencilKind::Heat3D, false) => 1.64e-7,
-                (StencilKind::Laplacian3D, true) => 1.36e-7,
-                (StencilKind::Laplacian3D, false) => 1.44e-7,
-                _ => unreachable!(),
-            };
+            let stencil = kind.into();
+            let measured = microbench::measure_citer(&device, &stencil, 12, 5);
+            let paper = experiments::tables::paper_citer(&stencil.name, &device.name)
+                .expect("TABLE4 cells all have paper values");
             let rel = (measured - paper).abs() / paper;
             assert!(
                 rel < 0.35,
                 "{} on {}: measured {measured:e} vs paper {paper:e} ({:.0}% off)",
-                kind.name(),
+                stencil.name,
                 device.name,
                 100.0 * rel
             );
